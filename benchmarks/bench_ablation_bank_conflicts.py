@@ -1,0 +1,85 @@
+"""Ablation: quantifying the paper's future-work item (SLM bank conflicts).
+
+Section 4.4: "Further optimizations to improve SLM accesses, for example
+identifying possible bank-conflicts and resolving them, will be part of
+our future work." The analyzer walks the solvers' actual SLM access
+patterns: unit-stride vector sweeps, the SpMV column gather over the real
+Pele patterns, and the layout pathologies (power-of-two strides) that
+padding resolves.
+"""
+
+from repro.bench.report import print_table
+from repro.hw.bank_conflicts import (
+    analyze_solver_conflicts,
+    gather_conflict_factor,
+    strided_conflict_factor,
+)
+from repro.hw.specs import gpu
+from repro.workloads.pele import MECHANISMS, pele_batch
+
+
+def _run():
+    stride_rows = []
+    for stride in (1, 2, 8, 16, 17, 32):
+        stride_rows.append(
+            {
+                "stride_elems": stride,
+                "h100_factor": strided_conflict_factor(stride, 32, 8, 32),
+                "pvc_sg16_factor": strided_conflict_factor(stride, 16, 8, 64),
+            }
+        )
+
+    gather_rows = []
+    for name in MECHANISMS:
+        matrix = pele_batch(name)
+        gather_rows.append(
+            {
+                "mechanism": name,
+                "pvc_sg16": gather_conflict_factor(matrix, 16, 8, 64),
+                "pvc_sg32": gather_conflict_factor(matrix, 32, 8, 64),
+                "h100_warp": gather_conflict_factor(matrix, 32, 8, 32),
+            }
+        )
+
+    reports = [
+        analyze_solver_conflicts(gpu(key), pele_batch("dodecane_lu"))
+        for key in ("pvc1", "h100")
+    ]
+    return stride_rows, gather_rows, reports
+
+
+def test_ablation_bank_conflicts(once):
+    stride_rows, gather_rows, reports = once(_run)
+    print_table(stride_rows, "Strided SLM access: serialization factors")
+    print_table(gather_rows, "SpMV x-gather over the real Pele patterns")
+    print_table(
+        [
+            {
+                "platform": r.spec_key,
+                "lanes": r.lanes,
+                "banks": r.num_banks,
+                "avg_factor": r.average_factor,
+                "projected_speedup_if_resolved": r.projected_speedup,
+            }
+            for r in reports
+        ],
+        "Solver-level conflict summary (dodecane_lu)",
+    )
+
+    by_stride = {r["stride_elems"]: r for r in stride_rows}
+    # the classic pathology and its padding fix
+    assert by_stride[16]["h100_factor"] == 16.0
+    assert by_stride[17]["h100_factor"] <= 2.0
+    # unit-stride sweeps (the solvers' BLAS-1) are conflict-free everywhere
+    assert by_stride[1]["h100_factor"] == 1.0
+    assert by_stride[1]["pvc_sg16_factor"] == 1.0
+    # the gathers over real chemistry patterns are mildly conflicting at
+    # warp width, nearly free at PVC's sub-group 16 over 64 banks —
+    # honest finding: bank conflicts are NOT the dominant loss for these
+    # kernels, consistent with the solver sitting below (not far below)
+    # the SLM roof in Fig. 8
+    for row in gather_rows:
+        assert 1.0 <= row["h100_warp"] < 4.0
+        assert row["pvc_sg16"] < row["h100_warp"] + 1.0
+    for report in reports:
+        assert report.projected_speedup < 1.5

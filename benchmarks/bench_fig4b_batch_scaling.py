@@ -1,0 +1,25 @@
+"""Fig. 4b: runtime vs batch size (2^13..2^17), 64x64 systems, 1 PVC stack.
+
+Paper finding: "we increase the number of items in the batch ... and
+again observe a linear increase in the run-time. This means that we are
+able to fully saturate the GPU".
+"""
+
+import numpy as np
+
+from repro.bench.figures import BATCH_SWEEP, fig4b_batch_scaling
+from repro.bench.report import print_table
+
+
+def test_fig4b_batch_scaling(once):
+    rows = once(fig4b_batch_scaling, batches=BATCH_SWEEP, nb_solve=8, tolerance=1e-9)
+    print_table(rows, "Fig 4b: runtime vs batch size (64x64, PVC-1S)")
+    for solver in ("cg", "bicgstab"):
+        series = [r for r in rows if r["solver"] == solver]
+        batches = np.array([r["num_batch"] for r in series], dtype=float)
+        runtimes = np.array([r["runtime_ms"] for r in series])
+        slope = np.polyfit(np.log2(batches), np.log2(runtimes), 1)[0]
+        assert 0.9 < slope < 1.1, f"{solver}: runtime not linear in batch size"
+        # saturated GPU: cost per system is flat across the sweep
+        per_system = runtimes / batches
+        assert per_system.max() / per_system.min() < 1.3

@@ -1,0 +1,30 @@
+"""Fig. 5: implicit scaling over the two PVC stacks.
+
+Paper finding: 1.5x-2.0x speedup going from 1 to 2 stacks, on average
+1.8x for BatchCg and 1.9x for BatchBicgstab, "the larger matrix size,
+the higher speedup".
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig5_implicit_scaling
+from repro.bench.report import print_table
+
+
+def test_fig5_implicit_scaling(once):
+    rows = once(
+        fig5_implicit_scaling,
+        sizes=(16, 32, 64, 128, 256, 512),
+        nb_solve=8,
+        tolerance=1e-9,
+    )
+    print_table(rows, "Fig 5: PVC 1-stack vs 2-stack (batch 2^17)")
+    speedups = np.array([r["speedup"] for r in rows])
+    assert np.all(speedups > 1.4), "2 stacks must help everywhere"
+    assert np.all(speedups < 2.0), "implicit scaling cannot exceed 2x"
+    for solver in ("cg", "bicgstab"):
+        series = [r["speedup"] for r in rows if r["solver"] == solver]
+        # paper: averages 1.8x (Cg) / 1.9x (Bicgstab)
+        assert 1.6 < np.mean(series) < 2.0, solver
+        # paper: larger matrices scale better
+        assert series[-1] > series[0]

@@ -1,0 +1,32 @@
+"""Fig. 7: normalized speedup vs the A100 baseline, batch 2^17.
+
+Paper findings (averages across the five Pele inputs): PVC-1S is 1.7x
+the A100 and 1.3x the H100; PVC-2S is 3.1x the A100 and 2.4x the H100.
+The bench asserts the modeled averages land inside a band around those
+numbers (the single-mechanism spread is wider, as in the paper, where
+gri12 is an outlier the authors do not explain — see EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig7_speedup_summary
+from repro.bench.report import print_table
+
+
+def test_fig7_speedup_summary(once):
+    rows = once(fig7_speedup_summary, num_batch=2**17, tolerance=1e-9)
+    print_table(rows, "Fig 7: speedup vs A100 (batch 2^17)")
+    avg = rows[-1]
+    assert avg["mechanism"] == "average"
+    # paper averages: 1.7 / 3.1 vs A100 for PVC-1S / PVC-2S
+    assert 1.5 <= avg["pvc1_speedup"] <= 1.9
+    assert 2.8 <= avg["pvc2_speedup"] <= 3.4
+    # paper averages vs H100: 1.3 / 2.4
+    pvc1_vs_h100 = avg["pvc1_speedup"] / avg["h100_speedup"]
+    pvc2_vs_h100 = avg["pvc2_speedup"] / avg["h100_speedup"]
+    assert 1.1 <= pvc1_vs_h100 <= 1.5
+    assert 2.1 <= pvc2_vs_h100 <= 2.7
+    # ordering holds for every mechanism
+    for row in rows[:-1]:
+        assert row["pvc2_speedup"] > row["pvc1_speedup"] > 1.0
+        assert row["h100_speedup"] > 1.0

@@ -1,0 +1,43 @@
+"""Fig. 8: roofline analysis and memory metrics (BatchBicgstab,
+dodecane_lu, batch 2^17, 1 PVC stack).
+
+Paper findings: ~50% XVE threading occupancy; the memory subsystem is
+dominated by shared-local-memory requests (65% of memory time, ~3 TB of
+SLM traffic, far more than L3 or HBM); ~11% of accesses served by L3;
+the solver sits below the SLM bandwidth roof (bank conflicts are named
+as future work).
+"""
+
+from repro.bench.figures import fig8_roofline
+from repro.bench.report import print_table
+
+
+def test_fig8_roofline(once):
+    report = once(fig8_roofline, mechanism="dodecane_lu", num_batch=2**17)
+    print()
+    print("Fig 8: roofline analysis and memory metrics (model)")
+    for line in report.lines():
+        print("  " + line)
+    print_table(
+        [
+            {"object": name, "level": level, "gigabytes": nbytes / 1e9}
+            for name, (level, nbytes) in sorted(report.total_split.by_object.items())
+        ],
+        "Fig 8: traffic by solver object",
+    )
+
+    # ~50% XVE threading occupancy (paper: "around 50%")
+    assert abs(report.xve_threading_occupancy - 0.5) < 0.15
+    # SLM dominates the memory picture
+    split = report.total_split
+    assert split.slm_bytes > split.l2_bytes
+    assert split.slm_bytes > split.hbm_bytes
+    assert report.memory_time_fractions["slm"] > 0.4
+    # L2 (Advisor's "L3") serves a visible minority of the traffic
+    assert 0.03 < split.fraction("l2") < 0.4
+    # below the SLM bandwidth roof (paper: "does not yet reach the SLM
+    # Bandwidth roof"; bank conflicts unresolved)
+    point = report.roofline_point
+    assert point.achieved_gflops < point.attainable_gflops_by_level["slm"]
+    # terabyte-scale SLM traffic at batch 2^17 (paper: ~3 TB)
+    assert split.slm_bytes > 5e10

@@ -1,0 +1,16 @@
+"""Table 1: CUDA <-> Ponte Vecchio terminology mapping."""
+
+from repro.bench.report import print_table
+from repro.bench.tables import table1_terminology
+
+
+def test_table1_terminology(once):
+    rows = once(table1_terminology)
+    print_table(rows, "Table 1: GPU architecture terminology mapping")
+    mapping = {r["cuda_capable_gpus"]: r["ponte_vecchio_gpus"] for r in rows}
+    assert mapping == {
+        "CUDA Core": "XVE",
+        "Streaming Multiprocessor": "Xe-Core (XC)",
+        "Processor Cluster": "Xe-Slice",
+        "N/A": "Xe-Stack",
+    }

@@ -1,0 +1,16 @@
+"""Table 2: CUDA <-> SYCL execution-model mapping."""
+
+from repro.bench.report import print_table
+from repro.bench.tables import table2_execution_model
+
+
+def test_table2_execution_model(once):
+    rows = once(table2_execution_model)
+    print_table(rows, "Table 2: execution model mapping from CUDA to SYCL")
+    mapping = {r["cuda"]: r["sycl"] for r in rows}
+    assert mapping == {
+        "thread": "work-item",
+        "warp": "sub-group",
+        "thread block": "work-group",
+        "grid": "ND-range",
+    }

@@ -1,0 +1,23 @@
+"""Table 5: GPU specifications and their consistency with the devices."""
+
+from repro.bench.report import print_table
+from repro.bench.tables import table5_gpu_specs
+from repro.hw.specs import GPUS
+
+
+def test_table5_gpu_specs(once):
+    rows = once(table5_gpu_specs)
+    print_table(rows, "Table 5: GPU specifications")
+    by_gpu = {r["gpu"]: r for r in rows}
+    assert by_gpu["A100"] == {
+        "gpu": "A100",
+        "fp64_peak_tflops": 9.7,
+        "hbm_bw_peak_tbs": 1.6,
+        "slm_kb": 192,
+    }
+    assert by_gpu["H100"]["fp64_peak_tflops"] == 26.0
+    assert by_gpu["PVC-2S"]["fp64_peak_tflops"] == 2 * by_gpu["PVC-1S"]["fp64_peak_tflops"]
+    # device descriptors agree with the spec table
+    for spec in GPUS.values():
+        assert spec.slm_bytes_per_cu == spec.slm_kb_per_cu * 1024
+        assert spec.device.slm_bytes_per_cu == spec.slm_bytes_per_cu

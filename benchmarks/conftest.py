@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one paper table/figure: it runs the real batched
+solvers, pushes the measured work through the hardware model, prints the
+paper-style table (run pytest with ``-s`` to see them) and asserts the
+qualitative findings the paper reports. ``pytest benchmarks/
+--benchmark-only`` runs everything; wall-clock numbers measured by
+pytest-benchmark time the harness (solve + model) on the host CPU.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

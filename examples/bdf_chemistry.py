@@ -1,0 +1,51 @@
+"""End-to-end outer loop: stiff batched kinetics under BDF + batched solves.
+
+This is the application pattern that motivates the whole paper
+(Section 2): a reactive-flow code time-steps one stiff ODE system per
+mesh cell with BDF; each implicit step runs Newton; each Newton step
+solves a *batch* of linear systems sharing a sparsity pattern. The
+script integrates a batch of Robertson kinetics problems (per-cell rate
+constants), with the linear systems going through the batched BiCGSTAB +
+Jacobi stack, and shows the warm-start effect on solver work.
+
+Usage: python examples/bdf_chemistry.py
+"""
+
+import numpy as np
+
+from repro.core.dispatch import BatchSolverFactory
+from repro.workloads.sundials import BdfIntegrator, robertson_batch
+
+CELLS = 64
+
+print(f"integrating Robertson kinetics for {CELLS} cells (batched), BDF2 ...")
+factory = BatchSolverFactory(
+    solver="bicgstab", preconditioner="jacobi", tolerance=1e-12
+)
+integrator = BdfIntegrator(factory=factory, order=2, newton_tol=1e-12)
+
+ode = robertson_batch(num_batch=CELLS, seed=7, spread=0.25)
+result = integrator.integrate(ode, t_end=0.5, num_steps=250)
+
+y = result.final_state
+print(f"  steps                : {len(result.times) - 1}")
+print(f"  Newton iterations    : {result.newton_iterations}")
+print(f"  linear solves        : {result.linear_solves}")
+print(f"  avg linear iterations: {result.mean_linear_iterations:.2f}")
+print(f"  mass conservation    : max |sum(y)-1| = "
+      f"{np.max(np.abs(result.states.sum(axis=2) - 1.0)):.2e}")
+print(f"  species ranges       : y1 in [{y[:, 0].min():.4f}, {y[:, 0].max():.4f}], "
+      f"y3 in [{y[:, 2].min():.4f}, {y[:, 2].max():.4f}]")
+
+assert np.allclose(result.states.sum(axis=2), 1.0, atol=1e-7)
+
+print("\nwarm vs cold linear initial guesses over the same integration:")
+for warm in (True, False):
+    ode2 = robertson_batch(num_batch=CELLS, seed=7, spread=0.25)
+    integ = BdfIntegrator(factory=factory, order=2, warm_start=warm)
+    r = integ.integrate(ode2, t_end=0.5, num_steps=250)
+    label = "warm" if warm else "cold"
+    print(f"  {label}: {r.mean_linear_iterations:.2f} "
+          f"avg iterations per linear solve")
+
+print("\nbdf_chemistry OK")

@@ -1,0 +1,68 @@
+"""Per-system convergence monitoring (Section 3 of the paper).
+
+Ginkgo's batched solvers track each system's convergence individually.
+This script solves a deliberately heterogeneous batch — same sparsity
+pattern, wildly different conditioning per item — and shows per-system
+residual histories as sparklines, plus the effect of the two stopping
+criteria on the iteration spread.
+
+Usage: python examples/convergence_history.py
+"""
+
+import numpy as np
+
+from repro.bench.ascii_chart import sparkline
+from repro.core import BatchCg, SolverSettings
+from repro.core.matrix import BatchCsr
+from repro.core.stop import AbsoluteResidual, RelativeResidual
+
+rng = np.random.default_rng(5)
+
+# one pattern, very different conditioning: item k gets diagonal dominance
+# shrinking towards 1 (harder and harder for CG)
+nb, n = 6, 48
+mask = rng.random((n, n)) < 0.1
+mask |= mask.T
+np.fill_diagonal(mask, True)
+dense = np.zeros((nb, n, n))
+for k in range(nb):
+    item = rng.standard_normal((n, n)) * mask
+    item = 0.5 * (item + item.T)
+    off = np.abs(item).sum(axis=1) - np.abs(np.diag(item))
+    dominance = 1.0 + 6.0 ** (-k)  # item 0 easy ... item 5 nearly defective
+    item[np.arange(n), np.arange(n)] = dominance * off
+    dense[k] = item
+matrix = BatchCsr.from_dense(dense)
+b = rng.standard_normal((nb, n))
+
+settings = SolverSettings(
+    max_iterations=400, criterion=RelativeResidual(1e-10), keep_history=True
+)
+result = BatchCg(matrix, settings=settings).solve(b)
+history = result.logger.history  # (records, nb)
+
+print("per-system CG convergence (sparkline of log10 residual, left=start):")
+for k in range(nb):
+    trace = history[:, k]
+    trace = trace[: int(result.iterations[k]) + 1]
+    logs = np.log10(np.maximum(trace, 1e-300))
+    print(
+        f"  system {k}: {sparkline(-logs)}  "
+        f"{int(result.iterations[k]):4d} iterations, "
+        f"final residual {result.residual_norms[k]:.1e}"
+    )
+
+spread = result.iterations.max() - result.iterations.min()
+print(f"\niteration spread across the batch: {spread} "
+      "(each system stopped individually — no system over-solves)")
+
+print("\nstopping criterion comparison on the same batch:")
+for criterion in (RelativeResidual(1e-8), AbsoluteResidual(1e-8)):
+    res = BatchCg(
+        matrix,
+        settings=SolverSettings(max_iterations=400, criterion=criterion),
+    ).solve(b)
+    print(f"  {criterion!r:32s} -> iterations {[int(i) for i in res.iterations]}")
+
+assert result.all_converged
+print("\nconvergence_history OK")

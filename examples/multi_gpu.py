@@ -1,0 +1,63 @@
+"""Distributing a batched solve over multiple GPUs / MPI ranks.
+
+The paper's outlook: batched solves are embarrassingly parallel across the
+batch dimension, so multi-GPU scaling is a partition-and-gather exercise.
+This script runs a real distributed solve through the simulated MPI world
+(verifying zero mid-solve communication and bit-identical solutions) and
+models the wall-clock on 1-8 PVC GPUs.
+
+Usage: python examples/multi_gpu.py [num_ranks]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bench.ascii_chart import bar_chart
+from repro.bench.report import print_table
+from repro.core.dispatch import BatchSolverFactory
+from repro.hw import gpu
+from repro.multi import SimWorld, estimate_multi_gpu, solve_distributed
+from repro.workloads.pele import pele_batch, pele_rhs
+
+ranks = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+
+matrix = pele_batch("gri30")
+b = pele_rhs(matrix)
+factory = BatchSolverFactory(solver="bicgstab", preconditioner="jacobi", tolerance=1e-10)
+
+# --- single-rank reference ---------------------------------------------------
+single = factory.solve(matrix, b)
+
+# --- distributed over the simulated MPI world ---------------------------------
+world = SimWorld(ranks)
+dist = solve_distributed(world, factory, matrix, b)
+assert dist.all_converged
+assert np.allclose(dist.x, single.x)
+
+print(f"distributed solve over {ranks} ranks:")
+print(f"  systems per rank : {[sl.stop - sl.start for sl in dist.partitions]}")
+print(f"  solutions match single-rank solve bit-for-bit: "
+      f"{bool(np.array_equal(dist.x, single.x))}")
+print(f"  interconnect traffic: {dist.comm_bytes / 1e6:.2f} MB "
+      f"(scatter + gather only — nothing crosses mid-solve)")
+
+# --- modeled multi-GPU wall-clock ----------------------------------------------
+rows = []
+base = None
+for n in (1, 2, 4, 8):
+    timing = estimate_multi_gpu(
+        gpu("pvc2"), factory, matrix, single,
+        num_batch=2**17, num_ranks=n, host_staging=False,
+    )
+    base = base or timing
+    rows.append({
+        "gpus": n,
+        "runtime_ms": timing.total_seconds * 1e3,
+        "speedup": timing.speedup_over(base),
+    })
+print_table(rows, "\nModeled scaling: PVC GPUs over a 2^17 batch (gri30)")
+print()
+print(bar_chart([str(r["gpus"]) + " GPU" for r in rows],
+                [r["speedup"] for r in rows], title="speedup", unit="x"))
+print("\nmulti_gpu OK")

@@ -1,0 +1,65 @@
+"""Quickstart: build a batch of sparse systems, solve them, inspect results.
+
+Run with ``python examples/quickstart.py``. Walks the public API end to
+end in under a minute:
+
+1. build a batch of matrices sharing one sparsity pattern (BatchCsr),
+2. dispatch a preconditioned batched solver through the factory,
+3. solve with per-system convergence monitoring,
+4. warm-restart from a previous solution (the paper's headline use case).
+"""
+
+import numpy as np
+
+from repro.core import BatchCsr
+from repro.core.dispatch import BatchSolverFactory
+
+rng = np.random.default_rng(42)
+
+# --- 1. a batch of 100 systems sharing one 32x32 sparsity pattern ---------
+num_batch, n = 100, 32
+mask = rng.random((n, n)) < 0.15
+np.fill_diagonal(mask, True)
+dense = rng.standard_normal((num_batch, n, n)) * mask
+# make every item diagonally dominant so BiCGSTAB + Jacobi is a safe choice
+off = np.abs(dense).sum(axis=2) - np.abs(dense[:, np.arange(n), np.arange(n)])
+dense[:, np.arange(n), np.arange(n)] = 1.2 * off + 1.0
+
+matrix = BatchCsr.from_dense(dense)
+print(f"matrix batch : {matrix}")
+print(f"storage      : {matrix.storage_bytes / 1e3:.1f} KB "
+      f"(dense would be {8 * num_batch * n * n / 1e3:.1f} KB)")
+
+b = rng.standard_normal((num_batch, n))
+
+# --- 2. dispatch a solver configuration (Figure 3 of the paper) -----------
+factory = BatchSolverFactory(
+    solver="bicgstab",
+    preconditioner="jacobi",
+    criterion="relative",
+    tolerance=1e-10,
+    max_iterations=500,
+)
+solver = factory.create(matrix)
+
+# --- 3. solve and inspect per-system convergence ---------------------------
+result = solver.solve(b)
+print(f"\nsolve        : {result}")
+print(f"iterations   : min={result.iterations.min()} "
+      f"mean={result.iterations.mean():.1f} max={result.iterations.max()}")
+print(f"residuals    : max ||b-Ax||={result.residual_norms.max():.2e}")
+print(f"work         : {result.ledger.flops / 1e6:.1f} MFLOP, "
+      f"{result.ledger.total_bytes / 1e6:.1f} MB logical traffic")
+
+residual = np.linalg.norm(b - matrix.apply(result.x), axis=1)
+assert np.all(residual <= 1e-10 * np.linalg.norm(b, axis=1) * 1.01)
+
+# --- 4. warm restart: the advantage over batched direct solvers ------------
+b_perturbed = b + 1e-6 * rng.standard_normal(b.shape)
+cold = solver.solve(b_perturbed)
+warm = solver.solve(b_perturbed, x0=result.x)
+print(f"\nre-solve after a small RHS change (outer-loop scenario):")
+print(f"  cold start : {cold.iterations.mean():.1f} iterations on average")
+print(f"  warm start : {warm.iterations.mean():.1f} iterations on average")
+assert warm.iterations.mean() < cold.iterations.mean()
+print("\nquickstart OK")

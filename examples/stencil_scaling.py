@@ -1,0 +1,36 @@
+"""The paper's scaling study (Figs. 4-5) as a runnable script.
+
+Generates 3-point-stencil SPD batches, solves them with BatchCg and
+BatchBicgstab, and models the runtime on one and two PVC stacks —
+printing the same series the paper plots. Takes about a minute.
+
+Usage: python examples/stencil_scaling.py [--quick]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bench.figures import fig4a_matrix_scaling, fig4b_batch_scaling, fig5_implicit_scaling
+from repro.bench.report import print_table
+
+quick = "--quick" in sys.argv
+sizes = (16, 32, 64) if quick else (16, 32, 64, 128, 256, 512)
+batches = (2**13, 2**15, 2**17)
+
+print("Scaling with the matrix size (Fig 4a): batch of 2^17 systems, PVC 1 stack")
+rows = fig4a_matrix_scaling(sizes=sizes, nb_solve=8)
+print_table(rows, None)
+per_iter = np.array([r["ms_per_iteration"] for r in rows if r["solver"] == "cg"])
+print(f"\nper-iteration cost grows {per_iter[-1] / per_iter[0]:.1f}x over a "
+      f"{sizes[-1] // sizes[0]}x size sweep -> near-linear, as in the paper")
+
+print("\nScaling with the batch size (Fig 4b): 64x64 systems, PVC 1 stack")
+print_table(fig4b_batch_scaling(batches=batches, nb_solve=8), None)
+
+print("\nImplicit scaling over 2 stacks (Fig 5)")
+rows = fig5_implicit_scaling(sizes=sizes, nb_solve=8)
+print_table(rows, None)
+speedups = [r["speedup"] for r in rows]
+print(f"\nspeedup range {min(speedups):.2f}x - {max(speedups):.2f}x "
+      f"(paper: 1.5x - 2.0x, avg 1.8x/1.9x)")

@@ -1,0 +1,100 @@
+"""Tour of the SYCL execution-model simulator: write and launch kernels.
+
+Shows the substrate underneath the solvers: ND-range launches,
+work-group/sub-group collectives, shared local memory, divergence
+detection, and the fused batched-CG kernel with both reduction styles
+(Section 3.2's SYCL-vs-CUDA structural difference).
+
+Usage: python examples/sycl_kernel_tour.py
+"""
+
+import numpy as np
+
+from repro.exceptions import BarrierDivergenceError
+from repro.kernels import run_batch_bicgstab_on_device, run_batch_cg_on_device
+from repro.sycl import LocalSpec, NDRange, Queue, pvc_stack_device
+from repro.cudasim import Stream, LaunchConfig, a100_device
+from repro.kernels.blas1 import block_reduce_cuda
+from repro.workloads.stencil import stencil_rhs, three_point_stencil
+
+device = pvc_stack_device(1)
+queue = Queue(device)
+print(f"device: {device.name}")
+print(f"  Xe-cores={device.num_compute_units}, SLM={device.slm_bytes_per_cu // 1024} KB/core, "
+      f"sub-group sizes={device.sub_group_sizes}")
+
+# --- a hand-written kernel with a group reduction and SLM -------------------
+x = np.arange(64, dtype=np.float64)
+out = np.zeros(4)
+
+
+def sum_of_squares(item, slm, x, out):
+    v = x[item.global_id]
+    slm.scratch[item.local_id] = v * v
+    yield item.barrier()
+    total = yield item.reduce_over_group(slm.scratch[item.local_id], "sum")
+    if item.local_id == 0:
+        out[item.group_id] = total
+
+
+event = queue.parallel_for(
+    NDRange(64, 16, 16),
+    sum_of_squares,
+    args=(x, out),
+    local_specs=[LocalSpec("scratch", (16,))],
+)
+print(f"\nsum_of_squares per group: {out}")
+print(f"  collectives executed: {event.stats.collective_counts}")
+
+# --- divergence detection ----------------------------------------------------
+
+
+def divergent(item, slm):
+    if item.local_id == 0:
+        yield item.barrier()
+
+
+try:
+    queue.parallel_for(NDRange(16, 16, 16), divergent)
+except BarrierDivergenceError as exc:
+    print(f"\ndivergent kernel rejected, as on strict hardware:\n  {exc}")
+
+# --- the CUDA backend: block reduction from warp shuffles --------------------
+stream = Stream(a100_device())
+data = np.random.default_rng(0).standard_normal(128)
+result = np.zeros(1)
+
+
+def cuda_sum(cuda, shared, data, result):
+    total = yield from block_reduce_cuda(cuda, shared, float(data[cuda.global_thread_id]))
+    if cuda.thread_idx == 0:
+        result[0] = total
+
+
+stream.launch_kernel(
+    LaunchConfig(1, 128),
+    cuda_sum,
+    args=(data, result),
+    shared_specs=[LocalSpec("reduce_buf", (4,))],
+)
+print(f"\nCUDA-style block reduction: {result[0]:.6f} (numpy: {data.sum():.6f})")
+
+# --- the fused batched solvers on the simulator ------------------------------
+matrix = three_point_stencil(16, 4)
+b = stencil_rhs(16, 4)
+x_cg, iters, event = run_batch_cg_on_device(device, matrix, b, tolerance=1e-10)
+print(f"\nfused BatchCg kernel: one launch for {matrix.num_batch} systems, "
+      f"iterations={list(iters)}")
+print(f"  SLM per work-group: {event.stats.slm_bytes_per_group} bytes")
+
+res = np.linalg.norm(b - matrix.apply(x_cg), axis=1) / np.linalg.norm(b, axis=1)
+assert res.max() < 1e-9
+
+for style in ("group", "sub_group"):
+    x_st, _, _ = run_batch_bicgstab_on_device(
+        device, matrix, b, tolerance=1e-10, reduce_style=style
+    )
+    print(f"fused BatchBicgstab [{style:9s}]: max |x - x_cg| = "
+          f"{np.max(np.abs(x_st - x_cg)):.2e}")
+
+print("\nsycl_kernel_tour OK")

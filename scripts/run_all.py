@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Reproducibility driver: regenerate every artifact into ``results/``.
+
+The paper's appendix ships ``run-test-dpcpp.sh`` / ``run-test-cuda.sh``
+driving its benchmarks; this is the equivalent for the reproduction.
+Writes one text file per table/figure plus the ablation outputs.
+
+Usage: python scripts/run_all.py [--out results] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sweeps (for smoke runs)"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench import figures, tables
+    from repro.bench.report import format_table
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    sizes = (16, 32, 64) if args.quick else (16, 32, 64, 128, 256, 512)
+    batches = (2**13, 2**15, 2**17) if args.quick else figures.BATCH_SWEEP
+
+    jobs = [
+        ("table1_terminology.txt", lambda: format_table(tables.table1_terminology())),
+        ("table2_execution_model.txt", lambda: format_table(tables.table2_execution_model())),
+        ("table3_features.txt", lambda: format_table(tables.table3_features())),
+        ("table4_datasets.txt", lambda: format_table(tables.table4_datasets())),
+        ("table5_gpu_specs.txt", lambda: format_table(tables.table5_gpu_specs())),
+        (
+            "fig4a_matrix_scaling.txt",
+            lambda: format_table(figures.fig4a_matrix_scaling(sizes=sizes, nb_solve=8)),
+        ),
+        (
+            "fig4b_batch_scaling.txt",
+            lambda: format_table(figures.fig4b_batch_scaling(batches=batches, nb_solve=8)),
+        ),
+        (
+            "fig5_implicit_scaling.txt",
+            lambda: format_table(figures.fig5_implicit_scaling(sizes=sizes, nb_solve=8)),
+        ),
+        (
+            "fig6_pele_runtimes.txt",
+            lambda: format_table(figures.fig6_pele_runtimes(batches=batches)),
+        ),
+        (
+            "fig7_speedup_summary.txt",
+            lambda: format_table(figures.fig7_speedup_summary()),
+        ),
+        (
+            "fig8_roofline.txt",
+            lambda: "\n".join(figures.fig8_roofline().lines()),
+        ),
+    ]
+
+    for filename, job in jobs:
+        start = time.perf_counter()
+        text = job()
+        path = out / filename
+        path.write_text(text + "\n")
+        print(f"wrote {path} ({time.perf_counter() - start:.1f} s)")
+    print(f"\nall artifacts in {out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

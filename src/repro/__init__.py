@@ -1,0 +1,24 @@
+"""repro — batched sparse iterative solvers on a simulated SYCL stack.
+
+A from-scratch Python reproduction of
+
+    Nguyen, Nayak, Anzt. "Porting Batched Iterative Solvers onto Intel GPUs
+    with SYCL." P3HPC @ SC, 2023.
+
+Public entry points:
+
+* :mod:`repro.core` — batched matrix formats (BatchDense/BatchCsr/BatchEll),
+  solvers (Cg, Bicgstab, Gmres, Richardson, Trsv, direct LU baseline),
+  preconditioners (scalar/block Jacobi, ILU(0), ISAI), stopping criteria,
+  the multi-level dispatch mechanism, and launch configuration.
+* :mod:`repro.sycl` / :mod:`repro.cudasim` — execution-model simulators.
+* :mod:`repro.kernels` — work-item-level kernels on those simulators.
+* :mod:`repro.hw` — GPU performance models, occupancy, roofline/advisor.
+* :mod:`repro.workloads` — 3-pt stencil, PeleLM surrogates, mini-SUNDIALS.
+* :mod:`repro.bench` — the experiment harness regenerating every paper
+  table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

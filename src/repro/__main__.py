@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables``   — print Tables 1-5 of the paper.
+* ``figures``  — regenerate Figures 4-8 (tables + ASCII charts).
+* ``pele``     — the PeleLM study for one mechanism (table + speedup chart).
+* ``stencil``  — the scaling study (Figs. 4-5) for chosen sizes.
+* ``advisor``  — the Fig. 8 Advisor-style report for a mechanism/platform.
+* ``features`` — the dispatch feature matrix (Table 3 + extensions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_tables(_args) -> None:
+    from repro.bench import tables
+
+    tables.main()
+
+
+def _cmd_figures(_args) -> None:
+    from repro.bench import figures
+
+    figures.main()
+
+
+def _cmd_features(_args) -> None:
+    from repro.bench.report import print_table
+    from repro.bench.tables import table3_features
+
+    print_table(table3_features(), "Batched feature support ((+) = library extension)")
+
+
+def _cmd_pele(args) -> None:
+    from repro.bench.ascii_chart import bar_chart
+    from repro.bench.figures import fig7_speedup_summary
+    from repro.bench.report import print_table
+
+    rows = fig7_speedup_summary(num_batch=args.batch)
+    print_table(rows, f"Speedup vs A100 (batch {args.batch})")
+    avg = rows[-1]
+    print()
+    print(
+        bar_chart(
+            ["A100", "H100", "PVC-1S", "PVC-2S"],
+            [
+                avg["a100_speedup"],
+                avg["h100_speedup"],
+                avg["pvc1_speedup"],
+                avg["pvc2_speedup"],
+            ],
+            title="average speedup vs A100",
+            unit="x",
+        )
+    )
+
+
+def _cmd_stencil(args) -> None:
+    from repro.bench.ascii_chart import bar_chart
+    from repro.bench.figures import fig4a_matrix_scaling, fig5_implicit_scaling
+    from repro.bench.report import print_table
+
+    sizes = tuple(args.sizes)
+    rows = fig4a_matrix_scaling(sizes=sizes, nb_solve=args.nb_solve)
+    print_table(rows, "Fig 4a: runtime vs matrix size (PVC-1S, 2^17)")
+    cg = [r for r in rows if r["solver"] == "cg"]
+    print()
+    print(
+        bar_chart(
+            [str(r["num_rows"]) for r in cg],
+            [r["runtime_ms"] for r in cg],
+            title="BatchCg runtime (ms), log scale",
+            log_scale=True,
+            unit=" ms",
+        )
+    )
+    rows5 = fig5_implicit_scaling(sizes=sizes, nb_solve=args.nb_solve)
+    print_table(rows5, "Fig 5: implicit 2-stack scaling")
+
+
+def _cmd_advisor(args) -> None:
+    from repro.bench.figures import fig8_roofline
+
+    report = fig8_roofline(
+        mechanism=args.mechanism, platform=args.platform, num_batch=args.batch
+    )
+    for line in report.lines():
+        print(line)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (one sub-command per experiment)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Batched iterative solvers — paper reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables 1-5").set_defaults(fn=_cmd_tables)
+    sub.add_parser("figures", help="regenerate Figures 4-8").set_defaults(fn=_cmd_figures)
+    sub.add_parser("features", help="dispatch feature matrix").set_defaults(
+        fn=_cmd_features
+    )
+
+    pele = sub.add_parser("pele", help="PeleLM speedup study (Fig 7)")
+    pele.add_argument("--batch", type=int, default=2**17)
+    pele.set_defaults(fn=_cmd_pele)
+
+    stencil = sub.add_parser("stencil", help="stencil scaling study (Figs 4-5)")
+    stencil.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64, 128])
+    stencil.add_argument("--nb-solve", type=int, default=8)
+    stencil.set_defaults(fn=_cmd_stencil)
+
+    advisor = sub.add_parser("advisor", help="Fig 8 Advisor-style report")
+    advisor.add_argument("--mechanism", default="dodecane_lu")
+    advisor.add_argument("--platform", default="pvc1")
+    advisor.add_argument("--batch", type=int, default=2**17)
+    advisor.set_defaults(fn=_cmd_advisor)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

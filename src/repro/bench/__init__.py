@@ -1,0 +1,42 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+:mod:`repro.bench.figures` has one entry point per experiment (Figs. 4-8),
+:mod:`repro.bench.tables` one per table (Tables 1-5), and
+:mod:`repro.bench.report` renders the paper-style text tables. The
+``benchmarks/`` pytest-benchmark suite and the ``examples/`` scripts are
+thin wrappers over these functions, so every number can also be produced
+programmatically.
+"""
+
+from repro.bench.report import format_table, print_table
+from repro.bench.figures import (
+    fig4a_matrix_scaling,
+    fig4b_batch_scaling,
+    fig5_implicit_scaling,
+    fig6_pele_runtimes,
+    fig7_speedup_summary,
+    fig8_roofline,
+)
+from repro.bench.tables import (
+    table1_terminology,
+    table2_execution_model,
+    table3_features,
+    table4_datasets,
+    table5_gpu_specs,
+)
+
+__all__ = [
+    "format_table",
+    "print_table",
+    "fig4a_matrix_scaling",
+    "fig4b_batch_scaling",
+    "fig5_implicit_scaling",
+    "fig6_pele_runtimes",
+    "fig7_speedup_summary",
+    "fig8_roofline",
+    "table1_terminology",
+    "table2_execution_model",
+    "table3_features",
+    "table4_datasets",
+    "table5_gpu_specs",
+]

@@ -1,0 +1,78 @@
+"""ASCII rendering of figure series (no plotting dependencies).
+
+The paper's figures are line/bar charts; in a terminal-only environment
+the harness renders the same series as ASCII: log-scaled bar charts for
+runtime series and grouped bars for speedup comparisons. Used by the CLI
+and examples; the benches print tables (exact numbers) instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_BAR = "#"
+_WIDTH = 48
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    log_scale: bool = False,
+    width: int = _WIDTH,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"labels and values differ in length: {len(labels)} vs {len(values)}"
+        )
+    if not values:
+        return title or "(no data)"
+    if any(v < 0 for v in values):
+        raise ValueError("bar_chart expects non-negative values")
+    if log_scale and any(v <= 0 for v in values):
+        raise ValueError("log scale requires strictly positive values")
+
+    if log_scale:
+        scaled = [math.log10(v) for v in values]
+        lo = min(scaled)
+        span = max(scaled) - lo or 1.0
+        lengths = [max(1, round((s - lo) / span * (width - 1)) + 1) for s in scaled]
+    else:
+        top = max(values) or 1.0
+        lengths = [max(1 if v > 0 else 0, round(v / top * width)) for v in values]
+
+    label_w = max(len(str(lab)) for lab in labels)
+    lines = [title] if title else []
+    for lab, val, length in zip(labels, values, lengths):
+        lines.append(f"{str(lab).rjust(label_w)} | {_BAR * length} {val:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Several named series over a shared x-axis, as grouped bar blocks."""
+    lines = [title] if title else []
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} length {len(ys)} != x length {len(x)}")
+        lines.append(f"-- {name} --")
+        lines.append(bar_chart([str(v) for v in x], list(ys), log_scale=False, unit=unit))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend (eighth-block characters)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    vals = list(values)
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo or 1.0
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in vals)

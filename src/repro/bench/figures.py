@@ -1,0 +1,214 @@
+"""One entry point per evaluation figure (Figs. 4-8 of the paper).
+
+Every function runs the *real* batched solvers on the paper's workloads
+(the representative unique matrices — the paper itself replicates a few
+cells' matrices to emulate a large mesh), then pushes the measured
+iteration counts and instrumented traffic through the hardware model to
+obtain per-platform runtimes at the full modeled batch size. Functions
+return dict-rows ready for :func:`repro.bench.report.print_table`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.report import print_table
+from repro.core.dispatch import BatchSolverFactory
+from repro.hw.advisor import AdvisorReport, analyze_solve
+from repro.hw.specs import gpu
+from repro.hw.timing import estimate_solve
+from repro.workloads.pele import MECHANISMS, pele_batch, pele_rhs
+from repro.workloads.stencil import stencil_rhs, three_point_stencil
+
+#: The paper's headline batch size (Figs. 4a, 5, 7, 8).
+DEFAULT_BATCH = 2**17
+
+#: Batch sweep of Figs. 4b and 6.
+BATCH_SWEEP = tuple(2**k for k in range(13, 18))
+
+#: Matrix-size sweep of the stencil studies.
+SIZE_SWEEP = (16, 32, 64, 128, 256, 512)
+
+_PLATFORMS = ("a100", "h100", "pvc1", "pvc2")
+
+
+def _stencil_solve(num_rows: int, solver_name: str, nb_solve: int, tolerance: float):
+    matrix = three_point_stencil(num_rows, nb_solve)
+    rhs = stencil_rhs(num_rows, nb_solve)
+    factory = BatchSolverFactory(
+        solver=solver_name,
+        preconditioner="identity",
+        criterion="relative",
+        tolerance=tolerance,
+        max_iterations=4000,
+    )
+    solver = factory.create(matrix)
+    return solver, solver.solve(rhs)
+
+
+def _pele_solve(mechanism: str, tolerance: float, nb_solve: int | None = None):
+    matrix = pele_batch(mechanism, num_batch=nb_solve)
+    rhs = pele_rhs(matrix)
+    factory = BatchSolverFactory(
+        solver="bicgstab",
+        preconditioner="jacobi",
+        criterion="relative",
+        tolerance=tolerance,
+        max_iterations=500,
+    )
+    solver = factory.create(matrix)
+    return solver, solver.solve(rhs)
+
+
+def fig4a_matrix_scaling(
+    sizes: tuple[int, ...] = SIZE_SWEEP,
+    num_batch: int = DEFAULT_BATCH,
+    platform: str = "pvc1",
+    solvers: tuple[str, ...] = ("cg", "bicgstab"),
+    nb_solve: int = 16,
+    tolerance: float = 1e-9,
+) -> list[dict]:
+    """Fig. 4a: runtime vs matrix size at a fixed batch of 2^17 (PVC-1S)."""
+    spec = gpu(platform)
+    rows = []
+    for solver_name in solvers:
+        for n in sizes:
+            solver, result = _stencil_solve(n, solver_name, nb_solve, tolerance)
+            timing = estimate_solve(spec, solver, result, num_batch=num_batch)
+            rows.append(
+                {
+                    "solver": solver_name,
+                    "num_rows": n,
+                    "iterations": float(np.mean(result.iterations)),
+                    "runtime_ms": timing.total_seconds * 1e3,
+                    "ms_per_iteration": timing.total_seconds * 1e3
+                    / max(1.0, float(np.mean(result.iterations))),
+                }
+            )
+    return rows
+
+
+def fig4b_batch_scaling(
+    batches: tuple[int, ...] = BATCH_SWEEP,
+    num_rows: int = 64,
+    platform: str = "pvc1",
+    solvers: tuple[str, ...] = ("cg", "bicgstab"),
+    nb_solve: int = 16,
+    tolerance: float = 1e-9,
+) -> list[dict]:
+    """Fig. 4b: runtime vs batch size for 64x64 systems (PVC-1S)."""
+    spec = gpu(platform)
+    rows = []
+    for solver_name in solvers:
+        solver, result = _stencil_solve(num_rows, solver_name, nb_solve, tolerance)
+        for nb in batches:
+            timing = estimate_solve(spec, solver, result, num_batch=nb)
+            rows.append(
+                {
+                    "solver": solver_name,
+                    "num_batch": nb,
+                    "runtime_ms": timing.total_seconds * 1e3,
+                    "us_per_1k_systems": timing.total_seconds * 1e9 / nb,
+                }
+            )
+    return rows
+
+
+def fig5_implicit_scaling(
+    sizes: tuple[int, ...] = SIZE_SWEEP,
+    num_batch: int = DEFAULT_BATCH,
+    solvers: tuple[str, ...] = ("cg", "bicgstab"),
+    nb_solve: int = 16,
+    tolerance: float = 1e-9,
+) -> list[dict]:
+    """Fig. 5: 1-stack vs 2-stack PVC runtimes and implicit-scaling speedup."""
+    one, two = gpu("pvc1"), gpu("pvc2")
+    rows = []
+    for solver_name in solvers:
+        for n in sizes:
+            solver, result = _stencil_solve(n, solver_name, nb_solve, tolerance)
+            t1 = estimate_solve(one, solver, result, num_batch=num_batch)
+            t2 = estimate_solve(two, solver, result, num_batch=num_batch)
+            rows.append(
+                {
+                    "solver": solver_name,
+                    "num_rows": n,
+                    "pvc_1s_ms": t1.total_seconds * 1e3,
+                    "pvc_2s_ms": t2.total_seconds * 1e3,
+                    "speedup": t1.total_seconds / t2.total_seconds,
+                }
+            )
+    return rows
+
+
+def fig6_pele_runtimes(
+    mechanisms: tuple[str, ...] | None = None,
+    batches: tuple[int, ...] = BATCH_SWEEP,
+    tolerance: float = 1e-9,
+) -> list[dict]:
+    """Fig. 6: BatchBicgstab runtimes on all four platforms, Pele inputs."""
+    names = tuple(MECHANISMS) if mechanisms is None else mechanisms
+    rows = []
+    for name in names:
+        solver, result = _pele_solve(name, tolerance)
+        for nb in batches:
+            row: dict = {"mechanism": name, "num_batch": nb}
+            for key in _PLATFORMS:
+                timing = estimate_solve(gpu(key), solver, result, num_batch=nb)
+                row[f"{key}_ms"] = timing.total_seconds * 1e3
+            rows.append(row)
+    return rows
+
+
+def fig7_speedup_summary(
+    num_batch: int = DEFAULT_BATCH,
+    tolerance: float = 1e-9,
+) -> list[dict]:
+    """Fig. 7: speedup over the A100 baseline at batch 2^17, plus averages."""
+    rows = []
+    sums = {key: 0.0 for key in _PLATFORMS}
+    for name in MECHANISMS:
+        solver, result = _pele_solve(name, tolerance)
+        times = {
+            key: estimate_solve(gpu(key), solver, result, num_batch=num_batch).total_seconds
+            for key in _PLATFORMS
+        }
+        row: dict = {"mechanism": name}
+        for key in _PLATFORMS:
+            speedup = times["a100"] / times[key]
+            row[f"{key}_speedup"] = speedup
+            sums[key] += speedup
+        rows.append(row)
+    avg: dict = {"mechanism": "average"}
+    for key in _PLATFORMS:
+        avg[f"{key}_speedup"] = sums[key] / len(MECHANISMS)
+    rows.append(avg)
+    return rows
+
+
+def fig8_roofline(
+    mechanism: str = "dodecane_lu",
+    platform: str = "pvc1",
+    num_batch: int = DEFAULT_BATCH,
+    tolerance: float = 1e-9,
+) -> AdvisorReport:
+    """Fig. 8: Advisor-style roofline + memory metrics for dodecane_lu."""
+    solver, result = _pele_solve(mechanism, tolerance)
+    return analyze_solve(gpu(platform), solver, result, num_batch=num_batch)
+
+
+def main() -> None:  # pragma: no cover - convenience CLI
+    """Regenerate every figure and print the tables."""
+    print_table(fig4a_matrix_scaling(), "Fig 4a: runtime vs matrix size (PVC-1S, 2^17)")
+    print_table(fig4b_batch_scaling(), "Fig 4b: runtime vs batch size (64x64, PVC-1S)")
+    print_table(fig5_implicit_scaling(), "Fig 5: implicit scaling, 1 vs 2 stacks")
+    print_table(fig6_pele_runtimes(), "Fig 6: Pele runtimes on all platforms")
+    print_table(fig7_speedup_summary(), "Fig 7: speedup vs A100 (batch 2^17)")
+    print()
+    print("Fig 8: roofline / memory metrics")
+    for line in fig8_roofline().lines():
+        print("  " + line)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benches print the same rows/series the paper reports; this module
+keeps the formatting in one place (fixed-width columns, ``-`` for missing
+values, 4 significant digits for floats).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Iterable[dict[str, Any]], title: str | None = None) -> str:
+    """Render dict-rows as an aligned text table (all rows, same keys)."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    headers = list(rows[0].keys())
+    table = [[_cell(r.get(h)) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in table)) for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Iterable[dict[str, Any]], title: str | None = None) -> None:
+    """Print :func:`format_table` output (benches call this)."""
+    print()
+    print(format_table(rows, title))

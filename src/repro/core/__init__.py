@@ -1,0 +1,70 @@
+"""Core library: batched matrix formats, solvers, preconditioners, dispatch.
+
+This package is the Python counterpart of Ginkgo's ``batched`` module as
+described in Section 3 of the paper. See :mod:`repro.core.dispatch` for the
+top-level entry point (the multi-level dispatch mechanism of Figure 3) and
+:mod:`repro.core.solver` for the individual solvers.
+"""
+
+from repro.core.matrix import BatchCsr, BatchDense, BatchEll, BatchedMatrix
+from repro.core.counters import TrafficLedger
+from repro.core.stop import AbsoluteResidual, RelativeResidual, StoppingCriterion
+from repro.core.logger import ConvergenceLogger
+from repro.core.solver import (
+    BatchBicg,
+    BatchBicgstab,
+    BatchCgs,
+    BatchCg,
+    BatchDirect,
+    BatchGmres,
+    BatchRichardson,
+    BatchTrsv,
+    SolverSettings,
+    BatchSolveResult,
+)
+from repro.core.preconditioner import (
+    BatchIc0,
+    BatchIdentity,
+    BatchJacobi,
+    BatchBlockJacobi,
+    BatchIlu,
+    BatchIsai,
+)
+from repro.core.dispatch import BatchSolverFactory, feature_matrix
+from repro.core.launch import LaunchConfigurator, KernelLaunchPlan
+from repro.core.workspace import SlmBudget, WorkspacePlan, plan_workspace
+
+__all__ = [
+    "BatchedMatrix",
+    "BatchDense",
+    "BatchCsr",
+    "BatchEll",
+    "TrafficLedger",
+    "StoppingCriterion",
+    "AbsoluteResidual",
+    "RelativeResidual",
+    "ConvergenceLogger",
+    "SolverSettings",
+    "BatchSolveResult",
+    "BatchCg",
+    "BatchBicg",
+    "BatchBicgstab",
+    "BatchCgs",
+    "BatchGmres",
+    "BatchRichardson",
+    "BatchTrsv",
+    "BatchDirect",
+    "BatchIdentity",
+    "BatchJacobi",
+    "BatchBlockJacobi",
+    "BatchIlu",
+    "BatchIc0",
+    "BatchIsai",
+    "BatchSolverFactory",
+    "feature_matrix",
+    "LaunchConfigurator",
+    "KernelLaunchPlan",
+    "SlmBudget",
+    "WorkspacePlan",
+    "plan_workspace",
+]

@@ -1,0 +1,228 @@
+"""The multi-level dispatch mechanism (Section 3.3, Figure 3).
+
+Ginkgo's batched solvers resolve, at runtime, a full kernel configuration
+from string-level choices: matrix format x solver x preconditioner x
+stopping criterion (and, one level below, sub-group size and reduction
+scope — see :mod:`repro.core.launch`). Templates make each resolved
+combination a single fused kernel; here the resolution produces a
+concrete solver object wired to concrete preconditioner/criterion
+instances, with the same legality rules (e.g. BatchIsai requires the
+BatchCsr format).
+
+:func:`feature_matrix` reproduces Table 3 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.matrix import BatchCsr, BatchDense, BatchEll, BatchedMatrix
+from repro.core.matrix.conversions import convert
+from repro.core.preconditioner import (
+    BatchBlockJacobi,
+    BatchIc0,
+    BatchIdentity,
+    BatchIlu,
+    BatchIsai,
+    BatchJacobi,
+)
+from repro.core.solver import (
+    BatchBicg,
+    BatchBicgstab,
+    BatchCgs,
+    BatchCg,
+    BatchDirect,
+    BatchGmres,
+    BatchIterativeSolver,
+    BatchRichardson,
+    BatchSolveResult,
+    BatchTrsv,
+    SolverSettings,
+)
+from repro.core.stop import AbsoluteResidual, RelativeResidual
+from repro.exceptions import UnsupportedCombinationError
+
+#: Registered batched matrix formats.
+FORMATS: dict[str, type] = {
+    "dense": BatchDense,
+    "csr": BatchCsr,
+    "ell": BatchEll,
+}
+
+#: Registered batched solvers.
+SOLVERS: dict[str, type] = {
+    "cg": BatchCg,
+    "bicg": BatchBicg,
+    "bicgstab": BatchBicgstab,
+    "cgs": BatchCgs,
+    "gmres": BatchGmres,
+    "richardson": BatchRichardson,
+    "trsv": BatchTrsv,
+    "direct": BatchDirect,
+}
+
+#: Registered batched preconditioners.
+PRECONDITIONERS: dict[str, type] = {
+    "identity": BatchIdentity,
+    "jacobi": BatchJacobi,
+    "block_jacobi": BatchBlockJacobi,
+    "ic0": BatchIc0,
+    "ilu": BatchIlu,
+    "isai": BatchIsai,
+}
+
+#: Registered stopping criteria.
+CRITERIA: dict[str, type] = {
+    "absolute": AbsoluteResidual,
+    "relative": RelativeResidual,
+}
+
+#: Preconditioners that only work with a specific matrix format
+#: (Section 3: "BatchIsai needing the BatchCsr matrix format").
+_FORMAT_RESTRICTED_PRECONDITIONERS: dict[str, str] = {"isai": "csr"}
+
+#: Solvers that ignore the preconditioner (direct one-shot kernels).
+_UNPRECONDITIONED_SOLVERS = frozenset({"trsv", "direct"})
+
+#: Precision formats of the dispatch mechanism (Section 3.4: the fused
+#: kernel is instantiated per precision format).
+PRECISIONS: dict[str, type] = {"double": np.float64, "single": np.float32}
+
+
+def feature_matrix() -> dict[str, list[str]]:
+    """The batched feature-support table (Table 3 of the paper).
+
+    The extra entries beyond the paper's table (richardson, direct,
+    identity, block_jacobi) are the roadmap/baseline additions this
+    library ships; the bench for Table 3 prints only the paper's rows.
+    """
+    return {
+        "matrix_formats": sorted(FORMATS),
+        "solvers": sorted(SOLVERS),
+        "preconditioners": sorted(PRECONDITIONERS),
+        "stopping_criteria": sorted(CRITERIA),
+    }
+
+
+@dataclass
+class BatchSolverFactory:
+    """Runtime-configurable factory — the top of the dispatch tree.
+
+    Example
+    -------
+    >>> factory = BatchSolverFactory(solver="bicgstab", preconditioner="jacobi",
+    ...                              criterion="relative", tolerance=1e-10)
+    >>> result = factory.solve(matrix, b)          # doctest: +SKIP
+    """
+
+    solver: str = "bicgstab"
+    preconditioner: str = "identity"
+    criterion: str = "relative"
+    precision: str = "double"
+    matrix_format: str | None = None
+    tolerance: float = 1e-8
+    max_iterations: int = 500
+    keep_history: bool = False
+    solver_options: dict[str, Any] = field(default_factory=dict)
+    preconditioner_options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.solver not in SOLVERS:
+            raise UnsupportedCombinationError(
+                f"unknown solver {self.solver!r}; available: {sorted(SOLVERS)}"
+            )
+        if self.preconditioner not in PRECONDITIONERS:
+            raise UnsupportedCombinationError(
+                f"unknown preconditioner {self.preconditioner!r}; "
+                f"available: {sorted(PRECONDITIONERS)}"
+            )
+        if self.criterion not in CRITERIA:
+            raise UnsupportedCombinationError(
+                f"unknown stopping criterion {self.criterion!r}; "
+                f"available: {sorted(CRITERIA)}"
+            )
+        if self.precision not in PRECISIONS:
+            raise UnsupportedCombinationError(
+                f"unknown precision {self.precision!r}; "
+                f"available: {sorted(PRECISIONS)}"
+            )
+        if self.matrix_format is not None and self.matrix_format not in FORMATS:
+            raise UnsupportedCombinationError(
+                f"unknown matrix format {self.matrix_format!r}; "
+                f"available: {sorted(FORMATS)}"
+            )
+
+    def validate_combination(self, matrix: BatchedMatrix) -> None:
+        """Check the (format, solver, preconditioner) triple is legal."""
+        required = _FORMAT_RESTRICTED_PRECONDITIONERS.get(self.preconditioner)
+        if required is not None and matrix.format_name != required:
+            raise UnsupportedCombinationError(
+                f"preconditioner {self.preconditioner!r} requires the "
+                f"{required!r} matrix format, got {matrix.format_name!r}"
+            )
+
+    def create(self, matrix: BatchedMatrix) -> BatchIterativeSolver:
+        """Instantiate the fully-dispatched solver for ``matrix``.
+
+        When the factory requests a different matrix format or precision
+        than the input carries, the matrix is converted first (dispatch
+        levels 1-2 of Figure 3).
+        """
+        if self.matrix_format is not None and matrix.format_name != self.matrix_format:
+            matrix = convert(matrix, self.matrix_format)
+        self.validate_combination(matrix)
+        wanted = np.dtype(PRECISIONS[self.precision])
+        if matrix.dtype != wanted:
+            matrix = matrix.astype(wanted)
+        settings = SolverSettings(
+            max_iterations=self.max_iterations,
+            criterion=CRITERIA[self.criterion](self.tolerance),
+            keep_history=self.keep_history,
+        )
+        if self.solver in _UNPRECONDITIONED_SOLVERS:
+            precond = None
+            if self.preconditioner != "identity":
+                raise UnsupportedCombinationError(
+                    f"solver {self.solver!r} is a direct kernel and does not "
+                    f"accept a preconditioner (got {self.preconditioner!r})"
+                )
+        else:
+            precond = PRECONDITIONERS[self.preconditioner](
+                matrix, **self.preconditioner_options
+            )
+        solver_cls = SOLVERS[self.solver]
+        return solver_cls(
+            matrix, preconditioner=precond, settings=settings, **self.solver_options
+        )
+
+    def solve(
+        self, matrix: BatchedMatrix, b, x0=None
+    ) -> BatchSolveResult:
+        """One-call dispatch-and-solve."""
+        return self.create(matrix).solve(b, x0=x0)
+
+
+def dispatch_solve(
+    matrix: BatchedMatrix,
+    b,
+    x0=None,
+    solver: str = "bicgstab",
+    preconditioner: str = "identity",
+    criterion: str = "relative",
+    tolerance: float = 1e-8,
+    max_iterations: int = 500,
+    **solver_options: Any,
+) -> BatchSolveResult:
+    """Functional façade over :class:`BatchSolverFactory`."""
+    factory = BatchSolverFactory(
+        solver=solver,
+        preconditioner=preconditioner,
+        criterion=criterion,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+        solver_options=solver_options,
+    )
+    return factory.solve(matrix, b, x0=x0)

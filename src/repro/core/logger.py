@@ -1,0 +1,90 @@
+"""Per-system convergence logging.
+
+Ginkgo's batched solvers "monitor the solver convergence for each system in
+the batch individually" (Section 3). The :class:`ConvergenceLogger` records,
+per system, the iteration at which it converged and its final residual
+norm; optionally it keeps the full residual history, which the examples use
+to plot convergence and the tests use to assert monotone-ish behaviour of
+CG on SPD problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ConvergenceLogger:
+    """Records per-system iteration counts and residual norms.
+
+    Parameters
+    ----------
+    num_batch:
+        Number of systems being tracked.
+    keep_history:
+        When true, every iteration's residual-norm vector is stored
+        (``history`` has shape ``(num_iterations + 1, num_batch)`` after
+        the solve, including the initial residual).
+    """
+
+    def __init__(self, num_batch: int, keep_history: bool = False) -> None:
+        if num_batch <= 0:
+            raise ValueError(f"num_batch must be positive, got {num_batch}")
+        self.num_batch = num_batch
+        self.keep_history = keep_history
+        self.iterations = np.zeros(num_batch, dtype=np.int64)
+        self.final_residuals = np.full(num_batch, np.nan)
+        self._history: list[np.ndarray] = []
+        self._converged = np.zeros(num_batch, dtype=bool)
+
+    def log_initial(self, res_norms: np.ndarray) -> None:
+        """Record the initial residual norms (iteration 0)."""
+        self.final_residuals = np.asarray(res_norms, dtype=np.float64).copy()
+        if self.keep_history:
+            self._history.append(self.final_residuals.copy())
+
+    def log_iteration(self, iteration: int, res_norms: np.ndarray, active: np.ndarray) -> None:
+        """Record iteration ``iteration`` for the systems still ``active``.
+
+        Residuals of inactive (already converged) systems keep their
+        converged values; active systems get their counts bumped.
+        """
+        res_norms = np.asarray(res_norms, dtype=np.float64)
+        self.iterations[active] = iteration
+        self.final_residuals[active] = res_norms[active]
+        if self.keep_history:
+            snapshot = self._history[-1].copy() if self._history else res_norms.copy()
+            snapshot[active] = res_norms[active]
+            self._history.append(snapshot)
+
+    def mark_converged(self, mask: np.ndarray) -> None:
+        """Flag systems as converged (idempotent)."""
+        self._converged |= np.asarray(mask, dtype=bool)
+
+    @property
+    def converged(self) -> np.ndarray:
+        """Boolean mask of systems that satisfied the stopping criterion."""
+        return self._converged.copy()
+
+    @property
+    def history(self) -> np.ndarray:
+        """Residual-norm history, shape ``(records, num_batch)``.
+
+        Raises ``RuntimeError`` when history keeping was not enabled.
+        """
+        if not self.keep_history:
+            raise RuntimeError(
+                "residual history was not recorded; construct the logger "
+                "with keep_history=True"
+            )
+        return np.asarray(self._history)
+
+    def summary(self) -> dict:
+        """Aggregate view used by the benchmark harness."""
+        return {
+            "num_systems": self.num_batch,
+            "num_converged": int(self._converged.sum()),
+            "min_iterations": int(self.iterations.min()),
+            "max_iterations": int(self.iterations.max()),
+            "mean_iterations": float(self.iterations.mean()),
+            "max_final_residual": float(np.nanmax(self.final_residuals)),
+        }

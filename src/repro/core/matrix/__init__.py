@@ -1,0 +1,20 @@
+"""Batched matrix formats sharing one sparsity pattern (Section 3.1, Fig. 2).
+
+Three formats, mirroring Ginkgo's batched module:
+
+* :class:`BatchDense` — dense ``(num_batch, rows, cols)`` storage.
+* :class:`BatchCsr` — CSR values per item; one shared copy of the row
+  pointers and column indices.
+* :class:`BatchEll` — ELL values per item stored column-major (coalesced on
+  GPUs); one shared copy of the padded column-index array.
+
+All formats expose batched SpMV (``apply``), diagonal extraction, dense
+round-trips and the paper's storage-size formulas.
+"""
+
+from repro.core.matrix.base import BatchedMatrix
+from repro.core.matrix.batch_dense import BatchDense
+from repro.core.matrix.batch_csr import BatchCsr
+from repro.core.matrix.batch_ell import BatchEll
+
+__all__ = ["BatchedMatrix", "BatchDense", "BatchCsr", "BatchEll"]

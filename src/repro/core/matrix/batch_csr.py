@@ -1,0 +1,332 @@
+"""BatchCsr: CSR values per item with one shared sparsity pattern.
+
+This is the paper's general-purpose format (Section 3.1): the row-pointer
+and column-index arrays are stored once for the whole batch, the value
+array holds every item's non-zeros. The batched SpMV vectorizes across the
+batch: a gather of ``x`` by the shared column indices followed by a
+segmented row reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.counters import TrafficLedger
+from repro.core.matrix.base import BatchedMatrix, as_float_values
+from repro.exceptions import BadSparsityPatternError, DimensionMismatchError
+
+_FP_BYTES = 8
+_IDX_BYTES = 4
+
+
+class BatchCsr(BatchedMatrix):
+    """A batch of CSR matrices sharing row pointers and column indices.
+
+    Parameters
+    ----------
+    row_ptrs:
+        ``(num_rows + 1,)`` int array; ``row_ptrs[0] == 0`` and
+        ``row_ptrs[-1] == nnz``.
+    col_idxs:
+        ``(nnz,)`` int array of column indices, in-range; within a row the
+        indices must be unique (sorted order is normalized on construction).
+    values:
+        ``(num_batch, nnz)`` float array — one value row per batch item.
+    num_cols:
+        Column count; defaults to ``num_rows`` (square systems).
+    """
+
+    format_name = "csr"
+
+    def __init__(
+        self,
+        row_ptrs: np.ndarray,
+        col_idxs: np.ndarray,
+        values: np.ndarray,
+        num_cols: int | None = None,
+        dtype: np.dtype | type | None = None,
+    ) -> None:
+        row_ptrs = np.ascontiguousarray(np.asarray(row_ptrs, dtype=np.int32))
+        col_idxs = np.ascontiguousarray(np.asarray(col_idxs, dtype=np.int32))
+        values = as_float_values(values, dtype)
+        if values.ndim != 2:
+            raise DimensionMismatchError(
+                f"BatchCsr values must be (num_batch, nnz), got ndim={values.ndim}"
+            )
+        num_rows = row_ptrs.shape[0] - 1
+        if num_rows <= 0:
+            raise BadSparsityPatternError("row_ptrs must have at least 2 entries")
+        ncols = int(num_cols) if num_cols is not None else num_rows
+        super().__init__(values.shape[0], num_rows, ncols, dtype=values.dtype)
+
+        nnz = values.shape[1]
+        _validate_pattern(row_ptrs, col_idxs, nnz, num_rows, ncols)
+
+        # Normalize to sorted column order within each row so downstream
+        # kernels (diagonal lookup, ILU schedules) can binary-search.
+        order = _sort_within_rows(row_ptrs, col_idxs)
+        self.row_ptrs = row_ptrs
+        self.col_idxs = np.ascontiguousarray(col_idxs[order])
+        self.values = np.ascontiguousarray(values[:, order])
+
+        self._row_lengths = np.diff(self.row_ptrs)
+        self._has_empty_rows = bool(np.any(self._row_lengths == 0))
+        # Row index of every stored non-zero; drives the empty-row-safe SpMV
+        # and per-row reductions elsewhere.
+        self._row_of_nnz = np.repeat(
+            np.arange(self._num_rows, dtype=np.int32), self._row_lengths
+        )
+        self._diag_positions = self._locate_diagonal()
+
+    # -- constructors --------------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, batch: np.ndarray, keep_pattern_of: str = "union") -> "BatchCsr":
+        """Build from an ``(nb, rows, cols)`` dense batch.
+
+        The shared pattern is the union of the non-zero locations across
+        the batch (``keep_pattern_of="union"``) or the pattern of the first
+        item (``"first"``); values of items missing an entry of the shared
+        pattern are stored as explicit zeros.
+        """
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim != 3:
+            raise DimensionMismatchError("from_dense expects (nb, rows, cols)")
+        if keep_pattern_of == "union":
+            mask = np.any(batch != 0.0, axis=0)
+        elif keep_pattern_of == "first":
+            mask = batch[0] != 0.0
+        else:
+            raise ValueError(f"unknown keep_pattern_of={keep_pattern_of!r}")
+        if not mask.any():
+            # keep at least the diagonal so the matrix is representable
+            n = min(batch.shape[1], batch.shape[2])
+            mask = np.zeros(batch.shape[1:], dtype=bool)
+            mask[np.arange(n), np.arange(n)] = True
+        rows, cols = np.nonzero(mask)
+        row_ptrs = np.zeros(batch.shape[1] + 1, dtype=np.int32)
+        np.add.at(row_ptrs, rows + 1, 1)
+        row_ptrs = np.cumsum(row_ptrs, dtype=np.int32)
+        values = batch[:, rows, cols]
+        return cls(row_ptrs, cols.astype(np.int32), values, num_cols=batch.shape[2])
+
+    @classmethod
+    def from_scipy_batch(cls, items: list[sp.spmatrix]) -> "BatchCsr":
+        """Build from a list of scipy sparse matrices with identical patterns."""
+        if not items:
+            raise DimensionMismatchError("from_scipy_batch needs at least one matrix")
+        ref = items[0].tocsr().sorted_indices()
+        ref.eliminate_zeros()
+        values = np.empty((len(items), ref.nnz), dtype=np.float64)
+        for i, item in enumerate(items):
+            csr = item.tocsr().sorted_indices()
+            csr.eliminate_zeros()
+            same = (
+                csr.shape == ref.shape
+                and np.array_equal(csr.indptr, ref.indptr)
+                and np.array_equal(csr.indices, ref.indices)
+            )
+            if not same:
+                raise BadSparsityPatternError(
+                    f"batch item {i} does not share the sparsity pattern of item 0"
+                )
+            values[i] = csr.data
+        return cls(ref.indptr, ref.indices, values, num_cols=ref.shape[1])
+
+    @classmethod
+    def from_item_pattern(
+        cls, pattern: sp.spmatrix, values: np.ndarray
+    ) -> "BatchCsr":
+        """Build from one pattern matrix plus a ``(nb, nnz)`` value array."""
+        csr = pattern.tocsr().sorted_indices()
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2 or values.shape[1] != csr.nnz:
+            raise DimensionMismatchError(
+                f"values must be (num_batch, {csr.nnz}), got {values.shape}"
+            )
+        return cls(csr.indptr, csr.indices, values, num_cols=csr.shape[1])
+
+    # -- BatchedMatrix interface ------------------------------------------------------
+
+    @property
+    def nnz_per_item(self) -> int:
+        return int(self.values.shape[1])
+
+    def apply(
+        self,
+        x: np.ndarray,
+        out: np.ndarray | None = None,
+        ledger: TrafficLedger | None = None,
+        x_name: str = "x",
+        y_name: str = "y",
+    ) -> np.ndarray:
+        x = self.check_vector("x", x)
+        products = self.values * x[:, self.col_idxs]
+        if self._has_empty_rows:
+            y = np.zeros((self._num_batch, self._num_rows), dtype=self.dtype)
+            np.add.at(
+                y,
+                (np.arange(self._num_batch)[:, None], self._row_of_nnz[None, :]),
+                products,
+            )
+        else:
+            y = np.add.reduceat(products, self.row_ptrs[:-1], axis=1)
+        if ledger is not None:
+            ledger.tally_spmv(
+                self._num_batch,
+                self._num_rows,
+                self.nnz_per_item,
+                index_bytes=self.pattern_bytes,
+                mat_name="A",
+                x_name=x_name,
+                y_name=y_name,
+            )
+        if out is None:
+            return y
+        out[...] = y
+        return out
+
+    def to_batch_dense(self) -> np.ndarray:
+        dense = np.zeros(
+            (self._num_batch, self._num_rows, self._num_cols), dtype=self.dtype
+        )
+        dense[:, self._row_of_nnz, self.col_idxs] = self.values
+        return dense
+
+    def diagonal(self) -> np.ndarray:
+        n = min(self._num_rows, self._num_cols)
+        diag = np.zeros((self._num_batch, n), dtype=self.dtype)
+        present = self._diag_positions >= 0
+        diag[:, present[:n]] = self.values[:, self._diag_positions[:n][present[:n]]]
+        return diag
+
+    def scaled_copy(self, factors: np.ndarray) -> "BatchCsr":
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.shape != (self._num_batch,):
+            raise DimensionMismatchError(
+                f"factors must have shape ({self._num_batch},), got {factors.shape}"
+            )
+        return BatchCsr(
+            self.row_ptrs, self.col_idxs, self.values * factors[:, None], self._num_cols
+        )
+
+    @property
+    def pattern_bytes(self) -> int:
+        """Shared-pattern footprint: row pointers + column indices."""
+        return _IDX_BYTES * (self._num_rows + 1) + _IDX_BYTES * self.nnz_per_item
+
+    @property
+    def storage_bytes(self) -> int:
+        # Fig. 2: [num_matrices x nnz] values + [(rows+1)] ptrs + [nnz] cols.
+        return self.value_bytes * self._num_batch * self.nnz_per_item + self.pattern_bytes
+
+    def astype(self, dtype: np.dtype | type) -> "BatchCsr":
+        """Copy in another precision format (values converted, pattern shared)."""
+        return BatchCsr(
+            self.row_ptrs, self.col_idxs, self.values, self._num_cols, dtype=dtype
+        )
+
+    def take_batch(self, selection: slice) -> "BatchCsr":
+        """Sub-batch with the same shared pattern."""
+        return BatchCsr(
+            self.row_ptrs,
+            self.col_idxs,
+            self.values[selection],
+            self._num_cols,
+            dtype=self.dtype,
+        )
+
+    def transpose(self) -> "BatchCsr":
+        """Batched transpose: one pattern transposition, values permuted.
+
+        Because the pattern is shared, the CSR->CSC permutation is computed
+        once and applied to every item's value row — the transpose costs a
+        gather, no per-item symbolic work. Enables two-sided Krylov methods
+        (e.g. BatchBicg) that apply both A and A^T.
+        """
+        order = np.lexsort((self._row_of_nnz, self.col_idxs))
+        t_rows = self.col_idxs[order]          # rows of A^T
+        t_cols = self._row_of_nnz[order]       # cols of A^T
+        t_row_ptrs = np.zeros(self._num_cols + 1, dtype=np.int32)
+        np.add.at(t_row_ptrs, t_rows + 1, 1)
+        t_row_ptrs = np.cumsum(t_row_ptrs, dtype=np.int32)
+        return BatchCsr(
+            t_row_ptrs,
+            t_cols.astype(np.int32),
+            self.values[:, order],
+            num_cols=self._num_rows,
+            dtype=self.dtype,
+        )
+
+    # -- CSR-specific helpers -----------------------------------------------------------
+
+    @property
+    def row_of_nnz(self) -> np.ndarray:
+        """Row index of each stored entry (shared across the batch)."""
+        return self._row_of_nnz
+
+    @property
+    def diag_positions(self) -> np.ndarray:
+        """Value-array position of each row's diagonal entry, -1 if absent."""
+        return self._diag_positions
+
+    def item_scipy(self, index: int) -> sp.csr_matrix:
+        """Batch item ``index`` as a scipy CSR matrix."""
+        if not 0 <= index < self._num_batch:
+            raise IndexError(f"batch index {index} outside [0, {self._num_batch})")
+        return sp.csr_matrix(
+            (self.values[index].copy(), self.col_idxs.copy(), self.row_ptrs.copy()),
+            shape=(self._num_rows, self._num_cols),
+        )
+
+    def max_nnz_per_row(self) -> int:
+        """Largest row length (the ELL width after conversion)."""
+        return int(self._row_lengths.max())
+
+    def _locate_diagonal(self) -> np.ndarray:
+        n = min(self._num_rows, self._num_cols)
+        positions = np.full(self._num_rows, -1, dtype=np.int64)
+        for row in range(n):
+            start, end = self.row_ptrs[row], self.row_ptrs[row + 1]
+            cols = self.col_idxs[start:end]
+            hit = np.searchsorted(cols, row)
+            if hit < cols.shape[0] and cols[hit] == row:
+                positions[row] = start + hit
+        return positions
+
+
+def _validate_pattern(
+    row_ptrs: np.ndarray, col_idxs: np.ndarray, nnz: int, num_rows: int, num_cols: int
+) -> None:
+    if row_ptrs[0] != 0 or row_ptrs[-1] != nnz:
+        raise BadSparsityPatternError(
+            f"row_ptrs must span [0, nnz={nnz}], got ends "
+            f"({row_ptrs[0]}, {row_ptrs[-1]})"
+        )
+    if np.any(np.diff(row_ptrs) < 0):
+        raise BadSparsityPatternError("row_ptrs must be non-decreasing")
+    if col_idxs.shape != (nnz,):
+        raise BadSparsityPatternError(
+            f"col_idxs must have shape ({nnz},), got {col_idxs.shape}"
+        )
+    if nnz and (col_idxs.min() < 0 or col_idxs.max() >= num_cols):
+        raise BadSparsityPatternError(
+            f"column indices outside [0, {num_cols}): "
+            f"range [{col_idxs.min()}, {col_idxs.max()}]"
+        )
+    # uniqueness within each row
+    for row in range(num_rows):
+        cols = col_idxs[row_ptrs[row] : row_ptrs[row + 1]]
+        if np.unique(cols).shape[0] != cols.shape[0]:
+            raise BadSparsityPatternError(f"row {row} contains duplicate column indices")
+
+
+def _sort_within_rows(row_ptrs: np.ndarray, col_idxs: np.ndarray) -> np.ndarray:
+    """Permutation that sorts column indices within each row."""
+    order = np.arange(col_idxs.shape[0], dtype=np.int64)
+    for row in range(row_ptrs.shape[0] - 1):
+        start, end = row_ptrs[row], row_ptrs[row + 1]
+        segment = np.argsort(col_idxs[start:end], kind="stable")
+        order[start:end] = start + segment
+    return order

@@ -1,0 +1,108 @@
+"""BatchDense: dense batched storage (Fig. 2, left).
+
+Used for the dense-matrix code paths (e.g. block-Jacobi blocks, GMRES
+Hessenberg systems) and as the reference the sparse formats round-trip
+through in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.counters import TrafficLedger
+from repro.core.matrix.base import BatchedMatrix, as_float_values
+from repro.exceptions import DimensionMismatchError
+
+_FP_BYTES = 8
+
+
+class BatchDense(BatchedMatrix):
+    """A batch of dense matrices stored as one ``(nb, rows, cols)`` array."""
+
+    format_name = "dense"
+
+    def __init__(self, values: np.ndarray, dtype: np.dtype | type | None = None) -> None:
+        values = as_float_values(values, dtype)
+        if values.ndim != 3:
+            raise DimensionMismatchError(
+                f"BatchDense expects a (num_batch, rows, cols) array, got "
+                f"ndim={values.ndim}"
+            )
+        super().__init__(*values.shape, dtype=values.dtype)
+        self.values = np.ascontiguousarray(values)
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_item(cls, matrix: np.ndarray, num_batch: int) -> "BatchDense":
+        """Replicate one dense matrix across a batch."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise DimensionMismatchError("from_item expects a 2-D matrix")
+        return cls(np.repeat(matrix[None, :, :], num_batch, axis=0))
+
+    # -- BatchedMatrix interface --------------------------------------------------
+
+    @property
+    def nnz_per_item(self) -> int:
+        return self._num_rows * self._num_cols
+
+    def apply(
+        self,
+        x: np.ndarray,
+        out: np.ndarray | None = None,
+        ledger: TrafficLedger | None = None,
+        x_name: str = "x",
+        y_name: str = "y",
+    ) -> np.ndarray:
+        x = self.check_vector("x", x)
+        # (nb, r, c) @ (nb, c, 1) -> (nb, r); einsum avoids the reshape dance.
+        y = np.einsum("brc,bc->br", self.values, x)
+        if ledger is not None:
+            ledger.tally_spmv(
+                self._num_batch,
+                self._num_rows,
+                self.nnz_per_item,
+                index_bytes=0,
+                mat_name="A",
+                x_name=x_name,
+                y_name=y_name,
+            )
+        if out is None:
+            return y
+        out[...] = y
+        return out
+
+    def to_batch_dense(self) -> np.ndarray:
+        return self.values.copy()
+
+    def diagonal(self) -> np.ndarray:
+        n = min(self._num_rows, self._num_cols)
+        return self.values[:, np.arange(n), np.arange(n)].copy()
+
+    def scaled_copy(self, factors: np.ndarray) -> "BatchDense":
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.shape != (self._num_batch,):
+            raise DimensionMismatchError(
+                f"factors must have shape ({self._num_batch},), got {factors.shape}"
+            )
+        return BatchDense(self.values * factors[:, None, None])
+
+    @property
+    def storage_bytes(self) -> int:
+        # Fig. 2: num_matrices x rows x cols values, no pattern arrays.
+        return self.value_bytes * self._num_batch * self._num_rows * self._num_cols
+
+    def astype(self, dtype: np.dtype | type) -> "BatchDense":
+        """Copy in another precision format."""
+        return BatchDense(self.values, dtype=dtype)
+
+    def take_batch(self, selection: slice) -> "BatchDense":
+        """Sub-batch of the dense stack."""
+        return BatchDense(self.values[selection], dtype=self.dtype)
+
+    # -- dense-only extras ---------------------------------------------------------
+
+    def transpose(self) -> "BatchDense":
+        """Batched transpose."""
+        return BatchDense(np.ascontiguousarray(self.values.transpose(0, 2, 1)))

@@ -1,0 +1,38 @@
+"""Conversions between the batched matrix formats.
+
+The dispatch mechanism's first level is the matrix format (Figure 3);
+:func:`convert` moves a batch between BatchDense/BatchCsr/BatchEll while
+preserving the values, the batch order and the precision format. Sparse
+round-trips through the dense representation use the union pattern —
+explicit stored zeros are not preserved (the same normalization Ginkgo's
+read routines apply).
+"""
+
+from __future__ import annotations
+
+from repro.core.matrix.base import BatchedMatrix
+from repro.core.matrix.batch_csr import BatchCsr
+from repro.core.matrix.batch_dense import BatchDense
+from repro.core.matrix.batch_ell import BatchEll
+from repro.exceptions import UnsupportedCombinationError
+
+_FORMATS = ("dense", "csr", "ell")
+
+
+def convert(matrix: BatchedMatrix, fmt: str) -> BatchedMatrix:
+    """Convert ``matrix`` to format ``fmt`` (``dense``/``csr``/``ell``)."""
+    if fmt not in _FORMATS:
+        raise UnsupportedCombinationError(
+            f"unknown matrix format {fmt!r}; available: {_FORMATS}"
+        )
+    if matrix.format_name == fmt:
+        return matrix
+    if fmt == "dense":
+        return BatchDense(matrix.to_batch_dense(), dtype=matrix.dtype)
+    if fmt == "csr":
+        # through the dense union pattern (drops ELL padding slots)
+        return BatchCsr.from_dense(matrix.to_batch_dense()).astype(matrix.dtype)
+    # fmt == "ell"
+    if isinstance(matrix, BatchCsr):
+        return BatchEll.from_batch_csr(matrix)
+    return BatchEll.from_dense(matrix.to_batch_dense()).astype(matrix.dtype)

@@ -1,0 +1,33 @@
+"""Batched preconditioners (Table 3, third column).
+
+All preconditioners of a batch share a *type* but are generated per system
+(Section 3: M_i is adjusted to the specific system A_i). Provided:
+
+* :class:`BatchIdentity` — no preconditioning.
+* :class:`BatchJacobi` — scalar Jacobi (inverse diagonal); the paper uses
+  this for all PeleLM inputs.
+* :class:`BatchBlockJacobi` — dense inverses of uniform diagonal blocks.
+* :class:`BatchIlu` — ILU(0) on the shared sparsity pattern with
+  batch-vectorized factorization and triangular solves.
+* :class:`BatchIsai` — incomplete sparse approximate inverse on the
+  pattern of A (requires :class:`~repro.core.matrix.BatchCsr`, matching
+  the restriction called out in Section 3).
+"""
+
+from repro.core.preconditioner.base import BatchPreconditioner
+from repro.core.preconditioner.identity import BatchIdentity
+from repro.core.preconditioner.jacobi import BatchJacobi
+from repro.core.preconditioner.block_jacobi import BatchBlockJacobi
+from repro.core.preconditioner.ic0 import BatchIc0
+from repro.core.preconditioner.ilu import BatchIlu
+from repro.core.preconditioner.isai import BatchIsai
+
+__all__ = [
+    "BatchPreconditioner",
+    "BatchIdentity",
+    "BatchJacobi",
+    "BatchBlockJacobi",
+    "BatchIlu",
+    "BatchIc0",
+    "BatchIsai",
+]

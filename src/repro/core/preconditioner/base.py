@@ -1,0 +1,66 @@
+"""Abstract batched preconditioner.
+
+A preconditioner is *generated* from the batched system matrix at
+construction time (one generation, reused across the whole solve) and then
+*applied* once per solver iteration: ``z_i = M_i r_i``. Generation happens
+on the host side of the dispatch mechanism; application is part of the
+fused solver kernel, so its workspace competes for shared local memory —
+hence :meth:`workspace_doubles_per_system`, which the SLM planner of
+Section 3.5 consults ("the preconditioner workspace is also allocated on
+the SLM if the SLM is still available").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.counters import TrafficLedger
+from repro.core.matrix.base import BatchedMatrix
+
+
+class BatchPreconditioner(ABC):
+    """Base class of all batched preconditioners."""
+
+    #: Tag used by the dispatch tables ("identity", "jacobi", "ilu", "isai", ...).
+    preconditioner_name: str = "abstract"
+
+    def __init__(self, matrix: BatchedMatrix) -> None:
+        self.num_batch = matrix.num_batch
+        self.num_rows = matrix.num_rows
+
+    @abstractmethod
+    def apply(
+        self,
+        r: np.ndarray,
+        out: np.ndarray | None = None,
+        ledger: TrafficLedger | None = None,
+    ) -> np.ndarray:
+        """Apply ``z_i = M_i r_i`` for every system; shape ``(nb, n)``."""
+
+    @abstractmethod
+    def workspace_doubles_per_system(self) -> int:
+        """FP64 elements of per-system state the apply kernel reads.
+
+        Used by :func:`repro.core.workspace.plan_workspace` to decide
+        whether the preconditioner data fits into the remaining SLM.
+        """
+
+    @property
+    def work_flops_per_row(self) -> float:
+        """Approximate FLOPs per matrix row of one application (for the ledger)."""
+        return 1.0
+
+    def _prepare_out(self, r: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+        if out is None:
+            return np.empty_like(r)
+        if out.shape != r.shape:
+            raise ValueError(f"out shape {out.shape} does not match r shape {r.shape}")
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(num_batch={self.num_batch}, "
+            f"num_rows={self.num_rows})"
+        )

@@ -1,0 +1,42 @@
+"""The identity preconditioner (no preconditioning)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.counters import TrafficLedger
+from repro.core.matrix.base import BatchedMatrix
+from repro.core.preconditioner.base import BatchPreconditioner
+
+
+class BatchIdentity(BatchPreconditioner):
+    """``z = r``: used when the solver runs unpreconditioned.
+
+    The apply is a plain copy so that solvers can treat preconditioned and
+    unpreconditioned configurations uniformly (the fused kernel always has
+    a PRECOND step — Algorithm 1 line 12).
+    """
+
+    preconditioner_name = "identity"
+
+    def __init__(self, matrix: BatchedMatrix) -> None:
+        super().__init__(matrix)
+
+    def apply(
+        self,
+        r: np.ndarray,
+        out: np.ndarray | None = None,
+        ledger: TrafficLedger | None = None,
+    ) -> np.ndarray:
+        out = self._prepare_out(r, out)
+        out[...] = r
+        if ledger is not None:
+            ledger.tally_copy(r.shape[0], r.shape[1], "r", "z")
+        return out
+
+    def workspace_doubles_per_system(self) -> int:
+        return 0
+
+    @property
+    def work_flops_per_row(self) -> float:
+        return 0.0

@@ -1,0 +1,198 @@
+"""Batched ILU(0) preconditioner on the shared sparsity pattern.
+
+Because every batch item shares one sparsity pattern (Section 3.1), the
+elimination *schedule* of an ILU(0) factorization can be computed once from
+the pattern and replayed over all items with vectorized value updates —
+this is the batch analogue of Ginkgo's BatchIlu. The factorization is the
+classic IKJ-form incomplete LU restricted to the pattern of A, storing L
+(unit diagonal, implicit) and U in-place in a copy of the value array.
+
+Application performs the two triangular solves ``L z = r`` and ``U x = z``
+row-by-row, vectorized across the batch within each row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.counters import TrafficLedger
+from repro.core.matrix.base import BatchedMatrix
+from repro.core.matrix.batch_csr import BatchCsr
+from repro.core.preconditioner.base import BatchPreconditioner
+from repro.exceptions import SingularMatrixError
+
+
+class BatchIlu(BatchPreconditioner):
+    """ILU(0) with schedule-driven, batch-vectorized factorization."""
+
+    preconditioner_name = "ilu"
+
+    def __init__(self, matrix: BatchedMatrix) -> None:
+        super().__init__(matrix)
+        csr = matrix if isinstance(matrix, BatchCsr) else BatchCsr.from_dense(
+            matrix.to_batch_dense()
+        )
+        if csr.num_rows != csr.num_cols:
+            raise SingularMatrixError("ILU(0) requires square systems")
+        if np.any(csr.diag_positions < 0):
+            missing = int(np.argmax(csr.diag_positions < 0))
+            raise SingularMatrixError(
+                f"ILU(0) requires a structurally full diagonal; row {missing} "
+                "has no diagonal entry in the shared pattern"
+            )
+        self._csr = csr
+        self._schedule = _build_schedule(csr)
+        self._factor_values = _factorize(csr, self._schedule)
+        self._lower, self._upper = _split_triangles(csr)
+
+    # -- application -----------------------------------------------------------
+
+    def apply(
+        self,
+        r: np.ndarray,
+        out: np.ndarray | None = None,
+        ledger: TrafficLedger | None = None,
+    ) -> np.ndarray:
+        out = self._prepare_out(r, out)
+        vals = self._factor_values
+        n = self.num_rows
+        z = np.empty_like(r)
+        # Forward solve L z = r (unit diagonal).
+        for row in range(n):
+            positions, cols = self._lower[row]
+            if positions.size:
+                z[:, row] = r[:, row] - np.einsum(
+                    "bk,bk->b", vals[:, positions], z[:, cols]
+                )
+            else:
+                z[:, row] = r[:, row]
+        # Backward solve U x = z.
+        for row in range(n - 1, -1, -1):
+            positions, cols, diag_pos = self._upper[row]
+            acc = z[:, row]
+            if positions.size:
+                acc = acc - np.einsum("bk,bk->b", vals[:, positions], out[:, cols])
+            out[:, row] = acc / vals[:, diag_pos]
+        if ledger is not None:
+            ledger.tally_precond_apply(
+                r.shape[0], r.shape[1], self.work_flops_per_row, "precond"
+            )
+        return out
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def factor_values(self) -> np.ndarray:
+        """The in-place LU values, shape ``(num_batch, nnz)`` (L unit-diagonal)."""
+        return self._factor_values
+
+    def factor_dense(self) -> tuple[np.ndarray, np.ndarray]:
+        """Dense (L, U) copies for verification, shapes ``(nb, n, n)``."""
+        csr = self._csr
+        nb, n = self.num_batch, self.num_rows
+        lower = np.zeros((nb, n, n))
+        upper = np.zeros((nb, n, n))
+        lower[:, np.arange(n), np.arange(n)] = 1.0
+        for row in range(n):
+            for pos in range(csr.row_ptrs[row], csr.row_ptrs[row + 1]):
+                col = csr.col_idxs[pos]
+                if col < row:
+                    lower[:, row, col] = self._factor_values[:, pos]
+                else:
+                    upper[:, row, col] = self._factor_values[:, pos]
+        return lower, upper
+
+    def workspace_doubles_per_system(self) -> int:
+        return self._csr.nnz_per_item
+
+    @property
+    def work_flops_per_row(self) -> float:
+        return 2.0 * self._csr.nnz_per_item / max(1, self.num_rows)
+
+
+# ---------------------------------------------------------------------------
+# schedule construction and replay
+# ---------------------------------------------------------------------------
+
+
+def _position_lookup(csr: BatchCsr) -> dict[tuple[int, int], int]:
+    lookup: dict[tuple[int, int], int] = {}
+    for row in range(csr.num_rows):
+        for pos in range(csr.row_ptrs[row], csr.row_ptrs[row + 1]):
+            lookup[(row, int(csr.col_idxs[pos]))] = pos
+    return lookup
+
+
+def _build_schedule(csr: BatchCsr):
+    """Elimination steps derived purely from the shared pattern.
+
+    Each step handles one (row i, pivot k) pair: divide A[i,k] by A[k,k],
+    then subtract the scaled row-k entries from the row-i entries that
+    exist in the pattern. Steps are emitted in IKJ order so replaying them
+    sequentially reproduces the sequential ILU(0).
+    """
+    lookup = _position_lookup(csr)
+    schedule = []
+    for i in range(csr.num_rows):
+        row_cols = csr.col_idxs[csr.row_ptrs[i] : csr.row_ptrs[i + 1]]
+        for k in row_cols:
+            k = int(k)
+            if k >= i:
+                break
+            ik = lookup[(i, k)]
+            kk = lookup[(k, k)]
+            targets, rights = [], []
+            for j in row_cols:
+                j = int(j)
+                if j <= k:
+                    continue
+                kj = lookup.get((k, j))
+                if kj is not None:
+                    targets.append(lookup[(i, j)])
+                    rights.append(kj)
+            schedule.append(
+                (
+                    ik,
+                    kk,
+                    np.asarray(targets, dtype=np.int64),
+                    np.asarray(rights, dtype=np.int64),
+                )
+            )
+    return schedule
+
+
+def _factorize(csr: BatchCsr, schedule) -> np.ndarray:
+    values = csr.values.copy()
+    for ik, kk, targets, rights in schedule:
+        pivot = values[:, kk]
+        if np.any(np.isclose(pivot, 0.0)):
+            bad = int(np.argmax(np.isclose(pivot, 0.0)))
+            raise SingularMatrixError(
+                f"zero pivot encountered during ILU(0) at batch item {bad}"
+            )
+        factor = values[:, ik] / pivot
+        values[:, ik] = factor
+        if targets.size:
+            values[:, targets] -= factor[:, None] * values[:, rights]
+    return values
+
+
+def _split_triangles(csr: BatchCsr):
+    """Per-row position/column lists for the two triangular solves."""
+    lower = []
+    upper = []
+    for row in range(csr.num_rows):
+        start, end = csr.row_ptrs[row], csr.row_ptrs[row + 1]
+        cols = csr.col_idxs[start:end]
+        positions = np.arange(start, end, dtype=np.int64)
+        below = cols < row
+        above = cols > row
+        lower.append((positions[below], cols[below].astype(np.int64)))
+        upper.append(
+            (
+                positions[above],
+                cols[above].astype(np.int64),
+                int(csr.diag_positions[row]),
+            )
+        )
+    return lower, upper

@@ -1,0 +1,43 @@
+"""Batched solvers (Table 3, second column).
+
+Iterative Krylov solvers (:class:`BatchCg`, :class:`BatchBicgstab`,
+:class:`BatchGmres`), the stationary :class:`BatchRichardson`, the batched
+sparse triangular solve :class:`BatchTrsv`, and the dense-LU
+:class:`BatchDirect` baseline the iterative methods are compared against.
+
+All solvers operate on one :class:`~repro.core.matrix.BatchedMatrix` and
+``(num_batch, n)`` right-hand sides, support an initial guess, per-system
+stopping (absolute/relative criteria) and per-system convergence logging,
+and tally their FLOPs/traffic into a
+:class:`~repro.core.counters.TrafficLedger` for the hardware model.
+"""
+
+from repro.core.solver.base import (
+    BatchIterativeSolver,
+    BatchSolveResult,
+    ConvergenceTracker,
+    SolverSettings,
+)
+from repro.core.solver.cg import BatchCg
+from repro.core.solver.bicg import BatchBicg
+from repro.core.solver.bicgstab import BatchBicgstab
+from repro.core.solver.cgs import BatchCgs
+from repro.core.solver.gmres import BatchGmres
+from repro.core.solver.richardson import BatchRichardson
+from repro.core.solver.trsv import BatchTrsv
+from repro.core.solver.direct import BatchDirect
+
+__all__ = [
+    "BatchIterativeSolver",
+    "BatchSolveResult",
+    "ConvergenceTracker",
+    "SolverSettings",
+    "BatchCg",
+    "BatchBicg",
+    "BatchBicgstab",
+    "BatchCgs",
+    "BatchGmres",
+    "BatchRichardson",
+    "BatchTrsv",
+    "BatchDirect",
+]

@@ -1,0 +1,259 @@
+"""Common machinery of the batched solvers.
+
+Every solver follows the structure of the paper's fused kernel
+(Section 3.4): one logical kernel performs the whole iteration for every
+batch item, each system converging individually against the configured
+stopping criterion. The vectorized implementation mirrors that with a
+single NumPy iteration loop over the whole batch and a per-system active
+mask: converged systems have their update scalars forced to zero, freezing
+their state exactly as a work-group that broke out of its loop would.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.counters import TrafficLedger
+from repro.core.logger import ConvergenceLogger
+from repro.core.matrix.base import BatchedMatrix
+from repro.core.preconditioner.base import BatchPreconditioner
+from repro.core.preconditioner.identity import BatchIdentity
+from repro.core.stop import RelativeResidual, StoppingCriterion
+from repro.exceptions import DimensionMismatchError
+
+
+@dataclass
+class SolverSettings:
+    """User-facing solve parameters.
+
+    ``max_iterations`` bounds the iteration count per system;
+    ``criterion`` is the per-system stopping criterion (Table 3 offers
+    absolute and relative residual criteria); ``keep_history`` records
+    residual norms every iteration (costs memory; used by examples/tests).
+    """
+
+    max_iterations: int = 500
+    criterion: StoppingCriterion = field(default_factory=lambda: RelativeResidual(1e-8))
+    keep_history: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_iterations <= 0:
+            raise ValueError(
+                f"max_iterations must be positive, got {self.max_iterations}"
+            )
+        if not isinstance(self.criterion, StoppingCriterion):
+            raise TypeError(
+                f"criterion must be a StoppingCriterion, got {type(self.criterion)}"
+            )
+
+
+@dataclass
+class BatchSolveResult:
+    """Outcome of one batched solve."""
+
+    x: np.ndarray
+    iterations: np.ndarray
+    residual_norms: np.ndarray
+    converged: np.ndarray
+    logger: ConvergenceLogger
+    ledger: TrafficLedger
+    solver_name: str
+
+    @property
+    def num_batch(self) -> int:
+        """Number of systems solved."""
+        return self.x.shape[0]
+
+    @property
+    def all_converged(self) -> bool:
+        """True when every system satisfied the stopping criterion."""
+        return bool(self.converged.all())
+
+    @property
+    def max_iterations_used(self) -> int:
+        """Largest per-system iteration count."""
+        return int(self.iterations.max())
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchSolveResult(solver={self.solver_name!r}, "
+            f"num_batch={self.num_batch}, converged={int(self.converged.sum())}"
+            f"/{self.num_batch}, max_iters={self.max_iterations_used})"
+        )
+
+
+class ConvergenceTracker:
+    """Per-system convergence bookkeeping shared by all iterative solvers."""
+
+    def __init__(
+        self,
+        criterion: StoppingCriterion,
+        b_norms: np.ndarray,
+        logger: ConvergenceLogger,
+    ) -> None:
+        self.thresholds = criterion.thresholds(b_norms)
+        self.logger = logger
+        self.converged = np.zeros(b_norms.shape[0], dtype=bool)
+        self._frozen = np.zeros(b_norms.shape[0], dtype=bool)
+
+    def start(self, res_norms: np.ndarray) -> None:
+        """Record iteration 0; systems may converge immediately."""
+        self.logger.log_initial(res_norms)
+        self.converged = res_norms <= self.thresholds
+        self.logger.mark_converged(self.converged)
+
+    def update(self, iteration: int, res_norms: np.ndarray, active: np.ndarray) -> None:
+        """Record an iteration and absorb newly converged systems."""
+        self.logger.log_iteration(iteration, res_norms, active)
+        newly = active & (res_norms <= self.thresholds)
+        self.converged |= newly
+        self.logger.mark_converged(newly)
+
+    def freeze(self, mask: np.ndarray) -> None:
+        """Stop iterating the masked systems without marking them converged.
+
+        Used on breakdown (zero denominators): the system keeps its current
+        iterate and is reported as not converged.
+        """
+        self._frozen |= mask
+
+    @property
+    def active(self) -> np.ndarray:
+        """Systems that still iterate."""
+        return ~(self.converged | self._frozen)
+
+    @property
+    def all_done(self) -> bool:
+        """True when no system remains active."""
+        return not self.active.any()
+
+
+def guarded_divide(numerator: np.ndarray, denominator: np.ndarray, active: np.ndarray):
+    """Per-system division that returns 0 where inactive or denominator is 0.
+
+    Returns ``(quotient, breakdown_mask)``; ``breakdown_mask`` flags active
+    systems whose denominator vanished (solver breakdown).
+    """
+    denom_ok = denominator != 0.0
+    safe = np.where(denom_ok, denominator, 1.0)
+    quotient = np.where(active & denom_ok, numerator / safe, 0.0)
+    breakdown = active & ~denom_ok
+    return quotient, breakdown
+
+
+class BatchIterativeSolver(ABC):
+    """Base class: holds the matrix, preconditioner and settings."""
+
+    solver_name: str = "abstract"
+
+    def __init__(
+        self,
+        matrix: BatchedMatrix,
+        preconditioner: BatchPreconditioner | None = None,
+        settings: SolverSettings | None = None,
+    ) -> None:
+        if matrix.num_rows != matrix.num_cols:
+            raise DimensionMismatchError(
+                f"batched solvers require square systems, got "
+                f"{matrix.num_rows}x{matrix.num_cols}"
+            )
+        self.matrix = matrix
+        self.preconditioner = (
+            preconditioner if preconditioner is not None else BatchIdentity(matrix)
+        )
+        if self.preconditioner.num_batch != matrix.num_batch:
+            raise DimensionMismatchError(
+                "preconditioner batch size does not match the matrix batch size"
+            )
+        self.settings = settings if settings is not None else SolverSettings()
+
+    # -- solver-specific pieces ------------------------------------------------
+
+    @abstractmethod
+    def workspace_vectors(self) -> list[tuple[str, int]]:
+        """``(name, doubles_per_system)`` in decreasing SLM priority.
+
+        Feeds :func:`repro.core.workspace.plan_workspace`; the order
+        follows Section 3.5 (usage frequency and size).
+        """
+
+    @abstractmethod
+    def _iterate(
+        self,
+        b: np.ndarray,
+        x: np.ndarray,
+        tracker: ConvergenceTracker,
+        ledger: TrafficLedger,
+    ) -> None:
+        """Run the iteration in-place on ``x``."""
+
+    # -- the public solve entry point ----------------------------------------------
+
+    def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> BatchSolveResult:
+        """Solve ``A_i x_i = b_i`` for every batch item.
+
+        ``b`` is ``(num_batch, n)`` or ``(n,)`` (broadcast); ``x0`` is the
+        optional initial guess (zero by default) — the capability the
+        paper highlights as the key advantage of iterative batched solvers
+        inside nonlinear outer loops.
+        """
+        matrix = self.matrix
+        b = matrix.check_vector("b", b)
+        if x0 is None:
+            x = np.zeros_like(b)
+        else:
+            x = matrix.check_vector("x0", x0).copy()
+
+        ledger = TrafficLedger(fp_bytes=matrix.value_bytes)
+        logger = ConvergenceLogger(matrix.num_batch, self.settings.keep_history)
+        from repro.core import blas  # local import to avoid a cycle at module load
+
+        b_norms = blas.norm2(b, ledger, "b")
+        tracker = ConvergenceTracker(self.settings.criterion, b_norms, logger)
+
+        self._iterate(b, x, tracker, ledger)
+
+        return BatchSolveResult(
+            x=x,
+            iterations=logger.iterations.copy(),
+            residual_norms=logger.final_residuals.copy(),
+            converged=tracker.converged.copy(),
+            logger=logger,
+            ledger=ledger,
+            solver_name=self.solver_name,
+        )
+
+    # -- hardware-model hooks -------------------------------------------------------
+
+    def model_stages(self, result: BatchSolveResult) -> float:
+        """Dependent kernel stages per system, for the timing model.
+
+        Iterative solvers advance in synchronized iterations, so the mean
+        iteration count is the critical-path length. Direct kernels
+        override this: their user-facing iteration count is 1, but their
+        elimination/substitution sweeps are sequentially dependent stages
+        the wave-timing model must price.
+        """
+        return float(max(1.0, float(np.mean(result.iterations))))
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _initial_residual(
+        self, b: np.ndarray, x: np.ndarray, ledger: TrafficLedger
+    ) -> np.ndarray:
+        """``r = b - A x`` (skips the SpMV for an all-zero initial guess)."""
+        if not x.any():
+            return b.copy()
+        r = self.matrix.apply(x, ledger=ledger, x_name="x", y_name="r")
+        np.subtract(b, r, out=r)
+        ledger.tally_axpy(b.shape[0], b.shape[1], "b", "r")
+        return r
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(matrix={self.matrix!r}, "
+            f"preconditioner={self.preconditioner.preconditioner_name!r})"
+        )

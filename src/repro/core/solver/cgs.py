@@ -1,0 +1,112 @@
+"""BatchCgs: batched conjugate gradient squared.
+
+An extension beyond the paper's Table 3 (Ginkgo's batched roadmap —
+Section 5 — grows the solver set over time): CGS is the transpose-free
+sibling of BiCGSTAB with the same building blocks (two SpMV, a handful of
+dots/axpys per iteration), so it drops into the same fused-kernel design,
+workspace planner and dispatch machinery. Right-preconditioned, per-system
+masked like the other solvers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import blas
+from repro.core.counters import TrafficLedger
+from repro.core.solver.base import (
+    BatchIterativeSolver,
+    ConvergenceTracker,
+    guarded_divide,
+)
+
+
+class BatchCgs(BatchIterativeSolver):
+    """Preconditioned CGS over a batch of general systems."""
+
+    solver_name = "cgs"
+
+    def workspace_vectors(self) -> list[tuple[str, int]]:
+        n = self.matrix.num_rows
+        return [
+            ("r", n),
+            ("u", n),
+            ("p", n),
+            ("q", n),
+            ("v", n),
+            ("t", n),
+            ("r_hat", n),
+            ("x", n),
+            ("A_cache", self.matrix.nnz_per_item),
+        ]
+
+    def _iterate(
+        self,
+        b: np.ndarray,
+        x: np.ndarray,
+        tracker: ConvergenceTracker,
+        ledger: TrafficLedger,
+    ) -> None:
+        matrix = self.matrix
+        precond = self.preconditioner
+        nb = b.shape[0]
+
+        r = self._initial_residual(b, x, ledger)
+        r_hat = r.copy()
+        ledger.tally_copy(*b.shape, "r", "r_hat")
+
+        u = np.zeros_like(b)
+        p = np.zeros_like(b)
+        q = np.zeros_like(b)
+        v = np.empty_like(b)
+        t = np.empty_like(b)
+        hat = np.empty_like(b)
+        rho_old = np.ones(nb)
+
+        res_norms = blas.norm2(r, ledger, "r")
+        tracker.start(res_norms)
+
+        for iteration in range(1, self.settings.max_iterations + 1):
+            active = tracker.active
+            if not active.any():
+                break
+
+            rho = blas.dot(r_hat, r, ledger, ("r_hat", "r"))
+            if iteration == 1:
+                blas.copy(r, u, ledger, ("r", "u"))
+                blas.copy(r, p, ledger, ("r", "p"))
+            else:
+                beta, breakdown = guarded_divide(rho, rho_old, active)
+                if breakdown.any():
+                    tracker.freeze(breakdown)
+                    active = active & ~breakdown
+                # u = r + beta q ; p = u + beta (q + beta p)
+                blas.copy(r, u, ledger, ("r", "u"))
+                blas.axpy(beta, q, u, ledger, ("q", "u"))
+                blas.axpby(1.0, q, beta, p, ledger, ("q", "p"))
+                blas.axpby(1.0, u, beta, p, ledger, ("u", "p"))
+
+            # v = A M p ; alpha = rho / (r_hat . v)
+            precond.apply(p, out=hat, ledger=ledger)
+            matrix.apply(hat, out=v, ledger=ledger, x_name="p_hat", y_name="v")
+            sigma = blas.dot(r_hat, v, ledger, ("r_hat", "v"))
+            alpha, breakdown = guarded_divide(rho, sigma, active)
+            if breakdown.any():
+                tracker.freeze(breakdown)
+                active = active & ~breakdown
+
+            # q = u - alpha v ; correction direction u + q
+            blas.copy(u, q, ledger, ("u", "q"))
+            blas.axpy(-alpha, v, q, ledger, ("v", "q"))
+            np.add(u, q, out=t)
+            ledger.tally_axpy(nb, b.shape[1], "u", "q")
+
+            # x += alpha M (u + q) ; r -= alpha A M (u + q)
+            precond.apply(t, out=hat, ledger=ledger)
+            blas.axpy(alpha, hat, x, ledger, ("uq_hat", "x"))
+            matrix.apply(hat, out=t, ledger=ledger, x_name="uq_hat", y_name="t")
+            blas.axpy(-alpha, t, r, ledger, ("t", "r"))
+
+            res_norms = blas.norm2(r, ledger, "r")
+            tracker.update(iteration, res_norms, active)
+            rho_old = np.where(active, rho, rho_old)

@@ -1,0 +1,66 @@
+"""Stopping criteria for the batched solvers (Table 3, rightmost column).
+
+Each system of the batch converges on its own (the solvers monitor
+convergence individually — Section 3); a criterion therefore maps a vector
+of residual norms to a boolean convergence mask. Two criteria, following
+the paper: absolute residual norm and residual norm relative to the
+right-hand side.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class StoppingCriterion(ABC):
+    """Decides, per system, whether the iteration may stop."""
+
+    #: Tag used by the dispatch mechanism.
+    criterion_name: str = "abstract"
+
+    def __init__(self, tolerance: float = 1e-8) -> None:
+        check_positive("tolerance", tolerance)
+        self.tolerance = float(tolerance)
+
+    @abstractmethod
+    def thresholds(self, b_norms: np.ndarray) -> np.ndarray:
+        """Per-system residual-norm thresholds given the RHS norms."""
+
+    def check(self, res_norms: np.ndarray, b_norms: np.ndarray) -> np.ndarray:
+        """Boolean mask of systems whose residual satisfies the criterion."""
+        return res_norms <= self.thresholds(b_norms)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(tolerance={self.tolerance!r})"
+
+
+class AbsoluteResidual(StoppingCriterion):
+    """Stop system ``i`` once ``||r_i|| <= tolerance``."""
+
+    criterion_name = "absolute"
+
+    def thresholds(self, b_norms: np.ndarray) -> np.ndarray:
+        return np.full_like(np.asarray(b_norms, dtype=np.float64), self.tolerance)
+
+
+class RelativeResidual(StoppingCriterion):
+    """Stop system ``i`` once ``||r_i|| <= tolerance * ||b_i||``.
+
+    Systems with a zero right-hand side fall back to the absolute
+    criterion (their exact solution is x = 0 and any absolute threshold is
+    achievable).
+    """
+
+    criterion_name = "relative"
+
+    def thresholds(self, b_norms: np.ndarray) -> np.ndarray:
+        b_norms = np.asarray(b_norms, dtype=np.float64)
+        scaled = self.tolerance * b_norms
+        thresholds = np.where(b_norms > 0.0, scaled, self.tolerance)
+        # a non-finite RHS norm would make the threshold infinite and
+        # declare garbage "converged"; NaN thresholds never compare true
+        return np.where(np.isfinite(b_norms), thresholds, np.nan)

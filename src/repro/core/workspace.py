@@ -1,0 +1,124 @@
+"""Shared-local-memory workspace planning (Section 3.5 of the paper).
+
+Each work-group solves one linear system and keeps its intermediate
+vectors in SLM when they fit. The paper assigns a *priority order* per
+solver — for BatchCg, in decreasing priority: ``r, z, p, t, x`` — and the
+solver "dynamically determines at runtime how many vectors can be
+allocated on the SLM ... based on the input matrix size and the available
+SLM memory on the device". The preconditioner workspace is placed last,
+"if the SLM is still available". The system matrix and right-hand side
+always stream from global memory (they are read-only and too large; they
+are expected to be served by the L2 cache).
+
+:func:`plan_workspace` reproduces that policy. The resulting
+:class:`WorkspacePlan` maps every named solver object to the memory level
+it lives in; the ledger-based hardware model uses this to split logical
+traffic between SLM, L2 and HBM (and the Fig. 8 bench reads the split
+directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_FP_BYTES = 8
+
+#: Memory levels a solver object can be resident in.
+SLM = "slm"
+GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class SlmBudget:
+    """Available shared local memory for one work-group, in bytes."""
+
+    capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 0:
+            raise ValueError(f"negative SLM capacity: {self.capacity_bytes}")
+
+    @property
+    def capacity_doubles(self) -> int:
+        """Capacity expressed in FP64 elements."""
+        return self.capacity_bytes // _FP_BYTES
+
+
+@dataclass
+class WorkspacePlan:
+    """Placement decision for every named object of a solve."""
+
+    placement: dict[str, str] = field(default_factory=dict)
+    slm_doubles_used: int = 0
+    bytes_per_value: int = _FP_BYTES
+
+    @property
+    def slm_bytes_used(self) -> int:
+        """SLM footprint of one work-group under this plan."""
+        return self.slm_doubles_used * self.bytes_per_value
+
+    @property
+    def slm_resident(self) -> frozenset[str]:
+        """Names of the objects allocated in shared local memory."""
+        return frozenset(k for k, v in self.placement.items() if v == SLM)
+
+    @property
+    def global_resident(self) -> frozenset[str]:
+        """Names of the objects left in global memory."""
+        return frozenset(k for k, v in self.placement.items() if v == GLOBAL)
+
+    def level_of(self, name: str) -> str:
+        """Memory level of object ``name`` (global when never planned)."""
+        return self.placement.get(name, GLOBAL)
+
+
+def plan_workspace(
+    vector_priority: list[tuple[str, int]],
+    budget: SlmBudget,
+    precond_doubles: int = 0,
+    always_global: tuple[str, ...] = ("A", "b"),
+    bytes_per_value: int = _FP_BYTES,
+) -> WorkspacePlan:
+    """Greedy SLM allocation in priority order.
+
+    Parameters
+    ----------
+    vector_priority:
+        ``(name, doubles_per_system)`` pairs in *decreasing* priority, as
+        specified by each solver (e.g. BatchCg's ``r, z, p, t, x``).
+    budget:
+        Per-work-group SLM capacity.
+    precond_doubles:
+        Size of the preconditioner's per-system state; placed last, per
+        the paper.
+    always_global:
+        Objects that never move to SLM (the system matrix and RHS).
+    bytes_per_value:
+        Width of one stored value (8 for FP64, 4 for FP32): halving the
+        precision doubles how many vectors fit — one of the reasons the
+        dispatch mechanism carries a precision-format level.
+
+    The allocation is greedy-with-skip: a vector that does not fit is left
+    in global memory but *later, smaller* candidates may still claim the
+    remaining SLM — matching "how many vectors can be allocated on the
+    SLM" rather than a strict prefix rule.
+    """
+    if bytes_per_value <= 0:
+        raise ValueError(f"bytes_per_value must be positive, got {bytes_per_value}")
+    plan = WorkspacePlan(bytes_per_value=bytes_per_value)
+    remaining = budget.capacity_bytes // bytes_per_value
+    candidates = list(vector_priority)
+    if precond_doubles > 0:
+        candidates.append(("precond", precond_doubles))
+    for name, doubles in candidates:
+        if doubles < 0:
+            raise ValueError(f"object {name!r} has negative size {doubles}")
+        if doubles <= remaining:
+            plan.placement[name] = SLM
+            remaining -= doubles
+            plan.slm_doubles_used += doubles
+        else:
+            plan.placement[name] = GLOBAL
+    for name in always_global:
+        plan.placement[name] = GLOBAL
+    return plan

@@ -1,0 +1,58 @@
+"""CUDA device descriptors for the simulator.
+
+The execution-model attributes mirror :class:`repro.sycl.device.SyclDevice`
+(a CUDA device *is* a SYCL device with a single supported sub-group size of
+32). Performance attributes (Table 5 peaks) live in :mod:`repro.hw.specs`.
+"""
+
+from __future__ import annotations
+
+from repro.sycl.device import SyclDevice
+
+
+class CudaDevice(SyclDevice):
+    """A CUDA-capable device: warp width 32 only, SMs as compute units."""
+
+    @property
+    def num_sms(self) -> int:
+        """Streaming multiprocessor count (alias of ``num_compute_units``)."""
+        return self.num_compute_units
+
+    @property
+    def warp_size(self) -> int:
+        """The fixed CUDA warp width."""
+        return 32
+
+
+def a100_device() -> CudaDevice:
+    """NVIDIA A100 80GB PCIe (CUDA 11.8), per Table 5 of the paper.
+
+    The 192 KB figure is the combined L1/shared-memory capacity per SM that
+    the paper's Table 5 reports as "Shared Local Mem.".
+    """
+    return CudaDevice(
+        name="NVIDIA A100 80GB PCIe",
+        vendor="nvidia",
+        num_compute_units=108,
+        sub_group_sizes=(32,),
+        slm_bytes_per_cu=192 * 1024,
+        max_work_group_size=1024,
+        max_work_items_per_cu=2048,
+        global_mem_bytes=80 * 1024**3,
+        extra={"cuda_cores_per_sm": 64, "clock_ghz": 1.41},
+    )
+
+
+def h100_device() -> CudaDevice:
+    """NVIDIA H100 PCIe Gen5 (CUDA 11.8), per Table 5 of the paper."""
+    return CudaDevice(
+        name="NVIDIA H100 PCIe",
+        vendor="nvidia",
+        num_compute_units=114,
+        sub_group_sizes=(32,),
+        slm_bytes_per_cu=228 * 1024,
+        max_work_group_size=1024,
+        max_work_items_per_cu=2048,
+        global_mem_bytes=80 * 1024**3,
+        extra={"cuda_cores_per_sm": 128, "clock_ghz": 1.755},
+    )

@@ -1,0 +1,78 @@
+"""CUDA stream: kernel submission with launch statistics.
+
+Mirrors :class:`repro.sycl.queue.Queue` for the CUDA backend. Launches are
+specified with a :class:`LaunchConfig` (``<<<grid, block, shared_bytes>>>``)
+and kernels written against :class:`~repro.cudasim.thread.CudaItem`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.cudasim.device import CudaDevice, a100_device
+from repro.cudasim.thread import cuda_nd_range, wrap_cuda_kernel
+from repro.sycl.executor import LaunchStats, launch
+from repro.sycl.memory import LocalSpec
+from repro.sycl.queue import Event
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """The execution configuration of a CUDA kernel launch."""
+
+    grid_dim: int
+    block_dim: int
+
+    def __post_init__(self) -> None:
+        if self.grid_dim <= 0 or self.block_dim <= 0:
+            raise ValueError(
+                f"grid and block dimensions must be positive, got "
+                f"<<<{self.grid_dim}, {self.block_dim}>>>"
+            )
+
+
+class Stream:
+    """An in-order CUDA stream bound to a device."""
+
+    def __init__(self, device: CudaDevice | None = None) -> None:
+        self.device = device if device is not None else a100_device()
+        self.events: list[Event] = []
+
+    def launch_kernel(
+        self,
+        config: LaunchConfig,
+        kernel: Callable[..., Any],
+        args: tuple = (),
+        shared_specs: list[LocalSpec] | None = None,
+        name: str | None = None,
+    ) -> Event:
+        """Launch a CUDA-style kernel and wait for completion."""
+        ndrange = cuda_nd_range(config.grid_dim, config.block_dim)
+        submit = time.perf_counter()
+        stats: LaunchStats = launch(
+            self.device,
+            ndrange,
+            wrap_cuda_kernel(kernel),
+            args=args,
+            local_specs=list(shared_specs or []),
+        )
+        end = time.perf_counter()
+        event = Event(
+            name=name or getattr(kernel, "__name__", "kernel"),
+            submit_time=submit,
+            start_time=submit,
+            end_time=end,
+            stats=stats,
+        )
+        self.events.append(event)
+        return event
+
+    def synchronize(self) -> None:
+        """Block until all submitted work completes (no-op: synchronous)."""
+
+    @property
+    def num_launches(self) -> int:
+        """Number of kernels submitted to this stream so far."""
+        return len(self.events)

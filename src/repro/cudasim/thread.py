@@ -1,0 +1,134 @@
+"""The per-thread handle for CUDA-style kernels.
+
+:class:`CudaItem` wraps the simulator's :class:`~repro.sycl.group.NDItem`
+and exposes the CUDA vocabulary: ``threadIdx``/``blockIdx``, warp lane ids,
+``syncthreads`` and the ``__shfl_*_sync`` family. It intentionally does
+**not** expose a block-level reduction primitive — CUDA kernels build those
+out of warp shuffles and shared memory, which is the structural difference
+between the CUDA and SYCL solver kernels highlighted in Section 3.2 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sycl.group import NDItem, SyncOp
+from repro.sycl.ndrange import NDRange
+
+#: The fixed CUDA warp width.
+WARP_SIZE = 32
+
+
+class CudaItem:
+    """CUDA thread view over an :class:`NDItem` (warp width fixed at 32)."""
+
+    __slots__ = ("_item",)
+
+    def __init__(self, item: NDItem) -> None:
+        if item.ndrange.sub_group_size != WARP_SIZE:
+            raise ValueError(
+                f"CUDA kernels execute with warp width {WARP_SIZE}, got "
+                f"sub-group size {item.ndrange.sub_group_size}"
+            )
+        self._item = item
+
+    # -- identities -----------------------------------------------------
+
+    @property
+    def thread_idx(self) -> int:
+        """``threadIdx.x``."""
+        return self._item.local_id
+
+    @property
+    def block_idx(self) -> int:
+        """``blockIdx.x``."""
+        return self._item.group_id
+
+    @property
+    def block_dim(self) -> int:
+        """``blockDim.x``."""
+        return self._item.local_range
+
+    @property
+    def grid_dim(self) -> int:
+        """``gridDim.x``."""
+        return self._item.global_range // self._item.local_range
+
+    @property
+    def global_thread_id(self) -> int:
+        """``blockIdx.x * blockDim.x + threadIdx.x``."""
+        return self._item.global_id
+
+    @property
+    def lane_id(self) -> int:
+        """Lane within the warp (``threadIdx.x % 32``)."""
+        return self._item.lane
+
+    @property
+    def warp_id(self) -> int:
+        """Warp index within the block (``threadIdx.x / 32``)."""
+        return self._item.sub_group_id
+
+    @property
+    def num_warps(self) -> int:
+        """Warps per block."""
+        return self._item.num_sub_groups
+
+    # -- synchronization (yielded) ---------------------------------------
+
+    def syncthreads(self) -> SyncOp:
+        """``__syncthreads()`` — block-wide barrier."""
+        return self._item.barrier()
+
+    def syncwarp(self) -> SyncOp:
+        """``__syncwarp()`` — warp-wide barrier."""
+        return self._item.sub_group_barrier()
+
+    def shfl_down(self, value: Any, delta: int) -> SyncOp:
+        """``__shfl_down_sync`` — lane ``i`` reads lane ``i + delta``."""
+        return self._item.shift_sub_group_left(value, delta)
+
+    def shfl_up(self, value: Any, delta: int) -> SyncOp:
+        """``__shfl_up_sync`` — lane ``i`` reads lane ``i - delta``."""
+        return self._item.shift_sub_group_right(value, delta)
+
+    def shfl_xor(self, value: Any, mask: int) -> SyncOp:
+        """``__shfl_xor_sync`` — butterfly exchange."""
+        return self._item.permute_sub_group_xor(value, mask)
+
+    def shfl(self, value: Any, src_lane: int) -> SyncOp:
+        """``__shfl_sync`` — all lanes read ``src_lane``."""
+        return self._item.broadcast_over_sub_group(value, src_lane)
+
+    def any_sync(self, predicate: bool) -> SyncOp:
+        """``__any_sync`` over the block (simulator widens to block scope)."""
+        return self._item.any_of_group(predicate)
+
+    def all_sync(self, predicate: bool) -> SyncOp:
+        """``__all_sync`` over the block."""
+        return self._item.all_of_group(predicate)
+
+
+def wrap_cuda_kernel(kernel):
+    """Adapt a CUDA-style kernel to the simulator's (item, slm, *args) ABI.
+
+    The wrapped kernel receives ``(CudaItem, shared, *args)``; shared memory
+    is the SLM namespace.
+    """
+
+    def _adapted(item: NDItem, slm, *args):
+        return kernel(CudaItem(item), slm, *args)
+
+    _adapted.__name__ = getattr(kernel, "__name__", "cuda_kernel")
+    return _adapted
+
+
+def cuda_nd_range(grid_dim: int, block_dim: int) -> NDRange:
+    """Build the simulator ND-range for a ``<<<grid_dim, block_dim>>>`` launch."""
+    if block_dim % WARP_SIZE != 0:
+        raise ValueError(
+            f"block dimension {block_dim} must be a multiple of the warp "
+            f"width {WARP_SIZE} in the simulator"
+        )
+    return NDRange(grid_dim * block_dim, block_dim, WARP_SIZE)

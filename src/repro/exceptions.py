@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single except clause while still
+being able to discriminate on the specific subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Operands of a batched operation have incompatible shapes."""
+
+
+class BadSparsityPatternError(ReproError, ValueError):
+    """A sparsity pattern is malformed or inconsistent across a batch."""
+
+
+class UnsupportedCombinationError(ReproError, ValueError):
+    """A dispatch combination (format/solver/preconditioner) is not legal."""
+
+
+class SingularMatrixError(ReproError, ArithmeticError):
+    """A (sub)problem is numerically singular where invertibility is required."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative process failed to converge and the caller asked to raise."""
+
+
+# --------------------------------------------------------------------------
+# SYCL / CUDA execution-model simulator errors
+# --------------------------------------------------------------------------
+
+
+class ExecutionModelError(ReproError):
+    """Base class for errors detected by the execution-model simulators."""
+
+
+class InvalidNDRangeError(ExecutionModelError, ValueError):
+    """An ND-range is malformed (e.g. local size does not divide global)."""
+
+
+class BarrierDivergenceError(ExecutionModelError, RuntimeError):
+    """Work-items of one synchronization scope reached different barriers.
+
+    SYCL (and CUDA) leave this undefined behaviour on hardware; the simulator
+    turns it into a hard error so kernel bugs surface deterministically.
+    """
+
+
+class LocalMemoryError(ExecutionModelError, MemoryError):
+    """A work-group requested more shared local memory than the device has."""
+
+
+class SubGroupSizeError(ExecutionModelError, ValueError):
+    """A requested sub-group size is not supported by the device."""
+
+
+class DeviceCapabilityError(ExecutionModelError, ValueError):
+    """The device cannot run the requested launch configuration."""
+
+
+class KernelFaultError(ExecutionModelError, RuntimeError):
+    """A kernel performed an illegal access (e.g. out-of-bounds SLM index)."""

@@ -1,0 +1,44 @@
+"""Analytic GPU performance models.
+
+This package is the substitute for the paper's hardware measurements (see
+DESIGN.md): it derives kernel runtimes for the four evaluation platforms
+(A100, H100, PVC 1-stack, PVC 2-stack) from
+
+* the device peaks of Table 5 (:mod:`repro.hw.specs`),
+* the occupancy of the one-work-group-per-system launch
+  (:mod:`repro.hw.occupancy`),
+* the solver's instrumented FLOP/traffic ledger, split between SLM, L2
+  and HBM by the workspace plan (:mod:`repro.hw.memmodel`), and
+* a wave-scheduling bandwidth/latency model (:mod:`repro.hw.timing`).
+
+:mod:`repro.hw.roofline` and :mod:`repro.hw.advisor` reproduce the Fig. 8
+roofline/memory-metrics analysis that the paper obtained from the Intel
+Advisor tool.
+"""
+
+from repro.hw.specs import GPUS, GpuSpec, TERMINOLOGY_MAP, gpu, table5_rows
+from repro.hw.occupancy import OccupancyReport, occupancy_report, resident_groups
+from repro.hw.memmodel import TrafficSplit, split_traffic
+from repro.hw.timing import TimingBreakdown, estimate_runtime, estimate_solve
+from repro.hw.roofline import Roofline, RooflinePoint
+from repro.hw.advisor import AdvisorReport, analyze_solve
+
+__all__ = [
+    "GPUS",
+    "GpuSpec",
+    "TERMINOLOGY_MAP",
+    "gpu",
+    "table5_rows",
+    "OccupancyReport",
+    "occupancy_report",
+    "resident_groups",
+    "TrafficSplit",
+    "split_traffic",
+    "TimingBreakdown",
+    "estimate_runtime",
+    "estimate_solve",
+    "Roofline",
+    "RooflinePoint",
+    "AdvisorReport",
+    "analyze_solve",
+]

@@ -1,0 +1,104 @@
+"""Splitting logical traffic between SLM, L2 and HBM.
+
+The solver's :class:`~repro.core.counters.TrafficLedger` attributes bytes
+to named objects; the workspace plan of Section 3.5 says which of those
+objects live in shared local memory. This module combines the two into a
+per-level traffic split — the quantity Fig. 8's memory metrics report:
+
+* objects planned into SLM -> SLM traffic;
+* matrix values -> SLM when the ``A_cache`` copy was planned resident,
+  otherwise the L2-served read-only stream (the paper: the system matrix
+  and RHS are "cached into another level cache, for example, L2");
+* the sparsity pattern, right-hand side and non-SLM preconditioner state
+  -> L2 (shared, read-only, high reuse);
+* spilled vectors (read/write, no reuse window) -> HBM;
+* plus a one-time cold HBM footprint (first touch of A and b, final
+  write of x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.counters import TrafficLedger
+from repro.core.workspace import SLM, WorkspacePlan
+
+_VALUES_SUFFIX = "_values"
+_PATTERN_SUFFIX = "_pattern"
+
+
+@dataclass
+class TrafficSplit:
+    """Logical traffic per memory level, in bytes."""
+
+    slm_bytes: float = 0.0
+    l2_bytes: float = 0.0
+    hbm_bytes: float = 0.0
+    flops: float = 0.0
+    by_object: dict[str, tuple[str, float]] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> float:
+        """All traffic regardless of level."""
+        return self.slm_bytes + self.l2_bytes + self.hbm_bytes
+
+    def fraction(self, level: str) -> float:
+        """Share of a level in the total traffic."""
+        total = self.total_bytes
+        if total == 0:
+            return 0.0
+        return {"slm": self.slm_bytes, "l2": self.l2_bytes, "hbm": self.hbm_bytes}[
+            level
+        ] / total
+
+    def scaled(self, factor: float) -> "TrafficSplit":
+        """A copy with every byte/FLOP count multiplied by ``factor``."""
+        return TrafficSplit(
+            slm_bytes=self.slm_bytes * factor,
+            l2_bytes=self.l2_bytes * factor,
+            hbm_bytes=self.hbm_bytes * factor,
+            flops=self.flops * factor,
+            by_object={k: (lvl, b * factor) for k, (lvl, b) in self.by_object.items()},
+        )
+
+
+def _classify(name: str, plan: WorkspacePlan) -> str:
+    if name.endswith(_VALUES_SUFFIX):
+        base = name[: -len(_VALUES_SUFFIX)]
+        return "slm" if plan.level_of(f"{base}_cache") == SLM else "l2"
+    if name.endswith(_PATTERN_SUFFIX):
+        return "l2"
+    if name == "b":
+        return "l2"
+    if name == "precond":
+        return "slm" if plan.level_of("precond") == SLM else "l2"
+    # an iteration vector: SLM when planned there, HBM spill otherwise
+    return "slm" if plan.level_of(name) == SLM else "hbm"
+
+
+def split_traffic(
+    ledger: TrafficLedger,
+    plan: WorkspacePlan,
+    cold_bytes: float = 0.0,
+) -> TrafficSplit:
+    """Assign every ledger object's bytes to a memory level.
+
+    ``cold_bytes`` is the one-time HBM footprint (matrix + RHS first
+    touch, solution write-back), added to the HBM lane.
+    """
+    split = TrafficSplit(flops=ledger.flops)
+    for name, nbytes in ledger.bytes_by_object.items():
+        level = _classify(name, plan)
+        split.by_object[name] = (level, nbytes)
+        if level == "slm":
+            split.slm_bytes += nbytes
+        elif level == "l2":
+            split.l2_bytes += nbytes
+        else:
+            split.hbm_bytes += nbytes
+    if cold_bytes < 0:
+        raise ValueError(f"cold_bytes must be non-negative, got {cold_bytes}")
+    split.hbm_bytes += cold_bytes
+    if cold_bytes:
+        split.by_object["cold_footprint"] = ("hbm", cold_bytes)
+    return split

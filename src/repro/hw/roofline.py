@@ -1,0 +1,94 @@
+"""Roofline analysis (Fig. 8 of the paper).
+
+A :class:`Roofline` holds the compute roof and the bandwidth roofs of one
+platform (SLM, L2 — which Advisor labels "L3" on PVC — and HBM). Given a
+kernel's arithmetic intensity per level and its achieved GFLOP/s, it
+reports the attainable performance under each roof and which bound the
+kernel sits on — the paper's finding being that the batched BiCGSTAB lies
+on the L3(L2) bandwidth roof, below the SLM bandwidth bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.memmodel import TrafficSplit
+from repro.hw.specs import GpuSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel plotted against a roofline."""
+
+    flops: float
+    achieved_gflops: float
+    intensity_by_level: dict[str, float]  # FLOP/byte per memory level
+    attainable_gflops_by_level: dict[str, float]
+    compute_roof_gflops: float
+
+    @property
+    def attainable_gflops(self) -> float:
+        """The binding attainable performance (lowest applicable roof)."""
+        candidates = [self.compute_roof_gflops, *self.attainable_gflops_by_level.values()]
+        return min(candidates)
+
+    @property
+    def binding_roof(self) -> str:
+        """Name of the roof that bounds this kernel."""
+        best = "compute"
+        best_val = self.compute_roof_gflops
+        for level, val in self.attainable_gflops_by_level.items():
+            if val < best_val:
+                best, best_val = level, val
+        return best
+
+    def efficiency_vs(self, level: str) -> float:
+        """Achieved performance as a fraction of a level's roof."""
+        if level == "compute":
+            roof = self.compute_roof_gflops
+        else:
+            roof = self.attainable_gflops_by_level[level]
+        return self.achieved_gflops / roof if roof > 0 else 0.0
+
+
+class Roofline:
+    """Compute + multi-level bandwidth roofs of one platform."""
+
+    def __init__(self, spec: GpuSpec) -> None:
+        self.spec = spec
+        self.compute_roof_gflops = spec.fp64_peak_tflops * 1e3 * spec.flop_efficiency
+        self.bandwidth_gbs = {
+            "slm": spec.slm_eff_gbps_per_cu * spec.num_cus,
+            "l2": spec.l2_bw_peak_tbs * 1e3 * spec.l2_efficiency,
+            "hbm": spec.hbm_bw_peak_tbs * 1e3 * spec.hbm_efficiency,
+        }
+
+    def attainable_gflops(self, level: str, intensity: float) -> float:
+        """Bandwidth roof: attainable GFLOP/s at a given FLOP/byte."""
+        if intensity < 0:
+            raise ValueError(f"negative arithmetic intensity: {intensity}")
+        return min(self.compute_roof_gflops, self.bandwidth_gbs[level] * intensity)
+
+    def evaluate(self, split: TrafficSplit, runtime_seconds: float) -> RooflinePoint:
+        """Place a kernel with the given traffic/runtime on the roofline."""
+        if runtime_seconds <= 0:
+            raise ValueError(f"runtime must be positive, got {runtime_seconds}")
+        achieved = split.flops / runtime_seconds / 1e9
+        intensities: dict[str, float] = {}
+        attainable: dict[str, float] = {}
+        for level, nbytes in (
+            ("slm", split.slm_bytes),
+            ("l2", split.l2_bytes),
+            ("hbm", split.hbm_bytes),
+        ):
+            if nbytes > 0:
+                intensity = split.flops / nbytes
+                intensities[level] = intensity
+                attainable[level] = self.attainable_gflops(level, intensity)
+        return RooflinePoint(
+            flops=split.flops,
+            achieved_gflops=achieved,
+            intensity_by_level=intensities,
+            attainable_gflops_by_level=attainable,
+            compute_roof_gflops=self.compute_roof_gflops,
+        )

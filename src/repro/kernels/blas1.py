@@ -1,0 +1,101 @@
+"""Reduction building blocks at work-group, sub-group and warp scope.
+
+Section 3.2 of the paper: "Reduction operations such as dot and norm are
+implemented using the reduction over the whole work-group which is a
+primitive function provided by SYCL. For small matrices, it is more
+efficient to implement the reduction within a subgroup ... These reduction
+operations were implemented in a different fashion compared to our
+CUDA-based solvers as in CUDA only warp-level reductions are used as no
+efficient thread-block level reduction operations are available."
+
+All three flavours live here:
+
+* :func:`group_dot` — the SYCL path (``reduce_over_group`` primitive);
+* :func:`sub_group_dot` — the SYCL small-matrix path (single sub-group);
+* :func:`warp_reduce_sum` + :func:`block_reduce_cuda` — the CUDA path:
+  shuffle butterfly within each warp, lane-0 partials through shared
+  memory, and a final warp reduction broadcast back to the block.
+
+Each is a generator subroutine: call with ``yield from`` inside a kernel.
+"""
+
+from __future__ import annotations
+
+from repro.cudasim.thread import WARP_SIZE, CudaItem
+from repro.sycl.group import NDItem
+
+
+def group_dot(item: NDItem, a, b, n: int):
+    """Dot product of two length-``n`` arrays via a work-group reduction.
+
+    Every work-item accumulates the rows it owns (local-id strided), then
+    one ``reduce_over_group`` — the SYCL primitive — combines the
+    partials. All work-items receive the result.
+    """
+    partial = 0.0
+    for row in range(item.local_id, n, item.local_range):
+        partial += float(a[row]) * float(b[row])
+    total = yield item.reduce_over_group(partial, "sum")
+    return total
+
+
+def sub_group_dot(item: NDItem, a, b, n: int):
+    """Dot product reduced within the calling item's sub-group only.
+
+    The small-matrix fast path: when one sub-group covers the system,
+    the reduction avoids the round-trip through shared local memory.
+    Every sub-group computes the same full dot product (lanes stride the
+    whole array), so no cross-sub-group combine is needed.
+    """
+    partial = 0.0
+    for row in range(item.lane, n, item.sub_group_range):
+        partial += float(a[row]) * float(b[row])
+    total = yield item.reduce_over_sub_group(partial, "sum")
+    return total
+
+
+def warp_reduce_sum(cuda: CudaItem, value: float):
+    """Butterfly shuffle reduction within a warp (lane 0 holds the total)."""
+    offset = WARP_SIZE // 2
+    while offset > 0:
+        other = yield cuda.shfl_down(value, offset)
+        value = value + other
+        offset //= 2
+    return value
+
+
+def block_reduce_cuda(cuda: CudaItem, shared, value: float):
+    """Block-wide sum the CUDA way: warp shuffles + shared-memory combine.
+
+    ``shared`` must provide a ``reduce_buf`` array of at least
+    ``block_dim / 32`` elements. Returns the total to *all* threads of the
+    block (a final broadcast through shared memory). This multi-stage
+    structure — absent from the SYCL port, which calls the group-reduce
+    primitive — is the paper's CUDA/SYCL code-structure difference.
+    """
+    warp_total = yield from warp_reduce_sum(cuda, value)
+    if cuda.lane_id == 0:
+        shared.reduce_buf[cuda.warp_id] = warp_total
+    yield cuda.syncthreads()
+
+    if cuda.warp_id == 0:
+        partial = (
+            float(shared.reduce_buf[cuda.lane_id])
+            if cuda.lane_id < cuda.num_warps
+            else 0.0
+        )
+        total = yield from warp_reduce_sum(cuda, partial)
+        if cuda.lane_id == 0:
+            shared.reduce_buf[0] = total
+    else:
+        # Warps other than 0 still execute their shuffle sequence so the
+        # sub-group collectives stay convergent lockstep per warp.
+        yield from warp_reduce_sum(cuda, 0.0)
+    yield cuda.syncthreads()
+    return float(shared.reduce_buf[0])
+
+
+def group_norm2_squared(item: NDItem, a, n: int):
+    """Squared 2-norm via the work-group reduction primitive."""
+    total = yield from group_dot(item, a, a, n)
+    return total

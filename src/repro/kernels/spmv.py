@@ -1,0 +1,68 @@
+"""Device-level batched SpMV kernels (Section 3.2).
+
+Two mappings, matching the paper:
+
+* **CSR, sub-group per row** (:func:`spmv_csr_subgroup_rows`): each
+  sub-group takes rows round-robin; its lanes stride the row's non-zeros
+  and a sub-group reduction combines the partial products. Good for
+  general matrices with longer rows.
+* **ELL, work-item per row** (:func:`spmv_ell_item_rows`): each work-item
+  owns whole rows, "removing the need to communicate between threads" —
+  no reductions at all, coalesced column-major value accesses.
+
+:func:`spmv_csr_item_rows` is the communication-free CSR fallback used
+inside the fused solver kernels when rows are short.
+
+All kernels read ``x`` from (simulated) SLM and write ``y`` back to SLM;
+they are generator subroutines composed into the fused solver kernels.
+"""
+
+from __future__ import annotations
+
+from repro.sycl.group import NDItem
+
+
+def spmv_csr_item_rows(item: NDItem, row_ptrs, col_idxs, values, x, y, n: int):
+    """One work-item per row (local-id strided); no communication."""
+    for row in range(item.local_id, n, item.local_range):
+        acc = 0.0
+        for pos in range(int(row_ptrs[row]), int(row_ptrs[row + 1])):
+            acc += float(values[pos]) * float(x[int(col_idxs[pos])])
+        y[row] = acc
+    yield item.barrier()
+
+
+def spmv_csr_subgroup_rows(item: NDItem, row_ptrs, col_idxs, values, x, y, n: int):
+    """One sub-group per row; lanes stride the non-zeros, then reduce.
+
+    Sub-groups may execute different numbers of reductions when ``n`` is
+    not a multiple of the sub-group count — legal, since sub-group
+    collectives only synchronize within their own scope; the trailing
+    work-group barrier re-converges everyone.
+    """
+    sg, lane = item.sub_group_id, item.lane
+    for row in range(sg, n, item.num_sub_groups):
+        start, end = int(row_ptrs[row]), int(row_ptrs[row + 1])
+        partial = 0.0
+        for pos in range(start + lane, end, item.sub_group_range):
+            partial += float(values[pos]) * float(x[int(col_idxs[pos])])
+        total = yield item.reduce_over_sub_group(partial, "sum")
+        if lane == 0:
+            y[row] = total
+    yield item.barrier()
+
+
+def spmv_ell_item_rows(item: NDItem, col_idxs, values, x, y, n: int, ell_width: int):
+    """ELL mapping: one work-item per row over the padded slots.
+
+    ``col_idxs`` is ``(ell_width, n)`` with -1 padding; ``values`` is the
+    per-item ``(ell_width, n)`` column-major slab.
+    """
+    for row in range(item.local_id, n, item.local_range):
+        acc = 0.0
+        for slot in range(ell_width):
+            col = int(col_idxs[slot][row])
+            if col >= 0:
+                acc += float(values[slot][row]) * float(x[col])
+        y[row] = acc
+    yield item.barrier()

@@ -1,0 +1,36 @@
+"""Multi-GPU / multi-rank distribution of batched solves.
+
+The paper's scaling discussion (Section 4.2) argues that the batched
+solvers "can easily scale to multiple GPUs as distributing these batched
+matrices over the MPI ranks is trivial and no additional communication is
+necessary". This package makes that claim executable:
+
+* :mod:`repro.multi.comm` — a simulated in-process MPI world
+  (:class:`SimWorld`): ranks, scatter/gather/broadcast/allreduce with
+  communication-volume accounting (the mpi4py buffer-protocol idioms,
+  without needing an MPI launcher).
+* :mod:`repro.multi.distributed` — block-partitioning of a batched matrix
+  over ranks (zero pattern rewriting, courtesy of the shared-pattern
+  formats), per-rank batched solves, result gathering, and a multi-GPU
+  timing model (per-rank device estimate + scatter/gather transfers over
+  an interconnect).
+"""
+
+from repro.multi.comm import SimWorld, SimComm
+from repro.multi.distributed import (
+    DistributedSolveResult,
+    MultiGpuTiming,
+    estimate_multi_gpu,
+    partition_batch,
+    solve_distributed,
+)
+
+__all__ = [
+    "SimWorld",
+    "SimComm",
+    "DistributedSolveResult",
+    "MultiGpuTiming",
+    "estimate_multi_gpu",
+    "partition_batch",
+    "solve_distributed",
+]

@@ -1,0 +1,131 @@
+"""A simulated MPI world with communication-volume accounting.
+
+:class:`SimWorld` hosts ``size`` in-process ranks. A collective is driven
+from the caller's side: the world exposes mpi4py-flavoured operations
+(scatter, gather, bcast, allreduce) that move NumPy payloads between
+per-rank mailboxes while tallying the bytes that would cross the
+interconnect. The multi-GPU timing model charges those bytes against an
+interconnect bandwidth.
+
+There is no concurrency — ranks are simulated sequentially, which is
+exactly right for the batched-solver use case: the paper's point is that
+the ranks never need to talk *during* a solve, only for the initial
+scatter and final gather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass
+class SimComm:
+    """The per-rank view handed to rank functions."""
+
+    rank: int
+    size: int
+    world: "SimWorld"
+
+    def send_bytes(self, nbytes: float, dst: int) -> None:
+        """Account an explicit point-to-point transfer."""
+        self.world.record_transfer(self.rank, dst, nbytes)
+
+
+class SimWorld:
+    """An in-process MPI world of ``size`` ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"world size must be positive, got {size}")
+        self.size = size
+        self.bytes_by_link: dict[tuple[int, int], float] = {}
+        self.collective_log: list[str] = []
+
+    # -- accounting -----------------------------------------------------------
+
+    def record_transfer(self, src: int, dst: int, nbytes: float) -> None:
+        """Tally ``nbytes`` moved from rank ``src`` to rank ``dst``."""
+        for r in (src, dst):
+            if not 0 <= r < self.size:
+                raise ValueError(f"rank {r} outside [0, {self.size})")
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if src != dst:  # local "transfers" are free
+            key = (src, dst)
+            self.bytes_by_link[key] = self.bytes_by_link.get(key, 0.0) + nbytes
+        self.collective_log.append(f"p2p {src}->{dst} {nbytes:.0f}B")
+
+    @property
+    def total_bytes(self) -> float:
+        """All bytes that crossed the interconnect."""
+        return sum(self.bytes_by_link.values())
+
+    # -- collectives ------------------------------------------------------------
+
+    def scatter(self, chunks: list[Any], root: int = 0) -> list[Any]:
+        """Root distributes one chunk per rank; returns the per-rank values."""
+        if len(chunks) != self.size:
+            raise ValueError(
+                f"scatter needs exactly {self.size} chunks, got {len(chunks)}"
+            )
+        for rank, chunk in enumerate(chunks):
+            self.record_transfer(root, rank, _payload_bytes(chunk))
+        self.collective_log.append(f"scatter root={root}")
+        return list(chunks)
+
+    def gather(self, per_rank: list[Any], root: int = 0) -> list[Any]:
+        """Every rank sends its value to root; returns the gathered list."""
+        if len(per_rank) != self.size:
+            raise ValueError(
+                f"gather needs exactly {self.size} values, got {len(per_rank)}"
+            )
+        for rank, value in enumerate(per_rank):
+            self.record_transfer(rank, root, _payload_bytes(value))
+        self.collective_log.append(f"gather root={root}")
+        return list(per_rank)
+
+    def bcast(self, value: Any, root: int = 0) -> list[Any]:
+        """Root broadcasts ``value``; every rank receives it."""
+        nbytes = _payload_bytes(value)
+        for rank in range(self.size):
+            self.record_transfer(root, rank, nbytes)
+        self.collective_log.append(f"bcast root={root}")
+        return [value for _ in range(self.size)]
+
+    def allreduce(self, per_rank: list[Any], op: Callable[[Any, Any], Any]) -> Any:
+        """Reduce across ranks; every rank gets the result (cost: ring)."""
+        if len(per_rank) != self.size:
+            raise ValueError(
+                f"allreduce needs exactly {self.size} values, got {len(per_rank)}"
+            )
+        acc = per_rank[0]
+        nbytes = _payload_bytes(per_rank[0])
+        for rank in range(1, self.size):
+            acc = op(acc, per_rank[rank])
+            self.record_transfer(rank, (rank + 1) % self.size, nbytes)
+        self.collective_log.append("allreduce")
+        return acc
+
+    # -- SPMD driver --------------------------------------------------------------
+
+    def run(self, fn: Callable[[SimComm], Any]) -> list[Any]:
+        """Run ``fn(comm)`` on every rank (sequentially); collect returns."""
+        return [fn(SimComm(rank, self.size, self)) for rank in range(self.size)]
+
+
+def _payload_bytes(value: Any) -> float:
+    """Size of a payload as it would cross the wire."""
+    if value is None:
+        return 0.0
+    if isinstance(value, np.ndarray):
+        return float(value.nbytes)
+    if isinstance(value, (list, tuple)):
+        return float(sum(_payload_bytes(v) for v in value))
+    if isinstance(value, (int, float, np.generic)):
+        return 8.0
+    if hasattr(value, "storage_bytes"):  # batched matrices
+        return float(value.storage_bytes)
+    raise TypeError(f"cannot size payload of type {type(value).__name__}")

@@ -1,0 +1,48 @@
+"""A pure-Python simulator of the SYCL execution model.
+
+This package is the substrate that replaces the Intel oneAPI SYCL runtime
+used in the paper (see DESIGN.md, substitution table). It implements the
+pieces of the SYCL 2020 execution model that the batched solvers rely on:
+
+* :class:`~repro.sycl.device.SyclDevice` — a device descriptor exposing the
+  hierarchy relevant to kernel tuning (compute units a.k.a. Xe-cores,
+  supported sub-group sizes, shared local memory capacity, stack count).
+* :class:`~repro.sycl.ndrange.NDRange` — the kernel index space
+  (global range, work-group local range, sub-group decomposition).
+* :class:`~repro.sycl.queue.Queue` — kernel submission with profiling
+  events; ``parallel_for`` launches an ND-range kernel.
+* :class:`~repro.sycl.executor` — a cooperative, barrier-correct executor.
+  Kernels are written as Python generator functions over a
+  :class:`~repro.sycl.group.NDItem`; ``yield``-ing a synchronization
+  operation (barrier, group/sub-group reduce, broadcast, shuffle) suspends
+  the work-item until every member of the scope arrives, exactly mirroring
+  the semantics of the corresponding SYCL group functions. Divergent
+  barriers — undefined behaviour on real hardware — raise
+  :class:`~repro.exceptions.BarrierDivergenceError`.
+* Shared local memory — per-work-group scratch arrays allocated at launch,
+  with capacity checking against the device's SLM size
+  (:class:`~repro.exceptions.LocalMemoryError` on overflow).
+
+The simulator favours semantic fidelity over speed: it is used by the test
+suite to validate that the work-item formulation of every solver kernel
+computes the same answer as the vectorized production path, and by the
+hardware model to account occupancy and SLM usage of real launches.
+"""
+
+from repro.sycl.device import SyclDevice, cpu_device, pvc_stack_device
+from repro.sycl.ndrange import NDRange, EXECUTION_MODEL_MAP
+from repro.sycl.memory import LocalSpec
+from repro.sycl.group import NDItem
+from repro.sycl.queue import Queue, Event
+
+__all__ = [
+    "SyclDevice",
+    "cpu_device",
+    "pvc_stack_device",
+    "NDRange",
+    "EXECUTION_MODEL_MAP",
+    "LocalSpec",
+    "NDItem",
+    "Queue",
+    "Event",
+]

@@ -1,0 +1,151 @@
+"""SYCL device descriptors.
+
+A :class:`SyclDevice` captures the hardware attributes that the batched
+solvers interrogate when choosing a launch configuration (Section 3.6 of the
+paper): the supported sub-group sizes, the shared-local-memory capacity per
+compute unit, the maximum work-group size, and — specific to Ponte Vecchio —
+the number of stacks usable through implicit scaling (Section 2.2).
+
+The descriptors here define the *execution model* view of a device. The
+performance-model view (peak FLOP rates, bandwidths from Table 5 of the
+paper) lives in :mod:`repro.hw.specs`, which builds on these descriptors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import DeviceCapabilityError, SubGroupSizeError
+
+
+@dataclass(frozen=True)
+class SyclDevice:
+    """Execution-model description of a SYCL device.
+
+    Parameters
+    ----------
+    name:
+        Marketing name, e.g. ``"Intel Data Center GPU Max 1550"``.
+    vendor:
+        ``"intel"``, ``"nvidia"`` or ``"host"``.
+    num_compute_units:
+        Number of Xe-cores (Intel) or streaming multiprocessors (NVIDIA)
+        *per stack*.
+    sub_group_sizes:
+        Sub-group widths supported by the compiler for this device. PVC
+        supports 16 and 32; CUDA devices only 32 (the warp width).
+    slm_bytes_per_cu:
+        Shared local memory available to the work-groups resident on one
+        compute unit, in bytes.
+    max_work_group_size:
+        Largest legal work-group.
+    max_work_items_per_cu:
+        Work-item residency capacity of a compute unit; used by the
+        occupancy model.
+    global_mem_bytes:
+        HBM capacity (per stack for multi-stack devices).
+    num_stacks:
+        1 for monolithic GPUs, 2 for the PVC two-stack package.
+    """
+
+    name: str
+    vendor: str
+    num_compute_units: int
+    sub_group_sizes: tuple[int, ...]
+    slm_bytes_per_cu: int
+    max_work_group_size: int = 1024
+    max_work_items_per_cu: int = 2048
+    global_mem_bytes: int = 64 * 1024**3
+    num_stacks: int = 1
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.num_compute_units <= 0:
+            raise DeviceCapabilityError(
+                f"device {self.name!r}: num_compute_units must be positive"
+            )
+        if not self.sub_group_sizes:
+            raise DeviceCapabilityError(
+                f"device {self.name!r}: at least one sub-group size is required"
+            )
+        if any(s <= 0 or (s & (s - 1)) for s in self.sub_group_sizes):
+            raise SubGroupSizeError(
+                f"device {self.name!r}: sub-group sizes must be powers of two, "
+                f"got {self.sub_group_sizes}"
+            )
+        if self.slm_bytes_per_cu <= 0:
+            raise DeviceCapabilityError(
+                f"device {self.name!r}: slm_bytes_per_cu must be positive"
+            )
+
+    # -- capability queries -------------------------------------------------
+
+    def supports_sub_group_size(self, size: int) -> bool:
+        """True if the compiler can instantiate kernels at this sub-group width."""
+        return size in self.sub_group_sizes
+
+    def validate_sub_group_size(self, size: int) -> None:
+        """Raise :class:`SubGroupSizeError` for unsupported sub-group widths."""
+        if not self.supports_sub_group_size(size):
+            raise SubGroupSizeError(
+                f"device {self.name!r} supports sub-group sizes "
+                f"{self.sub_group_sizes}, requested {size}"
+            )
+
+    def validate_work_group_size(self, size: int) -> None:
+        """Raise :class:`DeviceCapabilityError` for oversized work-groups."""
+        if size <= 0 or size > self.max_work_group_size:
+            raise DeviceCapabilityError(
+                f"device {self.name!r}: work-group size {size} outside "
+                f"(0, {self.max_work_group_size}]"
+            )
+
+    @property
+    def total_compute_units(self) -> int:
+        """Compute units across all stacks (implicit-scaling view)."""
+        return self.num_compute_units * self.num_stacks
+
+    @property
+    def preferred_sub_group_size(self) -> int:
+        """The smallest supported sub-group size (best for small problems)."""
+        return min(self.sub_group_sizes)
+
+
+def cpu_device(name: str = "host-cpu") -> SyclDevice:
+    """A host device for functional testing of kernels.
+
+    Mirrors the SYCL host/CPU device: flexible sub-group sizes and a
+    generous SLM limit (SLM maps to ordinary memory on CPUs).
+    """
+    return SyclDevice(
+        name=name,
+        vendor="host",
+        num_compute_units=8,
+        sub_group_sizes=(4, 8, 16, 32),
+        slm_bytes_per_cu=256 * 1024,
+        max_work_group_size=4096,
+        max_work_items_per_cu=4096,
+        global_mem_bytes=16 * 1024**3,
+    )
+
+
+def pvc_stack_device(num_stacks: int = 1) -> SyclDevice:
+    """The Intel Data Center GPU Max 1550 (Ponte Vecchio) descriptor.
+
+    Values follow Section 2.2 and Table 5 of the paper: 64 Xe-cores and
+    64 GB HBM per stack, 128 KB SLM per Xe-core, sub-group sizes 16 and 32.
+    """
+    if num_stacks not in (1, 2):
+        raise DeviceCapabilityError(f"PVC has 1 or 2 stacks, got {num_stacks}")
+    return SyclDevice(
+        name=f"Intel Data Center GPU Max 1550 ({num_stacks}-stack)",
+        vendor="intel",
+        num_compute_units=64,
+        sub_group_sizes=(16, 32),
+        slm_bytes_per_cu=128 * 1024,
+        max_work_group_size=1024,
+        max_work_items_per_cu=1024,
+        global_mem_bytes=64 * 1024**3,
+        num_stacks=num_stacks,
+        extra={"xve_per_core": 8, "hw_threads_per_xve": 8},
+    )

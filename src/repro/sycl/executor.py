@@ -1,0 +1,208 @@
+"""Cooperative, barrier-correct execution of ND-range kernels.
+
+Work-groups are independent in SYCL (no cross-group synchronization exists
+— Section 2.3 of the paper), so the executor runs them one after another.
+Within a work-group, every work-item runs as a Python generator; the
+scheduler advances each item until it yields a :class:`~repro.sycl.group.SyncOp`,
+assembles collectives once *all* members of the operation's scope have
+arrived with an identical operation signature, and resumes the members with
+their results.
+
+Divergence — some work-items of a scope exiting or waiting on a different
+operation while siblings sit in a barrier — is undefined behaviour on real
+hardware and raises :class:`~repro.exceptions.BarrierDivergenceError` here,
+with a diagnostic naming the offending work-items.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.exceptions import BarrierDivergenceError, KernelFaultError
+from repro.sycl.device import SyclDevice
+from repro.sycl.group import GROUP, SUB_GROUP, NDItem, SyncOp, evaluate_collective
+from repro.sycl.memory import (
+    LocalSpec,
+    allocate_local,
+    check_local_capacity,
+    poison_local,
+    total_local_bytes,
+)
+from repro.sycl.ndrange import NDRange
+
+_RUNNING = "running"
+_WAITING = "waiting"
+_DONE = "done"
+
+
+@dataclass
+class LaunchStats:
+    """Bookkeeping for one kernel launch, consumed by tests and the hw model."""
+
+    num_groups: int = 0
+    local_size: int = 0
+    sub_group_size: int = 0
+    slm_bytes_per_group: int = 0
+    collective_counts: dict[str, int] = field(default_factory=dict)
+
+    def record_collective(self, kind: str, scope: str) -> None:
+        """Count one completed collective, keyed as ``scope:kind``."""
+        key = f"{scope}:{kind}"
+        self.collective_counts[key] = self.collective_counts.get(key, 0) + 1
+
+
+class _WorkItemState:
+    """Scheduler bookkeeping for one running work-item."""
+
+    __slots__ = ("item", "gen", "status", "pending")
+
+    def __init__(self, item: NDItem, gen: Any) -> None:
+        self.item = item
+        self.gen = gen
+        self.status = _RUNNING
+        self.pending: SyncOp | None = None
+
+
+def _advance(state: _WorkItemState, send_value: Any = None, *, first: bool = False) -> None:
+    """Run one work-item until its next sync point or completion."""
+    if state.gen is None:
+        state.status = _DONE
+        return
+    try:
+        yielded = state.gen.send(None) if first else state.gen.send(send_value)
+    except StopIteration:
+        state.status = _DONE
+        state.pending = None
+        return
+    if not isinstance(yielded, SyncOp):
+        raise KernelFaultError(
+            f"work-item {state.item.global_id} yielded {yielded!r}; kernels "
+            f"must only yield SyncOp objects (barrier / group functions)"
+        )
+    state.status = _WAITING
+    state.pending = yielded
+
+
+def run_work_group(
+    ndrange: NDRange,
+    group_id: int,
+    kernel: Callable[..., Any],
+    local: Any,
+    args: tuple,
+    stats: LaunchStats | None = None,
+) -> None:
+    """Execute every work-item of one work-group to completion."""
+    base = group_id * ndrange.local_size
+    states: list[_WorkItemState] = []
+    for local_id in range(ndrange.local_size):
+        item = NDItem(ndrange, base + local_id)
+        produced = kernel(item, local, *args)
+        gen = produced if inspect.isgenerator(produced) else None
+        states.append(_WorkItemState(item, gen))
+
+    for state in states:
+        _advance(state, first=True)
+
+    while True:
+        if all(s.status == _DONE for s in states):
+            return
+        if not _assemble_round(ndrange, states, stats):
+            _raise_divergence(states)
+
+
+def _assemble_round(
+    ndrange: NDRange, states: list[_WorkItemState], stats: LaunchStats | None
+) -> bool:
+    """Complete every collective whose scope has fully assembled.
+
+    Returns True if at least one collective completed (progress was made).
+    """
+    progressed = False
+
+    # Work-group scope: requires every work-item of the group.
+    if all(s.status == _WAITING and s.pending.scope == GROUP for s in states):
+        _check_signatures(states, "work-group")
+        op = states[0].pending
+        lanes = [s.item.local_id for s in states]
+        values = [s.pending.value for s in states]
+        results = evaluate_collective(op.kind, op.params, lanes, values)
+        if stats is not None:
+            stats.record_collective(op.kind, GROUP)
+        for state, result in zip(states, results):
+            _advance(state, result)
+        return True
+
+    # Sub-group scope: each sub-group assembles independently.
+    for sg_id in range(ndrange.sub_groups_per_group):
+        members = [s for s in states if s.item.sub_group_id == sg_id]
+        if not members:
+            continue
+        if all(s.status == _WAITING and s.pending.scope == SUB_GROUP for s in members):
+            _check_signatures(members, f"sub-group {sg_id}")
+            op = members[0].pending
+            lanes = [s.item.lane for s in members]
+            values = [s.pending.value for s in members]
+            results = evaluate_collective(op.kind, op.params, lanes, values)
+            if stats is not None:
+                stats.record_collective(op.kind, SUB_GROUP)
+            for state, result in zip(members, results):
+                _advance(state, result)
+            progressed = True
+
+    return progressed
+
+
+def _check_signatures(states: Iterable[_WorkItemState], scope_name: str) -> None:
+    sigs = {s.pending.signature() for s in states}
+    if len(sigs) > 1:
+        raise BarrierDivergenceError(
+            f"work-items of {scope_name} reached different synchronization "
+            f"operations: {sorted(sigs)}"
+        )
+
+
+def _raise_divergence(states: list[_WorkItemState]) -> None:
+    done = [s.item.local_id for s in states if s.status == _DONE]
+    waiting = {
+        s.item.local_id: s.pending.signature() for s in states if s.status == _WAITING
+    }
+    raise BarrierDivergenceError(
+        "work-group deadlocked: no synchronization scope can assemble. "
+        f"finished work-items: {done}; waiting work-items: {waiting}. "
+        "This is barrier divergence (undefined behaviour on hardware)."
+    )
+
+
+def launch(
+    device: SyclDevice,
+    ndrange: NDRange,
+    kernel: Callable[..., Any],
+    args: tuple = (),
+    local_specs: list[LocalSpec] | None = None,
+    poison_slm: bool = False,
+) -> LaunchStats:
+    """Validate and execute a full ND-range kernel launch on ``device``.
+
+    Raises the same classes of errors a strict SYCL runtime would: invalid
+    sub-group/work-group sizes, SLM over-subscription, and (beyond real
+    runtimes) deterministic barrier-divergence detection.
+    """
+    device.validate_work_group_size(ndrange.local_size)
+    device.validate_sub_group_size(ndrange.sub_group_size)
+    specs = list(local_specs or [])
+    check_local_capacity(specs, device.slm_bytes_per_cu, device.name)
+
+    stats = LaunchStats(
+        num_groups=ndrange.num_groups,
+        local_size=ndrange.local_size,
+        sub_group_size=ndrange.sub_group_size,
+        slm_bytes_per_group=total_local_bytes(specs),
+    )
+    for group_id in range(ndrange.num_groups):
+        local = allocate_local(specs)
+        if poison_slm:
+            poison_local(local)
+        run_work_group(ndrange, group_id, kernel, local, args, stats)
+    return stats

@@ -1,0 +1,249 @@
+"""Work-item view of the execution model: ids, barriers, group functions.
+
+Kernels in the simulator are generator functions receiving an
+:class:`NDItem`. Synchronizing operations — barriers and the SYCL group
+functions (reduce, broadcast, scans, shuffles, any/all) — are *yielded*;
+the executor suspends the work-item until every member of the operation's
+scope has arrived, computes the collective result, and resumes each member
+with its result::
+
+    def kernel(item, slm, x):
+        val = x[item.global_id]
+        total = yield item.reduce_over_group(val, "sum")   # like sycl::reduce_over_group
+        yield item.barrier()                               # group_barrier
+        ...
+
+This mirrors how SYCL kernels are written (Section 3.2 of the paper: dot
+and norm use ``reduce`` over the whole work-group — "a primitive function
+provided by SYCL" — or over a sub-group for small matrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.sycl.ndrange import NDRange
+
+# Scopes for collective operations.
+GROUP = "group"
+SUB_GROUP = "sub_group"
+
+#: Reduction operators available to group functions.
+REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": max,
+    "min": min,
+}
+
+
+@dataclass(frozen=True)
+class SyncOp:
+    """A synchronization request yielded by a work-item.
+
+    ``kind`` is one of ``barrier``, ``reduce``, ``broadcast``,
+    ``inclusive_scan``, ``exclusive_scan``, ``shuffle``, ``any``, ``all``.
+    ``scope`` is :data:`GROUP` or :data:`SUB_GROUP`. ``params`` carries
+    operation parameters that must match across the scope (e.g. the
+    reduction operator); mismatches are barrier divergence.
+    """
+
+    kind: str
+    scope: str
+    value: Any = None
+    params: tuple = ()
+
+    def signature(self) -> tuple:
+        """The part of the op that must be identical across the scope."""
+        return (self.kind, self.scope, self.params)
+
+
+class NDItem:
+    """The per-work-item handle passed to kernels (``sycl::nd_item``)."""
+
+    __slots__ = ("ndrange", "global_id", "group_id", "local_id", "sub_group_id", "lane")
+
+    def __init__(self, ndrange: NDRange, global_id: int) -> None:
+        self.ndrange = ndrange
+        self.global_id = global_id
+        self.group_id = ndrange.group_of(global_id)
+        self.local_id = ndrange.local_of(global_id)
+        self.sub_group_id, self.lane = ndrange.sub_group_of(global_id)
+
+    # -- geometry queries ---------------------------------------------------
+
+    @property
+    def local_range(self) -> int:
+        """Work-group size (``get_local_range`` in SYCL)."""
+        return self.ndrange.local_size
+
+    @property
+    def global_range(self) -> int:
+        """Total number of work-items."""
+        return self.ndrange.global_size
+
+    @property
+    def sub_group_range(self) -> int:
+        """Sub-group size."""
+        return self.ndrange.sub_group_size
+
+    @property
+    def num_sub_groups(self) -> int:
+        """Sub-groups per work-group."""
+        return self.ndrange.sub_groups_per_group
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NDItem(global={self.global_id}, group={self.group_id}, "
+            f"local={self.local_id}, sg={self.sub_group_id}, lane={self.lane})"
+        )
+
+    # -- synchronizing operations (to be yielded) ---------------------------
+
+    def barrier(self) -> SyncOp:
+        """Work-group barrier with local-memory fence (``group_barrier``)."""
+        return SyncOp("barrier", GROUP)
+
+    def sub_group_barrier(self) -> SyncOp:
+        """Barrier over the calling work-item's sub-group."""
+        return SyncOp("barrier", SUB_GROUP)
+
+    def reduce_over_group(self, value: Any, op: str = "sum") -> SyncOp:
+        """Reduce ``value`` across the work-group; every item gets the result."""
+        _check_op(op)
+        return SyncOp("reduce", GROUP, value, (op,))
+
+    def reduce_over_sub_group(self, value: Any, op: str = "sum") -> SyncOp:
+        """Reduce ``value`` across the sub-group; every lane gets the result."""
+        _check_op(op)
+        return SyncOp("reduce", SUB_GROUP, value, (op,))
+
+    def broadcast_over_group(self, value: Any, src_local_id: int = 0) -> SyncOp:
+        """All items receive the ``value`` contributed by ``src_local_id``."""
+        return SyncOp("broadcast", GROUP, value, (int(src_local_id),))
+
+    def broadcast_over_sub_group(self, value: Any, src_lane: int = 0) -> SyncOp:
+        """All lanes receive the ``value`` contributed by lane ``src_lane``."""
+        return SyncOp("broadcast", SUB_GROUP, value, (int(src_lane),))
+
+    def inclusive_scan_over_group(self, value: Any, op: str = "sum") -> SyncOp:
+        """Inclusive prefix scan over the work-group in local-id order."""
+        _check_op(op)
+        return SyncOp("inclusive_scan", GROUP, value, (op,))
+
+    def exclusive_scan_over_group(self, value: Any, op: str = "sum") -> SyncOp:
+        """Exclusive prefix scan over the work-group in local-id order."""
+        _check_op(op)
+        return SyncOp("exclusive_scan", GROUP, value, (op,))
+
+    def shift_sub_group_left(self, value: Any, delta: int = 1) -> SyncOp:
+        """Lane ``i`` receives the value of lane ``i + delta``.
+
+        Out-of-range lanes receive their own value (matching the CUDA
+        ``__shfl_down_sync`` convention, which the butterfly-reduction
+        kernels rely on).
+        """
+        return SyncOp("shuffle", SUB_GROUP, value, ("down", int(delta)))
+
+    def shift_sub_group_right(self, value: Any, delta: int = 1) -> SyncOp:
+        """Lane ``i`` receives the value of lane ``i - delta`` (own if < 0)."""
+        return SyncOp("shuffle", SUB_GROUP, value, ("up", int(delta)))
+
+    def permute_sub_group_xor(self, value: Any, mask: int) -> SyncOp:
+        """Lane ``i`` receives the value of lane ``i ^ mask``."""
+        return SyncOp("shuffle", SUB_GROUP, value, ("xor", int(mask)))
+
+    def any_of_group(self, predicate: bool) -> SyncOp:
+        """True on all items iff the predicate is true on any item."""
+        return SyncOp("any", GROUP, bool(predicate), ())
+
+    def all_of_group(self, predicate: bool) -> SyncOp:
+        """True on all items iff the predicate is true on all items."""
+        return SyncOp("all", GROUP, bool(predicate), ())
+
+
+def _check_op(op: str) -> None:
+    if op not in REDUCE_OPS:
+        raise ValueError(f"unknown reduction op {op!r}; expected one of {sorted(REDUCE_OPS)}")
+
+
+# ---------------------------------------------------------------------------
+# Collective evaluation (used by the executor once a scope has assembled)
+# ---------------------------------------------------------------------------
+
+
+def evaluate_collective(op_kind: str, params: tuple, lanes: list[int], values: list[Any]) -> list[Any]:
+    """Compute per-member results of an assembled collective.
+
+    ``lanes`` are the in-scope positions (local ids for group scope, lane
+    ids for sub-group scope) in the same order as ``values``. Returns the
+    result to deliver to each member, in the same order.
+    """
+    n = len(values)
+    if op_kind == "barrier":
+        return [None] * n
+    if op_kind == "reduce":
+        fn = REDUCE_OPS[params[0]]
+        acc = values[0]
+        for v in values[1:]:
+            acc = fn(acc, v)
+        return [acc] * n
+    if op_kind == "broadcast":
+        src = params[0]
+        try:
+            idx = lanes.index(src)
+        except ValueError:
+            raise ValueError(
+                f"broadcast source lane {src} is not a member of the scope {lanes}"
+            ) from None
+        return [values[idx]] * n
+    if op_kind in ("inclusive_scan", "exclusive_scan"):
+        fn = REDUCE_OPS[params[0]]
+        order = np.argsort(lanes)
+        results: list[Any] = [None] * n
+        acc = None
+        for pos in order:
+            v = values[pos]
+            if op_kind == "exclusive_scan":
+                results[pos] = acc if acc is not None else _identity(params[0], v)
+                acc = v if acc is None else fn(acc, v)
+            else:
+                acc = v if acc is None else fn(acc, v)
+                results[pos] = acc
+        return results
+    if op_kind == "shuffle":
+        direction, delta = params
+        by_lane = dict(zip(lanes, values))
+        results = []
+        for lane, own in zip(lanes, values):
+            if direction == "down":
+                src = lane + delta
+            elif direction == "up":
+                src = lane - delta
+            else:  # xor
+                src = lane ^ delta
+            results.append(by_lane.get(src, own))
+        return results
+    if op_kind == "any":
+        result = any(values)
+        return [result] * n
+    if op_kind == "all":
+        result = all(values)
+        return [result] * n
+    raise ValueError(f"unknown collective kind {op_kind!r}")
+
+
+def _identity(op: str, sample: Any) -> Any:
+    """Identity element for a reduction op, typed like ``sample``."""
+    if op == "sum":
+        return type(sample)(0) if not isinstance(sample, np.generic) else sample.dtype.type(0)
+    if op == "prod":
+        return type(sample)(1) if not isinstance(sample, np.generic) else sample.dtype.type(1)
+    if op == "max":
+        return -np.inf
+    if op == "min":
+        return np.inf
+    raise ValueError(f"unknown reduction op {op!r}")

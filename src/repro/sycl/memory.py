@@ -1,0 +1,98 @@
+"""Shared local memory specifications and per-work-group allocation.
+
+SYCL kernels request shared local memory (SLM) at launch time via local
+accessors. The simulator mirrors this: a launch carries a list of
+:class:`LocalSpec` entries; the executor materializes one fresh set of
+arrays per work-group and checks the total byte size against the device's
+per-compute-unit SLM capacity (Section 3.5 of the paper — SLM is the
+scarce resource the solvers budget explicitly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.exceptions import LocalMemoryError
+
+
+@dataclass(frozen=True)
+class LocalSpec:
+    """Declaration of one shared-local-memory array.
+
+    Parameters
+    ----------
+    name:
+        Attribute name under which the kernel sees the array.
+    shape:
+        Shape of the per-work-group array.
+    dtype:
+        NumPy dtype of the array (default float64 — the paper evaluates
+        FP64 throughout).
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: np.dtype = np.dtype(np.float64)
+
+    def __post_init__(self) -> None:
+        shape = tuple(int(s) for s in self.shape)
+        if any(s < 0 for s in shape):
+            raise LocalMemoryError(f"local array {self.name!r}: negative shape {shape}")
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the array in bytes."""
+        count = 1
+        for s in self.shape:
+            count *= s
+        return count * self.dtype.itemsize
+
+
+def total_local_bytes(specs: list[LocalSpec]) -> int:
+    """Total SLM footprint of a launch's local accessors."""
+    return sum(spec.nbytes for spec in specs)
+
+
+def check_local_capacity(specs: list[LocalSpec], capacity_bytes: int, device_name: str) -> None:
+    """Raise :class:`LocalMemoryError` if the request exceeds the device SLM."""
+    requested = total_local_bytes(specs)
+    if requested > capacity_bytes:
+        detail = ", ".join(f"{s.name}={s.nbytes}B" for s in specs)
+        raise LocalMemoryError(
+            f"work-group requests {requested} bytes of shared local memory "
+            f"({detail}) but device {device_name!r} provides only "
+            f"{capacity_bytes} bytes per compute unit"
+        )
+
+
+def allocate_local(specs: list[LocalSpec]) -> SimpleNamespace:
+    """Materialize one work-group's SLM arrays (zero-initialized).
+
+    Real SLM is uninitialized; the simulator zero-fills so that kernel bugs
+    reading uninitialized SLM are at least deterministic. Tests that want to
+    catch such bugs can poison the arrays instead via ``poison_local``.
+    """
+    ns = SimpleNamespace()
+    for spec in specs:
+        setattr(ns, spec.name, np.zeros(spec.shape, dtype=spec.dtype))
+    return ns
+
+
+def poison_local(local: SimpleNamespace) -> None:
+    """Fill SLM arrays with NaN (floats) / extreme values (ints).
+
+    Mimics uninitialized memory to flush out kernels that read SLM before
+    writing it.
+    """
+    for name, arr in vars(local).items():
+        if np.issubdtype(arr.dtype, np.floating):
+            arr.fill(np.nan)
+        else:
+            arr.fill(np.iinfo(arr.dtype).max)
+        # re-assign is unnecessary; arrays are mutated in place
+        _ = name

@@ -1,0 +1,93 @@
+"""The SYCL kernel index space (Figure 1 of the paper).
+
+An :class:`NDRange` describes a 1-D launch: ``global_size`` work-items,
+partitioned into work-groups of ``local_size`` consecutive items, each
+work-group further partitioned into sub-groups of ``sub_group_size``
+consecutive items. The batched solvers only ever use 1-D ranges (one
+work-group per linear system), so the simulator restricts itself to 1-D.
+
+``EXECUTION_MODEL_MAP`` reproduces Table 2 of the paper (CUDA-to-SYCL
+execution model mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidNDRangeError
+
+#: Table 2 of the paper: execution model mapping from CUDA to SYCL.
+EXECUTION_MODEL_MAP: dict[str, str] = {
+    "thread": "work-item",
+    "warp": "sub-group",
+    "thread block": "work-group",
+    "grid": "ND-range",
+}
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """A 1-dimensional ND-range with an explicit sub-group decomposition.
+
+    Parameters
+    ----------
+    global_size:
+        Total number of work-items; must be a multiple of ``local_size``.
+    local_size:
+        Work-items per work-group; must be a multiple of ``sub_group_size``
+        (the SYCL standard requires divisibility — Section 3.6).
+    sub_group_size:
+        Width of the sub-groups the compiler is asked to form.
+    """
+
+    global_size: int
+    local_size: int
+    sub_group_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.global_size <= 0 or self.local_size <= 0 or self.sub_group_size <= 0:
+            raise InvalidNDRangeError(
+                f"ND-range sizes must be positive: global={self.global_size}, "
+                f"local={self.local_size}, sub_group={self.sub_group_size}"
+            )
+        if self.global_size % self.local_size != 0:
+            raise InvalidNDRangeError(
+                f"global size {self.global_size} is not a multiple of the "
+                f"work-group size {self.local_size}"
+            )
+        if self.local_size % self.sub_group_size != 0:
+            raise InvalidNDRangeError(
+                f"work-group size {self.local_size} is not a multiple of the "
+                f"sub-group size {self.sub_group_size} (required by SYCL)"
+            )
+
+    @property
+    def num_groups(self) -> int:
+        """Number of work-groups in the launch."""
+        return self.global_size // self.local_size
+
+    @property
+    def sub_groups_per_group(self) -> int:
+        """Number of sub-groups in each work-group."""
+        return self.local_size // self.sub_group_size
+
+    def group_of(self, global_id: int) -> int:
+        """Work-group index of a global work-item id."""
+        self._check_global_id(global_id)
+        return global_id // self.local_size
+
+    def local_of(self, global_id: int) -> int:
+        """Local (in-group) index of a global work-item id."""
+        self._check_global_id(global_id)
+        return global_id % self.local_size
+
+    def sub_group_of(self, global_id: int) -> tuple[int, int]:
+        """(sub-group index within the group, lane within the sub-group)."""
+        local = self.local_of(global_id)
+        return local // self.sub_group_size, local % self.sub_group_size
+
+    def _check_global_id(self, global_id: int) -> None:
+        if not 0 <= global_id < self.global_size:
+            raise InvalidNDRangeError(
+                f"global id {global_id} outside [0, {self.global_size})"
+            )

@@ -1,0 +1,96 @@
+"""SYCL queues and profiling events.
+
+A :class:`Queue` binds a device and submits kernel launches. The simulator
+executes synchronously but preserves the SYCL surface: ``parallel_for``
+returns an :class:`Event` carrying profiling information (host wall-clock)
+plus the launch statistics the performance model consumes (work-group
+geometry, SLM footprint, collective counts).
+
+Queues also keep a submission log so tests can assert that the multi-level
+dispatch mechanism produced exactly one fused kernel launch per solve
+(Section 3.4 of the paper: all functionality gathered into a single kernel
+to avoid launch latency).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sycl.device import SyclDevice, cpu_device
+from repro.sycl.executor import LaunchStats, launch
+from repro.sycl.memory import LocalSpec
+from repro.sycl.ndrange import NDRange
+
+
+@dataclass(frozen=True)
+class Event:
+    """Completion record of one submitted kernel (``sycl::event``)."""
+
+    name: str
+    submit_time: float
+    start_time: float
+    end_time: float
+    stats: LaunchStats
+
+    @property
+    def duration_seconds(self) -> float:
+        """Host wall-clock execution time of the (simulated) kernel."""
+        return self.end_time - self.start_time
+
+    def wait(self) -> None:
+        """No-op: the simulator executes synchronously."""
+
+
+class Queue:
+    """An in-order queue with profiling enabled.
+
+    Parameters
+    ----------
+    device:
+        Target device; defaults to the host CPU device.
+    """
+
+    def __init__(self, device: SyclDevice | None = None) -> None:
+        self.device = device if device is not None else cpu_device()
+        self.events: list[Event] = []
+
+    def parallel_for(
+        self,
+        ndrange: NDRange,
+        kernel: Callable[..., Any],
+        args: tuple = (),
+        local_specs: list[LocalSpec] | None = None,
+        name: str | None = None,
+        poison_slm: bool = False,
+    ) -> Event:
+        """Launch ``kernel`` over ``ndrange`` and wait for completion."""
+        submit = time.perf_counter()
+        start = submit
+        stats = launch(
+            self.device,
+            ndrange,
+            kernel,
+            args=args,
+            local_specs=local_specs,
+            poison_slm=poison_slm,
+        )
+        end = time.perf_counter()
+        event = Event(
+            name=name or getattr(kernel, "__name__", "kernel"),
+            submit_time=submit,
+            start_time=start,
+            end_time=end,
+            stats=stats,
+        )
+        self.events.append(event)
+        return event
+
+    def wait(self) -> None:
+        """Block until all submitted work completes (no-op: synchronous)."""
+
+    @property
+    def num_launches(self) -> int:
+        """Number of kernels submitted to this queue so far."""
+        return len(self.events)

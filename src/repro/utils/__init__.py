@@ -1,0 +1,19 @@
+"""Shared utilities: validation helpers, unit formatting, and counters."""
+
+from repro.utils.validation import (
+    check_positive,
+    check_power_of_two,
+    ensure_2d_batch,
+    round_up,
+)
+from repro.utils.units import format_bytes, format_flops, format_time
+
+__all__ = [
+    "check_positive",
+    "check_power_of_two",
+    "ensure_2d_batch",
+    "round_up",
+    "format_bytes",
+    "format_flops",
+    "format_time",
+]

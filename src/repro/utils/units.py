@@ -1,0 +1,43 @@
+"""Human-readable formatting of bytes, FLOP rates and times.
+
+The benchmark harness prints paper-style tables; these formatters keep the
+output consistent (engineering prefixes, fixed significant digits).
+"""
+
+from __future__ import annotations
+
+_BYTE_PREFIXES = ["B", "KB", "MB", "GB", "TB", "PB"]
+_FLOP_PREFIXES = ["FLOP/s", "KFLOP/s", "MFLOP/s", "GFLOP/s", "TFLOP/s", "PFLOP/s"]
+_TIME_UNITS = [(1e-9, "ns"), (1e-6, "us"), (1e-3, "ms"), (1.0, "s")]
+
+
+def _scale(value: float, base: float, prefixes: list[str]) -> str:
+    value = float(value)
+    if value < 0:
+        raise ValueError(f"expected non-negative value, got {value}")
+    idx = 0
+    while value >= base and idx < len(prefixes) - 1:
+        value /= base
+        idx += 1
+    return f"{value:.3g} {prefixes[idx]}"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count with a binary-free 1000-based prefix (paper style)."""
+    return _scale(num_bytes, 1000.0, _BYTE_PREFIXES)
+
+
+def format_flops(flops_per_second: float) -> str:
+    """Format a FLOP rate (e.g. ``'22.9 TFLOP/s'``)."""
+    return _scale(flops_per_second, 1000.0, _FLOP_PREFIXES)
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration using the largest unit that keeps the value >= 1."""
+    seconds = float(seconds)
+    if seconds < 0:
+        raise ValueError(f"expected non-negative time, got {seconds}")
+    for scale, unit in reversed(_TIME_UNITS):
+        if seconds >= scale:
+            return f"{seconds / scale:.3g} {unit}"
+    return f"{seconds / 1e-9:.3g} ns"  # sub-nanosecond (and zero)

@@ -1,0 +1,73 @@
+"""Small validation helpers used across the library.
+
+These helpers centralize argument checking so error messages are uniform
+and so hot code paths can call a single tested function instead of
+re-implementing ad-hoc checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the next multiple of ``multiple``.
+
+    Used by the launch-configuration logic of Section 3.6 of the paper:
+    the work-group size is the number of rows rounded up to the sub-group
+    size.
+    """
+    check_positive("multiple", multiple)
+    if value <= 0:
+        return multiple
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def ensure_2d_batch(
+    name: str,
+    array: np.ndarray,
+    num_batch: int,
+    length: int,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
+    """Validate and normalize a batched vector argument.
+
+    Accepts ``(num_batch, length)`` arrays, or ``(length,)`` arrays which are
+    broadcast across the batch. Returns a C-contiguous array of shape
+    ``(num_batch, length)`` in the requested floating dtype (the dispatch
+    mechanism's precision-format level — Section 3.4 of the paper).
+    """
+    arr = np.asarray(array)
+    if arr.ndim == 1:
+        if arr.shape[0] != length:
+            raise DimensionMismatchError(
+                f"{name}: expected length {length}, got {arr.shape[0]}"
+            )
+        arr = np.broadcast_to(arr, (num_batch, length))
+    elif arr.ndim == 2:
+        if arr.shape != (num_batch, length):
+            raise DimensionMismatchError(
+                f"{name}: expected shape ({num_batch}, {length}), got {arr.shape}"
+            )
+    else:
+        raise DimensionMismatchError(
+            f"{name}: expected 1- or 2-dimensional array, got ndim={arr.ndim}"
+        )
+    dtype = np.dtype(dtype)
+    if dtype.kind != "f":
+        raise ValueError(f"{name}: dtype must be a floating type, got {dtype}")
+    return np.ascontiguousarray(arr, dtype=dtype)

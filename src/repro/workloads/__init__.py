@@ -1,0 +1,45 @@
+"""Workload generators for the paper's two input classes (Table 4).
+
+* :mod:`repro.workloads.stencil` — the synthetic 3-point-stencil SPD
+  batches used for the scaling studies (Figs. 4-5).
+* :mod:`repro.workloads.pele` — surrogates for the PeleLM + SUNDIALS
+  chemistry Jacobians (drm19, gri12, gri30, dodecane_lu, isooctane) with
+  the exact sizes/non-zero counts of Table 4 (Figs. 6-8).
+* :mod:`repro.workloads.general` — random batched test matrices
+  (diagonally dominant, SPD, triangular) for the test suite.
+* :mod:`repro.workloads.sundials` — a mini BDF integrator with modified
+  Newton solves, the outer-loop use case motivating batched iterative
+  solvers (Section 2).
+"""
+
+from repro.workloads.stencil import three_point_stencil, stencil_rhs
+from repro.workloads.pele import (
+    MECHANISMS,
+    PeleMechanism,
+    pele_batch,
+    pele_rhs,
+    table4_rows,
+)
+from repro.workloads.general import (
+    random_diag_dominant_batch,
+    random_spd_batch,
+    random_triangular_batch,
+)
+from repro.workloads.sundials import BdfIntegrator, BdfResult, BatchedOde, robertson_batch
+
+__all__ = [
+    "three_point_stencil",
+    "stencil_rhs",
+    "MECHANISMS",
+    "PeleMechanism",
+    "pele_batch",
+    "pele_rhs",
+    "table4_rows",
+    "random_diag_dominant_batch",
+    "random_spd_batch",
+    "random_triangular_batch",
+    "BdfIntegrator",
+    "BdfResult",
+    "BatchedOde",
+    "robertson_batch",
+]

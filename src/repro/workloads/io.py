@@ -1,0 +1,82 @@
+"""Batch I/O: MatrixMarket directories, as the paper's file-based bench.
+
+The reproducibility appendix of the paper drives one benchmark from
+matrices stored on disk (``examples/batched-solver-from-files`` in
+Ginkgo): a directory holds one MatrixMarket file per unique batch item,
+all sharing a sparsity pattern. This module writes and reads that layout:
+
+* :func:`save_batch_dir` — one ``item_<k>.mtx`` per batch item (plus the
+  optional right-hand sides as ``rhs.npy``);
+* :func:`load_batch_dir` — reads every ``.mtx``, verifies the shared
+  pattern, and assembles a :class:`~repro.core.matrix.BatchCsr`.
+
+MatrixMarket parsing/writing is scipy's (``scipy.io.mmread/mmwrite``);
+the pattern consistency checking is ours.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.io
+import scipy.sparse as sp
+
+from repro.core.matrix import BatchCsr
+from repro.exceptions import BadSparsityPatternError
+
+
+def save_batch_dir(
+    directory: str | Path,
+    matrix: BatchCsr,
+    rhs: np.ndarray | None = None,
+    stem: str = "item",
+) -> list[Path]:
+    """Write one MatrixMarket file per batch item into ``directory``.
+
+    Returns the written paths. ``rhs`` (``(num_batch, n)``) is stored as
+    ``rhs.npy`` alongside.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    width = len(str(matrix.num_batch - 1))
+    paths = []
+    for k in range(matrix.num_batch):
+        path = directory / f"{stem}_{k:0{width}d}.mtx"
+        scipy.io.mmwrite(path, matrix.item_scipy(k))
+        paths.append(path)
+    if rhs is not None:
+        rhs = matrix.check_vector("rhs", rhs)
+        np.save(directory / "rhs.npy", rhs)
+    return paths
+
+
+def load_batch_dir(
+    directory: str | Path, stem: str = "item"
+) -> tuple[BatchCsr, np.ndarray | None]:
+    """Read a directory of same-pattern MatrixMarket files into a batch.
+
+    Files are taken in sorted name order. Raises
+    :class:`BadSparsityPatternError` when an item's pattern deviates
+    (after normalizing explicit zeros), mirroring the constructor checks.
+    Returns ``(matrix, rhs)`` with ``rhs`` None when no ``rhs.npy`` exists.
+    """
+    directory = Path(directory)
+    paths = sorted(directory.glob(f"{stem}_*.mtx"))
+    if not paths:
+        raise FileNotFoundError(
+            f"no '{stem}_*.mtx' files found in {directory}"
+        )
+    items: list[sp.csr_matrix] = []
+    for path in paths:
+        loaded = scipy.io.mmread(path)
+        items.append(sp.csr_matrix(loaded))
+    try:
+        matrix = BatchCsr.from_scipy_batch(items)
+    except BadSparsityPatternError as exc:
+        raise BadSparsityPatternError(
+            f"matrices in {directory} do not share one sparsity pattern: {exc}"
+        ) from exc
+    rhs_path = directory / "rhs.npy"
+    rhs = np.load(rhs_path) if rhs_path.exists() else None
+    return matrix, rhs

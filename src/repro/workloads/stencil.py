@@ -1,0 +1,107 @@
+"""The synthetic 3-point-stencil input (Table 4, first row).
+
+"Using a standard 3-point stencil problem, we can generate a batch of
+symmetric, positive definite (SPD) matrices that allows us to do scaling
+experiments in both the matrix size and the batch size" (Section 4.2).
+
+The stencil is the classic [-1, 2, -1] second-difference operator;
+``nnz = 3 * num_rows`` counting the truncated first/last rows' missing
+neighbours as explicit (padded) zeros, exactly the nnz/matrix formula the
+paper's Table 4 lists. Per-item diagonal shifts keep the batch entries
+distinct (same pattern, different values) while preserving SPD-ness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matrix import BatchCsr, BatchEll
+from repro.core.matrix.batch_ell import PADDING
+
+
+def three_point_stencil(
+    num_rows: int,
+    num_batch: int,
+    fmt: str = "csr",
+    jitter: float = 0.05,
+    seed: int = 0,
+):
+    """Batch of SPD 3-point-stencil matrices.
+
+    Parameters
+    ----------
+    num_rows:
+        System size (the paper sweeps this for Fig. 4a).
+    num_batch:
+        Batch size (swept for Fig. 4b).
+    fmt:
+        ``"csr"`` or ``"ell"`` (ELL is the natural fit: every row has
+        three stored entries after padding).
+    jitter:
+        Magnitude of the per-item random diagonal shift; 0 replicates one
+        matrix across the batch.
+    seed:
+        RNG seed for the jitter.
+    """
+    if num_rows < 3:
+        # 3 rows minimum so the explicit-zero padding columns of the CSR
+        # boundary rows stay in range
+        raise ValueError(f"the 3-point stencil needs at least 3 rows, got {num_rows}")
+    if num_batch <= 0:
+        raise ValueError(f"num_batch must be positive, got {num_batch}")
+    if jitter < 0:
+        raise ValueError(f"jitter must be non-negative, got {jitter}")
+    if fmt not in ("csr", "ell"):
+        raise ValueError(f"fmt must be 'csr' or 'ell', got {fmt!r}")
+
+    rng = np.random.default_rng(seed)
+    shifts = jitter * rng.random(num_batch) if jitter > 0 else np.zeros(num_batch)
+    diag_vals = 2.0 + shifts  # SPD: strictly diagonally dominant-or-equal
+
+    # ELL layout: slot 0 = left neighbour, slot 1 = diagonal, slot 2 = right.
+    n = num_rows
+    rows = np.arange(n)
+    col_idxs = np.full((3, n), PADDING, dtype=np.int32)
+    col_idxs[0, 1:] = rows[1:] - 1
+    col_idxs[1, :] = rows
+    col_idxs[2, :-1] = rows[:-1] + 1
+
+    values = np.zeros((num_batch, 3, n))
+    values[:, 0, 1:] = -1.0
+    values[:, 1, :] = diag_vals[:, None]
+    values[:, 2, :-1] = -1.0
+
+    ell = BatchEll(col_idxs, values, num_cols=n)
+    if fmt == "ell":
+        return ell
+    # CSR keeps exactly 3 entries per row as well so that nnz = 3 * num_rows
+    # matches Table 4: boundary rows carry their missing neighbour as an
+    # explicit zero parked two columns inward (a distinct, in-range column).
+    row_ptrs = np.zeros(n + 1, dtype=np.int32)
+    cols = []
+    vals = np.zeros((num_batch, 3 * n))
+    pos = 0
+    for row in range(n):
+        trio = [row - 1, row, row + 1]
+        for offset, col in enumerate(trio):
+            if col < 0:
+                col = row + 2  # explicit zero beyond the right neighbour
+            elif col >= n:
+                col = row - 2  # explicit zero beyond the left neighbour
+            cols.append(col)
+            if offset == 0 and row > 0:
+                vals[:, pos] = -1.0
+            elif offset == 2 and row < n - 1:
+                vals[:, pos] = -1.0
+            elif offset == 1:
+                vals[:, pos] = diag_vals
+            pos += 1
+        row_ptrs[row + 1] = pos
+    return BatchCsr(row_ptrs, np.asarray(cols, dtype=np.int32), vals, num_cols=n)
+
+
+def stencil_rhs(num_rows: int, num_batch: int, seed: int = 1) -> np.ndarray:
+    """Smooth right-hand sides (a sampled sine plus per-item noise)."""
+    rng = np.random.default_rng(seed)
+    base = np.sin(np.linspace(0.0, np.pi, num_rows))
+    return base[None, :] + 0.1 * rng.standard_normal((num_batch, num_rows))

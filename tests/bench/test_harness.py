@@ -1,0 +1,122 @@
+"""The experiment harness: table/figure generators and the report renderer."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import (
+    fig4a_matrix_scaling,
+    fig4b_batch_scaling,
+    fig5_implicit_scaling,
+    fig6_pele_runtimes,
+    fig7_speedup_summary,
+    fig8_roofline,
+)
+from repro.bench.report import format_table
+from repro.bench.tables import (
+    PAPER_TABLE3,
+    table1_terminology,
+    table2_execution_model,
+    table3_features,
+    table4_datasets,
+    table5_gpu_specs,
+)
+
+
+class TestReport:
+    def test_format_table_aligns_columns(self):
+        rows = [{"a": 1, "bb": "x"}, {"a": 22, "bb": None}]
+        text = format_table(rows, "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a " in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}  # separator row
+        assert lines[4].split()[-1] == "-"  # None rendered as dash
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], "T")
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.123456789}])
+        assert "0.1235" in text
+
+
+class TestTables:
+    def test_table1(self):
+        rows = table1_terminology()
+        assert {"cuda_capable_gpus": "CUDA Core", "ponte_vecchio_gpus": "XVE"} in rows
+
+    def test_table2(self):
+        rows = table2_execution_model()
+        assert {"cuda": "warp", "sycl": "sub-group"} in rows
+
+    def test_table3_marks_extensions(self):
+        rows = table3_features()
+        entries = {str(v) for row in rows for v in row.values() if v is not None}
+        for name in ("cg", "bicgstab", "gmres", "trsv"):
+            assert name in entries  # paper solvers, unmarked
+        for name in ("jacobi", "ilu", "isai"):
+            assert name in entries  # paper preconditioners, unmarked
+        for marked in ("richardson (+)", "bicg (+)", "cgs (+)", "ic0 (+)"):
+            assert marked in entries  # extensions carry the marker
+        assert "cg (+)" not in entries
+
+    def test_table3_paper_reference_is_table3(self):
+        assert PAPER_TABLE3["stopping_criteria"] == ["absolute", "relative"]
+
+    def test_table4_matches_paper(self):
+        rows = {r["input"]: r for r in table4_datasets()}
+        assert rows["gri30"]["nnz_per_matrix"] == 2560
+        assert rows["isooctane"]["matrix_size"] == "144 x 144"
+
+    def test_table5_has_four_platforms(self):
+        assert len(table5_gpu_specs()) == 4
+
+
+FAST = dict(nb_solve=4, tolerance=1e-6)
+
+
+class TestFigures:
+    """Scaled-down smoke runs; the full-size runs live in benchmarks/."""
+
+    def test_fig4a_rows_and_monotonicity(self):
+        rows = fig4a_matrix_scaling(sizes=(16, 32, 64), solvers=("cg",), **FAST)
+        runtimes = [r["runtime_ms"] for r in rows]
+        assert len(rows) == 3
+        assert runtimes == sorted(runtimes)
+
+    def test_fig4b_linear_in_batch(self):
+        rows = fig4b_batch_scaling(
+            batches=(2**13, 2**14, 2**15), num_rows=32, solvers=("cg",), **FAST
+        )
+        runtimes = [r["runtime_ms"] for r in rows]
+        assert runtimes[1] / runtimes[0] == pytest.approx(2.0, rel=0.1)
+
+    def test_fig5_speedup_band(self):
+        rows = fig5_implicit_scaling(sizes=(32, 64), solvers=("cg",), **FAST)
+        for row in rows:
+            assert 1.3 < row["speedup"] < 2.0
+
+    def test_fig6_has_all_platform_columns(self):
+        rows = fig6_pele_runtimes(
+            mechanisms=("drm19",), batches=(2**13,), tolerance=1e-6
+        )
+        assert set(rows[0]) == {
+            "mechanism",
+            "num_batch",
+            "a100_ms",
+            "h100_ms",
+            "pvc1_ms",
+            "pvc2_ms",
+        }
+
+    def test_fig7_average_row_present(self):
+        rows = fig7_speedup_summary(num_batch=2**15, tolerance=1e-6)
+        assert rows[-1]["mechanism"] == "average"
+        assert rows[-1]["a100_speedup"] == pytest.approx(1.0)
+        assert rows[-1]["pvc2_speedup"] > rows[-1]["pvc1_speedup"] > 1.0
+
+    def test_fig8_report_structure(self):
+        report = fig8_roofline(num_batch=2**14, tolerance=1e-6)
+        assert report.spec_key == "pvc1"
+        assert report.total_split.slm_bytes > 0
+        assert len(report.lines()) > 5

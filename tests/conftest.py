@@ -1,0 +1,60 @@
+"""Shared fixtures: small, well-conditioned batched systems and devices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import BatchCsr
+from repro.sycl.device import cpu_device, pvc_stack_device
+from repro.workloads.general import random_diag_dominant_batch, random_spd_batch
+from repro.workloads.stencil import stencil_rhs, three_point_stencil
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def spd_batch() -> BatchCsr:
+    """8 SPD systems of size 12 sharing one pattern."""
+    return random_spd_batch(num_batch=8, num_rows=12, density=0.3, seed=7)
+
+
+@pytest.fixture
+def dd_batch() -> BatchCsr:
+    """8 diagonally dominant nonsymmetric systems of size 12."""
+    return random_diag_dominant_batch(num_batch=8, num_rows=12, density=0.3, seed=11)
+
+
+@pytest.fixture
+def stencil16() -> BatchCsr:
+    """4 SPD 3-point-stencil systems of size 16."""
+    return three_point_stencil(16, 4)
+
+
+@pytest.fixture
+def stencil16_rhs() -> np.ndarray:
+    return stencil_rhs(16, 4)
+
+
+@pytest.fixture
+def host_device():
+    return cpu_device()
+
+
+@pytest.fixture
+def pvc1_device():
+    return pvc_stack_device(1)
+
+
+def reference_solutions(matrix: BatchCsr, b: np.ndarray) -> np.ndarray:
+    """Dense LAPACK reference x for every batch item."""
+    return np.linalg.solve(matrix.to_batch_dense(), b[..., None])[..., 0]
+
+
+def relative_residuals(matrix, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-system ||b - A x|| / ||b||."""
+    r = b - matrix.apply(x)
+    return np.linalg.norm(r, axis=1) / np.linalg.norm(b, axis=1)

@@ -1,0 +1,212 @@
+"""BatchCsr: construction, validation, SpMV, diagonal, storage formula."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.core.counters import TrafficLedger
+from repro.core.matrix import BatchCsr
+from repro.exceptions import BadSparsityPatternError, DimensionMismatchError
+
+
+def _small_batch():
+    # 2x: [[2, -1, 0], [0, 3, 1], [-1, 0, 4]] with per-item scaling
+    row_ptrs = np.array([0, 2, 4, 6], dtype=np.int32)
+    col_idxs = np.array([0, 1, 1, 2, 0, 2], dtype=np.int32)
+    values = np.array(
+        [[2.0, -1.0, 3.0, 1.0, -1.0, 4.0], [4.0, -2.0, 6.0, 2.0, -2.0, 8.0]]
+    )
+    return BatchCsr(row_ptrs, col_idxs, values)
+
+
+class TestConstruction:
+    def test_shape_and_nnz(self):
+        m = _small_batch()
+        assert m.shape == (2, 3, 3)
+        assert m.nnz_per_item == 6
+        assert m.format_name == "csr"
+
+    def test_columns_are_normalized_sorted(self):
+        # give row 0 columns out of order; values must follow the permutation
+        m = BatchCsr(
+            np.array([0, 2]), np.array([1, 0]), np.array([[10.0, 20.0]]), num_cols=2
+        )
+        assert list(m.col_idxs) == [0, 1]
+        assert list(m.values[0]) == [20.0, 10.0]
+
+    def test_bad_row_ptrs_rejected(self):
+        with pytest.raises(BadSparsityPatternError):
+            BatchCsr(np.array([1, 2]), np.array([0]), np.ones((1, 1)))
+
+    def test_decreasing_row_ptrs_rejected(self):
+        with pytest.raises(BadSparsityPatternError):
+            BatchCsr(np.array([0, 2, 1, 3]), np.arange(3), np.ones((1, 3)), num_cols=3)
+
+    def test_out_of_range_column_rejected(self):
+        with pytest.raises(BadSparsityPatternError):
+            BatchCsr(np.array([0, 1]), np.array([5]), np.ones((1, 1)), num_cols=3)
+
+    def test_duplicate_column_in_row_rejected(self):
+        with pytest.raises(BadSparsityPatternError):
+            BatchCsr(np.array([0, 2]), np.array([1, 1]), np.ones((1, 2)), num_cols=3)
+
+    def test_values_must_be_2d(self):
+        with pytest.raises(DimensionMismatchError):
+            BatchCsr(np.array([0, 1]), np.array([0]), np.ones(1))
+
+
+class TestFromDense:
+    def test_union_pattern_shared(self):
+        batch = np.zeros((2, 2, 2))
+        batch[0, 0, 0] = 1.0
+        batch[1, 1, 1] = 2.0
+        m = BatchCsr.from_dense(batch)
+        # union pattern has both entries; missing ones stored as explicit 0
+        assert m.nnz_per_item == 2
+        assert np.allclose(m.to_batch_dense(), batch)
+
+    def test_first_pattern_drops_other_entries(self):
+        batch = np.zeros((2, 2, 2))
+        batch[0, 0, 0] = 1.0
+        batch[1, 1, 1] = 2.0
+        m = BatchCsr.from_dense(batch, keep_pattern_of="first")
+        assert m.nnz_per_item == 1
+        assert m.to_batch_dense()[1, 1, 1] == 0.0
+
+    def test_all_zero_batch_keeps_diagonal(self):
+        m = BatchCsr.from_dense(np.zeros((1, 3, 3)))
+        assert m.nnz_per_item == 3
+        assert np.all(m.diagonal() == 0.0)
+
+
+class TestFromScipy:
+    def test_round_trip(self):
+        a = sp.random(6, 6, density=0.4, random_state=0, format="csr")
+        a.setdiag(5.0)
+        b = a.copy()
+        b.data = b.data * 2.0
+        m = BatchCsr.from_scipy_batch([a, b])
+        assert m.num_batch == 2
+        assert np.allclose(m.item_scipy(0).toarray(), a.toarray())
+        assert np.allclose(m.item_scipy(1).toarray(), b.toarray())
+
+    def test_mismatched_patterns_rejected(self):
+        a = sp.eye(4, format="csr")
+        b = sp.csr_matrix(np.triu(np.ones((4, 4))))
+        with pytest.raises(BadSparsityPatternError, match="share"):
+            BatchCsr.from_scipy_batch([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            BatchCsr.from_scipy_batch([])
+
+
+class TestSpMV:
+    def test_matches_dense_reference(self):
+        m = _small_batch()
+        x = np.array([[1.0, 2.0, 3.0], [1.0, 1.0, 1.0]])
+        expected = np.einsum("bij,bj->bi", m.to_batch_dense(), x)
+        assert np.allclose(m.apply(x), expected)
+
+    def test_broadcast_1d_input(self):
+        m = _small_batch()
+        x = np.array([1.0, 2.0, 3.0])
+        y = m.apply(x)
+        expected = np.einsum("bij,j->bi", m.to_batch_dense(), x)
+        assert np.allclose(y, expected)
+
+    def test_out_parameter(self):
+        m = _small_batch()
+        x = np.ones((2, 3))
+        out = np.empty((2, 3))
+        y = m.apply(x, out=out)
+        assert y is out
+
+    def test_empty_rows_handled(self):
+        # row 1 has no entries
+        m = BatchCsr(
+            np.array([0, 1, 1, 2]),
+            np.array([0, 2]),
+            np.array([[3.0, 5.0]]),
+            num_cols=3,
+        )
+        y = m.apply(np.array([[1.0, 1.0, 1.0]]))
+        assert list(y[0]) == [3.0, 0.0, 5.0]
+
+    def test_ledger_tally(self):
+        m = _small_batch()
+        ledger = TrafficLedger()
+        m.apply(np.ones((2, 3)), ledger=ledger, x_name="p", y_name="t")
+        assert ledger.flops == 2 * 2 * 6
+        assert ledger.calls["spmv"] == 2
+        assert "A_values" in ledger.bytes_by_object
+        assert "A_pattern" in ledger.bytes_by_object
+        assert ledger.bytes_by_object["p"] == 8.0 * 2 * 6
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            _small_batch().apply(np.ones((2, 4)))
+
+
+class TestDiagonalAndScaling:
+    def test_diagonal_extraction(self):
+        m = _small_batch()
+        assert np.allclose(m.diagonal(), [[2.0, 3.0, 4.0], [4.0, 6.0, 8.0]])
+
+    def test_diagonal_missing_entry_is_zero(self):
+        m = BatchCsr(np.array([0, 1, 2]), np.array([1, 0]), np.ones((1, 2)), num_cols=2)
+        assert np.all(m.diagonal() == 0.0)
+
+    def test_scaled_copy(self):
+        m = _small_batch()
+        scaled = m.scaled_copy(np.array([2.0, 0.5]))
+        assert np.allclose(scaled.values[0], 2.0 * m.values[0])
+        assert np.allclose(scaled.values[1], 0.5 * m.values[1])
+
+    def test_scaled_copy_shape_checked(self):
+        with pytest.raises(DimensionMismatchError):
+            _small_batch().scaled_copy(np.ones(3))
+
+
+class TestStorageFormula:
+    def test_matches_fig2(self):
+        m = _small_batch()
+        # [nb x nnz] fp64 + [(rows+1) + nnz] int32
+        expected = 8 * 2 * 6 + 4 * (3 + 1) + 4 * 6
+        assert m.storage_bytes == expected
+
+    def test_pattern_amortized_across_batch(self):
+        one = _small_batch()
+        row_ptrs, cols = one.row_ptrs, one.col_idxs
+        big = BatchCsr(row_ptrs, cols, np.ones((100, 6)))
+        assert big.storage_bytes - 100 * 8 * 6 == one.storage_bytes - 2 * 8 * 6
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nb=st.integers(1, 4),
+    n=st.integers(1, 10),
+    density=st.floats(0.1, 0.9),
+    seed=st.integers(0, 1000),
+)
+def test_dense_round_trip_property(nb, n, density, seed):
+    rng = np.random.default_rng(seed)
+    batch = rng.standard_normal((nb, n, n)) * (rng.random((n, n)) < density)
+    m = BatchCsr.from_dense(batch)
+    assert np.allclose(m.to_batch_dense(), batch)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nb=st.integers(1, 4),
+    n=st.integers(2, 10),
+    density=st.floats(0.2, 0.9),
+    seed=st.integers(0, 1000),
+)
+def test_spmv_matches_dense_property(nb, n, density, seed):
+    rng = np.random.default_rng(seed)
+    batch = rng.standard_normal((nb, n, n)) * (rng.random((n, n)) < density)
+    m = BatchCsr.from_dense(batch)
+    x = rng.standard_normal((nb, n))
+    assert np.allclose(m.apply(x), np.einsum("bij,bj->bi", batch, x))

@@ -1,0 +1,145 @@
+"""BatchBicg (two-sided, uses A^T) and BatchIc0 (incomplete Cholesky)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.core import (
+    BatchBicg,
+    BatchCg,
+    BatchIc0,
+    BatchJacobi,
+    SolverSettings,
+)
+from repro.core.dispatch import BatchSolverFactory
+from repro.core.matrix import BatchCsr, BatchDense
+from repro.core.stop import RelativeResidual
+from repro.exceptions import (
+    BadSparsityPatternError,
+    SingularMatrixError,
+    UnsupportedCombinationError,
+)
+from repro.workloads.general import random_diag_dominant_batch, random_spd_batch
+from tests.conftest import relative_residuals
+
+
+def _settings(tol=1e-10, iters=400):
+    return SolverSettings(max_iterations=iters, criterion=RelativeResidual(tol))
+
+
+class TestTranspose:
+    def test_matches_dense_transpose(self, dd_batch):
+        t = dd_batch.transpose()
+        assert np.allclose(
+            t.to_batch_dense(), dd_batch.to_batch_dense().transpose(0, 2, 1)
+        )
+
+    def test_double_transpose_round_trip(self, dd_batch):
+        tt = dd_batch.transpose().transpose()
+        assert np.allclose(tt.to_batch_dense(), dd_batch.to_batch_dense())
+
+    def test_rectangular_transpose(self):
+        m = BatchCsr(
+            np.array([0, 2, 3]),
+            np.array([0, 3, 1]),
+            np.array([[1.0, 2.0, 3.0]]),
+            num_cols=4,
+        )
+        t = m.transpose()
+        assert t.shape == (1, 4, 2)
+        assert np.allclose(t.to_batch_dense()[0], m.to_batch_dense()[0].T)
+
+    def test_preserves_dtype(self, dd_batch):
+        assert dd_batch.astype(np.float32).transpose().dtype == np.float32
+
+
+class TestBatchBicg:
+    def test_solves_nonsymmetric_batch(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchBicg(dd_batch, settings=_settings()).solve(b)
+        assert result.all_converged
+        assert np.max(relative_residuals(dd_batch, result.x, b)) < 1e-9
+
+    def test_with_jacobi(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchBicg(dd_batch, BatchJacobi(dd_batch), settings=_settings()).solve(b)
+        assert result.all_converged
+
+    def test_reduces_to_cg_on_spd(self, rng):
+        # on SPD systems BiCG's two recurrences coincide with CG
+        spd = random_spd_batch(3, 10, seed=4)
+        b = rng.standard_normal((3, 10))
+        bicg = BatchBicg(spd, settings=_settings()).solve(b)
+        cg = BatchCg(spd, settings=_settings()).solve(b)
+        assert np.array_equal(bicg.iterations, cg.iterations)
+        assert np.allclose(bicg.x, cg.x, atol=1e-8)
+
+    def test_requires_csr(self, dd_batch):
+        with pytest.raises(UnsupportedCombinationError, match="BatchCsr"):
+            BatchBicg(BatchDense(dd_batch.to_batch_dense()))
+
+    def test_registered_in_dispatch(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchSolverFactory(solver="bicg", tolerance=1e-9).solve(dd_batch, b)
+        assert result.all_converged
+
+    @hsettings(max_examples=8, deadline=None)
+    @given(nb=st.integers(1, 3), n=st.integers(2, 9), seed=st.integers(0, 200))
+    def test_property_dd_convergence(self, nb, n, seed):
+        m = random_diag_dominant_batch(nb, n, density=0.5, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        b = rng.standard_normal((nb, n))
+        result = BatchBicg(m, settings=_settings(1e-9, 40 * n + 40)).solve(b)
+        assert np.max(relative_residuals(m, result.x, b)) < 1e-6
+
+
+class TestBatchIc0:
+    def test_factor_reproduces_pattern_entries(self, rng):
+        spd = random_spd_batch(4, 10, seed=7)
+        lower = BatchIc0(spd).factor_dense()
+        product = np.einsum("bij,bkj->bik", lower, lower)
+        dense = spd.to_batch_dense()
+        mask = dense != 0.0
+        assert np.allclose(product[mask], dense[mask], atol=1e-9)
+
+    def test_lower_triangular_positive_diagonal(self):
+        spd = random_spd_batch(3, 8, seed=8)
+        lower = BatchIc0(spd).factor_dense()
+        assert np.allclose(np.triu(lower, k=1), 0.0)
+        n = spd.num_rows
+        assert np.all(lower[:, np.arange(n), np.arange(n)] > 0)
+
+    def test_apply_solves_llt(self, rng):
+        spd = random_spd_batch(3, 8, seed=9)
+        ic = BatchIc0(spd)
+        lower = ic.factor_dense()
+        r = rng.standard_normal((3, 8))
+        expected = np.linalg.solve(
+            np.einsum("bij,bkj->bik", lower, lower), r[..., None]
+        )[..., 0]
+        assert np.allclose(ic.apply(r), expected, atol=1e-9)
+
+    def test_accelerates_cg(self, rng):
+        spd = random_spd_batch(4, 16, density=0.3, seed=10)
+        b = rng.standard_normal((4, 16))
+        plain = BatchCg(spd, settings=_settings()).solve(b)
+        pre = BatchCg(spd, BatchIc0(spd), settings=_settings()).solve(b)
+        assert pre.all_converged
+        assert pre.iterations.mean() < plain.iterations.mean()
+
+    def test_non_spd_values_rejected(self):
+        m = BatchCsr.from_dense(-np.eye(4)[None])
+        with pytest.raises(SingularMatrixError, match="SPD"):
+            BatchIc0(m)
+
+    def test_asymmetric_pattern_rejected(self):
+        dense = np.eye(4)[None].copy()
+        dense[0, 0, 3] = 1.0  # (0,3) present, (3,0) absent
+        with pytest.raises(BadSparsityPatternError, match="symmetric"):
+            BatchIc0(BatchCsr.from_dense(dense))
+
+    def test_registered_in_dispatch(self, rng):
+        spd = random_spd_batch(3, 8, seed=11)
+        b = rng.standard_normal((3, 8))
+        factory = BatchSolverFactory(solver="cg", preconditioner="ic0", tolerance=1e-9)
+        assert factory.solve(spd, b).all_converged

@@ -1,0 +1,133 @@
+"""Batched dense GEMM / LU / TRSM against NumPy-LAPACK references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blas3 import (
+    batched_gemm,
+    batched_lu_factor,
+    batched_lu_solve,
+    batched_trsm,
+)
+from repro.exceptions import DimensionMismatchError, SingularMatrixError
+
+
+@pytest.fixture
+def stacks(rng):
+    a = rng.standard_normal((4, 6, 5))
+    b = rng.standard_normal((4, 5, 7))
+    return a, b
+
+
+class TestGemm:
+    def test_matches_matmul(self, stacks):
+        a, b = stacks
+        assert np.allclose(batched_gemm(a, b), np.matmul(a, b))
+
+    def test_alpha_beta_accumulate(self, stacks, rng):
+        a, b = stacks
+        c = rng.standard_normal((4, 6, 7))
+        expected = 2.0 * np.matmul(a, b) - 0.5 * c
+        out = c.copy()
+        batched_gemm(a, b, out=out, alpha=2.0, beta=-0.5)
+        assert np.allclose(out, expected)
+
+    def test_shape_mismatch_rejected(self, stacks):
+        a, b = stacks
+        with pytest.raises(DimensionMismatchError):
+            batched_gemm(a, a)
+
+    def test_2d_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            batched_gemm(np.eye(3), np.eye(3)[None])
+
+
+class TestLu:
+    def test_reconstructs_pa(self, rng):
+        a = rng.standard_normal((5, 8, 8)) + 4.0 * np.eye(8)
+        lu, piv = batched_lu_factor(a)
+        n = 8
+        lower = np.tril(lu, -1) + np.eye(n)
+        upper = np.triu(lu)
+        product = np.matmul(lower, upper)
+        # apply the recorded swaps to A and compare
+        permuted = a.copy()
+        batch = np.arange(5)
+        for k in range(n):
+            rows_k = permuted[batch, k, :].copy()
+            permuted[batch, k, :] = permuted[batch, piv[:, k], :]
+            permuted[batch, piv[:, k], :] = rows_k
+        assert np.allclose(product, permuted, atol=1e-10)
+
+    def test_solve_matches_lapack(self, rng):
+        a = rng.standard_normal((6, 10, 10)) + 5.0 * np.eye(10)
+        b = rng.standard_normal((6, 10))
+        lu, piv = batched_lu_factor(a)
+        x = batched_lu_solve(lu, piv, b)
+        assert np.allclose(x, np.linalg.solve(a, b[..., None])[..., 0], atol=1e-9)
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        a = np.array([[[0.0, 1.0], [1.0, 0.0]]])
+        lu, piv = batched_lu_factor(a)
+        x = batched_lu_solve(lu, piv, np.array([[2.0, 3.0]]))
+        assert np.allclose(x, [[3.0, 2.0]])
+
+    def test_singular_detected(self):
+        a = np.zeros((1, 3, 3))
+        a[0] = np.outer([1.0, 2.0, 3.0], [1.0, 0.0, 1.0])  # rank 1
+        with pytest.raises(SingularMatrixError):
+            batched_lu_factor(a)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            batched_lu_factor(np.ones((2, 3, 4)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(nb=st.integers(1, 4), n=st.integers(1, 9), seed=st.integers(0, 500))
+    def test_lu_solve_property(self, nb, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((nb, n, n)) + (n + 1.0) * np.eye(n)
+        b = rng.standard_normal((nb, n))
+        lu, piv = batched_lu_factor(a)
+        x = batched_lu_solve(lu, piv, b)
+        assert np.allclose(np.einsum("bij,bj->bi", a, x), b, atol=1e-8)
+
+
+class TestTrsm:
+    def test_lower_solve(self, rng):
+        a = np.tril(rng.standard_normal((3, 6, 6))) + 3.0 * np.eye(6)
+        b = rng.standard_normal((3, 6))
+        x = batched_trsm(a, b, lower=True)
+        assert np.allclose(np.einsum("bij,bj->bi", np.tril(a), x), b, atol=1e-10)
+
+    def test_upper_solve_multi_rhs(self, rng):
+        a = np.triu(rng.standard_normal((2, 5, 5))) + 3.0 * np.eye(5)
+        b = rng.standard_normal((2, 5, 4))
+        x = batched_trsm(a, b, lower=False)
+        assert np.allclose(np.matmul(np.triu(a), x), b, atol=1e-10)
+
+    def test_unit_diagonal_ignores_diag_values(self, rng):
+        a = np.tril(rng.standard_normal((2, 4, 4)), -1)
+        a[:, np.arange(4), np.arange(4)] = 99.0  # must be ignored
+        b = rng.standard_normal((2, 4))
+        x = batched_trsm(a, b, lower=True, unit_diagonal=True)
+        strict = np.tril(a, -1) + np.eye(4)
+        assert np.allclose(np.einsum("bij,bj->bi", strict, x), b, atol=1e-10)
+
+    def test_zero_diagonal_detected(self):
+        a = np.eye(3)[None].copy()
+        a[0, 1, 1] = 0.0
+        with pytest.raises(SingularMatrixError):
+            batched_trsm(a, np.ones((1, 3)))
+
+
+class TestDirectSolverIntegration:
+    def test_batch_direct_uses_from_scratch_lu(self, dd_batch, rng):
+        from repro.core import BatchDirect
+
+        b = rng.standard_normal((8, 12))
+        result = BatchDirect(dd_batch).solve(b)
+        assert result.all_converged
+        expected = np.linalg.solve(dd_batch.to_batch_dense(), b[..., None])[..., 0]
+        assert np.allclose(result.x, expected, atol=1e-9)

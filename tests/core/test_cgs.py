@@ -1,0 +1,68 @@
+"""BatchCgs: the transpose-free CGS extension solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.core import BatchBicgstab, BatchCgs, BatchJacobi, SolverSettings
+from repro.core.dispatch import BatchSolverFactory, SOLVERS
+from repro.core.stop import RelativeResidual
+from repro.workloads.general import random_diag_dominant_batch
+from tests.conftest import relative_residuals
+
+
+def _settings(tol=1e-10, iters=500):
+    return SolverSettings(max_iterations=iters, criterion=RelativeResidual(tol))
+
+
+class TestBatchCgs:
+    def test_solves_nonsymmetric_batch(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchCgs(dd_batch, settings=_settings()).solve(b)
+        assert result.all_converged
+        assert np.max(relative_residuals(dd_batch, result.x, b)) < 1e-9
+
+    def test_with_jacobi_preconditioner(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchCgs(dd_batch, BatchJacobi(dd_batch), settings=_settings()).solve(b)
+        assert result.all_converged
+
+    def test_initial_guess_short_circuits(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        x_exact = np.linalg.solve(dd_batch.to_batch_dense(), b[..., None])[..., 0]
+        result = BatchCgs(dd_batch, settings=_settings(1e-8)).solve(b, x0=x_exact)
+        assert result.max_iterations_used == 0
+
+    def test_comparable_to_bicgstab(self, dd_batch, rng):
+        # CGS squares the Bi-CG polynomial: similar iteration counts on
+        # well-conditioned systems
+        b = rng.standard_normal((8, 12))
+        cgs = BatchCgs(dd_batch, settings=_settings()).solve(b)
+        bicg = BatchBicgstab(dd_batch, settings=_settings()).solve(b)
+        assert cgs.iterations.mean() <= 2 * bicg.iterations.mean() + 2
+
+    def test_registered_in_dispatch(self, dd_batch, rng):
+        assert "cgs" in SOLVERS
+        b = rng.standard_normal((8, 12))
+        result = BatchSolverFactory(solver="cgs", tolerance=1e-9).solve(dd_batch, b)
+        assert result.all_converged
+
+    def test_workspace_includes_matrix_cache(self, dd_batch):
+        names = dict(BatchCgs(dd_batch).workspace_vectors())
+        assert names["A_cache"] == dd_batch.nnz_per_item
+        assert names["r"] == dd_batch.num_rows
+
+    def test_max_iterations_respected(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchCgs(dd_batch, settings=_settings(1e-15, 3)).solve(b)
+        assert result.max_iterations_used <= 3
+
+
+@hsettings(max_examples=10, deadline=None)
+@given(nb=st.integers(1, 4), n=st.integers(2, 10), seed=st.integers(0, 300))
+def test_cgs_property_dd_convergence(nb, n, seed):
+    m = random_diag_dominant_batch(nb, n, density=0.5, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    b = rng.standard_normal((nb, n))
+    result = BatchCgs(m, settings=_settings(1e-9, 60 * n + 60)).solve(b)
+    assert np.max(relative_residuals(m, result.x, b)) < 1e-6

@@ -1,0 +1,134 @@
+"""The precision-format dispatch level (Section 3.4): FP32 end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchBicgstab, BatchCg, BatchJacobi, SolverSettings
+from repro.core.dispatch import BatchSolverFactory, PRECISIONS
+from repro.core.matrix import BatchCsr, BatchDense, BatchEll
+from repro.core.stop import RelativeResidual
+from repro.core.workspace import SlmBudget, plan_workspace
+from repro.exceptions import UnsupportedCombinationError
+from repro.hw import estimate_solve, gpu
+from repro.workloads.general import random_diag_dominant_batch, random_spd_batch
+from repro.workloads.stencil import stencil_rhs, three_point_stencil
+
+
+class TestMatrixDtype:
+    def test_default_is_fp64(self, dd_batch):
+        assert dd_batch.dtype == np.float64
+        assert dd_batch.value_bytes == 8
+
+    def test_astype_round_trip_all_formats(self, dd_batch):
+        dense = BatchDense(dd_batch.to_batch_dense())
+        ell = BatchEll.from_batch_csr(dd_batch)
+        for matrix in (dd_batch, dense, ell):
+            single = matrix.astype(np.float32)
+            assert single.dtype == np.float32
+            assert single.value_bytes == 4
+            assert np.allclose(
+                single.to_batch_dense(), matrix.to_batch_dense(), atol=1e-5
+            )
+            back = single.astype(np.float64)
+            assert back.dtype == np.float64
+
+    def test_fp32_halves_value_storage(self, dd_batch):
+        single = dd_batch.astype(np.float32)
+        value_bytes64 = 8 * dd_batch.num_batch * dd_batch.nnz_per_item
+        value_bytes32 = 4 * dd_batch.num_batch * dd_batch.nnz_per_item
+        assert dd_batch.storage_bytes - value_bytes64 == single.storage_bytes - value_bytes32
+
+    def test_spmv_output_dtype_follows_matrix(self, dd_batch):
+        single = dd_batch.astype(np.float32)
+        y = single.apply(np.ones((8, 12)))
+        assert y.dtype == np.float32
+
+    def test_integer_dtype_rejected(self):
+        with pytest.raises(ValueError, match="floating"):
+            BatchDense(np.ones((1, 2, 2)), dtype=np.int32)
+
+
+class TestFp32Solves:
+    def test_cg_converges_in_single_precision(self):
+        matrix = random_spd_batch(4, 10, seed=3).astype(np.float32)
+        b = np.random.default_rng(0).standard_normal((4, 10))
+        settings = SolverSettings(max_iterations=300, criterion=RelativeResidual(1e-5))
+        result = BatchCg(matrix, settings=settings).solve(b)
+        assert result.all_converged
+        assert result.x.dtype == np.float32
+
+    def test_bicgstab_fp32_matches_fp64_loosely(self):
+        matrix64 = random_diag_dominant_batch(4, 10, seed=5)
+        matrix32 = matrix64.astype(np.float32)
+        b = np.random.default_rng(1).standard_normal((4, 10))
+        settings = SolverSettings(max_iterations=300, criterion=RelativeResidual(1e-5))
+        x64 = BatchBicgstab(matrix64, BatchJacobi(matrix64), settings=settings).solve(b).x
+        x32 = BatchBicgstab(matrix32, BatchJacobi(matrix32), settings=settings).solve(b).x
+        assert np.allclose(x32, x64, atol=1e-3)
+
+    def test_fp32_true_residual_stagnates_at_single_epsilon(self):
+        # the accuracy/precision trade-off the dispatch level exists for:
+        # the recursive residual may keep shrinking, but the *true*
+        # residual stalls around single-precision round-off
+        matrix = three_point_stencil(32, 4).astype(np.float32)
+        b = stencil_rhs(32, 4)
+        settings = SolverSettings(max_iterations=500, criterion=RelativeResidual(1e-12))
+        result = BatchCg(matrix, settings=settings).solve(b)
+        true_res = np.linalg.norm(
+            b - matrix.apply(result.x).astype(np.float64), axis=1
+        ) / np.linalg.norm(b, axis=1)
+        assert np.all(true_res > 1e-9)  # far above the requested 1e-12
+        assert np.all(true_res < 1e-4)  # but still a single-precision solve
+
+    def test_ledger_counts_fp32_bytes(self):
+        matrix = random_diag_dominant_batch(2, 8, seed=2).astype(np.float32)
+        b = np.ones((2, 8))
+        result = BatchBicgstab(
+            matrix,
+            settings=SolverSettings(max_iterations=50, criterion=RelativeResidual(1e-5)),
+        ).solve(b)
+        assert result.ledger.fp_bytes == 4
+
+
+class TestFactoryPrecision:
+    def test_factory_converts_matrix(self, dd_batch):
+        factory = BatchSolverFactory(precision="single", tolerance=1e-4)
+        solver = factory.create(dd_batch)
+        assert solver.matrix.dtype == np.float32
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(UnsupportedCombinationError, match="precision"):
+            BatchSolverFactory(precision="half")
+
+    def test_precision_registry(self):
+        assert PRECISIONS == {"double": np.float64, "single": np.float32}
+
+
+class TestPrecisionInTheModel:
+    def test_fp32_fits_more_vectors_in_slm(self):
+        vectors = [(f"v{i}", 1000) for i in range(10)]
+        budget = SlmBudget(32 * 1024)
+        fp64 = plan_workspace(vectors, budget, bytes_per_value=8)
+        fp32 = plan_workspace(vectors, budget, bytes_per_value=4)
+        assert len(fp32.slm_resident) > len(fp64.slm_resident)
+        assert fp32.slm_bytes_used <= budget.capacity_bytes
+
+    def test_fp32_models_faster_than_fp64(self):
+        matrix = three_point_stencil(64, 8)
+        b = stencil_rhs(64, 8)
+        settings = SolverSettings(max_iterations=2000, criterion=RelativeResidual(1e-5))
+        spec = gpu("pvc1")
+
+        r64 = BatchCg(matrix, settings=settings).solve(b)
+        t64 = estimate_solve(spec, BatchCg(matrix, settings=settings), r64, num_batch=2**15)
+
+        m32 = matrix.astype(np.float32)
+        s32 = BatchCg(m32, settings=settings)
+        r32 = s32.solve(b)
+        t32 = estimate_solve(spec, s32, r32, num_batch=2**15)
+
+        # same iteration counts at this loose tolerance, half the traffic
+        per64 = t64.total_seconds / max(1.0, t64.iterations)
+        per32 = t32.total_seconds / max(1.0, t32.iterations)
+        assert per32 < per64
+        assert t32.split_per_group_iter.slm_bytes < t64.split_per_group_iter.slm_bytes

@@ -1,0 +1,186 @@
+"""Preconditioners: generation correctness and apply semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matrix import BatchCsr, BatchDense, BatchEll
+from repro.core.preconditioner import (
+    BatchBlockJacobi,
+    BatchIdentity,
+    BatchIlu,
+    BatchIsai,
+    BatchJacobi,
+)
+from repro.exceptions import SingularMatrixError, UnsupportedCombinationError
+from repro.workloads.general import random_diag_dominant_batch, random_spd_batch
+
+
+@pytest.fixture
+def batch():
+    return random_diag_dominant_batch(num_batch=5, num_rows=10, density=0.4, seed=2)
+
+
+class TestIdentity:
+    def test_apply_is_copy(self, batch, rng):
+        r = rng.standard_normal((5, 10))
+        z = BatchIdentity(batch).apply(r)
+        assert np.array_equal(z, r)
+        assert z is not r
+
+    def test_zero_workspace(self, batch):
+        assert BatchIdentity(batch).workspace_doubles_per_system() == 0
+
+
+class TestScalarJacobi:
+    def test_apply_divides_by_diagonal(self, batch, rng):
+        precond = BatchJacobi(batch)
+        r = rng.standard_normal((5, 10))
+        assert np.allclose(precond.apply(r), r / batch.diagonal())
+
+    def test_zero_diagonal_rejected(self):
+        dense = np.eye(3)[None].copy()
+        dense[0, 1, 1] = 0.0
+        dense[0, 1, 0] = 1.0  # keep the row structurally non-empty
+        with pytest.raises(SingularMatrixError, match="diagonal"):
+            BatchJacobi(BatchCsr.from_dense(dense))
+
+    def test_works_for_all_formats(self, rng):
+        dense = np.eye(4)[None] * 2.0 + 0.1 * rng.random((3, 4, 4))
+        r = rng.standard_normal((3, 4))
+        results = [
+            BatchJacobi(fmt).apply(r)
+            for fmt in (
+                BatchDense(dense),
+                BatchCsr.from_dense(dense),
+                BatchEll.from_dense(dense),
+            )
+        ]
+        assert np.allclose(results[0], results[1])
+        assert np.allclose(results[0], results[2])
+
+    def test_out_and_ledger(self, batch, rng):
+        from repro.core.counters import TrafficLedger
+
+        precond = BatchJacobi(batch)
+        r = rng.standard_normal((5, 10))
+        out = np.empty_like(r)
+        ledger = TrafficLedger()
+        z = precond.apply(r, out=out, ledger=ledger)
+        assert z is out
+        assert ledger.calls["precond"] == 5
+
+
+class TestBlockJacobi:
+    def test_block_size_n_is_exact_inverse(self, batch, rng):
+        precond = BatchBlockJacobi(batch, block_size=10)
+        r = rng.standard_normal((5, 10))
+        expected = np.linalg.solve(batch.to_batch_dense(), r[..., None])[..., 0]
+        assert np.allclose(precond.apply(r), expected)
+
+    def test_block_size_one_equals_scalar_jacobi(self, batch, rng):
+        block = BatchBlockJacobi(batch, block_size=1)
+        scalar = BatchJacobi(batch)
+        r = rng.standard_normal((5, 10))
+        assert np.allclose(block.apply(r), scalar.apply(r))
+
+    def test_ragged_final_block(self, rng):
+        m = random_diag_dominant_batch(num_batch=2, num_rows=7, density=0.5, seed=5)
+        precond = BatchBlockJacobi(m, block_size=3)
+        assert precond.num_blocks == 3
+        r = rng.standard_normal((2, 7))
+        z = precond.apply(r)
+        # each block solves its own diagonal sub-system
+        dense = m.to_batch_dense()
+        for blk, (lo, hi) in enumerate([(0, 3), (3, 6), (6, 7)]):
+            expected = np.linalg.solve(dense[:, lo:hi, lo:hi], r[:, lo:hi, None])[..., 0]
+            assert np.allclose(z[:, lo:hi], expected), blk
+
+    def test_bad_block_size_rejected(self, batch):
+        with pytest.raises(ValueError):
+            BatchBlockJacobi(batch, block_size=0)
+
+
+class TestIlu:
+    def test_factors_match_pattern_product(self, batch):
+        ilu = BatchIlu(batch)
+        lower, upper = ilu.factor_dense()
+        product = np.einsum("bij,bjk->bik", lower, upper)
+        dense = batch.to_batch_dense()
+        mask = dense != 0.0
+        # ILU(0) reproduces A exactly on the pattern
+        assert np.allclose(product[mask], dense[mask], atol=1e-10)
+
+    def test_l_unit_lower_u_upper(self, batch):
+        lower, upper = BatchIlu(batch).factor_dense()
+        n = batch.num_rows
+        assert np.allclose(lower[:, np.arange(n), np.arange(n)], 1.0)
+        assert np.allclose(np.triu(lower, k=1), 0.0)
+        assert np.allclose(np.tril(upper, k=-1), 0.0)
+
+    def test_apply_is_exact_for_triangular_pattern_free_fill(self):
+        # tridiagonal: ILU(0) == full LU, so M r solves exactly
+        from repro.workloads.stencil import three_point_stencil
+
+        m = three_point_stencil(8, 3)
+        csr = BatchCsr.from_dense(m.to_batch_dense())
+        ilu = BatchIlu(csr)
+        rng = np.random.default_rng(0)
+        r = rng.standard_normal((3, 8))
+        expected = np.linalg.solve(csr.to_batch_dense(), r[..., None])[..., 0]
+        assert np.allclose(ilu.apply(r), expected, atol=1e-10)
+
+    def test_missing_diagonal_rejected(self):
+        dense = np.zeros((1, 2, 2))
+        dense[0, 0, 1] = 1.0
+        dense[0, 1, 0] = 1.0
+        with pytest.raises(SingularMatrixError, match="diagonal"):
+            BatchIlu(BatchCsr.from_dense(dense))
+
+    def test_accepts_dense_format_via_conversion(self, rng):
+        spd = random_spd_batch(2, 6, seed=8)
+        ilu = BatchIlu(BatchDense(spd.to_batch_dense()))
+        r = rng.standard_normal((2, 6))
+        assert ilu.apply(r).shape == (2, 6)
+
+
+class TestIsai:
+    def test_requires_csr(self, batch):
+        with pytest.raises(UnsupportedCombinationError, match="BatchCsr"):
+            BatchIsai(BatchDense(batch.to_batch_dense()))
+
+    def test_inverse_rows_satisfy_local_systems(self, batch):
+        isai = BatchIsai(batch)
+        m = isai.approximate_inverse
+        dense_a = batch.to_batch_dense()
+        dense_m = m.to_batch_dense()
+        # (M A)[i, i] == 1 restricted to the row pattern equations
+        product = np.einsum("bij,bjk->bik", dense_m, dense_a)
+        n = batch.num_rows
+        for row in range(n):
+            cols = m.col_idxs[m.row_ptrs[row] : m.row_ptrs[row + 1]]
+            target = np.zeros(len(cols))
+            target[cols == row] = 1.0
+            assert np.allclose(product[:, row, cols], target[None, :], atol=1e-8)
+
+    def test_isai_preserves_pattern(self, batch):
+        isai = BatchIsai(batch)
+        m = isai.approximate_inverse
+        assert np.array_equal(m.row_ptrs, batch.row_ptrs)
+        assert np.array_equal(m.col_idxs, batch.col_idxs)
+
+    def test_apply_is_one_spmv(self, batch, rng):
+        isai = BatchIsai(batch)
+        r = rng.standard_normal((5, 10))
+        assert np.allclose(isai.apply(r), isai.approximate_inverse.apply(r))
+
+
+@settings(max_examples=10, deadline=None)
+@given(nb=st.integers(1, 3), n=st.integers(2, 8), seed=st.integers(0, 500))
+def test_ilu_pattern_identity_property(nb, n, seed):
+    batch = random_diag_dominant_batch(nb, n, density=0.5, seed=seed)
+    lower, upper = BatchIlu(batch).factor_dense()
+    dense = batch.to_batch_dense()
+    product = np.einsum("bij,bjk->bik", lower, upper)
+    mask = dense != 0.0
+    assert np.allclose(product[mask], dense[mask], atol=1e-8)

@@ -1,0 +1,263 @@
+"""Batched solvers: convergence, accuracy, masks, initial guesses, breakdowns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BatchBicgstab,
+    BatchCg,
+    BatchDirect,
+    BatchGmres,
+    BatchJacobi,
+    BatchRichardson,
+    BatchTrsv,
+    SolverSettings,
+)
+from repro.core.matrix import BatchCsr
+from repro.core.stop import AbsoluteResidual, RelativeResidual
+from repro.exceptions import DimensionMismatchError
+from repro.workloads.general import (
+    random_diag_dominant_batch,
+    random_spd_batch,
+    random_triangular_batch,
+)
+from tests.conftest import reference_solutions, relative_residuals
+
+
+def _settings(tol=1e-10, iters=500, history=False):
+    return SolverSettings(
+        max_iterations=iters, criterion=RelativeResidual(tol), keep_history=history
+    )
+
+
+class TestBatchCg:
+    def test_solves_spd_batch(self, spd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchCg(spd_batch, settings=_settings()).solve(b)
+        assert result.all_converged
+        assert np.allclose(result.x, reference_solutions(spd_batch, b), atol=1e-7)
+
+    def test_jacobi_preconditioning_reduces_iterations(self, rng):
+        # badly scaled SPD systems: Jacobi should help a lot
+        m = random_spd_batch(4, 20, density=0.2, seed=3)
+        scale = np.geomspace(1.0, 1e4, 20)
+        dense = m.to_batch_dense() * scale[None, :, None] * scale[None, None, :]
+        m = BatchCsr.from_dense(dense)
+        b = rng.standard_normal((4, 20))
+        plain = BatchCg(m, settings=_settings(1e-8, 3000)).solve(b)
+        pre = BatchCg(m, BatchJacobi(m), settings=_settings(1e-8, 3000)).solve(b)
+        assert pre.all_converged
+        assert pre.iterations.mean() < plain.iterations.mean()
+
+    def test_exact_initial_guess_needs_zero_iterations(self, spd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        x_exact = reference_solutions(spd_batch, b)
+        result = BatchCg(spd_batch, settings=_settings(1e-8)).solve(b, x0=x_exact)
+        assert result.all_converged
+        assert result.max_iterations_used == 0
+
+    def test_warm_start_accelerates(self, spd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        x_exact = reference_solutions(spd_batch, b)
+        cold = BatchCg(spd_batch, settings=_settings()).solve(b)
+        warm = BatchCg(spd_batch, settings=_settings()).solve(
+            b, x0=x_exact + 1e-6 * rng.standard_normal((8, 12))
+        )
+        assert warm.iterations.mean() < cold.iterations.mean()
+
+    def test_residual_history_tracks_convergence(self, spd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchCg(spd_batch, settings=_settings(history=True)).solve(b)
+        hist = result.logger.history
+        assert hist.shape[1] == 8
+        assert np.all(hist[-1] <= hist[0])
+
+    def test_iteration_counts_are_per_system(self):
+        # mix a trivially-easy system (identity) with a harder one
+        dense = np.zeros((2, 6, 6))
+        dense[0] = np.eye(6)
+        rng = np.random.default_rng(0)
+        hard = random_spd_batch(1, 6, density=0.6, seed=9).to_batch_dense()[0]
+        dense[1] = hard
+        m = BatchCsr.from_dense(dense)
+        b = rng.standard_normal((2, 6))
+        result = BatchCg(m, settings=_settings()).solve(b)
+        assert result.all_converged
+        assert result.iterations[0] < result.iterations[1]
+
+
+class TestBatchBicgstab:
+    def test_solves_nonsymmetric_batch(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchBicgstab(dd_batch, settings=_settings()).solve(b)
+        assert result.all_converged
+        assert np.max(relative_residuals(dd_batch, result.x, b)) < 1e-9
+
+    def test_with_jacobi(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchBicgstab(
+            dd_batch, BatchJacobi(dd_batch), settings=_settings()
+        ).solve(b)
+        assert result.all_converged
+
+    def test_absolute_criterion(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        settings = SolverSettings(max_iterations=500, criterion=AbsoluteResidual(1e-8))
+        result = BatchBicgstab(dd_batch, settings=settings).solve(b)
+        assert result.all_converged
+        assert np.all(result.residual_norms <= 1e-8)
+
+    def test_max_iterations_respected(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        settings = SolverSettings(max_iterations=2, criterion=RelativeResidual(1e-14))
+        result = BatchBicgstab(dd_batch, settings=settings).solve(b)
+        assert result.max_iterations_used <= 2
+
+    def test_zero_rhs_converges_immediately(self, dd_batch):
+        result = BatchBicgstab(dd_batch, settings=_settings()).solve(np.zeros((8, 12)))
+        assert result.all_converged
+        assert result.max_iterations_used == 0
+        assert np.allclose(result.x, 0.0)
+
+
+class TestBatchGmres:
+    def test_solves_nonsymmetric_batch(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchGmres(dd_batch, settings=_settings(1e-9)).solve(b)
+        assert result.all_converged
+        assert np.max(relative_residuals(dd_batch, result.x, b)) < 1e-8
+
+    def test_full_subspace_is_exact(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchGmres(dd_batch, settings=_settings(1e-12), restart=12).solve(b)
+        assert np.allclose(result.x, reference_solutions(dd_batch, b), atol=1e-6)
+
+    def test_restart_bounds_workspace(self, dd_batch):
+        solver = BatchGmres(dd_batch, restart=5)
+        names = dict(solver.workspace_vectors())
+        assert names["V"] == 6 * 12
+
+    def test_restarted_still_converges(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchGmres(dd_batch, settings=_settings(1e-9, 2000), restart=4).solve(b)
+        assert result.all_converged
+
+    def test_invalid_restart_rejected(self, dd_batch):
+        with pytest.raises(ValueError):
+            BatchGmres(dd_batch, restart=0)
+
+
+class TestBatchRichardson:
+    def test_converges_with_jacobi_on_dd(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchRichardson(
+            dd_batch, BatchJacobi(dd_batch), settings=_settings(1e-8, 2000)
+        ).solve(b)
+        assert result.all_converged
+        assert np.max(relative_residuals(dd_batch, result.x, b)) < 1e-7
+
+    def test_invalid_omega_rejected(self, dd_batch):
+        with pytest.raises(ValueError):
+            BatchRichardson(dd_batch, omega=2.5)
+
+
+class TestBatchTrsv:
+    def test_lower_matches_reference(self, rng):
+        m = random_triangular_batch(4, 9, uplo="lower", seed=1)
+        b = rng.standard_normal((4, 9))
+        result = BatchTrsv(m, uplo="lower").solve(b)
+        assert result.all_converged
+        assert np.allclose(result.x, reference_solutions(m, b), atol=1e-10)
+
+    def test_upper_matches_reference(self, rng):
+        m = random_triangular_batch(4, 9, uplo="upper", seed=2)
+        b = rng.standard_normal((4, 9))
+        result = BatchTrsv(m, uplo="upper").solve(b)
+        assert np.allclose(result.x, reference_solutions(m, b), atol=1e-10)
+
+    def test_structure_violation_rejected(self, dd_batch):
+        from repro.exceptions import BadSparsityPatternError
+
+        with pytest.raises(BadSparsityPatternError):
+            BatchTrsv(dd_batch, uplo="lower")
+
+    def test_reports_single_iteration(self, rng):
+        m = random_triangular_batch(4, 9, uplo="lower", seed=1)
+        result = BatchTrsv(m, uplo="lower").solve(rng.standard_normal((4, 9)))
+        assert result.max_iterations_used == 1
+
+
+class TestBatchDirect:
+    def test_exact_solve(self, dd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchDirect(dd_batch).solve(b)
+        assert result.all_converged
+        assert np.allclose(result.x, reference_solutions(dd_batch, b))
+
+    def test_singular_batch_item_raises(self):
+        from repro.exceptions import SingularMatrixError
+
+        dense = np.eye(4)[None].repeat(2, axis=0)
+        dense[1, 2, 2] = 0.0
+        dense[1, 2, 3] = 1.0
+        dense[1, 3, 2] = 0.0
+        dense[1, 3, 3] = 0.0
+        m = BatchCsr.from_dense(dense)
+        with pytest.raises(SingularMatrixError):
+            BatchDirect(m).solve(np.ones((2, 4)))
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("solver_cls", [BatchCg, BatchBicgstab, BatchGmres])
+    def test_non_square_rejected(self, solver_cls):
+        m = BatchCsr(
+            np.array([0, 1, 2]), np.array([0, 1]), np.ones((1, 2)), num_cols=5
+        )
+        with pytest.raises(DimensionMismatchError):
+            solver_cls(m)
+
+    @pytest.mark.parametrize("solver_cls", [BatchCg, BatchBicgstab, BatchGmres])
+    def test_rhs_shape_validated(self, solver_cls, spd_batch):
+        with pytest.raises(DimensionMismatchError):
+            solver_cls(spd_batch).solve(np.ones((8, 5)))
+
+    def test_ledger_populated(self, spd_batch, rng):
+        b = rng.standard_normal((8, 12))
+        result = BatchCg(spd_batch, settings=_settings()).solve(b)
+        assert result.ledger.flops > 0
+        assert result.ledger.calls["spmv"] >= 8
+        assert "r" in result.ledger.bytes_by_object
+
+    def test_result_repr(self, spd_batch, rng):
+        result = BatchCg(spd_batch, settings=_settings()).solve(
+            rng.standard_normal((8, 12))
+        )
+        assert "cg" in repr(result)
+
+    def test_solver_settings_validation(self):
+        with pytest.raises(ValueError):
+            SolverSettings(max_iterations=0)
+        with pytest.raises(TypeError):
+            SolverSettings(criterion="relative")
+
+
+@settings(max_examples=10, deadline=None)
+@given(nb=st.integers(1, 4), n=st.integers(2, 10), seed=st.integers(0, 300))
+def test_cg_property_spd_convergence(nb, n, seed):
+    m = random_spd_batch(nb, n, density=0.5, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    b = rng.standard_normal((nb, n))
+    result = BatchCg(m, settings=_settings(1e-9, 10 * n + 20)).solve(b)
+    assert result.all_converged
+    assert np.max(relative_residuals(m, result.x, b)) < 1e-8
+
+
+@settings(max_examples=10, deadline=None)
+@given(nb=st.integers(1, 4), n=st.integers(2, 10), seed=st.integers(0, 300))
+def test_bicgstab_property_dd_convergence(nb, n, seed):
+    m = random_diag_dominant_batch(nb, n, density=0.5, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    b = rng.standard_normal((nb, n))
+    result = BatchBicgstab(m, settings=_settings(1e-9, 40 * n + 40)).solve(b)
+    assert np.max(relative_residuals(m, result.x, b)) < 1e-6

@@ -1,0 +1,96 @@
+"""Stopping criteria and the per-system convergence logger."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.logger import ConvergenceLogger
+from repro.core.stop import AbsoluteResidual, RelativeResidual
+
+
+class TestAbsoluteResidual:
+    def test_threshold_ignores_rhs_norm(self):
+        crit = AbsoluteResidual(1e-6)
+        thr = crit.thresholds(np.array([1.0, 100.0, 0.0]))
+        assert np.all(thr == 1e-6)
+
+    def test_check_mask(self):
+        crit = AbsoluteResidual(1e-3)
+        res = np.array([1e-4, 1e-2])
+        assert list(crit.check(res, np.ones(2))) == [True, False]
+
+    def test_tolerance_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AbsoluteResidual(0.0)
+
+
+class TestRelativeResidual:
+    def test_threshold_scales_with_rhs(self):
+        crit = RelativeResidual(1e-3)
+        thr = crit.thresholds(np.array([1.0, 10.0]))
+        assert np.allclose(thr, [1e-3, 1e-2])
+
+    def test_zero_rhs_falls_back_to_absolute(self):
+        crit = RelativeResidual(1e-3)
+        thr = crit.thresholds(np.array([0.0]))
+        assert thr[0] == 1e-3
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        tol=st.floats(1e-12, 1e-2),
+        # zero norms excluded: they take the absolute-fallback branch,
+        # which intentionally sits above tol * (a tiny positive norm)
+        norms=st.lists(
+            st.floats(1e-12, 1e6, allow_nan=False), min_size=1, max_size=8
+        ),
+    )
+    def test_thresholds_monotone_in_rhs_norm(self, tol, norms):
+        crit = RelativeResidual(tol)
+        thr = crit.thresholds(np.asarray(norms))
+        order = np.argsort(norms)
+        assert np.all(np.diff(thr[order]) >= -1e-300)
+
+
+class TestConvergenceLogger:
+    def test_initial_and_iterations(self):
+        log = ConvergenceLogger(3)
+        log.log_initial(np.array([1.0, 2.0, 3.0]))
+        active = np.array([True, True, False])
+        log.log_iteration(1, np.array([0.5, 1.5, 99.0]), active)
+        assert list(log.iterations) == [1, 1, 0]
+        assert list(log.final_residuals) == [0.5, 1.5, 3.0]
+
+    def test_history_requires_opt_in(self):
+        log = ConvergenceLogger(2)
+        log.log_initial(np.ones(2))
+        with pytest.raises(RuntimeError, match="keep_history"):
+            _ = log.history
+
+    def test_history_shape_and_frozen_entries(self):
+        log = ConvergenceLogger(2, keep_history=True)
+        log.log_initial(np.array([4.0, 4.0]))
+        log.log_iteration(1, np.array([2.0, 1.0]), np.array([True, True]))
+        log.log_iteration(2, np.array([1.0, 0.1]), np.array([True, False]))
+        hist = log.history
+        assert hist.shape == (3, 2)
+        assert hist[2, 1] == 1.0  # frozen at its converged value
+
+    def test_mark_converged_is_sticky(self):
+        log = ConvergenceLogger(2)
+        log.mark_converged(np.array([True, False]))
+        log.mark_converged(np.array([False, False]))
+        assert list(log.converged) == [True, False]
+
+    def test_summary(self):
+        log = ConvergenceLogger(2)
+        log.log_initial(np.array([1.0, 1.0]))
+        log.log_iteration(1, np.array([0.1, 0.5]), np.array([True, True]))
+        log.mark_converged(np.array([True, False]))
+        s = log.summary()
+        assert s["num_systems"] == 2
+        assert s["num_converged"] == 1
+        assert s["max_iterations"] == 1
+
+    def test_positive_batch_required(self):
+        with pytest.raises(ValueError):
+            ConvergenceLogger(0)

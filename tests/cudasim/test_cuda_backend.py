@@ -1,0 +1,141 @@
+"""CUDA-flavoured execution model: warps, shuffles, block reductions."""
+
+import numpy as np
+import pytest
+
+from repro.cudasim import (
+    CudaItem,
+    LaunchConfig,
+    Stream,
+    WARP_SIZE,
+    a100_device,
+    h100_device,
+)
+from repro.cudasim.thread import cuda_nd_range
+from repro.kernels.blas1 import block_reduce_cuda, warp_reduce_sum
+from repro.sycl.group import NDItem
+from repro.sycl.ndrange import NDRange
+
+
+class TestDeviceDescriptors:
+    def test_a100_matches_table5(self):
+        dev = a100_device()
+        assert dev.num_sms == 108
+        assert dev.slm_bytes_per_cu == 192 * 1024
+        assert dev.sub_group_sizes == (32,)
+        assert dev.warp_size == 32
+
+    def test_h100_matches_table5(self):
+        dev = h100_device()
+        assert dev.num_sms == 114
+        assert dev.slm_bytes_per_cu == 228 * 1024
+
+
+class TestLaunchGeometry:
+    def test_cuda_nd_range_shapes(self):
+        nd = cuda_nd_range(4, 64)
+        assert nd.global_size == 256
+        assert nd.local_size == 64
+        assert nd.sub_group_size == WARP_SIZE
+
+    def test_block_dim_must_be_warp_multiple(self):
+        with pytest.raises(ValueError, match="warp"):
+            cuda_nd_range(1, 48)
+
+    def test_launch_config_validation(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(0, 32)
+
+    def test_cuda_item_requires_warp_width(self):
+        item = NDItem(NDRange(16, 16, 16), 0)
+        with pytest.raises(ValueError, match="warp width"):
+            CudaItem(item)
+
+
+class TestThreadIdentities:
+    def test_thread_and_block_indices(self):
+        stream = Stream(a100_device())
+        out = np.zeros((4, 64))
+
+        def kernel(cuda, shared, out):
+            out[0, cuda.global_thread_id % 64] = cuda.thread_idx
+            out[1, cuda.global_thread_id % 64] = cuda.block_idx
+            out[2, cuda.global_thread_id % 64] = cuda.lane_id
+            out[3, cuda.global_thread_id % 64] = cuda.warp_id
+
+        stream.launch_kernel(LaunchConfig(1, 64), kernel, args=(out,))
+        assert list(out[0]) == list(range(64))
+        assert np.all(out[1] == 0.0)
+        assert list(out[2]) == list(range(32)) + list(range(32))
+        assert np.all(out[3, :32] == 0.0) and np.all(out[3, 32:] == 1.0)
+
+
+class TestWarpReductions:
+    def test_warp_reduce_sum_lane0(self):
+        stream = Stream(a100_device())
+        x = np.arange(32, dtype=np.float64)
+        out = np.zeros(1)
+
+        def kernel(cuda, shared, x, out):
+            total = yield from warp_reduce_sum(cuda, float(x[cuda.thread_idx]))
+            if cuda.lane_id == 0:
+                out[0] = total
+
+        stream.launch_kernel(LaunchConfig(1, 32), kernel, args=(x, out))
+        assert out[0] == x.sum()
+
+    def test_block_reduce_matches_numpy_multi_warp(self):
+        stream = Stream(h100_device())
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(128)
+        out = np.zeros(128)
+
+        def kernel(cuda, shared, x, out):
+            total = yield from block_reduce_cuda(
+                cuda, shared, float(x[cuda.global_thread_id])
+            )
+            out[cuda.global_thread_id] = total
+
+        from repro.sycl.memory import LocalSpec
+
+        stream.launch_kernel(
+            LaunchConfig(1, 128),
+            kernel,
+            args=(x, out),
+            shared_specs=[LocalSpec("reduce_buf", (4,))],
+        )
+        assert np.allclose(out, x.sum())
+
+    def test_block_reduce_is_per_block(self):
+        stream = Stream(a100_device())
+        x = np.ones(64)
+        out = np.zeros(64)
+
+        def kernel(cuda, shared, x, out):
+            total = yield from block_reduce_cuda(
+                cuda, shared, float(x[cuda.global_thread_id])
+            )
+            out[cuda.global_thread_id] = total
+
+        from repro.sycl.memory import LocalSpec
+
+        stream.launch_kernel(
+            LaunchConfig(2, 32),
+            kernel,
+            args=(x, out),
+            shared_specs=[LocalSpec("reduce_buf", (1,))],
+        )
+        assert np.all(out == 32.0)
+
+
+class TestStreamBookkeeping:
+    def test_stream_records_events(self):
+        stream = Stream(a100_device())
+
+        def kernel(cuda, shared):
+            return None
+
+        stream.launch_kernel(LaunchConfig(1, 32), kernel, name="noop")
+        assert stream.num_launches == 1
+        assert stream.events[0].name == "noop"
+        assert stream.events[0].stats.sub_group_size == WARP_SIZE

@@ -1,0 +1,92 @@
+"""SLM bank-conflict analyzer (the paper's future-work item)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.bank_conflicts import (
+    ConflictReport,
+    analyze_solver_conflicts,
+    gather_conflict_factor,
+    strided_conflict_factor,
+)
+from repro.hw.specs import gpu
+from repro.workloads.pele import pele_batch
+
+
+class TestStridedFactors:
+    def test_unit_stride_is_conflict_free(self):
+        assert strided_conflict_factor(1, 32, 8, 32) == 1.0
+        assert strided_conflict_factor(1, 16, 8, 64) == 1.0
+
+    def test_stride_two_doubles(self):
+        assert strided_conflict_factor(2, 32, 8, 32) == 2.0
+
+    def test_power_of_two_strides_worst_case(self):
+        # the classic shared-memory pathology: stride = banks/words
+        assert strided_conflict_factor(16, 32, 8, 32) == 16.0
+
+    def test_padding_resolves_conflicts(self):
+        # the standard fix the paper alludes to: pad the leading dimension
+        conflicted = strided_conflict_factor(16, 32, 8, 32)
+        padded = strided_conflict_factor(17, 32, 8, 32)
+        assert conflicted / padded >= 8.0
+
+    def test_fp32_vs_fp64_elements(self):
+        # fp32 at stride 1 is also conflict-free, at half the bytes
+        assert strided_conflict_factor(1, 32, 4, 32) == 1.0
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            strided_conflict_factor(0, 32)
+        with pytest.raises(ValueError):
+            strided_conflict_factor(1, 32, 8, 0)
+
+
+class TestGatherFactors:
+    def test_identity_pattern_gather_is_free(self):
+        from repro.core.matrix import BatchCsr
+
+        eye = BatchCsr.from_dense(np.eye(32)[None])
+        assert gather_conflict_factor(eye, 32, 8, 32) == 1.0
+
+    def test_pele_gather_factors_reasonable(self):
+        matrix = pele_batch("dodecane_lu")
+        for lanes, banks in ((16, 64), (32, 32)):
+            factor = gather_conflict_factor(matrix, lanes, 8, banks)
+            assert 1.0 <= factor < 4.0
+
+    def test_wide_sub_group_on_fewer_banks_conflicts_more(self):
+        matrix = pele_batch("isooctane")
+        narrow = gather_conflict_factor(matrix, 16, 8, 64)
+        wide = gather_conflict_factor(matrix, 32, 8, 32)
+        assert wide >= narrow
+
+
+class TestAnalyzer:
+    def test_report_fields(self):
+        matrix = pele_batch("gri30")
+        report = analyze_solver_conflicts(gpu("pvc1"), matrix)
+        assert isinstance(report, ConflictReport)
+        assert report.lanes == 16  # PVC small-matrix sub-group
+        assert report.num_banks == 64
+        assert report.average_factor >= 1.0
+        assert report.resolved_slm_gbps_per_cu >= report.achieved_slm_gbps_per_cu
+        assert report.projected_speedup == report.average_factor
+
+    def test_nvidia_uses_32_banks_warp_lanes(self):
+        matrix = pele_batch("gri30")
+        report = analyze_solver_conflicts(gpu("h100"), matrix)
+        assert report.lanes == 32
+        assert report.num_banks == 32
+
+    def test_gather_share_bounds(self):
+        matrix = pele_batch("drm19")
+        with pytest.raises(ValueError):
+            analyze_solver_conflicts(gpu("pvc1"), matrix, gather_share=1.5)
+
+    def test_average_interpolates(self):
+        matrix = pele_batch("isooctane")
+        all_stream = analyze_solver_conflicts(gpu("h100"), matrix, gather_share=0.0)
+        all_gather = analyze_solver_conflicts(gpu("h100"), matrix, gather_share=1.0)
+        mixed = analyze_solver_conflicts(gpu("h100"), matrix, gather_share=0.5)
+        assert all_stream.average_factor <= mixed.average_factor <= all_gather.average_factor

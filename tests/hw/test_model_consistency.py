@@ -1,0 +1,134 @@
+"""Cross-platform invariants of the hardware model.
+
+The calibration constants are fit to two averages (DESIGN.md §5); these
+tests pin down the *structural* properties every estimate must satisfy on
+every platform, so a recalibration cannot silently break the model's
+physics: monotonicity in batch and iterations, bounded achieved rates,
+precision ordering, and occupancy sanity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchBicgstab, BatchCg, BatchJacobi, SolverSettings
+from repro.core.stop import RelativeResidual
+from repro.hw import analyze_solve, estimate_solve, gpu
+from repro.hw.specs import GPUS
+from repro.workloads.pele import pele_batch, pele_rhs
+from repro.workloads.stencil import stencil_rhs, three_point_stencil
+
+_KEYS = sorted(GPUS)
+
+
+@pytest.fixture(scope="module")
+def stencil_solve():
+    matrix = three_point_stencil(48, 8)
+    solver = BatchCg(
+        matrix,
+        settings=SolverSettings(max_iterations=2000, criterion=RelativeResidual(1e-8)),
+    )
+    return solver, solver.solve(stencil_rhs(48, 8))
+
+
+@pytest.fixture(scope="module")
+def pele_solve():
+    matrix = pele_batch("gri30")
+    solver = BatchBicgstab(
+        matrix,
+        BatchJacobi(matrix),
+        settings=SolverSettings(max_iterations=300, criterion=RelativeResidual(1e-9)),
+    )
+    return solver, solver.solve(pele_rhs(matrix))
+
+
+@pytest.mark.parametrize("key", _KEYS)
+class TestPerPlatformInvariants:
+    def test_batch_monotonicity(self, key, stencil_solve):
+        solver, result = stencil_solve
+        spec = gpu(key)
+        times = [
+            estimate_solve(spec, solver, result, num_batch=nb).total_seconds
+            for nb in (2**12, 2**14, 2**16)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_components_non_negative_and_finite(self, key, pele_solve):
+        solver, result = pele_solve
+        timing = estimate_solve(gpu(key), solver, result, num_batch=2**15)
+        for name, seconds in timing.component_seconds.items():
+            assert np.isfinite(seconds) and seconds >= 0.0, name
+        assert timing.total_seconds > timing.iteration_seconds > 0
+
+    def test_achieved_rate_below_compute_roof(self, key, pele_solve):
+        solver, result = pele_solve
+        report = analyze_solve(gpu(key), solver, result, num_batch=2**15)
+        point = report.roofline_point
+        assert point.achieved_gflops <= point.compute_roof_gflops * 1.001
+
+    def test_occupancy_in_unit_interval(self, key, pele_solve):
+        solver, result = pele_solve
+        timing = estimate_solve(gpu(key), solver, result, num_batch=2**15)
+        occ = timing.occupancy
+        assert 0.0 < occ.xve_threading_occupancy <= 1.0
+        assert occ.waves >= 1
+        assert occ.groups_in_flight >= gpu(key).num_cus
+
+    def test_fp32_never_slower(self, key):
+        matrix = three_point_stencil(64, 8)
+        b = stencil_rhs(64, 8)
+        settings = SolverSettings(max_iterations=2000, criterion=RelativeResidual(1e-5))
+        spec = gpu(key)
+        s64 = BatchCg(matrix, settings=settings)
+        r64 = s64.solve(b)
+        m32 = matrix.astype(np.float32)
+        s32 = BatchCg(m32, settings=settings)
+        r32 = s32.solve(b)
+        per64 = estimate_solve(spec, s64, r64, num_batch=2**14).total_seconds / max(
+            1.0, float(np.mean(r64.iterations))
+        )
+        per32 = estimate_solve(spec, s32, r32, num_batch=2**14).total_seconds / max(
+            1.0, float(np.mean(r32.iterations))
+        )
+        assert per32 <= per64 * 1.001
+
+    def test_more_iterations_cost_more(self, key, pele_solve):
+        solver, result = pele_solve
+        spec = gpu(key)
+        loose = BatchBicgstab(
+            solver.matrix,
+            BatchJacobi(solver.matrix),
+            settings=SolverSettings(
+                max_iterations=300, criterion=RelativeResidual(1e-4)
+            ),
+        )
+        loose_result = loose.solve(pele_rhs(solver.matrix))
+        t_loose = estimate_solve(spec, loose, loose_result, num_batch=2**15)
+        t_tight = estimate_solve(spec, solver, result, num_batch=2**15)
+        assert loose_result.iterations.mean() < result.iterations.mean()
+        assert t_loose.total_seconds < t_tight.total_seconds
+
+
+class TestCrossPlatformOrderings:
+    def test_pvc2_always_fastest_on_pele(self, pele_solve):
+        solver, result = pele_solve
+        times = {
+            key: estimate_solve(gpu(key), solver, result, num_batch=2**17).total_seconds
+            for key in _KEYS
+        }
+        assert times["pvc2"] == min(times.values())
+        assert times["a100"] == max(times.values())
+
+    def test_workspace_plans_fit_every_device(self, pele_solve):
+        solver, result = pele_solve
+        for key in _KEYS:
+            timing = estimate_solve(gpu(key), solver, result, num_batch=2**14)
+            assert (
+                timing.workspace_plan.slm_bytes_used
+                <= gpu(key).slm_bytes_per_cu
+            )
+
+    def test_cuda_devices_launch_at_warp_width(self, pele_solve):
+        solver, result = pele_solve
+        for key in ("a100", "h100"):
+            timing = estimate_solve(gpu(key), solver, result, num_batch=2**14)
+            assert timing.launch_plan.sub_group_size == 32

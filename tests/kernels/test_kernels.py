@@ -1,0 +1,213 @@
+"""Work-item-level kernels vs the vectorized production solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchBicgstab, BatchCg, BatchJacobi, SolverSettings
+from repro.core.stop import RelativeResidual
+from repro.kernels import run_batch_bicgstab_on_device, run_batch_cg_on_device
+from repro.kernels.blas1 import group_dot, sub_group_dot
+from repro.kernels.spmv import (
+    spmv_csr_item_rows,
+    spmv_csr_subgroup_rows,
+    spmv_ell_item_rows,
+)
+from repro.core.matrix import BatchEll
+from repro.cudasim.device import a100_device
+from repro.sycl.device import cpu_device, pvc_stack_device
+from repro.sycl.memory import LocalSpec
+from repro.sycl.ndrange import NDRange
+from repro.sycl.queue import Queue
+from repro.workloads.general import random_diag_dominant_batch
+from repro.workloads.stencil import stencil_rhs, three_point_stencil
+
+
+@pytest.fixture
+def queue():
+    return Queue(cpu_device())
+
+
+class TestReductionSubroutines:
+    def test_group_dot_matches_numpy(self, queue, rng):
+        a = rng.standard_normal(12)
+        b = rng.standard_normal(12)
+        out = np.zeros(1)
+
+        def kernel(item, slm, a, b, out):
+            total = yield from group_dot(item, a, b, 12)
+            if item.local_id == 0:
+                out[0] = total
+
+        queue.parallel_for(NDRange(16, 16, 8), kernel, args=(a, b, out))
+        assert np.allclose(out[0], a @ b)
+
+    def test_sub_group_dot_every_sub_group_gets_full_result(self, queue, rng):
+        a = rng.standard_normal(8)
+        out = np.zeros(16)
+
+        def kernel(item, slm, a, out):
+            total = yield from sub_group_dot(item, a, a, 8)
+            out[item.global_id] = total
+
+        queue.parallel_for(NDRange(16, 16, 8), kernel, args=(a, out))
+        assert np.allclose(out, a @ a)
+
+
+class TestSpmvKernels:
+    @pytest.fixture
+    def problem(self):
+        matrix = random_diag_dominant_batch(2, 10, density=0.4, seed=6)
+        x = np.random.default_rng(1).standard_normal(10)
+        expected = matrix.item_scipy(0) @ x
+        return matrix, x, expected
+
+    def test_item_rows_matches_scipy(self, queue, problem):
+        matrix, x, expected = problem
+        y = np.zeros(10)
+
+        def kernel(item, slm, m_vals, x, y):
+            yield from spmv_csr_item_rows(
+                item, matrix.row_ptrs, matrix.col_idxs, m_vals, x, y, 10
+            )
+
+        queue.parallel_for(NDRange(8, 8, 4), kernel, args=(matrix.values[0], x, y))
+        assert np.allclose(y, expected)
+
+    def test_subgroup_rows_matches_scipy(self, queue, problem):
+        matrix, x, expected = problem
+        y = np.zeros(10)
+
+        def kernel(item, slm, m_vals, x, y):
+            yield from spmv_csr_subgroup_rows(
+                item, matrix.row_ptrs, matrix.col_idxs, m_vals, x, y, 10
+            )
+
+        # 3 sub-groups of 4: 10 rows do not divide evenly — exercises the
+        # uneven sub-group trip counts
+        queue.parallel_for(NDRange(12, 12, 4), kernel, args=(matrix.values[0], x, y))
+        assert np.allclose(y, expected)
+
+    def test_ell_item_rows_matches_scipy(self, queue, problem):
+        matrix, x, expected = problem
+        ell = BatchEll.from_batch_csr(matrix)
+        y = np.zeros(10)
+
+        def kernel(item, slm, vals, x, y):
+            yield from spmv_ell_item_rows(
+                item, ell.col_idxs, vals, x, y, 10, ell.ell_width
+            )
+
+        queue.parallel_for(NDRange(8, 8, 4), kernel, args=(ell.values[0], x, y))
+        assert np.allclose(y, expected)
+
+
+class TestFusedCgKernel:
+    def test_matches_vectorized_solver(self):
+        matrix = three_point_stencil(16, 3)
+        b = stencil_rhs(16, 3)
+        device = pvc_stack_device(1)
+        x, iters, event = run_batch_cg_on_device(device, matrix, b, tolerance=1e-10)
+        ref = BatchCg(
+            matrix,
+            settings=SolverSettings(
+                max_iterations=200, criterion=RelativeResidual(1e-10)
+            ),
+        ).solve(b)
+        assert np.allclose(x, ref.x, atol=1e-10)
+        assert np.array_equal(iters, ref.iterations)
+
+    def test_subgroup_spmv_variant_agrees(self):
+        matrix = three_point_stencil(16, 2)
+        b = stencil_rhs(16, 2)
+        device = pvc_stack_device(1)
+        x1, _, _ = run_batch_cg_on_device(device, matrix, b, use_subgroup_spmv=False)
+        x2, _, _ = run_batch_cg_on_device(device, matrix, b, use_subgroup_spmv=True)
+        assert np.allclose(x1, x2, atol=1e-9)
+
+    def test_jacobi_preconditioned(self):
+        matrix = random_diag_dominant_batch(2, 12, seed=9)
+        # symmetrize for CG
+        dense = matrix.to_batch_dense()
+        dense = 0.5 * (dense + dense.transpose(0, 2, 1))
+        from repro.core.matrix import BatchCsr
+
+        spd = BatchCsr.from_dense(dense)
+        b = np.ones((2, 12))
+        inv_diag = 1.0 / spd.diagonal()
+        device = pvc_stack_device(1)
+        x, iters, _ = run_batch_cg_on_device(device, spd, b, inv_diag=inv_diag)
+        res = np.linalg.norm(b - spd.apply(x), axis=1) / np.linalg.norm(b, axis=1)
+        assert np.max(res) < 1e-9
+
+    def test_single_fused_launch(self):
+        matrix = three_point_stencil(8, 2)
+        b = stencil_rhs(8, 2)
+        queue = Queue(pvc_stack_device(1))
+        run_batch_cg_on_device(pvc_stack_device(1), matrix, b, queue=queue)
+        # Section 3.4: the whole batch solve is exactly one kernel launch
+        assert queue.num_launches == 1
+
+
+class TestFusedBicgstabKernel:
+    @pytest.fixture
+    def problem(self):
+        matrix = random_diag_dominant_batch(2, 12, density=0.4, seed=3)
+        b = np.random.default_rng(0).standard_normal((2, 12))
+        return matrix, b, 1.0 / matrix.diagonal()
+
+    @pytest.mark.parametrize("style,device_fn", [
+        ("group", lambda: pvc_stack_device(1)),
+        ("cuda", a100_device),
+    ])
+    def test_solves_to_tolerance(self, problem, style, device_fn):
+        matrix, b, inv_diag = problem
+        x, iters, _ = run_batch_bicgstab_on_device(
+            device_fn(), matrix, b, inv_diag=inv_diag, reduce_style=style
+        )
+        res = np.linalg.norm(b - matrix.apply(x), axis=1) / np.linalg.norm(b, axis=1)
+        assert np.max(res) < 1e-9
+
+    def test_all_reduction_styles_agree(self, problem):
+        matrix, b, inv_diag = problem
+        device = pvc_stack_device(1)
+        results = {}
+        for style, dev in [
+            ("group", device),
+            ("sub_group", device),
+            ("cuda", a100_device()),
+        ]:
+            x, iters, _ = run_batch_bicgstab_on_device(
+                dev, matrix, b, inv_diag=inv_diag, reduce_style=style
+            )
+            results[style] = (x, iters)
+        # Section 3.2: backends differ only in reduction mechanism — the
+        # numerics must agree
+        for style in ("sub_group", "cuda"):
+            assert np.allclose(results["group"][0], results[style][0], atol=1e-9)
+            assert np.array_equal(results["group"][1], results[style][1])
+
+    def test_matches_vectorized_iterations(self, problem):
+        matrix, b, inv_diag = problem
+        x, iters, _ = run_batch_bicgstab_on_device(
+            pvc_stack_device(1), matrix, b, inv_diag=inv_diag, tolerance=1e-10
+        )
+        from repro.core import BatchJacobi
+
+        ref = BatchBicgstab(
+            matrix,
+            BatchJacobi(matrix),
+            settings=SolverSettings(
+                max_iterations=200, criterion=RelativeResidual(1e-10)
+            ),
+        ).solve(b)
+        res_kernel = np.linalg.norm(b - matrix.apply(x), axis=1)
+        res_ref = np.linalg.norm(b - matrix.apply(ref.x), axis=1)
+        # same algorithm, same preconditioner: comparable accuracy
+        assert np.max(res_kernel) < 10 * max(np.max(res_ref), 1e-12)
+
+    def test_invalid_style_rejected(self, problem):
+        matrix, b, inv_diag = problem
+        with pytest.raises(ValueError, match="reduce_style"):
+            run_batch_bicgstab_on_device(
+                pvc_stack_device(1), matrix, b, reduce_style="magic"
+            )

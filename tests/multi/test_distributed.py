@@ -1,0 +1,192 @@
+"""The simulated MPI world and distributed batched solves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dispatch import BatchSolverFactory
+from repro.hw.specs import gpu
+from repro.multi import (
+    SimWorld,
+    estimate_multi_gpu,
+    partition_batch,
+    solve_distributed,
+)
+from repro.workloads.general import random_diag_dominant_batch
+from repro.workloads.pele import pele_batch, pele_rhs
+from tests.conftest import reference_solutions
+
+
+class TestSimWorld:
+    def test_scatter_accounts_bytes(self):
+        world = SimWorld(4)
+        chunks = [np.ones(10) for _ in range(4)]
+        world.scatter(chunks)
+        # root->root is free; three remote transfers of 80 bytes
+        assert world.total_bytes == 3 * 80.0
+
+    def test_gather_and_bcast(self):
+        world = SimWorld(3)
+        gathered = world.gather([np.ones(2) * r for r in range(3)])
+        assert np.allclose(gathered[2], 2.0)
+        received = world.bcast(np.zeros(4))
+        assert len(received) == 3
+        assert world.total_bytes == 2 * 16.0 + 2 * 32.0
+
+    def test_allreduce(self):
+        world = SimWorld(4)
+        total = world.allreduce([1.0, 2.0, 3.0, 4.0], op=lambda a, b: a + b)
+        assert total == 10.0
+
+    def test_run_executes_every_rank(self):
+        world = SimWorld(5)
+        ranks = world.run(lambda comm: comm.rank)
+        assert ranks == [0, 1, 2, 3, 4]
+
+    def test_wrong_chunk_count_rejected(self):
+        with pytest.raises(ValueError, match="chunks"):
+            SimWorld(2).scatter([np.ones(1)])
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            SimWorld(0)
+
+    def test_matrix_payload_sized_by_storage(self, dd_batch):
+        world = SimWorld(2)
+        world.scatter([dd_batch.take_batch(slice(0, 4)), dd_batch.take_batch(slice(4, 8))])
+        assert world.total_bytes == dd_batch.take_batch(slice(4, 8)).storage_bytes
+
+
+class TestPartition:
+    def test_balanced_partition(self):
+        parts = partition_batch(10, 3)
+        sizes = [sl.stop - sl.start for sl in parts]
+        assert sizes == [4, 3, 3]
+        assert parts[0].start == 0 and parts[-1].stop == 10
+
+    def test_exact_division(self):
+        parts = partition_batch(8, 4)
+        assert all(sl.stop - sl.start == 2 for sl in parts)
+
+    def test_more_ranks_than_items_rejected(self):
+        with pytest.raises(ValueError, match="more ranks"):
+            partition_batch(2, 4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(nb=st.integers(1, 200), data=st.data())
+    def test_partition_property(self, nb, data):
+        ranks = data.draw(st.integers(1, nb))
+        parts = partition_batch(nb, ranks)
+        sizes = [sl.stop - sl.start for sl in parts]
+        assert sum(sizes) == nb
+        assert max(sizes) - min(sizes) <= 1
+        # contiguous, ordered cover
+        assert parts[0].start == 0
+        for a, b in zip(parts, parts[1:]):
+            assert a.stop == b.start
+
+
+class TestDistributedSolve:
+    @pytest.fixture
+    def problem(self):
+        matrix = random_diag_dominant_batch(12, 10, seed=4)
+        b = np.random.default_rng(0).standard_normal((12, 10))
+        factory = BatchSolverFactory(
+            solver="bicgstab", preconditioner="jacobi", tolerance=1e-10
+        )
+        return matrix, b, factory
+
+    def test_matches_single_rank_solution(self, problem):
+        matrix, b, factory = problem
+        single = factory.solve(matrix, b)
+        world = SimWorld(3)
+        dist = solve_distributed(world, factory, matrix, b)
+        assert dist.all_converged
+        assert np.allclose(dist.x, single.x, atol=1e-12)
+        assert np.array_equal(dist.iterations, single.iterations)
+
+    def test_matches_lapack(self, problem):
+        matrix, b, factory = problem
+        dist = solve_distributed(SimWorld(4), factory, matrix, b)
+        assert np.allclose(dist.x, reference_solutions(matrix, b), atol=1e-7)
+
+    def test_no_communication_during_solve(self, problem):
+        # the paper's claim: only scatter + gather cross the wire
+        matrix, b, factory = problem
+        world = SimWorld(3)
+        solve_distributed(world, factory, matrix, b)
+        ops = [line.split()[0] for line in world.collective_log]
+        assert set(ops) <= {"scatter", "gather", "p2p"}
+        assert "scatter" in ops and "gather" in ops
+
+    def test_initial_guess_distributed(self, problem):
+        matrix, b, factory = problem
+        single = factory.solve(matrix, b)
+        dist = solve_distributed(
+            SimWorld(2), factory, matrix, b, x0=single.x
+        )
+        assert dist.all_converged
+        assert np.max(dist.iterations) == 0
+
+    def test_shards_keep_shared_pattern(self, problem):
+        matrix, _, _ = problem
+        shard = matrix.take_batch(slice(3, 7))
+        assert shard.num_batch == 4
+        assert np.array_equal(shard.col_idxs, matrix.col_idxs)
+        assert np.array_equal(shard.row_ptrs, matrix.row_ptrs)
+
+
+class TestMultiGpuModel:
+    @pytest.fixture(scope="class")
+    def pele_setup(self):
+        matrix = pele_batch("gri30")
+        factory = BatchSolverFactory(
+            solver="bicgstab", preconditioner="jacobi", tolerance=1e-9
+        )
+        result = factory.solve(matrix, pele_rhs(matrix))
+        return matrix, factory, result
+
+    def test_near_linear_scaling(self, pele_setup):
+        matrix, factory, result = pele_setup
+        spec = gpu("pvc2")
+        timings = {
+            ranks: estimate_multi_gpu(
+                spec, factory, matrix, result, num_batch=2**17, num_ranks=ranks
+            )
+            for ranks in (1, 2, 4)
+        }
+        s2 = timings[2].speedup_over(timings[1])
+        s4 = timings[4].speedup_over(timings[1])
+        assert 1.5 < s2 <= 2.0
+        assert 2.5 < s4 <= 4.0
+        assert s4 > s2
+
+    def test_transfer_term_behaviour(self, pele_setup):
+        matrix, factory, result = pele_setup
+        staged = estimate_multi_gpu(
+            gpu("pvc2"), factory, matrix, result, num_batch=2**17, num_ranks=4
+        )
+        resident = estimate_multi_gpu(
+            gpu("pvc2"),
+            factory,
+            matrix,
+            result,
+            num_batch=2**17,
+            num_ranks=4,
+            host_staging=False,
+        )
+        assert staged.transfer_seconds > 0
+        assert resident.transfer_seconds == 0.0
+        assert resident.total_seconds < staged.total_seconds
+        # per-rank links: the transfer also shrinks with more ranks
+        staged1 = estimate_multi_gpu(
+            gpu("pvc2"), factory, matrix, result, num_batch=2**17, num_ranks=1
+        )
+        assert staged.transfer_seconds < staged1.transfer_seconds
+
+    def test_invalid_bandwidth_rejected(self, pele_setup):
+        matrix, factory, result = pele_setup
+        with pytest.raises(ValueError):
+            estimate_multi_gpu(
+                gpu("pvc1"), factory, matrix, result, 2**14, 2, interconnect_gbps=0
+            )

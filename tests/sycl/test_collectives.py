@@ -1,0 +1,180 @@
+"""Group and sub-group collectives: semantics against NumPy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sycl.device import cpu_device
+from repro.sycl.group import evaluate_collective
+from repro.sycl.ndrange import NDRange
+from repro.sycl.queue import Queue
+
+
+@pytest.fixture
+def queue():
+    return Queue(cpu_device())
+
+
+def _run(queue, ndrange, kernel, *args, local_specs=None):
+    return queue.parallel_for(ndrange, kernel, args=args, local_specs=local_specs)
+
+
+class TestGroupReduce:
+    def test_sum_over_group(self, queue):
+        x = np.arange(16, dtype=np.float64)
+        out = np.zeros(16)
+
+        def kernel(item, slm, x, out):
+            total = yield item.reduce_over_group(x[item.global_id], "sum")
+            out[item.global_id] = total
+
+        _run(queue, NDRange(16, 16, 8), kernel, x, out)
+        assert np.all(out == x.sum())
+
+    def test_max_over_group(self, queue):
+        x = np.array([3.0, -1.0, 7.0, 2.0] * 2)
+        out = np.zeros(8)
+
+        def kernel(item, slm, x, out):
+            out[item.global_id] = yield item.reduce_over_group(x[item.global_id], "max")
+
+        _run(queue, NDRange(8, 8, 4), kernel, x, out)
+        assert np.all(out == 7.0)
+
+    def test_reduce_is_per_group(self, queue):
+        x = np.arange(8, dtype=np.float64)
+        out = np.zeros(8)
+
+        def kernel(item, slm, x, out):
+            out[item.global_id] = yield item.reduce_over_group(x[item.global_id], "sum")
+
+        _run(queue, NDRange(8, 4, 4), kernel, x, out)
+        assert np.all(out[:4] == 6.0)
+        assert np.all(out[4:] == 22.0)
+
+
+class TestSubGroupOps:
+    def test_sub_group_reduce_scopes_are_independent(self, queue):
+        x = np.arange(16, dtype=np.float64)
+        out = np.zeros(16)
+
+        def kernel(item, slm, x, out):
+            out[item.global_id] = yield item.reduce_over_sub_group(
+                x[item.global_id], "sum"
+            )
+
+        _run(queue, NDRange(16, 16, 4), kernel, x, out)
+        for sg in range(4):
+            chunk = x[4 * sg : 4 * sg + 4]
+            assert np.all(out[4 * sg : 4 * sg + 4] == chunk.sum())
+
+    def test_broadcast_from_lane(self, queue):
+        x = np.arange(8, dtype=np.float64)
+        out = np.zeros(8)
+
+        def kernel(item, slm, x, out):
+            out[item.global_id] = yield item.broadcast_over_sub_group(
+                x[item.global_id], 2
+            )
+
+        _run(queue, NDRange(8, 8, 4), kernel, x, out)
+        assert np.all(out[:4] == 2.0)
+        assert np.all(out[4:] == 6.0)
+
+    def test_shift_left_out_of_range_keeps_own_value(self, queue):
+        x = np.arange(4, dtype=np.float64)
+        out = np.zeros(4)
+
+        def kernel(item, slm, x, out):
+            out[item.global_id] = yield item.shift_sub_group_left(x[item.global_id], 2)
+
+        _run(queue, NDRange(4, 4, 4), kernel, x, out)
+        assert list(out) == [2.0, 3.0, 2.0, 3.0]
+
+    def test_xor_permute(self, queue):
+        x = np.arange(4, dtype=np.float64)
+        out = np.zeros(4)
+
+        def kernel(item, slm, x, out):
+            out[item.global_id] = yield item.permute_sub_group_xor(x[item.global_id], 1)
+
+        _run(queue, NDRange(4, 4, 4), kernel, x, out)
+        assert list(out) == [1.0, 0.0, 3.0, 2.0]
+
+
+class TestScansAndVotes:
+    def test_inclusive_scan(self, queue):
+        x = np.ones(8)
+        out = np.zeros(8)
+
+        def kernel(item, slm, x, out):
+            out[item.global_id] = yield item.inclusive_scan_over_group(
+                x[item.global_id], "sum"
+            )
+
+        _run(queue, NDRange(8, 8, 8), kernel, x, out)
+        assert list(out) == list(np.arange(1.0, 9.0))
+
+    def test_exclusive_scan(self, queue):
+        x = np.ones(8)
+        out = np.zeros(8)
+
+        def kernel(item, slm, x, out):
+            out[item.global_id] = yield item.exclusive_scan_over_group(
+                x[item.global_id], "sum"
+            )
+
+        _run(queue, NDRange(8, 8, 8), kernel, x, out)
+        assert list(out) == list(np.arange(0.0, 8.0))
+
+    def test_any_and_all_of_group(self, queue):
+        out = np.zeros((2, 8))
+
+        def kernel(item, slm, out):
+            a = yield item.any_of_group(item.local_id == 3)
+            b = yield item.all_of_group(item.local_id < 100)
+            out[0, item.global_id] = float(a)
+            out[1, item.global_id] = float(b)
+
+        _run(queue, NDRange(8, 8, 8), kernel, out)
+        assert np.all(out == 1.0)
+
+
+class TestEvaluateCollectiveProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=1, max_size=16
+        )
+    )
+    def test_reduce_sum_matches_numpy(self, values):
+        lanes = list(range(len(values)))
+        result = evaluate_collective("reduce", ("sum",), lanes, values)
+        assert np.allclose(result, np.sum(values))
+        assert len(result) == len(values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.floats(-10, 10, allow_nan=False), min_size=1, max_size=12),
+        data=st.data(),
+    )
+    def test_inclusive_scan_matches_cumsum(self, values, data):
+        lanes = list(range(len(values)))
+        result = evaluate_collective("inclusive_scan", ("sum",), lanes, values)
+        assert np.allclose(result, np.cumsum(values))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.floats(-10, 10, allow_nan=False), min_size=2, max_size=8),
+        delta=st.integers(1, 4),
+    )
+    def test_shuffle_down_semantics(self, values, delta):
+        lanes = list(range(len(values)))
+        result = evaluate_collective("shuffle", ("down", delta), lanes, values)
+        for lane in lanes:
+            expected = values[lane + delta] if lane + delta < len(values) else values[lane]
+            assert result[lane] == expected
+
+    def test_broadcast_missing_lane_raises(self):
+        with pytest.raises(ValueError, match="not a member"):
+            evaluate_collective("broadcast", (9,), [0, 1, 2], [1.0, 2.0, 3.0])

@@ -1,0 +1,72 @@
+"""Device descriptor validation and capability queries."""
+
+import pytest
+
+from repro.exceptions import DeviceCapabilityError, SubGroupSizeError
+from repro.sycl.device import SyclDevice, cpu_device, pvc_stack_device
+
+
+class TestSyclDeviceValidation:
+    def test_rejects_zero_compute_units(self):
+        with pytest.raises(DeviceCapabilityError):
+            SyclDevice("bad", "x", 0, (16,), 1024)
+
+    def test_rejects_empty_sub_group_sizes(self):
+        with pytest.raises(DeviceCapabilityError):
+            SyclDevice("bad", "x", 4, (), 1024)
+
+    def test_rejects_non_power_of_two_sub_group(self):
+        with pytest.raises(SubGroupSizeError):
+            SyclDevice("bad", "x", 4, (12,), 1024)
+
+    def test_rejects_zero_slm(self):
+        with pytest.raises(DeviceCapabilityError):
+            SyclDevice("bad", "x", 4, (16,), 0)
+
+
+class TestCapabilityQueries:
+    def test_supports_declared_sub_group_sizes(self):
+        dev = pvc_stack_device(1)
+        assert dev.supports_sub_group_size(16)
+        assert dev.supports_sub_group_size(32)
+        assert not dev.supports_sub_group_size(64)
+
+    def test_validate_sub_group_size_raises_for_unsupported(self):
+        with pytest.raises(SubGroupSizeError):
+            pvc_stack_device(1).validate_sub_group_size(8)
+
+    def test_validate_work_group_size_bounds(self):
+        dev = cpu_device()
+        dev.validate_work_group_size(1)
+        dev.validate_work_group_size(dev.max_work_group_size)
+        with pytest.raises(DeviceCapabilityError):
+            dev.validate_work_group_size(0)
+        with pytest.raises(DeviceCapabilityError):
+            dev.validate_work_group_size(dev.max_work_group_size + 1)
+
+    def test_preferred_sub_group_size_is_smallest(self):
+        assert pvc_stack_device(1).preferred_sub_group_size == 16
+
+
+class TestPvcDescriptor:
+    def test_one_stack_has_64_xe_cores(self):
+        dev = pvc_stack_device(1)
+        assert dev.num_compute_units == 64
+        assert dev.total_compute_units == 64
+
+    def test_two_stacks_double_total_cores(self):
+        dev = pvc_stack_device(2)
+        assert dev.num_compute_units == 64
+        assert dev.total_compute_units == 128
+
+    def test_slm_is_128_kb_per_core(self):
+        assert pvc_stack_device(1).slm_bytes_per_cu == 128 * 1024
+
+    def test_invalid_stack_count_rejected(self):
+        with pytest.raises(DeviceCapabilityError):
+            pvc_stack_device(3)
+
+    def test_xe_core_hierarchy_recorded(self):
+        dev = pvc_stack_device(1)
+        assert dev.extra["xve_per_core"] == 8
+        assert dev.extra["hw_threads_per_xve"] == 8

@@ -1,0 +1,185 @@
+"""Executor semantics: barriers, divergence detection, SLM, launch stats."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    BarrierDivergenceError,
+    KernelFaultError,
+    LocalMemoryError,
+    SubGroupSizeError,
+)
+from repro.sycl.device import cpu_device, pvc_stack_device
+from repro.sycl.memory import LocalSpec
+from repro.sycl.ndrange import NDRange
+from repro.sycl.queue import Queue
+
+
+@pytest.fixture
+def queue():
+    return Queue(cpu_device())
+
+
+class TestBarriers:
+    def test_barrier_orders_slm_writes(self, queue):
+        out = np.zeros(8)
+
+        def kernel(item, slm, out):
+            # reversal through SLM requires the barrier to be correct
+            slm.buf[item.local_id] = float(item.local_id)
+            yield item.barrier()
+            out[item.global_id] = slm.buf[item.local_range - 1 - item.local_id]
+
+        queue.parallel_for(
+            NDRange(8, 8, 8), kernel, args=(out,), local_specs=[LocalSpec("buf", (8,))]
+        )
+        assert list(out) == list(range(7, -1, -1))
+
+    def test_divergent_barrier_raises(self, queue):
+        def kernel(item, slm):
+            if item.local_id == 0:
+                yield item.barrier()
+
+        with pytest.raises(BarrierDivergenceError, match="finished work-items"):
+            queue.parallel_for(NDRange(8, 8, 8), kernel)
+
+    def test_mismatched_collectives_raise(self, queue):
+        def kernel(item, slm):
+            if item.local_id < 4:
+                yield item.reduce_over_group(1.0, "sum")
+            else:
+                yield item.reduce_over_group(1.0, "max")
+
+        with pytest.raises(BarrierDivergenceError, match="different synchronization"):
+            queue.parallel_for(NDRange(8, 8, 8), kernel)
+
+    def test_group_vs_sub_group_deadlock_detected(self, queue):
+        # one lane of sub-group 1 goes to the group barrier while its
+        # siblings sit in a sub-group barrier: neither scope can assemble
+        def kernel(item, slm):
+            if item.sub_group_id == 1 and item.lane != 0:
+                yield item.sub_group_barrier()
+            yield item.barrier()
+
+        with pytest.raises(BarrierDivergenceError, match="deadlocked"):
+            queue.parallel_for(NDRange(8, 8, 4), kernel)
+
+    def test_mixed_scope_kernel_that_reconverges_is_legal(self, queue):
+        # sub-group 1 synchronizes privately, then everyone meets at the
+        # group barrier — legal and must complete
+        out = np.zeros(8)
+
+        def kernel(item, slm, out):
+            if item.sub_group_id == 1:
+                yield item.sub_group_barrier()
+            yield item.barrier()
+            out[item.global_id] = 1.0
+
+        queue.parallel_for(NDRange(8, 8, 4), kernel, args=(out,))
+        assert np.all(out == 1.0)
+
+    def test_different_barrier_counts_per_sub_group_are_legal(self, queue):
+        # sub-group scoped synchronization does not require other
+        # sub-groups to participate
+        out = np.zeros(8)
+
+        def kernel(item, slm, out):
+            reps = item.sub_group_id + 1
+            total = 0.0
+            for _ in range(reps):
+                total = yield item.reduce_over_sub_group(1.0, "sum")
+            out[item.global_id] = total
+            yield item.barrier()
+
+        queue.parallel_for(NDRange(8, 8, 4), kernel, args=(out,))
+        assert np.all(out == 4.0)
+
+
+class TestKernelForms:
+    def test_plain_function_kernel(self, queue):
+        out = np.zeros(8)
+
+        def kernel(item, slm, out):
+            out[item.global_id] = item.group_id * 100 + item.local_id
+
+        queue.parallel_for(NDRange(8, 4, 4), kernel, args=(out,))
+        assert list(out) == [0, 1, 2, 3, 100, 101, 102, 103]
+
+    def test_yielding_non_syncop_raises(self, queue):
+        def kernel(item, slm):
+            yield 42
+
+        with pytest.raises(KernelFaultError, match="SyncOp"):
+            queue.parallel_for(NDRange(4, 4, 4), kernel)
+
+
+class TestLaunchValidation:
+    def test_slm_overflow_rejected(self):
+        queue = Queue(pvc_stack_device(1))
+
+        def kernel(item, slm):
+            yield item.barrier()
+
+        with pytest.raises(LocalMemoryError):
+            queue.parallel_for(
+                NDRange(16, 16, 16),
+                kernel,
+                local_specs=[LocalSpec("huge", (128 * 1024,))],  # 1 MB > 128 KB
+            )
+
+    def test_unsupported_sub_group_size_rejected(self):
+        queue = Queue(pvc_stack_device(1))
+
+        def kernel(item, slm):
+            yield item.barrier()
+
+        with pytest.raises(SubGroupSizeError):
+            queue.parallel_for(NDRange(8, 8, 8), kernel)  # PVC: only 16/32
+
+
+class TestLaunchStats:
+    def test_stats_record_geometry_and_collectives(self, queue):
+        def kernel(item, slm):
+            yield item.barrier()
+            yield item.reduce_over_group(1.0, "sum")
+            yield item.reduce_over_sub_group(1.0, "sum")
+
+        event = queue.parallel_for(
+            NDRange(32, 16, 8), kernel, local_specs=[LocalSpec("b", (4,))]
+        )
+        stats = event.stats
+        assert stats.num_groups == 2
+        assert stats.local_size == 16
+        assert stats.sub_group_size == 8
+        assert stats.slm_bytes_per_group == 32
+        assert stats.collective_counts["group:barrier"] == 2
+        assert stats.collective_counts["group:reduce"] == 2
+        assert stats.collective_counts["sub_group:reduce"] == 4
+
+    def test_queue_counts_launches(self, queue):
+        def kernel(item, slm):
+            return None
+
+        assert queue.num_launches == 0
+        queue.parallel_for(NDRange(4, 4, 4), kernel)
+        queue.parallel_for(NDRange(4, 4, 4), kernel)
+        assert queue.num_launches == 2
+        assert queue.events[0].duration_seconds >= 0.0
+
+
+class TestPoisonedSlm:
+    def test_kernel_reading_uninitialized_slm_sees_nan(self, queue):
+        out = np.zeros(4)
+
+        def kernel(item, slm, out):
+            out[item.global_id] = slm.buf[item.local_id]
+            yield item.barrier()
+
+        queue.parallel_for(
+            NDRange(4, 4, 4),
+            kernel,
+            args=(out,),
+            local_specs=[LocalSpec("buf", (4,))],
+            poison_slm=True,
+        )
+        assert np.all(np.isnan(out))

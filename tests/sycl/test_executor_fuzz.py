@@ -1,0 +1,129 @@
+"""Property-based fuzzing of the cooperative executor.
+
+Generates random—but legal—kernels (random mixes of group/sub-group
+collectives with data-independent control flow) and checks the executor's
+results against a direct sequential evaluation of the same collective
+sequence. This is the deep invariant the solvers rely on: collectives
+deliver the same values the mathematical definition prescribes, regardless
+of interleaving.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sycl.device import cpu_device
+from repro.sycl.ndrange import NDRange
+from repro.sycl.queue import Queue
+
+_OPS = ("group_sum", "group_max", "sub_sum", "barrier", "bcast", "scan")
+
+
+def _reference(op: str, geometry, values: np.ndarray) -> np.ndarray:
+    """Sequential evaluation of one collective over all work-items."""
+    wg, sg = geometry
+    out = np.empty_like(values)
+    if op == "group_sum":
+        out[:] = values.sum()
+    elif op == "group_max":
+        out[:] = values.max()
+    elif op == "sub_sum":
+        for s in range(wg // sg):
+            out[s * sg : (s + 1) * sg] = values[s * sg : (s + 1) * sg].sum()
+    elif op == "barrier":
+        out[:] = values
+    elif op == "bcast":
+        out[:] = values[0]
+    elif op == "scan":
+        out[:] = np.cumsum(values)
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sub_groups=st.integers(1, 4),
+    sg=st.sampled_from([4, 8]),
+    ops=st.lists(st.sampled_from(_OPS), min_size=1, max_size=6),
+    seed=st.integers(0, 10_000),
+)
+def test_random_collective_sequences_match_reference(sub_groups, sg, ops, seed):
+    wg = sub_groups * sg
+    rng = np.random.default_rng(seed)
+    initial = rng.integers(-5, 6, size=wg).astype(np.float64)
+
+    # reference: apply each op to the running per-item values
+    expected = initial.copy()
+    for op in ops:
+        expected = _reference(op, (wg, sg), expected)
+
+    observed = np.zeros(wg)
+
+    def kernel(item, slm, initial, observed):
+        value = float(initial[item.local_id])
+        for op in ops:
+            if op == "group_sum":
+                value = yield item.reduce_over_group(value, "sum")
+            elif op == "group_max":
+                value = yield item.reduce_over_group(value, "max")
+            elif op == "sub_sum":
+                value = yield item.reduce_over_sub_group(value, "sum")
+            elif op == "barrier":
+                yield item.barrier()
+            elif op == "bcast":
+                value = yield item.broadcast_over_group(value, 0)
+            elif op == "scan":
+                value = yield item.inclusive_scan_over_group(value, "sum")
+        observed[item.local_id] = value
+
+    queue = Queue(cpu_device())
+    queue.parallel_for(NDRange(wg, wg, sg), kernel, args=(initial, observed))
+    assert np.allclose(observed, expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sub_groups=st.integers(2, 4),
+    sg=st.sampled_from([4, 8]),
+    reps_per_sg=st.lists(st.integers(0, 3), min_size=4, max_size=4),
+)
+def test_uneven_sub_group_work_reconverges(sub_groups, sg, reps_per_sg):
+    """Sub-groups doing different numbers of private collectives is legal."""
+    wg = sub_groups * sg
+    observed = np.zeros(wg)
+
+    def kernel(item, slm, observed):
+        reps = reps_per_sg[item.sub_group_id % len(reps_per_sg)]
+        total = 0.0
+        for _ in range(reps):
+            total = yield item.reduce_over_sub_group(1.0, "sum")
+        yield item.barrier()
+        grand = yield item.reduce_over_group(total, "sum")
+        observed[item.local_id] = grand
+
+    queue = Queue(cpu_device())
+    queue.parallel_for(NDRange(wg, wg, sg), kernel, args=(observed,))
+    expected = sum(
+        sg * (1.0 if reps_per_sg[s % len(reps_per_sg)] > 0 else 0.0) * sg
+        for s in range(sub_groups)
+    )
+    assert np.all(observed == expected)
+
+
+def test_many_groups_are_independent():
+    """Work-groups never observe each other's SLM or collectives."""
+    out = np.zeros(32)
+
+    def kernel(item, slm, out):
+        slm.buf[item.local_id] = float(item.group_id + 1)
+        yield item.barrier()
+        total = yield item.reduce_over_group(slm.buf[item.local_id], "sum")
+        out[item.global_id] = total
+
+    from repro.sycl.memory import LocalSpec
+
+    queue = Queue(cpu_device())
+    queue.parallel_for(
+        NDRange(32, 8, 4), kernel, args=(out,), local_specs=[LocalSpec("buf", (8,))]
+    )
+    for g in range(4):
+        assert np.all(out[8 * g : 8 * g + 8] == 8.0 * (g + 1))

@@ -1,0 +1,67 @@
+"""Shared-local-memory specs, capacity checking, allocation and poisoning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LocalMemoryError
+from repro.sycl.memory import (
+    LocalSpec,
+    allocate_local,
+    check_local_capacity,
+    poison_local,
+    total_local_bytes,
+)
+
+
+class TestLocalSpec:
+    def test_nbytes_fp64(self):
+        assert LocalSpec("r", (16,)).nbytes == 128
+
+    def test_nbytes_multi_dim(self):
+        assert LocalSpec("h", (4, 8), np.float32).nbytes == 128
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(LocalMemoryError):
+            LocalSpec("bad", (-1,))
+
+    def test_zero_size_allowed(self):
+        assert LocalSpec("empty", (0,)).nbytes == 0
+
+
+class TestCapacity:
+    def test_total_bytes_sums_specs(self):
+        specs = [LocalSpec("a", (8,)), LocalSpec("b", (8,))]
+        assert total_local_bytes(specs) == 128
+
+    def test_over_capacity_raises_with_detail(self):
+        specs = [LocalSpec("big", (1000,))]
+        with pytest.raises(LocalMemoryError, match="big"):
+            check_local_capacity(specs, 1024, "dev")
+
+    def test_exact_fit_allowed(self):
+        check_local_capacity([LocalSpec("a", (128,))], 1024, "dev")
+
+
+class TestAllocation:
+    def test_allocate_zero_initialized(self):
+        local = allocate_local([LocalSpec("r", (4,)), LocalSpec("i", (2,), np.int32)])
+        assert np.all(local.r == 0.0)
+        assert local.r.dtype == np.float64
+        assert local.i.dtype == np.int32
+
+    def test_allocations_are_independent_per_call(self):
+        spec = [LocalSpec("r", (4,))]
+        a = allocate_local(spec)
+        b = allocate_local(spec)
+        a.r[0] = 42.0
+        assert b.r[0] == 0.0
+
+    def test_poison_fills_floats_with_nan(self):
+        local = allocate_local([LocalSpec("r", (4,))])
+        poison_local(local)
+        assert np.all(np.isnan(local.r))
+
+    def test_poison_fills_ints_with_max(self):
+        local = allocate_local([LocalSpec("i", (4,), np.int32)])
+        poison_local(local)
+        assert np.all(local.i == np.iinfo(np.int32).max)

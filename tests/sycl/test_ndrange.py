@@ -1,0 +1,78 @@
+"""ND-range geometry: divisibility rules and index decomposition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import InvalidNDRangeError
+from repro.sycl.ndrange import EXECUTION_MODEL_MAP, NDRange
+
+
+class TestValidation:
+    def test_global_must_be_multiple_of_local(self):
+        with pytest.raises(InvalidNDRangeError):
+            NDRange(100, 32, 16)
+
+    def test_local_must_be_multiple_of_sub_group(self):
+        # the SYCL requirement cited in Section 3.6
+        with pytest.raises(InvalidNDRangeError):
+            NDRange(96, 24, 16)
+
+    def test_sizes_must_be_positive(self):
+        with pytest.raises(InvalidNDRangeError):
+            NDRange(0, 16, 16)
+        with pytest.raises(InvalidNDRangeError):
+            NDRange(16, -16, 16)
+
+    def test_valid_range_accepted(self):
+        nd = NDRange(128, 32, 16)
+        assert nd.num_groups == 4
+        assert nd.sub_groups_per_group == 2
+
+
+class TestDecomposition:
+    def test_group_and_local_of(self):
+        nd = NDRange(64, 16, 8)
+        assert nd.group_of(0) == 0
+        assert nd.group_of(17) == 1
+        assert nd.local_of(17) == 1
+        assert nd.group_of(63) == 3
+
+    def test_sub_group_of(self):
+        nd = NDRange(32, 16, 8)
+        assert nd.sub_group_of(0) == (0, 0)
+        assert nd.sub_group_of(9) == (1, 1)
+        assert nd.sub_group_of(23) == (0, 7)
+
+    def test_out_of_range_ids_rejected(self):
+        nd = NDRange(32, 16, 8)
+        with pytest.raises(InvalidNDRangeError):
+            nd.group_of(32)
+        with pytest.raises(InvalidNDRangeError):
+            nd.local_of(-1)
+
+    @given(
+        groups=st.integers(1, 8),
+        sub_groups=st.integers(1, 4),
+        sg=st.sampled_from([2, 4, 8, 16, 32]),
+        data=st.data(),
+    )
+    def test_decomposition_is_consistent(self, groups, sub_groups, sg, data):
+        local = sub_groups * sg
+        nd = NDRange(groups * local, local, sg)
+        gid = data.draw(st.integers(0, nd.global_size - 1))
+        g, l = nd.group_of(gid), nd.local_of(gid)
+        s, lane = nd.sub_group_of(gid)
+        assert gid == g * local + l
+        assert l == s * sg + lane
+        assert 0 <= lane < sg
+        assert 0 <= s < sub_groups
+
+
+class TestExecutionModelMap:
+    def test_table2_contents(self):
+        assert EXECUTION_MODEL_MAP == {
+            "thread": "work-item",
+            "warp": "sub-group",
+            "thread block": "work-group",
+            "grid": "ND-range",
+        }

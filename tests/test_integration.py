@@ -1,0 +1,109 @@
+"""End-to-end scenarios crossing subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchBicgstab, BatchJacobi, SolverSettings
+from repro.core.dispatch import BatchSolverFactory
+from repro.core.stop import RelativeResidual
+from repro.core.workspace import SlmBudget, plan_workspace
+from repro.hw import analyze_solve, estimate_solve, gpu
+from repro.kernels import run_batch_bicgstab_on_device
+from repro.sycl.device import pvc_stack_device
+from repro.workloads.pele import pele_batch, pele_rhs
+from repro.workloads.stencil import stencil_rhs, three_point_stencil
+from repro.workloads.sundials import BdfIntegrator, robertson_batch
+
+
+class TestPaperPipelinePele:
+    """The Fig. 6/7 pipeline: workload -> solve -> model, end to end."""
+
+    def test_full_pele_pipeline(self):
+        matrix = pele_batch("drm19")
+        b = pele_rhs(matrix)
+        factory = BatchSolverFactory(
+            solver="bicgstab", preconditioner="jacobi", tolerance=1e-9
+        )
+        solver = factory.create(matrix)
+        result = solver.solve(b)
+        assert result.all_converged
+
+        # solutions actually solve the systems
+        residual = np.linalg.norm(b - matrix.apply(result.x), axis=1)
+        assert np.all(residual <= 1e-9 * np.linalg.norm(b, axis=1) * 1.01)
+
+        # hardware model consumes the result for all four platforms
+        times = {
+            key: estimate_solve(gpu(key), solver, result, num_batch=2**17).total_seconds
+            for key in ("a100", "h100", "pvc1", "pvc2")
+        }
+        assert times["pvc2"] < times["pvc1"] < times["a100"]
+        assert times["h100"] < times["a100"]
+
+    def test_kernel_and_vectorized_paths_agree_on_pele(self):
+        # the simulator kernel (the actual "port") against the production path
+        matrix = pele_batch("drm19", num_batch=2)
+        b = pele_rhs(matrix)
+        inv_diag = 1.0 / matrix.diagonal()
+        x_kernel, iters_kernel, _ = run_batch_bicgstab_on_device(
+            pvc_stack_device(1), matrix, b, inv_diag=inv_diag, tolerance=1e-9
+        )
+        res = np.linalg.norm(b - matrix.apply(x_kernel), axis=1)
+        assert np.all(res <= 1e-9 * np.linalg.norm(b, axis=1) * 1.01)
+
+
+class TestWorkspaceOnRealSolvers:
+    def test_pele_workspace_fits_pvc_slm(self):
+        # Section 3.5: for the Pele sizes everything fits in 128 KB
+        matrix = pele_batch("dodecane_lu")
+        solver = BatchBicgstab(matrix, BatchJacobi(matrix))
+        plan = plan_workspace(
+            solver.workspace_vectors(),
+            SlmBudget(gpu("pvc1").slm_bytes_per_cu),
+            precond_doubles=solver.preconditioner.workspace_doubles_per_system(),
+        )
+        assert plan.level_of("r") == "slm"
+        assert plan.level_of("A_cache") == "slm"
+        assert plan.level_of("precond") == "slm"
+
+    def test_large_stencil_spills_by_priority(self):
+        # a big system: low-priority objects spill first
+        matrix = three_point_stencil(1500, 1)
+        solver = BatchBicgstab(matrix)
+        plan = plan_workspace(
+            solver.workspace_vectors(),
+            SlmBudget(gpu("pvc1").slm_bytes_per_cu),
+            precond_doubles=0,
+        )
+        assert plan.level_of("r") == "slm"  # top priority always resident
+        spilled = [n for n, _ in solver.workspace_vectors() if plan.level_of(n) != "slm"]
+        assert spilled, "a 1500-row BiCGSTAB workspace cannot fully fit 128 KB"
+
+
+class TestBdfDrivenSolves:
+    def test_robertson_through_batched_stack(self):
+        ode = robertson_batch(num_batch=8, seed=0)
+        factory = BatchSolverFactory(
+            solver="gmres", preconditioner="jacobi", tolerance=1e-12
+        )
+        integrator = BdfIntegrator(factory=factory, order=2)
+        result = integrator.integrate(ode, t_end=0.05, num_steps=50)
+        assert np.allclose(result.states.sum(axis=2), 1.0, atol=1e-7)
+        assert result.linear_solves > 0
+
+
+class TestAdvisorEndToEnd:
+    def test_fig8_report_all_platforms(self):
+        matrix = pele_batch("gri12")
+        solver = BatchBicgstab(
+            matrix,
+            BatchJacobi(matrix),
+            settings=SolverSettings(
+                max_iterations=200, criterion=RelativeResidual(1e-9)
+            ),
+        )
+        result = solver.solve(pele_rhs(matrix))
+        for key in ("a100", "h100", "pvc1", "pvc2"):
+            report = analyze_solve(gpu(key), solver, result, num_batch=2**15)
+            assert report.timing.total_seconds > 0
+            assert report.total_split.total_bytes > 0

@@ -1,0 +1,90 @@
+"""Validation helpers and unit formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import DimensionMismatchError
+from repro.utils import (
+    check_positive,
+    check_power_of_two,
+    ensure_2d_batch,
+    format_bytes,
+    format_flops,
+    format_time,
+    round_up,
+)
+
+
+class TestChecks:
+    def test_check_positive(self):
+        check_positive("x", 1e-300)
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_check_power_of_two(self):
+        check_power_of_two("n", 1)
+        check_power_of_two("n", 64)
+        for bad in (0, -4, 3, 48):
+            with pytest.raises(ValueError):
+                check_power_of_two("n", bad)
+
+    def test_round_up(self):
+        assert round_up(54, 16) == 64
+        assert round_up(64, 16) == 64
+        assert round_up(0, 16) == 16
+        assert round_up(1, 16) == 16
+
+    @given(value=st.integers(1, 10_000), multiple=st.integers(1, 256))
+    def test_round_up_property(self, value, multiple):
+        result = round_up(value, multiple)
+        assert result % multiple == 0
+        assert result >= value
+        assert result - value < multiple
+
+
+class TestEnsure2dBatch:
+    def test_broadcast_1d(self):
+        out = ensure_2d_batch("b", np.arange(3.0), 4, 3)
+        assert out.shape == (4, 3)
+        assert np.all(out[2] == [0, 1, 2])
+
+    def test_passthrough_2d(self):
+        x = np.ones((2, 3))
+        out = ensure_2d_batch("b", x, 2, 3)
+        assert out.shape == (2, 3)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            ensure_2d_batch("b", np.ones(4), 2, 3)
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            ensure_2d_batch("b", np.ones((2, 3, 4)), 2, 3)
+
+    def test_output_is_contiguous_float64(self):
+        out = ensure_2d_batch("b", np.ones((2, 3), dtype=np.float32), 2, 3)
+        assert out.dtype == np.float64
+        assert out.flags.c_contiguous
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(1500) == "1.5 KB"
+        assert format_bytes(3e12) == "3 TB"
+
+    def test_format_flops(self):
+        assert format_flops(22.9e12) == "22.9 TFLOP/s"
+        assert format_flops(5) == "5 FLOP/s"
+
+    def test_format_time(self):
+        assert format_time(2e-9) == "2 ns"
+        assert format_time(1.5e-3) == "1.5 ms"
+        assert format_time(12.0) == "12 s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+        with pytest.raises(ValueError):
+            format_time(-0.1)

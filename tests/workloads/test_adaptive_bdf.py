@@ -1,0 +1,98 @@
+"""Adaptive (error-controlled) BDF integration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.workloads.sundials import BatchedOde, BdfIntegrator, robertson_batch
+
+
+def _linear_decay(num_batch=4, n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    rates = 0.5 + rng.random((num_batch, n))
+
+    def rhs(t, y):
+        return -rates * y
+
+    def jacobian(t, y):
+        jac = np.zeros((num_batch, n, n))
+        jac[:, np.arange(n), np.arange(n)] = -rates
+        return jac
+
+    return BatchedOde(num_batch, n, rhs, jacobian, np.ones((num_batch, n))), rates
+
+
+class TestAdaptiveAccuracy:
+    def test_meets_tolerance_on_linear_decay(self):
+        ode, rates = _linear_decay()
+        result = BdfIntegrator(order=1).integrate_adaptive(
+            ode, t_end=0.3, rtol=1e-5, atol=1e-8
+        )
+        exact = np.exp(-0.3 * rates)
+        # global error within a couple orders of the local tolerance
+        assert np.max(np.abs(result.final_state - exact)) < 1e-3
+        assert result.steps_accepted > 10
+
+    def test_tighter_tolerance_means_more_steps(self):
+        ode_a, _ = _linear_decay(seed=1)
+        ode_b, _ = _linear_decay(seed=1)
+        loose = BdfIntegrator(order=1).integrate_adaptive(
+            ode_a, 0.3, rtol=1e-3, atol=1e-6
+        )
+        tight = BdfIntegrator(order=1).integrate_adaptive(
+            ode_b, 0.3, rtol=1e-6, atol=1e-9
+        )
+        assert tight.steps_accepted > loose.steps_accepted
+        err_loose = np.max(np.abs(loose.final_state - tight.final_state))
+        assert err_loose < 1e-2
+
+    def test_trajectory_times_monotone_and_reach_end(self):
+        ode, _ = _linear_decay()
+        result = BdfIntegrator(order=1).integrate_adaptive(ode, 0.5, rtol=1e-4)
+        assert np.all(np.diff(result.times) > 0)
+        assert result.times[0] == 0.0
+        assert result.times[-1] == pytest.approx(0.5, rel=1e-12)
+        assert result.states.shape[0] == result.times.shape[0]
+
+
+class TestStepControllerBehaviour:
+    def test_steps_grow_after_stiff_transient(self):
+        # the signature adaptive behaviour on Robertson kinetics: tiny
+        # steps through the initial layer, then rapid growth
+        ode = robertson_batch(num_batch=4, seed=1)
+        result = BdfIntegrator(order=1).integrate_adaptive(
+            ode, t_end=0.4, h0=1e-4, rtol=1e-4, atol=1e-9
+        )
+        sizes = result.step_sizes
+        assert sizes[-1] > 50 * sizes[0]
+        assert np.allclose(result.states.sum(axis=2), 1.0, atol=1e-8)
+
+    def test_rejections_are_counted(self):
+        # start with an absurdly large h: the controller must reject it
+        ode, _ = _linear_decay()
+        result = BdfIntegrator(order=1).integrate_adaptive(
+            ode, t_end=0.3, h0=0.3, rtol=1e-8, atol=1e-10
+        )
+        assert result.steps_rejected >= 1
+        assert result.steps_accepted >= 1
+
+    def test_step_budget_enforced(self):
+        ode, _ = _linear_decay()
+        with pytest.raises(ConvergenceError, match="adaptive BDF"):
+            BdfIntegrator(order=1).integrate_adaptive(
+                ode, t_end=1.0, rtol=1e-10, atol=1e-13, max_steps=5
+            )
+
+    def test_parameter_validation(self):
+        ode, _ = _linear_decay()
+        integ = BdfIntegrator(order=1)
+        with pytest.raises(ValueError):
+            integ.integrate_adaptive(ode, t_end=0.0)
+        with pytest.raises(ValueError):
+            integ.integrate_adaptive(ode, t_end=1.0, rtol=-1.0)
+
+    def test_linear_solver_statistics_accumulate(self):
+        ode, _ = _linear_decay()
+        result = BdfIntegrator(order=1).integrate_adaptive(ode, 0.2, rtol=1e-4)
+        assert result.linear_solves > 0
+        assert result.newton_iterations >= result.linear_solves

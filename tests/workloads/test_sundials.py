@@ -1,0 +1,142 @@
+"""The mini-SUNDIALS BDF integrator and the Robertson batch."""
+
+import numpy as np
+import pytest
+
+from repro.core.dispatch import BatchSolverFactory
+from repro.exceptions import ConvergenceError
+from repro.workloads.sundials import (
+    BatchedOde,
+    BdfIntegrator,
+    robertson_batch,
+)
+
+
+def _linear_decay(num_batch=4, n=3, seed=0):
+    """y' = -K y with per-item positive diagonal K: exact solution known."""
+    rng = np.random.default_rng(seed)
+    rates = 0.5 + rng.random((num_batch, n))
+
+    def rhs(t, y):
+        return -rates * y
+
+    def jacobian(t, y):
+        jac = np.zeros((num_batch, n, n))
+        jac[:, np.arange(n), np.arange(n)] = -rates
+        return jac
+
+    y0 = np.ones((num_batch, n))
+    return BatchedOde(num_batch, n, rhs, jacobian, y0), rates
+
+
+class TestBdfOnLinearDecay:
+    def test_bdf1_matches_exact_solution(self):
+        ode, rates = _linear_decay()
+        result = BdfIntegrator(order=1).integrate(ode, t_end=1.0, num_steps=200)
+        exact = np.exp(-rates * 1.0)
+        assert np.allclose(result.final_state, exact, atol=5e-3)
+
+    def test_bdf2_is_more_accurate_than_bdf1(self):
+        ode, rates = _linear_decay()
+        exact = np.exp(-rates * 1.0)
+        e1 = np.max(
+            np.abs(
+                BdfIntegrator(order=1).integrate(ode, 1.0, 50).final_state - exact
+            )
+        )
+        ode2, _ = _linear_decay()
+        e2 = np.max(
+            np.abs(
+                BdfIntegrator(order=2).integrate(ode2, 1.0, 50).final_state - exact
+            )
+        )
+        assert e2 < e1
+
+    def test_convergence_order_two(self):
+        ode, rates = _linear_decay()
+        exact = np.exp(-rates * 1.0)
+        errors = []
+        for steps in (25, 50, 100):
+            r = BdfIntegrator(order=2).integrate(ode, 1.0, steps)
+            errors.append(np.max(np.abs(r.final_state - exact)))
+        rate = np.log2(errors[0] / errors[1])
+        assert 1.5 < rate < 2.6
+
+    def test_trajectory_shapes(self):
+        ode, _ = _linear_decay()
+        result = BdfIntegrator().integrate(ode, 1.0, 10)
+        assert result.times.shape == (11,)
+        assert result.states.shape == (11, 4, 3)
+        assert result.linear_solves > 0
+
+
+class TestRobertson:
+    def test_mass_conservation(self):
+        ode = robertson_batch(num_batch=6, seed=1)
+        result = BdfIntegrator(order=1, newton_tol=1e-12).integrate(
+            ode, t_end=0.1, num_steps=100
+        )
+        totals = result.states.sum(axis=2)
+        assert np.allclose(totals, 1.0, atol=1e-8)
+
+    def test_stiff_dynamics_direction(self):
+        ode = robertson_batch(num_batch=4, seed=2)
+        result = BdfIntegrator(order=1).integrate(ode, t_end=1.0, num_steps=200)
+        y = result.final_state
+        # y1 decays, y3 accumulates, y2 stays tiny (classic Robertson)
+        assert np.all(y[:, 0] < 1.0)
+        assert np.all(y[:, 2] > 0.0)
+        assert np.all(y[:, 1] < 1e-3)
+
+    def test_batch_items_differ(self):
+        ode = robertson_batch(num_batch=4, seed=3, spread=0.3)
+        result = BdfIntegrator(order=1).integrate(ode, t_end=1.0, num_steps=50)
+        y = result.final_state
+        assert not np.allclose(y[0], y[1])
+
+
+class TestWarmStart:
+    def test_warm_start_reduces_linear_iterations(self):
+        # the paper's core argument for iterative batched solvers in
+        # nonlinear outer loops (Section 2.1)
+        ode_w, _ = _linear_decay(num_batch=8, n=3, seed=5)
+        ode_c, _ = _linear_decay(num_batch=8, n=3, seed=5)
+        factory = BatchSolverFactory(
+            solver="bicgstab", preconditioner="jacobi", tolerance=1e-13
+        )
+        warm = BdfIntegrator(factory=factory, warm_start=True, newton_tol=1e-12)
+        cold = BdfIntegrator(factory=factory, warm_start=False, newton_tol=1e-12)
+        rw = warm.integrate(ode_w, 1.0, 30)
+        rc = cold.integrate(ode_c, 1.0, 30)
+        assert rw.mean_linear_iterations <= rc.mean_linear_iterations
+
+
+class TestValidation:
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            BdfIntegrator(order=3)
+
+    def test_bad_time_interval_rejected(self):
+        ode, _ = _linear_decay()
+        with pytest.raises(ValueError):
+            BdfIntegrator().integrate(ode, t_end=0.0, num_steps=10)
+        with pytest.raises(ValueError):
+            BdfIntegrator().integrate(ode, t_end=1.0, num_steps=0)
+
+    def test_y0_shape_validated(self):
+        with pytest.raises(ValueError):
+            BatchedOde(2, 3, lambda t, y: y, lambda t, y: y, np.ones((2, 4)))
+
+    def test_newton_divergence_raises(self):
+        # an exploding ODE with a huge step defeats Newton
+        def rhs(t, y):
+            return y**3 * 1e6
+
+        def jacobian(t, y):
+            jac = np.zeros((1, 2, 2))
+            jac[:, np.arange(2), np.arange(2)] = 3e6 * y**2
+            return jac
+
+        ode = BatchedOde(1, 2, rhs, jacobian, np.ones((1, 2)))
+        with pytest.raises(ConvergenceError):
+            BdfIntegrator(order=1, max_newton=3).integrate(ode, 10.0, 1)
