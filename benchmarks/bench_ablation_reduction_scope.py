@@ -41,6 +41,9 @@ def _run_three_styles():
         )
         solutions[style] = x
         counts = event.stats.collective_counts
+        # inspected — drop the profiling log so sweeping many styles/sizes
+        # does not accumulate event records (see Queue.reset_events)
+        queue.reset_events()
         rows.append(
             {
                 "style": style,

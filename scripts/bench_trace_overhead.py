@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Measure tracer-off vs tracer-on solve time on the 3-pt stencil.
+
+Records the instrumentation cost of the observability layer so later PRs
+can verify tracing stays cheap: the *disabled* path (no tracer installed —
+every instrumentation point hits the shared no-op singletons) is the one
+production solves pay and must stay within a few percent of free; the
+*enabled* path (a live ``Tracer`` collecting spans, counter samples and
+metrics) is allowed to cost more but is measured here too.
+
+Writes ``BENCH_trace_overhead.json`` at the repo root by default; the
+benchmark loop reuses one simulator queue and clears its submission log
+each repetition via ``Queue.reset_events`` (the long-sweep hygiene the
+queue API exists for).
+
+Usage: python scripts/bench_trace_overhead.py [--out BENCH_trace_overhead.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def _time_solves(repeats: int, num_rows: int, nb: int, tracer) -> float:
+    """Total seconds for ``repeats`` factory solves (fresh tracer state each)."""
+    from repro.core.dispatch import BatchSolverFactory
+    from repro.workloads.stencil import stencil_rhs, three_point_stencil
+
+    matrix = three_point_stencil(num_rows, nb)
+    rhs = stencil_rhs(num_rows, nb)
+    factory = BatchSolverFactory(
+        solver="cg",
+        preconditioner="identity",
+        criterion="relative",
+        tolerance=1e-9,
+        max_iterations=4000,
+        tracer=tracer,
+    )
+    factory.solve(matrix, rhs)  # warmup (imports, caches)
+    if tracer is not None:
+        tracer.reset()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        factory.solve(matrix, rhs)
+    elapsed = time.perf_counter() - start
+    if tracer is not None:
+        tracer.reset()
+    return elapsed
+
+
+def _time_kernel_solves(repeats: int, num_rows: int, nb: int) -> float:
+    """Simulator-path timing; demonstrates the reset_events sweep hygiene."""
+    from repro.kernels import run_batch_cg_on_device
+    from repro.sycl.device import pvc_stack_device
+    from repro.sycl.queue import Queue
+    from repro.workloads.stencil import stencil_rhs, three_point_stencil
+
+    matrix = three_point_stencil(num_rows, nb)
+    rhs = stencil_rhs(num_rows, nb)
+    device = pvc_stack_device(1)
+    queue = Queue(device)
+    run_batch_cg_on_device(device, matrix, rhs, tolerance=1e-9, queue=queue)
+    queue.reset_events()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        run_batch_cg_on_device(device, matrix, rhs, tolerance=1e-9, queue=queue)
+        queue.reset_events()  # keep the submission log from growing
+    assert queue.num_launches == 0
+    return time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_trace_overhead.json")
+    parser.add_argument("--repeats", type=int, default=30)
+    parser.add_argument("--num-rows", type=int, default=32)
+    parser.add_argument("--nb-solve", type=int, default=16)
+    parser.add_argument(
+        "--kernel-repeats", type=int, default=3, help="simulator-path repetitions"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.observability import Tracer
+
+    off_s = _time_solves(args.repeats, args.num_rows, args.nb_solve, tracer=None)
+    on_s = _time_solves(args.repeats, args.num_rows, args.nb_solve, tracer=Tracer())
+    kernel_s = _time_kernel_solves(args.kernel_repeats, 16, 2)
+
+    overhead_pct = 100.0 * (on_s - off_s) / off_s if off_s > 0 else float("nan")
+    payload = {
+        "benchmark": "trace_overhead",
+        "date": time.strftime("%Y-%m-%d"),
+        "workload": {
+            "solver": "cg",
+            "matrix": f"3pt-stencil n={args.num_rows}",
+            "num_batch": args.nb_solve,
+            "tolerance": 1e-9,
+            "repeats": args.repeats,
+        },
+        "tracer_off_s": off_s,
+        "tracer_on_s": on_s,
+        "tracer_on_overhead_pct": overhead_pct,
+        "per_solve_off_ms": off_s / args.repeats * 1e3,
+        "per_solve_on_ms": on_s / args.repeats * 1e3,
+        "kernel_path": {
+            "solver": "cg (fused simulator kernel)",
+            "matrix": "3pt-stencil n=16",
+            "num_batch": 2,
+            "repeats": args.kernel_repeats,
+            "total_s": kernel_s,
+        },
+        "notes": (
+            "tracer_off is the production no-op path (no tracer installed); "
+            "later PRs compare their tracer_off against this baseline to "
+            "verify instrumentation stays cheap"
+        ),
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

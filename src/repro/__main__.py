@@ -8,6 +8,10 @@ Commands:
 * ``stencil``  — the scaling study (Figs. 4-5) for chosen sizes.
 * ``advisor``  — the Fig. 8 Advisor-style report for a mechanism/platform.
 * ``features`` — the dispatch feature matrix (Table 3 + extensions).
+* ``trace``    — run any of the above with tracing enabled and export a
+  Chrome trace-event file, e.g.
+  ``python -m repro trace stencil --trace-out trace.json``
+  (open the result in Perfetto or ``chrome://tracing``).
 """
 
 from __future__ import annotations
@@ -92,6 +96,74 @@ def _cmd_advisor(args) -> None:
         print(line)
 
 
+def _split_trace_args(argv: list[str]) -> tuple[dict, list[str]]:
+    """Pull the trace options out of ``argv``, leaving the wrapped command.
+
+    Done by hand rather than argparse because the wrapped command keeps its
+    own flags: ``repro trace stencil --sizes 16 --trace-out t.json`` must
+    route ``--sizes 16`` to ``stencil`` and ``--trace-out`` to ``trace``,
+    wherever they appear.
+    """
+    options = {"trace_out": "trace.json", "jsonl_out": None, "summary": True}
+    rest: list[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        key = None
+        if arg.startswith("--trace-out"):
+            key = "trace_out"
+        elif arg.startswith("--jsonl-out"):
+            key = "jsonl_out"
+        if key is not None:
+            if "=" in arg:
+                options[key] = arg.split("=", 1)[1]
+            else:
+                if i + 1 >= len(argv):
+                    raise SystemExit(f"repro trace: {arg} requires a value")
+                options[key] = argv[i + 1]
+                i += 1
+        elif arg == "--no-summary":
+            options["summary"] = False
+        else:
+            rest.append(arg)
+        i += 1
+    return options, rest
+
+
+def _cmd_trace(argv: list[str]) -> int:
+    """Run a wrapped command under a fresh tracer and export the trace."""
+    from repro.observability import (
+        Tracer,
+        format_summary,
+        use_tracer,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    options, rest = _split_trace_args(argv)
+    if not rest or rest[0] == "trace":
+        raise SystemExit(
+            "usage: repro trace <command> [command args] "
+            "[--trace-out FILE] [--jsonl-out FILE] [--no-summary]"
+        )
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        code = main(rest)
+
+    path = write_chrome_trace(tracer, options["trace_out"])
+    if options["jsonl_out"]:
+        write_jsonl(tracer, options["jsonl_out"])
+    if options["summary"]:
+        print()
+        print(format_summary(tracer))
+    print(
+        f"\ntrace written to {path} ({len(tracer.spans)} spans, "
+        f"{len(tracer.events)} events) — open in Perfetto or chrome://tracing"
+    )
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (one sub-command per experiment)."""
     parser = argparse.ArgumentParser(
@@ -121,14 +193,22 @@ def build_parser() -> argparse.ArgumentParser:
     advisor.add_argument("--batch", type=int, default=2**17)
     advisor.set_defaults(fn=_cmd_advisor)
 
+    trace = sub.add_parser(
+        "trace",
+        help="run a command with tracing enabled and export a Chrome trace "
+        "(trace <command> [args] --trace-out FILE [--jsonl-out FILE] "
+        "[--no-summary])",
+    )
+    trace.add_argument("wrapped", nargs=argparse.REMAINDER)
+    trace.set_defaults(fn=lambda a: _cmd_trace(a.wrapped))
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    args.fn(args)
-    return 0
+    return args.fn(args) or 0
 
 
 if __name__ == "__main__":

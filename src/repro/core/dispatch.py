@@ -44,6 +44,7 @@ from repro.core.solver import (
 )
 from repro.core.stop import AbsoluteResidual, RelativeResidual
 from repro.exceptions import UnsupportedCombinationError
+from repro.observability.tracer import Tracer, current_tracer, use_tracer
 
 #: Registered batched matrix formats.
 FORMATS: dict[str, type] = {
@@ -128,6 +129,7 @@ class BatchSolverFactory:
     keep_history: bool = False
     solver_options: dict[str, Any] = field(default_factory=dict)
     preconditioner_options: dict[str, Any] = field(default_factory=dict)
+    tracer: Tracer | None = None
 
     def __post_init__(self) -> None:
         if self.solver not in SOLVERS:
@@ -177,6 +179,19 @@ class BatchSolverFactory:
         wanted = np.dtype(PRECISIONS[self.precision])
         if matrix.dtype != wanted:
             matrix = matrix.astype(wanted)
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        if tracer.enabled:
+            # the resolved dispatch tuple (Figure 3 levels 1-5)
+            tracer.annotate(
+                solver=self.solver,
+                preconditioner=self.preconditioner,
+                criterion=self.criterion,
+                precision=self.precision,
+                matrix_format=matrix.format_name,
+            )
+            tracer.metrics.counter(
+                f"dispatch.{self.solver}.{matrix.format_name}.{self.precision}"
+            ).inc()
         settings = SolverSettings(
             max_iterations=self.max_iterations,
             criterion=CRITERIA[self.criterion](self.tolerance),
@@ -201,8 +216,25 @@ class BatchSolverFactory:
     def solve(
         self, matrix: BatchedMatrix, b, x0=None
     ) -> BatchSolveResult:
-        """One-call dispatch-and-solve."""
-        return self.create(matrix).solve(b, x0=x0)
+        """One-call dispatch-and-solve.
+
+        When the factory carries a ``tracer`` it is installed for the
+        whole call, so the dispatch span encloses the solver and
+        fused-kernel spans the lower layers emit.
+        """
+        with use_tracer(self.tracer):
+            tracer = current_tracer()
+            with tracer.span(
+                "dispatch.solve",
+                category="dispatch",
+                solver=self.solver,
+                preconditioner=self.preconditioner,
+                criterion=self.criterion,
+                precision=self.precision,
+                tolerance=self.tolerance,
+                max_iterations=self.max_iterations,
+            ):
+                return self.create(matrix).solve(b, x0=x0)
 
 
 def dispatch_solve(
@@ -214,6 +246,7 @@ def dispatch_solve(
     criterion: str = "relative",
     tolerance: float = 1e-8,
     max_iterations: int = 500,
+    tracer: Tracer | None = None,
     **solver_options: Any,
 ) -> BatchSolveResult:
     """Functional façade over :class:`BatchSolverFactory`."""
@@ -224,5 +257,6 @@ def dispatch_solve(
         tolerance=tolerance,
         max_iterations=max_iterations,
         solver_options=solver_options,
+        tracer=tracer,
     )
     return factory.solve(matrix, b, x0=x0)

@@ -23,6 +23,7 @@ from repro.core.preconditioner.base import BatchPreconditioner
 from repro.core.preconditioner.identity import BatchIdentity
 from repro.core.stop import RelativeResidual, StoppingCriterion
 from repro.exceptions import DimensionMismatchError
+from repro.observability.tracer import NULL_TRACER, Tracer, current_tracer, use_tracer
 
 
 @dataclass
@@ -93,17 +94,20 @@ class ConvergenceTracker:
         criterion: StoppingCriterion,
         b_norms: np.ndarray,
         logger: ConvergenceLogger,
+        tracer: Tracer | None = None,
     ) -> None:
         self.thresholds = criterion.thresholds(b_norms)
         self.logger = logger
         self.converged = np.zeros(b_norms.shape[0], dtype=bool)
         self._frozen = np.zeros(b_norms.shape[0], dtype=bool)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     def start(self, res_norms: np.ndarray) -> None:
         """Record iteration 0; systems may converge immediately."""
         self.logger.log_initial(res_norms)
         self.converged = res_norms <= self.thresholds
         self.logger.mark_converged(self.converged)
+        self._emit_convergence(0, res_norms)
 
     def update(self, iteration: int, res_norms: np.ndarray, active: np.ndarray) -> None:
         """Record an iteration and absorb newly converged systems."""
@@ -111,6 +115,23 @@ class ConvergenceTracker:
         newly = active & (res_norms <= self.thresholds)
         self.converged |= newly
         self.logger.mark_converged(newly)
+        self._emit_convergence(iteration, res_norms)
+
+    def _emit_convergence(self, iteration: int, res_norms: np.ndarray) -> None:
+        """Per-iteration counter sample on the installed tracer (if any)."""
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        active = self.active
+        num_active = int(active.sum())
+        worst = float(np.max(res_norms[active])) if num_active else 0.0
+        tracer.counter(
+            "convergence.active_systems", active=num_active, converged=int(self.converged.sum())
+        )
+        tracer.counter("convergence.worst_residual", residual=worst)
+        tracer.metrics.counter("solver.iterations_total").inc(
+            num_active if iteration > 0 else 0
+        )
 
     def freeze(self, mask: np.ndarray) -> None:
         """Stop iterating the masked systems without marking them converged.
@@ -119,6 +140,9 @@ class ConvergenceTracker:
         iterate and is reported as not converged.
         """
         self._frozen |= mask
+        if self._tracer.enabled and np.any(mask):
+            self._tracer.instant("solver.breakdown", systems=int(np.sum(mask)))
+            self._tracer.metrics.counter("solver.breakdowns").inc(int(np.sum(mask)))
 
     @property
     def active(self) -> np.ndarray:
@@ -192,13 +216,22 @@ class BatchIterativeSolver(ABC):
 
     # -- the public solve entry point ----------------------------------------------
 
-    def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> BatchSolveResult:
+    def solve(
+        self,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        tracer: Tracer | None = None,
+    ) -> BatchSolveResult:
         """Solve ``A_i x_i = b_i`` for every batch item.
 
         ``b`` is ``(num_batch, n)`` or ``(n,)`` (broadcast); ``x0`` is the
         optional initial guess (zero by default) — the capability the
         paper highlights as the key advantage of iterative batched solvers
-        inside nonlinear outer loops.
+        inside nonlinear outer loops. ``tracer`` opts this solve into the
+        observability layer: it is installed for the duration of the call
+        (so nested layers feed it too) and receives one solver span, one
+        fused-kernel span (the Section 3.4 single-launch structure) and
+        per-iteration convergence counters.
         """
         matrix = self.matrix
         b = matrix.check_vector("b", b)
@@ -207,14 +240,53 @@ class BatchIterativeSolver(ABC):
         else:
             x = matrix.check_vector("x0", x0).copy()
 
-        ledger = TrafficLedger(fp_bytes=matrix.value_bytes)
-        logger = ConvergenceLogger(matrix.num_batch, self.settings.keep_history)
-        from repro.core import blas  # local import to avoid a cycle at module load
+        with use_tracer(tracer):
+            tr = current_tracer()
+            ledger = TrafficLedger(fp_bytes=matrix.value_bytes)
+            logger = ConvergenceLogger(matrix.num_batch, self.settings.keep_history)
+            from repro.core import blas  # local import to avoid a cycle at module load
 
-        b_norms = blas.norm2(b, ledger, "b")
-        tracker = ConvergenceTracker(self.settings.criterion, b_norms, logger)
+            with tr.span(
+                f"solve.{self.solver_name}",
+                category="solver",
+                solver=self.solver_name,
+                preconditioner=self.preconditioner.preconditioner_name,
+                matrix_format=matrix.format_name,
+                precision=str(matrix.dtype),
+                num_batch=matrix.num_batch,
+                num_rows=matrix.num_rows,
+            ) as span:
+                b_norms = blas.norm2(b, ledger, "b")
+                tracker = ConvergenceTracker(
+                    self.settings.criterion, b_norms, logger, tracer=tr
+                )
 
-        self._iterate(b, x, tracker, ledger)
+                kernel_args = (
+                    self._fused_kernel_trace_args() if tr.enabled else {}
+                )
+                with tr.span(
+                    f"batch_{self.solver_name}_fused", category="kernel", **kernel_args
+                ) as kspan:
+                    self._iterate(b, x, tracker, ledger)
+                    kspan.set("iterations", int(logger.iterations.max()))
+
+                if tr.enabled:
+                    num_converged = int(tracker.converged.sum())
+                    span.set_args(
+                        converged=num_converged,
+                        max_iterations_used=int(logger.iterations.max()),
+                        flops=ledger.flops,
+                        logical_bytes=ledger.total_bytes,
+                    )
+                    metrics = tr.metrics
+                    metrics.counter("solver.solves").inc()
+                    metrics.counter("solver.systems").inc(matrix.num_batch)
+                    metrics.counter("solver.systems_converged").inc(num_converged)
+                    metrics.counter("solver.flops").inc(ledger.flops)
+                    metrics.counter("solver.logical_bytes").inc(ledger.total_bytes)
+                    metrics.histogram("solver.iterations_per_system").observe_many(
+                        logger.iterations.tolist()
+                    )
 
         return BatchSolveResult(
             x=x,
@@ -225,6 +297,38 @@ class BatchIterativeSolver(ABC):
             ledger=ledger,
             solver_name=self.solver_name,
         )
+
+    def _fused_kernel_trace_args(self) -> dict:
+        """LaunchStats-shaped arguments for the fused-kernel span.
+
+        The vectorized path executes one logical fused launch per solve
+        (the paper's single-kernel structure); its geometry is what the
+        launch configurator would pick on the reference device (PVC-1S,
+        Section 3.6), with the SLM footprint from the Section 3.5
+        priority-ordered workspace plan.
+        """
+        from repro.core.launch import LaunchConfigurator
+        from repro.core.workspace import SlmBudget, plan_workspace
+        from repro.sycl.device import pvc_stack_device
+
+        device = pvc_stack_device(1)
+        workspace = plan_workspace(
+            self.workspace_vectors(),
+            SlmBudget(device.slm_bytes_per_cu),
+            precond_doubles=self.preconditioner.workspace_doubles_per_system(),
+            bytes_per_value=self.matrix.value_bytes,
+        )
+        plan = LaunchConfigurator(device).configure(
+            self.matrix.num_rows, self.matrix.num_batch, workspace
+        )
+        return {
+            "num_groups": plan.num_groups,
+            "work_group_size": plan.work_group_size,
+            "sub_group_size": plan.sub_group_size,
+            "reduction_scope": plan.reduction_scope,
+            "slm_bytes_per_group": plan.slm_bytes_per_group,
+            "launch_device": device.name,
+        }
 
     # -- hardware-model hooks -------------------------------------------------------
 

@@ -13,6 +13,7 @@ from typing import Any, Callable
 
 from repro.cudasim.device import CudaDevice, a100_device
 from repro.cudasim.thread import cuda_nd_range, wrap_cuda_kernel
+from repro.observability.tracer import current_tracer
 from repro.sycl.executor import LaunchStats, launch
 from repro.sycl.memory import LocalSpec
 from repro.sycl.queue import Event
@@ -50,20 +51,32 @@ class Stream:
     ) -> Event:
         """Launch a CUDA-style kernel and wait for completion."""
         ndrange = cuda_nd_range(config.grid_dim, config.block_dim)
-        submit = time.perf_counter()
-        stats: LaunchStats = launch(
-            self.device,
-            ndrange,
-            wrap_cuda_kernel(kernel),
-            args=args,
-            local_specs=list(shared_specs or []),
-        )
-        end = time.perf_counter()
+        kernel_name = name or getattr(kernel, "__name__", "kernel")
+        tracer = current_tracer()
+        with tracer.span(
+            kernel_name, category="kernel", device=self.device.name
+        ) as span:
+            submit = time.perf_counter_ns()
+            stats: LaunchStats = launch(
+                self.device,
+                ndrange,
+                wrap_cuda_kernel(kernel),
+                args=args,
+                local_specs=list(shared_specs or []),
+            )
+            end = time.perf_counter_ns()
+            span.set_args(
+                num_groups=stats.num_groups,
+                work_group_size=stats.local_size,
+                sub_group_size=stats.sub_group_size,
+                slm_bytes_per_group=stats.slm_bytes_per_group,
+                collectives=dict(stats.collective_counts),
+            )
         event = Event(
-            name=name or getattr(kernel, "__name__", "kernel"),
-            submit_time=submit,
-            start_time=submit,
-            end_time=end,
+            name=kernel_name,
+            submit_ns=submit,
+            start_ns=submit,
+            end_ns=end,
             stats=stats,
         )
         self.events.append(event)
@@ -71,6 +84,10 @@ class Stream:
 
     def synchronize(self) -> None:
         """Block until all submitted work completes (no-op: synchronous)."""
+
+    def reset_events(self) -> None:
+        """Clear the submission log (mirrors :meth:`repro.sycl.queue.Queue.reset_events`)."""
+        self.events.clear()
 
     @property
     def num_launches(self) -> int:

@@ -33,6 +33,7 @@ from repro.core.workspace import SlmBudget, WorkspacePlan, plan_workspace
 from repro.hw.memmodel import TrafficSplit, split_traffic
 from repro.hw.occupancy import GREEDY, OccupancyReport, occupancy_report
 from repro.hw.specs import GpuSpec
+from repro.observability.tracer import current_tracer
 
 _FP_BYTES = 8
 
@@ -154,38 +155,72 @@ def estimate_solve(
     if nb_model <= 0:
         raise ValueError(f"num_batch must be positive, got {nb_model}")
 
-    budget = SlmBudget(spec.slm_bytes_per_cu)
-    workspace = plan_workspace(
-        solver.workspace_vectors(),
-        budget,
-        precond_doubles=solver.preconditioner.workspace_doubles_per_system(),
-        bytes_per_value=matrix.value_bytes,
-    )
-    configurator = LaunchConfigurator(
-        spec.device, sub_group_threshold_rows=sub_group_threshold_rows
-    )
-    plan = configurator.configure(matrix.num_rows, nb_model, workspace)
+    tracer = current_tracer()
+    with tracer.span(
+        "hw.estimate_solve",
+        category="hw",
+        platform=spec.key,
+        solver=solver.solver_name,
+        num_batch_modeled=nb_model,
+        num_batch_solved=nb_solved,
+    ) as span:
+        budget = SlmBudget(spec.slm_bytes_per_cu)
+        workspace = plan_workspace(
+            solver.workspace_vectors(),
+            budget,
+            precond_doubles=solver.preconditioner.workspace_doubles_per_system(),
+            bytes_per_value=matrix.value_bytes,
+        )
+        configurator = LaunchConfigurator(
+            spec.device, sub_group_threshold_rows=sub_group_threshold_rows
+        )
+        plan = configurator.configure(matrix.num_rows, nb_model, workspace)
 
-    iterations = solver.model_stages(result)
-    full_split = split_traffic(result.ledger, workspace)
-    per_group_iter = full_split.scaled(1.0 / (nb_solved * iterations))
+        iterations = solver.model_stages(result)
+        full_split = split_traffic(result.ledger, workspace)
+        per_group_iter = full_split.scaled(1.0 / (nb_solved * iterations))
 
-    values_bytes_per_item = matrix.value_bytes * matrix.nnz_per_item
-    pattern_bytes = matrix.storage_bytes - values_bytes_per_item * nb_solved
-    cold_bytes = (
-        values_bytes_per_item * nb_model
-        + max(0, pattern_bytes)
-        + 2.0 * matrix.value_bytes * matrix.num_rows * nb_model  # b read + x write
-    )
+        values_bytes_per_item = matrix.value_bytes * matrix.nnz_per_item
+        pattern_bytes = matrix.storage_bytes - values_bytes_per_item * nb_solved
+        cold_bytes = (
+            values_bytes_per_item * nb_model
+            + max(0, pattern_bytes)
+            + 2.0 * matrix.value_bytes * matrix.num_rows * nb_model  # b read + x write
+        )
 
-    return estimate_runtime(
-        spec,
-        per_group_iter,
-        iterations,
-        nb_model,
-        plan,
-        workspace,
-        policy=policy,
-        cold_bytes_total=cold_bytes,
-        flop_rate_scale=8.0 / matrix.value_bytes,
-    )
+        timing = estimate_runtime(
+            spec,
+            per_group_iter,
+            iterations,
+            nb_model,
+            plan,
+            workspace,
+            policy=policy,
+            cold_bytes_total=cold_bytes,
+            flop_rate_scale=8.0 / matrix.value_bytes,
+        )
+        if tracer.enabled:
+            # the modeled device time next to the host wall-clock spans —
+            # a trace shows both what ran here and what the GPU would cost
+            span.set_args(
+                modeled_total_s=timing.total_seconds,
+                modeled_iteration_s=timing.iteration_seconds,
+                binding_component=timing.binding_component,
+            )
+            tracer.instant(
+                "hw.modeled_device_time",
+                platform=spec.key,
+                solver=solver.solver_name,
+                total_ms=timing.total_seconds * 1e3,
+                iteration_ms=timing.iteration_seconds * 1e3,
+                cold_ms=timing.cold_seconds * 1e3,
+                launch_overhead_ms=timing.launch_overhead_seconds * 1e3,
+                binding_component=timing.binding_component,
+            )
+            tracer.metrics.gauge(f"hw.modeled_ms.{spec.key}").set(
+                timing.total_seconds * 1e3
+            )
+            tracer.metrics.histogram("hw.modeled_total_ms").observe(
+                timing.total_seconds * 1e3
+            )
+    return timing

@@ -21,6 +21,11 @@ from repro.core.solver.base import BatchSolveResult
 from repro.hw.specs import GpuSpec
 from repro.hw.timing import TimingBreakdown, estimate_solve
 from repro.multi.comm import SimWorld
+from repro.observability.tracer import current_tracer
+
+#: Export lane (Chrome-trace ``tid``) of rank 0; rank ``k`` lands on
+#: ``_LANE_BASE + k`` so Perfetto shows one row per simulated device.
+_LANE_BASE = 100
 
 
 def partition_batch(num_batch: int, num_ranks: int) -> list[slice]:
@@ -68,27 +73,55 @@ def solve_distributed(
     b: np.ndarray,
     x0: np.ndarray | None = None,
 ) -> DistributedSolveResult:
-    """Scatter, solve per rank, gather — the paper's multi-GPU scheme."""
-    b = matrix.check_vector("b", b)
-    parts = partition_batch(matrix.num_batch, world.size)
+    """Scatter, solve per rank, gather — the paper's multi-GPU scheme.
 
-    shards = [matrix.take_batch(sl) for sl in parts]
-    rhs_chunks = [b[sl] for sl in parts]
-    world.scatter(shards)
-    world.scatter(rhs_chunks)
-    guess_chunks = None
-    if x0 is not None:
-        x0 = matrix.check_vector("x0", x0)
-        guess_chunks = [x0[sl] for sl in parts]
-        world.scatter(guess_chunks)
+    With a tracer installed, the whole operation is one ``multi`` span and
+    every rank's solve runs inside a *lane* span (``tid`` = rank lane), so
+    the exported trace shows one timeline row per simulated device — the
+    explicit-scaling picture of the paper's Fig. 5 study.
+    """
+    tracer = current_tracer()
+    with tracer.span(
+        "multi.solve_distributed",
+        category="multi",
+        num_ranks=world.size,
+        num_batch=matrix.num_batch,
+    ) as span:
+        b = matrix.check_vector("b", b)
+        parts = partition_batch(matrix.num_batch, world.size)
 
-    def rank_solve(comm):
-        shard = shards[comm.rank]
-        guess = guess_chunks[comm.rank] if guess_chunks is not None else None
-        return factory.solve(shard, rhs_chunks[comm.rank], x0=guess)
+        shards = [matrix.take_batch(sl) for sl in parts]
+        rhs_chunks = [b[sl] for sl in parts]
+        world.scatter(shards)
+        world.scatter(rhs_chunks)
+        guess_chunks = None
+        if x0 is not None:
+            x0 = matrix.check_vector("x0", x0)
+            guess_chunks = [x0[sl] for sl in parts]
+            world.scatter(guess_chunks)
 
-    per_rank = world.run(rank_solve)
-    world.gather([r.x for r in per_rank])
+        def rank_solve(comm):
+            shard = shards[comm.rank]
+            guess = guess_chunks[comm.rank] if guess_chunks is not None else None
+            with tracer.span(
+                f"rank{comm.rank}.solve",
+                category="multi.lane",
+                tid=_LANE_BASE + comm.rank,
+                rank=comm.rank,
+                batch_items=shard.num_batch,
+            ):
+                return factory.solve(shard, rhs_chunks[comm.rank], x0=guess)
+
+        per_rank = world.run(rank_solve)
+        world.gather([r.x for r in per_rank])
+
+        span.set("comm_bytes", world.total_bytes)
+        if tracer.enabled:
+            tracer.counter("multi.comm_bytes", bytes=world.total_bytes)
+            tracer.metrics.counter("multi.distributed_solves").inc()
+            tracer.metrics.histogram("multi.shard_items").observe_many(
+                float(sl.stop - sl.start) for sl in parts
+            )
 
     x = np.vstack([r.x for r in per_rank])
     iterations = np.concatenate([r.iterations for r in per_rank])

@@ -1,0 +1,275 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL, ASCII summary.
+
+The Chrome trace-event format (the JSON Perfetto and ``chrome://tracing``
+load) is the lingua franca of GPU tracing tools — Intel's unitrace emits
+it for Level-Zero timelines, and the paper's profiling story (VTune /
+Advisor) maps onto the same span/counter vocabulary. Spans export as
+complete events (``ph: "X"``, microsecond ``ts``/``dur``), instants as
+``ph: "i"`` and counter samples as ``ph: "C"`` tracks.
+
+:func:`validate_chrome_trace` is the schema check the smoke script and the
+tests share — it loads a trace file back and asserts the invariants a
+viewer depends on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.observability.tracer import TraceEvent, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "summary_rows",
+    "format_summary",
+    "validate_chrome_trace",
+]
+
+_PID = 1  # single simulated process
+
+
+def _us(tracer: Tracer, ts_ns: int) -> float:
+    """Nanosecond timestamp -> microseconds relative to the tracer epoch."""
+    return (ts_ns - tracer.epoch_ns) / 1e3
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce span/event args to JSON-serializable values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    try:  # numpy scalars expose item()
+        return value.item()
+    except AttributeError:
+        return repr(value)
+
+
+def chrome_trace_events(tracer: Tracer, process_name: str = "repro") -> list[dict]:
+    """The ``traceEvents`` array for one tracer (metadata + records)."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in tracer.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "default",
+                "ph": "X",
+                "ts": _us(tracer, span.start_ns),
+                "dur": span.duration_ns / 1e3,
+                "pid": _PID,
+                "tid": span.tid if span.tid is not None else 0,
+                "args": _jsonable(span.args),
+            }
+        )
+    for event in tracer.events:
+        if event.kind == TraceEvent.COUNTER:
+            events.append(
+                {
+                    "name": event.name,
+                    "cat": "counter",
+                    "ph": "C",
+                    "ts": _us(tracer, event.ts_ns),
+                    "pid": _PID,
+                    "tid": event.tid,
+                    "args": _jsonable(event.args),
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": event.name,
+                    "cat": "instant",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": _us(tracer, event.ts_ns),
+                    "pid": _PID,
+                    "tid": event.tid,
+                    "args": _jsonable(event.args),
+                }
+            )
+    return events
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
+    """The full Chrome trace-event JSON object (``traceEvents`` + metadata)."""
+    return {
+        "traceEvents": chrome_trace_events(tracer, process_name),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.observability",
+            "metrics": _jsonable(tracer.metrics.snapshot()),
+        },
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str | Path, process_name: str = "repro"
+) -> Path:
+    """Write the Chrome trace JSON to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer, process_name), indent=1) + "\n")
+    return path
+
+
+def jsonl_records(tracer: Tracer) -> list[dict]:
+    """Flat event-log records: one dict per span/instant/counter/metric."""
+    records: list[dict] = []
+    for span in tracer.spans:
+        records.append(
+            {
+                "type": "span",
+                "name": span.name,
+                "cat": span.category or "default",
+                "ts_ns": span.start_ns - tracer.epoch_ns,
+                "dur_ns": span.duration_ns,
+                "tid": span.tid if span.tid is not None else 0,
+                "parent": span.parent.name if span.parent is not None else None,
+                "args": _jsonable(span.args),
+            }
+        )
+    for event in tracer.events:
+        records.append(
+            {
+                "type": event.kind,
+                "name": event.name,
+                "ts_ns": event.ts_ns - tracer.epoch_ns,
+                "tid": event.tid,
+                "args": _jsonable(event.args),
+            }
+        )
+    for name, snap in sorted(tracer.metrics.snapshot().items()):
+        records.append({"type": "metric", "name": name, **_jsonable(snap)})
+    return records
+
+
+def write_jsonl(tracer: Tracer, path: str | Path) -> Path:
+    """Write the flat JSONL event log to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for record in jsonl_records(tracer):
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def summary_rows(tracer: Tracer) -> list[dict]:
+    """Per-span-name aggregation (count, total/mean/max milliseconds)."""
+    groups: dict[tuple[str, str], list[int]] = {}
+    for span in tracer.spans:
+        groups.setdefault((span.category or "default", span.name), []).append(
+            span.duration_ns
+        )
+    rows = []
+    for (category, name), durations in sorted(groups.items()):
+        total = sum(durations)
+        rows.append(
+            {
+                "category": category,
+                "span": name,
+                "count": len(durations),
+                "total_ms": total / 1e6,
+                "mean_ms": total / len(durations) / 1e6,
+                "max_ms": max(durations) / 1e6,
+            }
+        )
+    return rows
+
+
+def format_summary(tracer: Tracer, title: str = "trace summary") -> str:
+    """ASCII tables (spans + metrics) via :mod:`repro.bench.report`."""
+    from repro.bench.report import format_table
+
+    parts = [format_table(summary_rows(tracer), title)]
+    metric_rows = tracer.metrics.rows()
+    if metric_rows:
+        parts.append("")
+        parts.append(format_table(metric_rows, "metrics"))
+    return "\n".join(parts)
+
+
+def validate_chrome_trace(
+    path: str | Path,
+    require_kernel_spans: bool = True,
+    require_counters: bool = True,
+) -> dict[str, int]:
+    """Load a trace file back and check the Chrome trace-event invariants.
+
+    Raises ``ValueError`` with a diagnostic on any schema violation;
+    returns counts ``{"events", "spans", "kernel_spans", "counters",
+    "instants"}`` on success. The smoke script and the integration tests
+    both go through here so "valid trace" means one thing.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError(f"{path}: missing the 'traceEvents' array")
+    events = payload["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError(f"{path}: 'traceEvents' must be a non-empty array")
+
+    counts = {"events": 0, "spans": 0, "kernel_spans": 0, "counters": 0, "instants": 0}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"{path}: traceEvents[{i}] is not an object")
+        for key in ("name", "ph", "pid"):
+            if key not in event:
+                raise ValueError(f"{path}: traceEvents[{i}] lacks {key!r}")
+        ph = event["ph"]
+        if ph == "M":
+            continue
+        if "ts" not in event:
+            raise ValueError(f"{path}: traceEvents[{i}] ({ph}) lacks 'ts'")
+        counts["events"] += 1
+        if ph == "X":
+            if "dur" not in event or event["dur"] < 0:
+                raise ValueError(
+                    f"{path}: span {event['name']!r} lacks a non-negative 'dur'"
+                )
+            counts["spans"] += 1
+            if event.get("cat") == "kernel":
+                counts["kernel_spans"] += 1
+                args = event.get("args", {})
+                missing = [
+                    k
+                    for k in (
+                        "num_groups",
+                        "work_group_size",
+                        "sub_group_size",
+                        "slm_bytes_per_group",
+                    )
+                    if k not in args
+                ]
+                if missing:
+                    raise ValueError(
+                        f"{path}: kernel span {event['name']!r} lacks "
+                        f"LaunchStats args {missing}"
+                    )
+        elif ph == "C":
+            counts["counters"] += 1
+        elif ph == "i":
+            counts["instants"] += 1
+
+    if require_kernel_spans and counts["kernel_spans"] == 0:
+        raise ValueError(f"{path}: no kernel-launch spans (cat='kernel') found")
+    if require_counters and counts["counters"] == 0:
+        raise ValueError(f"{path}: no counter events (ph='C') found")
+    return counts

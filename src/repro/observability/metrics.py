@@ -1,0 +1,214 @@
+"""Counters, gauges and histograms with percentile summaries.
+
+The metrics registry subsumes the scattered telemetry the layers used to
+keep privately: kernel-launch counts (``repro.sycl``), per-solver
+convergence statistics (iterations, converged systems, breakdowns), SLM
+footprints, communication bytes. A :class:`MetricsRegistry` hangs off
+every :class:`~repro.observability.tracer.Tracer`; exporters turn a
+snapshot into JSONL records or an ASCII table.
+
+All metric types are thread-safe (one small lock per instrument) and
+cheap enough to update inside solver iteration loops.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (launches, iterations, bytes)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+    def summary(self) -> dict[str, Any]:
+        """Flat snapshot used by the exporters."""
+        return {"value": self._value}
+
+
+class Gauge:
+    """A point-in-time value (modelled runtime, occupancy, queue depth)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = math.nan
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the latest value."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """Most recently set value (NaN before the first ``set``)."""
+        return self._value
+
+    def summary(self) -> dict[str, Any]:
+        """Flat snapshot used by the exporters."""
+        return {"value": self._value}
+
+
+class Histogram:
+    """A distribution of observations with exact percentile summaries.
+
+    Keeps every observation (solves here record at most a few thousand
+    samples); percentiles use the nearest-rank method on a sorted copy.
+    """
+
+    __slots__ = ("name", "_values", "_lock")
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        with self._lock:
+            self._values.append(float(value))
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of samples (per-system iteration counts etc.)."""
+        with self._lock:
+            self._values.extend(float(v) for v in values)
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples."""
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (NaN when empty)."""
+        return self.total / len(self._values) if self._values else math.nan
+
+    @property
+    def min(self) -> float:
+        """Smallest sample (NaN when empty)."""
+        return min(self._values) if self._values else math.nan
+
+    @property
+    def max(self) -> float:
+        """Largest sample (NaN when empty)."""
+        return max(self._values) if self._values else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile ``p`` in [0, 100] (NaN when empty)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if not self._values:
+                return math.nan
+            ordered = sorted(self._values)
+        if p == 0.0:
+            return ordered[0]
+        rank = math.ceil(p / 100.0 * len(ordered))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict[str, Any]:
+        """count / mean / min / p50 / p90 / p99 / max snapshot."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, cls: type):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is already registered as a "
+                    f"{type(metric).__name__}, not a {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        return self._get_or_create(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """``{name: {"kind": ..., **summary}}`` for every instrument."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {m.name: {"kind": m.kind, **m.summary()} for m in metrics}
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Uniform dict-rows for :func:`repro.bench.report.format_table`."""
+        rows = []
+        for name, snap in sorted(self.snapshot().items()):
+            rows.append(
+                {
+                    "metric": name,
+                    "kind": snap["kind"],
+                    "count": snap.get("count"),
+                    "value": snap.get("value", snap.get("mean")),
+                    "p50": snap.get("p50"),
+                    "p99": snap.get("p99"),
+                    "max": snap.get("max"),
+                }
+            )
+        return rows

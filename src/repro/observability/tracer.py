@@ -1,0 +1,434 @@
+"""Span-based tracing with a zero-overhead disabled path.
+
+The design follows what Level-Zero tracing tools (unitrace, onetrace)
+record for SYCL programs: *spans* (named durations with nested structure,
+one per kernel launch / solve / dispatch), *instant events* (markers) and
+*counter series* (per-iteration convergence telemetry). Timestamps are
+integer nanoseconds from ``time.perf_counter_ns`` — the monotonic clock —
+so durations survive wall-clock adjustments and export losslessly to the
+microsecond ``ts``/``dur`` fields of the Chrome trace-event format.
+
+Instrumented library code never takes a tracer parameter explicitly; it
+asks :func:`current_tracer` for the installed tracer and gets
+:data:`NULL_TRACER` — whose every method is a no-op returning shared
+singletons — when tracing is off. Public solve APIs additionally accept an
+opt-in ``tracer=`` argument which they install via :func:`use_tracer` for
+the duration of the call.
+
+Thread safety: finished records append under a lock; the *open-span stack*
+is thread-local, so concurrent solves on different threads nest their own
+spans correctly and export with distinct ``tid`` lanes.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Any, Callable, Iterator
+
+from repro.observability.metrics import MetricsRegistry
+
+__all__ = [
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "set_tracer",
+    "use_tracer",
+    "traced",
+]
+
+
+class TraceEvent:
+    """One instant marker or counter sample (non-span trace record)."""
+
+    __slots__ = ("kind", "name", "ts_ns", "tid", "args")
+
+    INSTANT = "instant"
+    COUNTER = "counter"
+
+    def __init__(self, kind: str, name: str, ts_ns: int, tid: int, args: dict) -> None:
+        self.kind = kind
+        self.name = name
+        self.ts_ns = ts_ns
+        self.tid = tid
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"TraceEvent({self.kind}, {self.name!r}, ts={self.ts_ns})"
+
+
+class Span:
+    """A named duration; context manager handed out by :meth:`Tracer.span`.
+
+    Attributes are filled progressively: ``set``/``set_args`` attach
+    key-value arguments (exported into the Chrome ``args`` field) and
+    ``event`` drops an instant marker on the span's timeline lane.
+    """
+
+    __slots__ = (
+        "name",
+        "category",
+        "args",
+        "start_ns",
+        "end_ns",
+        "tid",
+        "parent",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        args: dict,
+        tid: int | None = None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self.start_ns = 0
+        self.end_ns = 0
+        self.tid = tid
+        self.parent: Span | None = None
+
+    # -- annotation ----------------------------------------------------------
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one argument to the span."""
+        self.args[key] = value
+        return self
+
+    def set_args(self, **kwargs: Any) -> "Span":
+        """Attach several arguments to the span."""
+        self.args.update(kwargs)
+        return self
+
+    def event(self, name: str, **args: Any) -> None:
+        """Drop an instant marker at the current time on this span's lane."""
+        self._tracer._record_event(
+            TraceEvent(TraceEvent.INSTANT, name, time.perf_counter_ns(), self.tid, args)
+        )
+
+    @property
+    def duration_ns(self) -> int:
+        """Span duration in integer nanoseconds (0 while still open)."""
+        return max(0, self.end_ns - self.start_ns)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Span duration in seconds."""
+        return self.duration_ns * 1e-9
+
+    # -- context-manager protocol -------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._open_span(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        self._tracer._close_span(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, cat={self.category!r}, "
+            f"dur={self.duration_ns} ns, args={self.args})"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span; the disabled tracer hands out one instance."""
+
+    __slots__ = ()
+
+    name = ""
+    category = ""
+    args: dict = {}
+    start_ns = 0
+    end_ns = 0
+    tid = None
+    parent = None
+    duration_ns = 0
+    duration_seconds = 0.0
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def set_args(self, **kwargs: Any) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **args: Any) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class Tracer:
+    """Collects spans, instant events and counter samples, plus metrics.
+
+    Parameters
+    ----------
+    enabled:
+        When false the tracer behaves like :class:`NullTracer` (kept for
+        symmetry; prefer simply not installing a tracer).
+    """
+
+    enabled: bool = True
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.epoch_ns = time.perf_counter_ns()
+        self.metrics = MetricsRegistry()
+        self.spans: list[Span] = []
+        self.events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._tids: dict[int, int] = {}
+
+    # -- recording API -------------------------------------------------------
+
+    def span(self, name: str, category: str = "", tid: int | None = None, **args: Any):
+        """A context manager recording one span (finished on ``__exit__``).
+
+        ``tid`` overrides the export lane — used e.g. for per-rank lanes of
+        the distributed solves; by default spans land on the lane of the
+        thread that opened them.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, category, dict(args), tid=tid)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record a free-standing instant marker."""
+        if not self.enabled:
+            return
+        self._record_event(
+            TraceEvent(
+                TraceEvent.INSTANT, name, time.perf_counter_ns(), self._thread_tid(), args
+            )
+        )
+
+    def counter(self, name: str, **series: float) -> None:
+        """Record one sample of a Chrome counter track (numeric series)."""
+        if not self.enabled:
+            return
+        self._record_event(
+            TraceEvent(
+                TraceEvent.COUNTER,
+                name,
+                time.perf_counter_ns(),
+                self._thread_tid(),
+                {k: float(v) for k, v in series.items()},
+            )
+        )
+
+    def annotate(self, **args: Any) -> None:
+        """Attach arguments to the innermost open span of this thread.
+
+        No-op when no span is open — lets deep layers (the launch
+        configurator, the timing model) decorate whatever span happens to
+        surround them without threading a handle through every call.
+        """
+        if not self.enabled:
+            return
+        span = self.current_span()
+        if span is not None:
+            span.set_args(**args)
+
+    def trace(self, name: str | None = None, category: str = "function", **args: Any):
+        """Decorator: wrap every call of the function in a span."""
+
+        def decorator(fn: Callable) -> Callable:
+            label = name if name is not None else fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*a: Any, **kw: Any):
+                with self.span(label, category=category, **args):
+                    return fn(*a, **kw)
+
+            return wrapper
+
+        return decorator
+
+    # -- introspection -------------------------------------------------------
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on the calling thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    @property
+    def num_records(self) -> int:
+        """Finished spans plus instant/counter events recorded so far."""
+        return len(self.spans) + len(self.events)
+
+    def reset(self) -> None:
+        """Drop all finished records (open spans are unaffected)."""
+        with self._lock:
+            self.spans.clear()
+            self.events.clear()
+
+    # -- span bookkeeping (called by Span) ------------------------------------
+
+    def _open_span(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        span.parent = stack[-1] if stack else None
+        if span.tid is None:
+            span.tid = self._thread_tid()
+        stack.append(span)
+        span.start_ns = time.perf_counter_ns()
+
+    def _close_span(self, span: Span) -> None:
+        span.end_ns = time.perf_counter_ns()
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # tolerate out-of-order exits
+            stack.remove(span)
+        with self._lock:
+            self.spans.append(span)
+
+    def _record_event(self, event: TraceEvent) -> None:
+        if event.tid is None:
+            event.tid = self._thread_tid()
+        with self._lock:
+            self.events.append(event)
+
+    def _thread_tid(self) -> int:
+        """Small stable lane number for the calling thread (main thread = 0)."""
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids))
+        return tid
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every method is a no-op returning singletons.
+
+    Instrumented code paths pay one attribute check (``tracer.enabled``)
+    or one shared-singleton context manager — no allocation, no clock
+    reads, no lock traffic.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:  # deliberately skips Tracer.__init__
+        self.epoch_ns = 0
+        self.metrics = MetricsRegistry()
+        self.spans = []
+        self.events = []
+
+    def span(self, name: str, category: str = "", tid: int | None = None, **args: Any):
+        return _NULL_SPAN
+
+    def instant(self, name: str, **args: Any) -> None:
+        return None
+
+    def counter(self, name: str, **series: float) -> None:
+        return None
+
+    def annotate(self, **args: Any) -> None:
+        return None
+
+    def current_span(self) -> Span | None:
+        return None
+
+    def reset(self) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+#: The process-wide disabled tracer (what :func:`current_tracer` returns
+#: when nothing is installed).
+NULL_TRACER = NullTracer()
+
+_install_lock = threading.Lock()
+_installed: Tracer = NULL_TRACER
+
+
+def current_tracer() -> Tracer:
+    """The installed tracer, or :data:`NULL_TRACER` when tracing is off."""
+    return _installed
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` process-wide; returns the previously installed one.
+
+    ``None`` uninstalls (equivalent to installing :data:`NULL_TRACER`).
+    """
+    global _installed
+    with _install_lock:
+        previous = _installed
+        _installed = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+class _UseTracer:
+    """Context manager installing a tracer for a scope (re-entrant)."""
+
+    __slots__ = ("tracer", "_previous")
+
+    def __init__(self, tracer: Tracer | None) -> None:
+        self.tracer = tracer
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        if self.tracer is None:  # "no change" — keep whatever is installed
+            self._previous = None
+            return current_tracer()
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.tracer is not None and self._previous is not None:
+            set_tracer(self._previous)
+
+
+def use_tracer(tracer: Tracer | None) -> _UseTracer:
+    """Install ``tracer`` for a ``with`` scope, restoring the previous one.
+
+    ``use_tracer(None)`` is a cheap no-op scope (keeps the current tracer)
+    so call sites can unconditionally write
+    ``with use_tracer(maybe_tracer): ...``.
+    """
+    return _UseTracer(tracer)
+
+
+def traced(name: str | None = None, category: str = "function", **static_args: Any):
+    """Decorator tracing calls against whatever tracer is installed *then*.
+
+    Unlike :meth:`Tracer.trace` this does not bind a tracer at decoration
+    time: each call asks :func:`current_tracer`, so library functions can
+    be decorated once and cost nothing until a tracer is installed.
+    """
+
+    def decorator(fn: Callable) -> Callable:
+        label = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*a: Any, **kw: Any):
+            tracer = current_tracer()
+            if not tracer.enabled:
+                return fn(*a, **kw)
+            with tracer.span(label, category=category, **static_args):
+                return fn(*a, **kw)
+
+        return wrapper
+
+    return decorator

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from repro.exceptions import BarrierDivergenceError, KernelFaultError
+from repro.observability.tracer import current_tracer
 from repro.sycl.device import SyclDevice
 from repro.sycl.group import GROUP, SUB_GROUP, NDItem, SyncOp, evaluate_collective
 from repro.sycl.memory import (
@@ -205,4 +206,19 @@ def launch(
         if poison_slm:
             poison_local(local)
         run_work_group(ndrange, group_id, kernel, local, args, stats)
+
+    tracer = current_tracer()
+    if tracer.enabled:
+        # the executor is below the Queue span, so it contributes metrics
+        # (and annotates whatever span surrounds it) rather than opening
+        # its own span per launch
+        metrics = tracer.metrics
+        metrics.counter("sycl.launches").inc()
+        metrics.counter("sycl.work_groups").inc(stats.num_groups)
+        metrics.histogram("sycl.slm_bytes_per_group").observe(
+            float(stats.slm_bytes_per_group)
+        )
+        for key, count in stats.collective_counts.items():
+            metrics.counter(f"sycl.collectives.{key}").inc(count)
+        tracer.annotate(device=device.name)
     return stats

@@ -2,14 +2,22 @@
 
 A :class:`Queue` binds a device and submits kernel launches. The simulator
 executes synchronously but preserves the SYCL surface: ``parallel_for``
-returns an :class:`Event` carrying profiling information (host wall-clock)
-plus the launch statistics the performance model consumes (work-group
-geometry, SLM footprint, collective counts).
+returns an :class:`Event` carrying profiling information plus the launch
+statistics the performance model consumes (work-group geometry, SLM
+footprint, collective counts). Profiling timestamps are integer
+nanoseconds from the monotonic clock (``time.perf_counter_ns``), matching
+Level-Zero's ``zeEventQueryKernelTimestamp`` convention.
 
 Queues also keep a submission log so tests can assert that the multi-level
 dispatch mechanism produced exactly one fused kernel launch per solve
 (Section 3.4 of the paper: all functionality gathered into a single kernel
-to avoid launch latency).
+to avoid launch latency). Long benchmark sweeps should call
+:meth:`Queue.reset_events` between solves so the log does not grow without
+bound.
+
+When a tracer is installed (:mod:`repro.observability`), every submission
+additionally emits a kernel-launch span carrying the
+:class:`~repro.sycl.executor.LaunchStats` as span arguments.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.observability.tracer import current_tracer
 from repro.sycl.device import SyclDevice, cpu_device
 from repro.sycl.executor import LaunchStats, launch
 from repro.sycl.memory import LocalSpec
@@ -26,18 +35,43 @@ from repro.sycl.ndrange import NDRange
 
 @dataclass(frozen=True)
 class Event:
-    """Completion record of one submitted kernel (``sycl::event``)."""
+    """Completion record of one submitted kernel (``sycl::event``).
+
+    Timestamps are monotonic-clock nanoseconds (Level-Zero style); the
+    ``*_time`` / ``duration_seconds`` properties expose the legacy
+    floating-point-seconds view.
+    """
 
     name: str
-    submit_time: float
-    start_time: float
-    end_time: float
+    submit_ns: int
+    start_ns: int
+    end_ns: int
     stats: LaunchStats
+
+    @property
+    def duration_ns(self) -> int:
+        """Execution time of the (simulated) kernel in integer nanoseconds."""
+        return self.end_ns - self.start_ns
 
     @property
     def duration_seconds(self) -> float:
         """Host wall-clock execution time of the (simulated) kernel."""
-        return self.end_time - self.start_time
+        return self.duration_ns * 1e-9
+
+    @property
+    def submit_time(self) -> float:
+        """Submission timestamp in seconds (monotonic clock)."""
+        return self.submit_ns * 1e-9
+
+    @property
+    def start_time(self) -> float:
+        """Start timestamp in seconds (monotonic clock)."""
+        return self.start_ns * 1e-9
+
+    @property
+    def end_time(self) -> float:
+        """Completion timestamp in seconds (monotonic clock)."""
+        return self.end_ns * 1e-9
 
     def wait(self) -> None:
         """No-op: the simulator executes synchronously."""
@@ -66,22 +100,34 @@ class Queue:
         poison_slm: bool = False,
     ) -> Event:
         """Launch ``kernel`` over ``ndrange`` and wait for completion."""
-        submit = time.perf_counter()
-        start = submit
-        stats = launch(
-            self.device,
-            ndrange,
-            kernel,
-            args=args,
-            local_specs=local_specs,
-            poison_slm=poison_slm,
-        )
-        end = time.perf_counter()
+        kernel_name = name or getattr(kernel, "__name__", "kernel")
+        tracer = current_tracer()
+        with tracer.span(
+            kernel_name, category="kernel", device=self.device.name
+        ) as span:
+            submit = time.perf_counter_ns()
+            start = submit
+            stats = launch(
+                self.device,
+                ndrange,
+                kernel,
+                args=args,
+                local_specs=local_specs,
+                poison_slm=poison_slm,
+            )
+            end = time.perf_counter_ns()
+            span.set_args(
+                num_groups=stats.num_groups,
+                work_group_size=stats.local_size,
+                sub_group_size=stats.sub_group_size,
+                slm_bytes_per_group=stats.slm_bytes_per_group,
+                collectives=dict(stats.collective_counts),
+            )
         event = Event(
-            name=name or getattr(kernel, "__name__", "kernel"),
-            submit_time=submit,
-            start_time=start,
-            end_time=end,
+            name=kernel_name,
+            submit_ns=submit,
+            start_ns=start,
+            end_ns=end,
             stats=stats,
         )
         self.events.append(event)
@@ -89,6 +135,16 @@ class Queue:
 
     def wait(self) -> None:
         """Block until all submitted work completes (no-op: synchronous)."""
+
+    def reset_events(self) -> None:
+        """Clear the submission log (keeps long sweeps from accumulating).
+
+        The profiling events of completed launches are plain records; a
+        benchmark loop that reuses one queue across thousands of solves
+        should drop them once inspected, exactly as a real runtime releases
+        ``sycl::event`` objects when their last handle dies.
+        """
+        self.events.clear()
 
     @property
     def num_launches(self) -> int:

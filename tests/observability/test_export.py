@@ -1,0 +1,180 @@
+"""Exporters: Chrome trace-event schema round-trip, JSONL, ASCII summary."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import (
+    Tracer,
+    chrome_trace,
+    chrome_trace_events,
+    format_summary,
+    summary_rows,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observability.export import jsonl_records
+
+
+def _populated_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("solve.cg", category="solver", solver="cg"):
+        with tracer.span("batch_cg_fused", category="kernel") as kspan:
+            kspan.set_args(
+                num_groups=4096,
+                work_group_size=64,
+                sub_group_size=16,
+                slm_bytes_per_group=2048,
+            )
+        tracer.counter("convergence.active_systems", active=8, converged=0)
+        tracer.instant("solver.breakdown", system=3)
+    tracer.metrics.counter("solver.solves").inc()
+    tracer.metrics.histogram("solver.iterations_per_system").observe_many([10, 12])
+    return tracer
+
+
+class TestChromeTrace:
+    def test_event_phases_and_metadata(self):
+        tracer = _populated_tracer()
+        events = chrome_trace_events(tracer, process_name="unit")
+        phases = [e["ph"] for e in events]
+        assert phases == ["M", "X", "X", "C", "i"]
+        meta = events[0]
+        assert meta["name"] == "process_name"
+        assert meta["args"] == {"name": "unit"}
+
+    def test_span_timestamps_are_relative_microseconds(self):
+        tracer = _populated_tracer()
+        spans = [e for e in chrome_trace_events(tracer) if e["ph"] == "X"]
+        for span in spans:
+            assert span["ts"] >= 0.0
+            assert span["dur"] >= 0.0
+        by_name = {s["name"]: s for s in spans}
+        outer, inner = by_name["solve.cg"], by_name["batch_cg_fused"]
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_instants_carry_scope(self):
+        tracer = _populated_tracer()
+        instant = next(e for e in chrome_trace_events(tracer) if e["ph"] == "i")
+        assert instant["s"] == "t"
+        assert instant["args"] == {"system": 3}
+
+    def test_top_level_object_includes_metrics_snapshot(self):
+        payload = chrome_trace(_populated_tracer())
+        assert payload["displayTimeUnit"] == "ms"
+        metrics = payload["otherData"]["metrics"]
+        assert metrics["solver.solves"]["value"] == 1.0
+        assert metrics["solver.iterations_per_system"]["count"] == 2
+
+    def test_args_are_json_serializable(self):
+        import numpy as np
+
+        tracer = Tracer()
+        with tracer.span("s", category="kernel") as span:
+            span.set_args(
+                num_groups=np.int64(4),
+                work_group_size=64,
+                sub_group_size=16,
+                slm_bytes_per_group=0,
+                collectives={"group:reduce": np.int64(7)},
+                device=object(),
+            )
+        text = json.dumps(chrome_trace(tracer))
+        args = json.loads(text)["traceEvents"][1]["args"]
+        assert args["num_groups"] == 4
+        assert args["collectives"]["group:reduce"] == 7
+        assert isinstance(args["device"], str)  # repr fallback
+
+
+class TestRoundTrip:
+    def test_write_then_validate(self, tmp_path):
+        tracer = _populated_tracer()
+        path = write_chrome_trace(tracer, tmp_path / "trace.json")
+        counts = validate_chrome_trace(path)
+        assert counts == {
+            "events": 4,
+            "spans": 2,
+            "kernel_spans": 1,
+            "counters": 1,
+            "instants": 1,
+        }
+
+    def test_validate_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            validate_chrome_trace(path)
+
+    def test_validate_rejects_missing_trace_events(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"other": 1}))
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace(path)
+
+    def test_validate_rejects_kernel_span_without_launch_args(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("bare_kernel", category="kernel"):
+            tracer.counter("c", value=1)
+        path = write_chrome_trace(tracer, tmp_path / "t.json")
+        with pytest.raises(ValueError, match="LaunchStats args"):
+            validate_chrome_trace(path)
+
+    def test_validate_requirements_can_be_relaxed(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("host_only", category="host"):
+            pass
+        path = write_chrome_trace(tracer, tmp_path / "t.json")
+        counts = validate_chrome_trace(
+            path, require_kernel_spans=False, require_counters=False
+        )
+        assert counts["spans"] == 1 and counts["kernel_spans"] == 0
+        with pytest.raises(ValueError, match="no kernel-launch spans"):
+            validate_chrome_trace(path, require_counters=False)
+        with pytest.raises(ValueError, match="no counter events"):
+            validate_chrome_trace(path, require_kernel_spans=False)
+
+
+class TestJsonl:
+    def test_record_types_and_counts(self, tmp_path):
+        tracer = _populated_tracer()
+        path = write_jsonl(tracer, tmp_path / "trace.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        by_type: dict[str, int] = {}
+        for record in records:
+            by_type[record["type"]] = by_type.get(record["type"], 0) + 1
+        assert by_type == {"span": 2, "counter": 1, "instant": 1, "metric": 2}
+
+    def test_span_records_link_parents(self):
+        records = jsonl_records(_populated_tracer())
+        spans = {r["name"]: r for r in records if r["type"] == "span"}
+        assert spans["batch_cg_fused"]["parent"] == "solve.cg"
+        assert spans["solve.cg"]["parent"] is None
+        assert spans["batch_cg_fused"]["dur_ns"] >= 0
+
+
+class TestSummary:
+    def test_rows_aggregate_per_category_and_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("launch", category="kernel"):
+                pass
+        with tracer.span("solve", category="solver"):
+            pass
+        rows = summary_rows(tracer)
+        assert [(r["category"], r["span"], r["count"]) for r in rows] == [
+            ("kernel", "launch", 3),
+            ("solver", "solve", 1),
+        ]
+        launch = rows[0]
+        assert launch["total_ms"] >= launch["mean_ms"] >= 0
+        assert launch["max_ms"] <= launch["total_ms"]
+
+    def test_format_summary_renders_tables(self):
+        text = format_summary(_populated_tracer(), title="unit summary")
+        assert "unit summary" in text
+        assert "batch_cg_fused" in text
+        assert "solver.solves" in text  # metrics table appended

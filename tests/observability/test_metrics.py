@@ -1,0 +1,116 @@
+"""Metrics registry: counter/gauge/histogram math and percentile summaries."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.observability import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("launches")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        assert c.summary() == {"value": 3.5}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            Counter("c").inc(-1)
+
+    def test_thread_safe_increments(self):
+        c = Counter("c")
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_keeps_latest(self):
+        g = Gauge("modeled_ms")
+        assert math.isnan(g.value)
+        g.set(4.2)
+        g.set(1.0)
+        assert g.value == 1.0
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        h = Histogram("iters")
+        h.observe_many([4, 2, 8, 6])
+        assert h.count == 4
+        assert h.total == 20
+        assert h.mean == 5.0
+        assert h.min == 2 and h.max == 8
+
+    def test_percentiles_nearest_rank(self):
+        h = Histogram("h")
+        h.observe_many(range(1, 101))  # 1..100
+        assert h.percentile(0) == 1
+        assert h.percentile(50) == 50
+        assert h.percentile(90) == 90
+        assert h.percentile(99) == 99
+        assert h.percentile(100) == 100
+
+    def test_percentile_single_value_and_empty(self):
+        h = Histogram("h")
+        assert math.isnan(h.percentile(50))
+        assert math.isnan(h.mean)
+        h.observe(7.0)
+        assert h.percentile(1) == 7.0
+        assert h.percentile(99) == 7.0
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ValueError, match="percentile"):
+            Histogram("h").percentile(101)
+
+    def test_summary_keys(self):
+        h = Histogram("h")
+        h.observe_many([1.0, 2.0, 3.0])
+        summary = h.summary()
+        assert summary["count"] == 3
+        assert summary["p50"] == 2.0
+        assert set(summary) == {"count", "mean", "min", "p50", "p90", "p99", "max"}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert len(reg) == 2
+        assert "a" in reg and "missing" not in reg
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_snapshot_and_rows(self):
+        reg = MetricsRegistry()
+        reg.counter("launches").inc(3)
+        reg.gauge("modeled_ms").set(1.5)
+        reg.histogram("iters").observe_many([1, 3])
+        snap = reg.snapshot()
+        assert snap["launches"] == {"kind": "counter", "value": 3.0}
+        assert snap["modeled_ms"]["value"] == 1.5
+        assert snap["iters"]["count"] == 2
+        rows = reg.rows()
+        assert [r["metric"] for r in rows] == ["iters", "launches", "modeled_ms"]
+        assert all(
+            set(r) == {"metric", "kind", "count", "value", "p50", "p99", "max"}
+            for r in rows
+        )
