@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests, lint, and the two smoke checks.
+#
+# Mirrors what the reproducibility driver expects to hold: the full test
+# suite green, the lint gate clean, the tracing pipeline producing valid
+# Chrome traces, and the serving layer honouring its contracts.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PWD}/src${PYTHONPATH:+:${PYTHONPATH}}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== lint =="
+bash scripts/lint.sh
+
+echo
+echo "== trace smoke =="
+python scripts/smoke_trace.py --out /tmp/ci_trace_smoke.json
+
+echo
+echo "== serve smoke =="
+python scripts/smoke_serve.py
+
+echo
+echo "ci: OK"

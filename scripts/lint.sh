@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Lint gate: run ruff when available, fall back to a bytecode compile check.
+#
+# The project's lint configuration lives in pyproject.toml ([tool.ruff]).
+# CI containers without ruff installed still get a syntax-level gate via
+# `python -m compileall`, so this script never requires a network install.
+#
+# Usage: scripts/lint.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "lint: ruff $(ruff --version | head -n1)"
+    ruff check src scripts tests
+    echo "lint: OK (ruff)"
+elif python -c "import ruff" >/dev/null 2>&1; then
+    echo "lint: ruff (python module)"
+    python -m ruff check src scripts tests
+    echo "lint: OK (ruff)"
+else
+    echo "lint: ruff not installed — falling back to 'python -m compileall'" >&2
+    python -m compileall -q src scripts tests
+    echo "lint: OK (compileall fallback; install ruff for the full gate)"
+fi

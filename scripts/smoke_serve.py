@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Serving smoke check: exercise the service's contracts on a tiny workload.
+
+Covers, in a few seconds, the behaviours CI must not regress:
+
+* correctness — every served solution matches a dense LU reference;
+* coalescing — compatible requests share flushes (mean batch size > 1);
+* plan cache — repeated configs hit (> 50% on this tiny workload);
+* backpressure — submits beyond ``max_pending`` raise
+  :class:`~repro.exceptions.ServiceSaturatedError` with a retry hint;
+* degradation — a non-convergent system finishes via the direct-LU
+  fallback without failing its co-batched neighbours.
+
+Exits non-zero with a diagnostic on the first violated contract.
+
+Usage: python scripts/smoke_serve.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+
+def _fail(message: str) -> int:
+    print(f"smoke_serve: FAIL — {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.exceptions import ServiceSaturatedError
+    from repro.serve import ServeConfig, SolveRequest, SolverService
+    from repro.workloads.stencil import three_point_stencil
+
+    size = 24
+    pattern = three_point_stencil(size, 1).item_scipy(0)
+    rng = np.random.default_rng(3)
+
+    # -- correctness + coalescing + plan cache -------------------------------
+    config = ServeConfig(max_batch_size=8, max_wait_ms=5.0, num_workers=2)
+    with SolverService(config) as service:
+        requests = []
+        for _ in range(32):
+            matrix = pattern.copy()
+            matrix.data = matrix.data * rng.uniform(0.9, 1.1, size=matrix.nnz)
+            requests.append(
+                SolveRequest(
+                    matrix,
+                    rng.standard_normal(size),
+                    solver="bicgstab",
+                    preconditioner="jacobi",
+                    tolerance=1e-10,
+                )
+            )
+        tickets = [service.submit(r) for r in requests]
+        outcomes = [t.result(timeout=60.0) for t in tickets]
+
+        for request, outcome in zip(requests, outcomes):
+            dense = np.zeros((size, size))
+            for row in range(size):
+                lo, hi = request.row_ptrs[row], request.row_ptrs[row + 1]
+                dense[row, request.col_idxs[lo:hi]] = request.values[lo:hi]
+            reference = np.linalg.solve(dense, request.b)
+            if not np.allclose(outcome.x, reference, rtol=1e-6, atol=1e-8):
+                return _fail("served solution does not match LU reference")
+        mean_batch = sum(o.batch_size for o in outcomes) / len(outcomes)
+        if mean_batch <= 1.0:
+            return _fail(f"no coalescing happened (mean batch {mean_batch:.2f})")
+        if service.plan_cache.hit_rate <= 0.5:
+            return _fail(
+                f"plan-cache hit rate {service.plan_cache.hit_rate:.1%} <= 50%"
+            )
+    print(
+        f"smoke_serve: correctness OK — 32 requests, mean batch "
+        f"{mean_batch:.1f}, plan-cache hit rate {service.plan_cache.hit_rate:.0%}"
+    )
+
+    # -- backpressure --------------------------------------------------------
+    tight = ServeConfig(
+        max_batch_size=64, max_wait_ms=200.0, max_pending=2, num_workers=1
+    )
+    with SolverService(tight) as service:
+        held = [
+            service.submit(
+                SolveRequest(
+                    pattern.copy(),
+                    rng.standard_normal(size),
+                    solver="cg",
+                    preconditioner="jacobi",
+                )
+            )
+            for _ in range(2)
+        ]
+        try:
+            service.submit(
+                SolveRequest(
+                    pattern.copy(),
+                    rng.standard_normal(size),
+                    solver="cg",
+                    preconditioner="jacobi",
+                )
+            )
+        except ServiceSaturatedError as exc:
+            if exc.retry_after_s <= 0:
+                return _fail("saturation error carries no retry_after_s hint")
+        else:
+            return _fail("submit beyond max_pending did not raise")
+        service.flush()
+        for ticket in held:
+            if not ticket.result(timeout=60.0).converged:
+                return _fail("held requests did not complete after flush")
+    print("smoke_serve: backpressure OK — saturated submit rejected with retry hint")
+
+    # -- graceful degradation ------------------------------------------------
+    poisoned = pattern.copy()
+    data = poisoned.data.copy()
+    diag = data > 1  # stencil diagonal is 2.0, off-diagonal -1.0
+    data[~diag] = np.where(np.arange((~diag).sum()) % 2 == 0, 100.0, -99.0)
+    poisoned.data = data
+
+    with SolverService(ServeConfig(max_batch_size=8, max_wait_ms=5.0)) as service:
+        healthy = [
+            service.submit(
+                SolveRequest(
+                    pattern.copy(),
+                    rng.standard_normal(size),
+                    solver="cg",
+                    preconditioner="jacobi",
+                    max_iterations=40,
+                )
+            )
+            for _ in range(3)
+        ]
+        bad = service.submit(
+            SolveRequest(
+                poisoned,
+                rng.standard_normal(size),
+                solver="cg",
+                preconditioner="jacobi",
+                max_iterations=40,
+            )
+        )
+        service.flush()
+        bad_outcome = bad.result(timeout=60.0)
+        healthy_outcomes = [t.result(timeout=60.0) for t in healthy]
+    if not bad_outcome.used_fallback or bad_outcome.solver_name != "direct":
+        return _fail("non-convergent request did not take the direct-LU fallback")
+    if not bad_outcome.converged:
+        return _fail("fallback did not converge the poisoned system")
+    if not all(o.converged and not o.used_fallback for o in healthy_outcomes):
+        return _fail("co-batched healthy requests were disturbed by the fallback")
+    print("smoke_serve: degradation OK — poisoned request fell back to direct-LU")
+
+    print("smoke_serve: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

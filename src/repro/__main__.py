@@ -8,6 +8,8 @@ Commands:
 * ``stencil``  — the scaling study (Figs. 4-5) for chosen sizes.
 * ``advisor``  — the Fig. 8 Advisor-style report for a mechanism/platform.
 * ``features`` — the dispatch feature matrix (Table 3 + extensions).
+* ``serve-demo`` — run a synthetic request workload through the async
+  batched-solver service (``repro.serve``) and print its metrics.
 * ``trace``    — run any of the above with tracing enabled and export a
   Chrome trace-event file, e.g.
   ``python -m repro trace stencil --trace-out trace.json``
@@ -86,6 +88,64 @@ def _cmd_stencil(args) -> None:
     print_table(rows5, "Fig 5: implicit 2-stack scaling")
 
 
+def _cmd_serve_demo(args) -> int:
+    """Demonstrate the request-serving layer on a synthetic workload."""
+    import time as _time
+
+    import numpy as np
+
+    from repro.bench.report import print_table
+    from repro.serve import ServeConfig, SolveRequest, SolverService
+    from repro.workloads.stencil import three_point_stencil
+
+    config = ServeConfig(
+        max_batch_size=args.batch_size,
+        max_wait_ms=args.wait_ms,
+        num_workers=args.workers,
+        backend=args.backend,
+    )
+    pattern_batch = three_point_stencil(args.size, 1)
+    pattern = pattern_batch.item_scipy(0)
+    rng = np.random.default_rng(42)
+
+    print(
+        f"serve-demo: {args.requests} requests, n={args.size}, "
+        f"max_batch_size={config.max_batch_size}, max_wait_ms={config.max_wait_ms}, "
+        f"{config.num_workers} x {config.backend} workers"
+    )
+    start = _time.perf_counter()
+    with SolverService(config) as service:
+        tickets = []
+        for _ in range(args.requests):
+            values = pattern.copy()
+            values.data = values.data * rng.uniform(0.9, 1.1, size=values.nnz)
+            tickets.append(
+                service.submit(
+                    SolveRequest(
+                        values,
+                        rng.standard_normal(args.size),
+                        solver=args.solver,
+                        preconditioner="jacobi",
+                        tolerance=1e-8,
+                    )
+                )
+            )
+        outcomes = [t.result(timeout=60.0) for t in tickets]
+    elapsed = _time.perf_counter() - start
+
+    served = [o for o in outcomes if o is not None]
+    sizes = [o.batch_size for o in served]
+    print(
+        f"\nserved {len(served)} requests in {elapsed * 1e3:.1f} ms "
+        f"({len(served) / elapsed:.0f} req/s), mean batch size "
+        f"{sum(sizes) / len(sizes):.1f}, plan-cache hit rate "
+        f"{service.plan_cache.hit_rate:.0%}"
+    )
+    print()
+    print_table(service.metrics.rows(), "serve metrics")
+    return 0
+
+
 def _cmd_advisor(args) -> None:
     from repro.bench.figures import fig8_roofline
 
@@ -131,7 +191,15 @@ def _split_trace_args(argv: list[str]) -> tuple[dict, list[str]]:
 
 
 def _cmd_trace(argv: list[str]) -> int:
-    """Run a wrapped command under a fresh tracer and export the trace."""
+    """Run a wrapped command under a fresh tracer and export the trace.
+
+    The wrapped command's exit code is propagated — including non-zero
+    codes from ``SystemExit`` (e.g. argparse usage errors) and failures
+    that raise — and the trace collected up to the failure point is still
+    written, so a trace of a crashing run can be inspected.
+    """
+    import traceback
+
     from repro.observability import (
         Tracer,
         format_summary,
@@ -148,8 +216,20 @@ def _cmd_trace(argv: list[str]) -> int:
         )
 
     tracer = Tracer()
-    with use_tracer(tracer):
-        code = main(rest)
+    try:
+        with use_tracer(tracer):
+            code = main(rest)
+    except SystemExit as exc:  # argparse errors, explicit exits in wrapped cmds
+        if exc.code is None:
+            code = 0
+        elif isinstance(exc.code, int):
+            code = exc.code
+        else:
+            print(exc.code, file=sys.stderr)
+            code = 1
+    except Exception:
+        traceback.print_exc()
+        code = 1
 
     path = write_chrome_trace(tracer, options["trace_out"])
     if options["jsonl_out"]:
@@ -161,6 +241,8 @@ def _cmd_trace(argv: list[str]) -> int:
         f"\ntrace written to {path} ({len(tracer.spans)} spans, "
         f"{len(tracer.events)} events) — open in Perfetto or chrome://tracing"
     )
+    if code != 0:
+        print(f"warning: wrapped command exited {code}", file=sys.stderr)
     return code
 
 
@@ -192,6 +274,18 @@ def build_parser() -> argparse.ArgumentParser:
     advisor.add_argument("--platform", default="pvc1")
     advisor.add_argument("--batch", type=int, default=2**17)
     advisor.set_defaults(fn=_cmd_advisor)
+
+    serve_demo = sub.add_parser(
+        "serve-demo", help="demo the async batched-solver service (repro.serve)"
+    )
+    serve_demo.add_argument("--requests", type=int, default=256)
+    serve_demo.add_argument("--size", type=int, default=32)
+    serve_demo.add_argument("--batch-size", type=int, default=32)
+    serve_demo.add_argument("--wait-ms", type=float, default=2.0)
+    serve_demo.add_argument("--workers", type=int, default=2)
+    serve_demo.add_argument("--backend", choices=["sycl", "cuda"], default="sycl")
+    serve_demo.add_argument("--solver", default="bicgstab")
+    serve_demo.set_defaults(fn=_cmd_serve_demo)
 
     trace = sub.add_parser(
         "trace",

@@ -108,6 +108,56 @@ def feature_matrix() -> dict[str, list[str]]:
     }
 
 
+@dataclass(frozen=True)
+class ResolvedDispatch:
+    """A fully-resolved Figure-3 dispatch: concrete classes, no lookups left.
+
+    Produced once by :meth:`BatchSolverFactory.resolve`; building a solver
+    from it (:meth:`build`) performs no string lookups, no legality checks
+    and no registry access — which is what lets the serving layer's plan
+    cache amortize dispatch resolution across repeated configurations.
+    """
+
+    solver_cls: type
+    preconditioner_cls: type | None
+    criterion_cls: type
+    dtype: Any
+    matrix_format: str
+    tolerance: float
+    max_iterations: int
+    keep_history: bool
+    solver_options: tuple[tuple[str, Any], ...]
+    preconditioner_options: tuple[tuple[str, Any], ...]
+
+    def prepare(self, matrix: BatchedMatrix) -> BatchedMatrix:
+        """Convert ``matrix`` to the resolved format/precision (levels 1-2)."""
+        if matrix.format_name != self.matrix_format:
+            matrix = convert(matrix, self.matrix_format)
+        wanted = np.dtype(self.dtype)
+        if matrix.dtype != wanted:
+            matrix = matrix.astype(wanted)
+        return matrix
+
+    def build(self, matrix: BatchedMatrix) -> BatchIterativeSolver:
+        """Instantiate the solver for a matrix already in resolved form."""
+        settings = SolverSettings(
+            max_iterations=self.max_iterations,
+            criterion=self.criterion_cls(self.tolerance),
+            keep_history=self.keep_history,
+        )
+        precond = None
+        if self.preconditioner_cls is not None:
+            precond = self.preconditioner_cls(
+                matrix, **dict(self.preconditioner_options)
+            )
+        return self.solver_cls(
+            matrix,
+            preconditioner=precond,
+            settings=settings,
+            **dict(self.solver_options),
+        )
+
+
 @dataclass
 class BatchSolverFactory:
     """Runtime-configurable factory — the top of the dispatch tree.
@@ -166,6 +216,73 @@ class BatchSolverFactory:
                 f"{required!r} matrix format, got {matrix.format_name!r}"
             )
 
+    def dispatch_key(self, matrix_format: str | None = None) -> tuple:
+        """Hashable identity of the resolved dispatch tuple.
+
+        Two factories with equal keys resolve to the same concrete kernel
+        configuration; the serving layer's plan cache uses this (together
+        with the launch-relevant matrix size) as its cache key.
+        """
+        fmt = matrix_format if matrix_format is not None else self.matrix_format
+        return (
+            self.solver,
+            self.preconditioner,
+            self.criterion,
+            self.precision,
+            fmt,
+            self.tolerance,
+            self.max_iterations,
+            self.keep_history,
+            tuple(sorted(self.solver_options.items())),
+            tuple(sorted(self.preconditioner_options.items())),
+        )
+
+    def resolve(self, matrix_format: str | None = None) -> ResolvedDispatch:
+        """Resolve every dispatch level to concrete classes (Figure 3).
+
+        ``matrix_format`` is the format of the matrix that will be solved
+        (defaults to the factory's requested format); it is needed up front
+        because the legality rules are format-dependent (e.g. BatchIsai
+        requires BatchCsr).
+        """
+        fmt = matrix_format if matrix_format is not None else self.matrix_format
+        if fmt is None:
+            raise UnsupportedCombinationError(
+                "resolve() needs a concrete matrix format: pass matrix_format= "
+                "or configure the factory with one"
+            )
+        if fmt not in FORMATS:
+            raise UnsupportedCombinationError(
+                f"unknown matrix format {fmt!r}; available: {sorted(FORMATS)}"
+            )
+        required = _FORMAT_RESTRICTED_PRECONDITIONERS.get(self.preconditioner)
+        if required is not None and fmt != required:
+            raise UnsupportedCombinationError(
+                f"preconditioner {self.preconditioner!r} requires the "
+                f"{required!r} matrix format, got {fmt!r}"
+            )
+        if self.solver in _UNPRECONDITIONED_SOLVERS:
+            if self.preconditioner != "identity":
+                raise UnsupportedCombinationError(
+                    f"solver {self.solver!r} is a direct kernel and does not "
+                    f"accept a preconditioner (got {self.preconditioner!r})"
+                )
+            precond_cls = None
+        else:
+            precond_cls = PRECONDITIONERS[self.preconditioner]
+        return ResolvedDispatch(
+            solver_cls=SOLVERS[self.solver],
+            preconditioner_cls=precond_cls,
+            criterion_cls=CRITERIA[self.criterion],
+            dtype=PRECISIONS[self.precision],
+            matrix_format=fmt,
+            tolerance=self.tolerance,
+            max_iterations=self.max_iterations,
+            keep_history=self.keep_history,
+            solver_options=tuple(sorted(self.solver_options.items())),
+            preconditioner_options=tuple(sorted(self.preconditioner_options.items())),
+        )
+
     def create(self, matrix: BatchedMatrix) -> BatchIterativeSolver:
         """Instantiate the fully-dispatched solver for ``matrix``.
 
@@ -173,12 +290,11 @@ class BatchSolverFactory:
         than the input carries, the matrix is converted first (dispatch
         levels 1-2 of Figure 3).
         """
-        if self.matrix_format is not None and matrix.format_name != self.matrix_format:
-            matrix = convert(matrix, self.matrix_format)
-        self.validate_combination(matrix)
-        wanted = np.dtype(PRECISIONS[self.precision])
-        if matrix.dtype != wanted:
-            matrix = matrix.astype(wanted)
+        target_format = (
+            self.matrix_format if self.matrix_format is not None else matrix.format_name
+        )
+        resolved = self.resolve(target_format)
+        matrix = resolved.prepare(matrix)
         tracer = self.tracer if self.tracer is not None else current_tracer()
         if tracer.enabled:
             # the resolved dispatch tuple (Figure 3 levels 1-5)
@@ -192,26 +308,7 @@ class BatchSolverFactory:
             tracer.metrics.counter(
                 f"dispatch.{self.solver}.{matrix.format_name}.{self.precision}"
             ).inc()
-        settings = SolverSettings(
-            max_iterations=self.max_iterations,
-            criterion=CRITERIA[self.criterion](self.tolerance),
-            keep_history=self.keep_history,
-        )
-        if self.solver in _UNPRECONDITIONED_SOLVERS:
-            precond = None
-            if self.preconditioner != "identity":
-                raise UnsupportedCombinationError(
-                    f"solver {self.solver!r} is a direct kernel and does not "
-                    f"accept a preconditioner (got {self.preconditioner!r})"
-                )
-        else:
-            precond = PRECONDITIONERS[self.preconditioner](
-                matrix, **self.preconditioner_options
-            )
-        solver_cls = SOLVERS[self.solver]
-        return solver_cls(
-            matrix, preconditioner=precond, settings=settings, **self.solver_options
-        )
+        return resolved.build(matrix)
 
     def solve(
         self, matrix: BatchedMatrix, b, x0=None

@@ -19,7 +19,7 @@ targeted device"; devices may carry a tuned value in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.workspace import WorkspacePlan
 from repro.exceptions import DeviceCapabilityError
@@ -54,6 +54,46 @@ class KernelLaunchPlan:
     def nd_range(self) -> NDRange:
         """The simulator ND-range realizing this plan."""
         return NDRange(self.global_size, self.work_group_size, self.sub_group_size)
+
+    def with_num_groups(self, num_groups: int) -> "KernelLaunchPlan":
+        """The same per-group geometry applied to a different batch size.
+
+        The group-level choices of Section 3.6 (work-group size, sub-group
+        size, reduction scope, SLM footprint) depend only on the matrix
+        size, not on how many systems are batched — so a cached plan can be
+        re-targeted to a new flush by swapping the group count.
+        """
+        if num_groups <= 0:
+            raise ValueError(f"num_groups must be positive, got {num_groups}")
+        return replace(self, num_groups=num_groups)
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """The matrix-size-dependent part of a launch plan (Section 3.6).
+
+    Everything here is a pure function of ``(device, num_rows)``; the
+    serving layer's plan cache stores one geometry per configuration and
+    stamps out :class:`KernelLaunchPlan` instances per flush via
+    :meth:`plan`.
+    """
+
+    work_group_size: int
+    sub_group_size: int
+    reduction_scope: str
+    device_name: str
+
+    def plan(self, num_batch: int, slm_bytes_per_group: int = 0) -> KernelLaunchPlan:
+        """A concrete launch plan for ``num_batch`` systems of this geometry."""
+        if num_batch <= 0:
+            raise ValueError(f"num_batch must be positive, got {num_batch}")
+        return KernelLaunchPlan(
+            num_groups=num_batch,
+            work_group_size=self.work_group_size,
+            sub_group_size=self.sub_group_size,
+            reduction_scope=self.reduction_scope,
+            slm_bytes_per_group=slm_bytes_per_group,
+        )
 
 
 class LaunchConfigurator:
@@ -103,6 +143,20 @@ class LaunchConfigurator:
         """Sub-group-scope reductions once a single sub-group covers the rows."""
         return SUB_GROUP_REDUCE if num_rows <= sub_group_size else WORK_GROUP_REDUCE
 
+    def geometry(self, num_rows: int) -> LaunchGeometry:
+        """The batch-size-independent launch choices for ``num_rows``."""
+        if num_rows <= 0:
+            raise ValueError(f"num_rows must be positive, got {num_rows}")
+        sg = self.pick_sub_group_size(num_rows)
+        self.device.validate_sub_group_size(sg)
+        wg = self.pick_work_group_size(num_rows, sg)
+        return LaunchGeometry(
+            work_group_size=wg,
+            sub_group_size=sg,
+            reduction_scope=self.pick_reduction_scope(num_rows, sg),
+            device_name=self.device.name,
+        )
+
     def configure(
         self,
         num_rows: int,
@@ -114,14 +168,8 @@ class LaunchConfigurator:
             raise ValueError(
                 f"num_rows and num_batch must be positive, got ({num_rows}, {num_batch})"
             )
-        sg = self.pick_sub_group_size(num_rows)
-        self.device.validate_sub_group_size(sg)
-        wg = self.pick_work_group_size(num_rows, sg)
-        plan = KernelLaunchPlan(
-            num_groups=num_batch,
-            work_group_size=wg,
-            sub_group_size=sg,
-            reduction_scope=self.pick_reduction_scope(num_rows, sg),
+        plan = self.geometry(num_rows).plan(
+            num_batch,
             slm_bytes_per_group=0 if workspace is None else workspace.slm_bytes_used,
         )
         tracer = current_tracer()

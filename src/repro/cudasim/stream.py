@@ -82,6 +82,32 @@ class Stream:
         self.events.append(event)
         return event
 
+    def submit_host_task(
+        self, fn: Callable[[], Any], name: str = "host_task", **span_args: Any
+    ) -> tuple[Any, Event]:
+        """Run ``fn`` as a host task on this stream (``cudaLaunchHostFunc``).
+
+        Mirrors :meth:`repro.sycl.queue.Queue.submit_host_task`: the task
+        lands in the stream's in-order event log with profiling timestamps.
+        Returns ``(fn(), event)``.
+        """
+        tracer = current_tracer()
+        with tracer.span(
+            name, category="host_task", device=self.device.name, **span_args
+        ):
+            submit = time.perf_counter_ns()
+            result = fn()
+            end = time.perf_counter_ns()
+        event = Event(
+            name=name,
+            submit_ns=submit,
+            start_ns=submit,
+            end_ns=end,
+            stats=LaunchStats(),
+        )
+        self.events.append(event)
+        return result, event
+
     def synchronize(self) -> None:
         """Block until all submitted work completes (no-op: synchronous)."""
 

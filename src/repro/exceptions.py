@@ -67,3 +67,32 @@ class DeviceCapabilityError(ExecutionModelError, ValueError):
 
 class KernelFaultError(ExecutionModelError, RuntimeError):
     """A kernel performed an illegal access (e.g. out-of-bounds SLM index)."""
+
+
+# --------------------------------------------------------------------------
+# Serving-layer errors (repro.serve)
+# --------------------------------------------------------------------------
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the batched-solver service."""
+
+
+class ServiceSaturatedError(ServeError, RuntimeError):
+    """The service's admission queue is full; retry after ``retry_after_s``.
+
+    This is the backpressure signal: the request was *not* enqueued, the
+    caller should back off for at least ``retry_after_s`` seconds.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class RequestTimeoutError(ServeError, TimeoutError):
+    """A solve request exceeded its timeout before being served."""
+
+
+class ServiceClosedError(ServeError, RuntimeError):
+    """A request was submitted to a service that has been closed."""

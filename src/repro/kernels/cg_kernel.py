@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.launch import LaunchConfigurator
 from repro.core.matrix.batch_csr import BatchCsr
-from repro.kernels.blas1 import group_dot, sub_group_dot
+from repro.kernels.blas1 import group_dot
 from repro.kernels.spmv import spmv_csr_item_rows, spmv_csr_subgroup_rows
 from repro.sycl.device import SyclDevice
 from repro.sycl.memory import LocalSpec

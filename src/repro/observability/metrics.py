@@ -66,6 +66,18 @@ class Gauge:
         with self._lock:
             self._value = float(value)
 
+    def add(self, delta: float) -> float:
+        """Shift the value by ``delta`` (an unset gauge counts as 0).
+
+        Queue-depth style gauges are maintained by increments from several
+        threads; doing the read-modify-write under the gauge's lock keeps
+        them consistent. Returns the new value.
+        """
+        with self._lock:
+            base = 0.0 if math.isnan(self._value) else self._value
+            self._value = base + float(delta)
+            return self._value
+
     @property
     def value(self) -> float:
         """Most recently set value (NaN before the first ``set``)."""

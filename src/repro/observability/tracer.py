@@ -25,7 +25,7 @@ from __future__ import annotations
 import functools
 import threading
 import time
-from typing import Any, Callable, Iterator
+from typing import Any, Callable
 
 from repro.observability.metrics import MetricsRegistry
 

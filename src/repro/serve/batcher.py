@@ -1,0 +1,149 @@
+"""The dynamic micro-batcher: coalesce compatible requests, flush on policy.
+
+One bucket per :class:`~repro.serve.request.BatchKey`. A bucket flushes
+when it reaches ``max_batch_size`` ("size" flush — the throughput-optimal
+case: a full fused launch) or when its oldest request has waited
+``max_wait_ns`` ("deadline" flush — the latency bound). The batcher is a
+pure data structure over an injectable clock, so the flush policy is
+deterministic and unit-testable without threads; the service supplies the
+threads (a flusher that sleeps until :meth:`next_deadline_ns`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.serve.request import BatchKey, SolveTicket, monotonic_ns
+
+#: Flush reasons.
+SIZE = "size"
+DEADLINE = "deadline"
+DRAIN = "drain"
+
+
+@dataclass
+class FlushBatch:
+    """One batch of co-batchable tickets handed to the worker pool."""
+
+    key: BatchKey
+    tickets: list[SolveTicket]
+    reason: str
+    opened_ns: int
+    flushed_ns: int
+
+    @property
+    def size(self) -> int:
+        """Number of requests in the flush."""
+        return len(self.tickets)
+
+
+@dataclass
+class _Bucket:
+    """Accumulating tickets of one compatibility class."""
+
+    opened_ns: int
+    tickets: list[SolveTicket] = field(default_factory=list)
+
+
+class MicroBatcher:
+    """Request coalescing with size- and deadline-triggered flushes.
+
+    Thread-safe; every mutating call takes the internal lock. The clock is
+    injectable (monotonic integer nanoseconds) for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int,
+        max_wait_ns: int,
+        clock: Callable[[], int] = monotonic_ns,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if max_wait_ns < 0:
+            raise ValueError(f"max_wait_ns must be non-negative, got {max_wait_ns}")
+        self.max_batch_size = max_batch_size
+        self.max_wait_ns = max_wait_ns
+        self._clock = clock
+        self._buckets: dict[BatchKey, _Bucket] = {}
+        self._lock = threading.Lock()
+
+    # -- intake ----------------------------------------------------------------
+
+    def offer(self, ticket: SolveTicket) -> FlushBatch | None:
+        """Add one ticket; return a size-triggered flush if it fills a bucket.
+
+        With ``max_batch_size == 1`` every offer flushes immediately — the
+        unbatched baseline the benchmark compares against.
+        """
+        key = ticket.request.batch_key
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = _Bucket(opened_ns=now)
+            bucket.tickets.append(ticket)
+            if len(bucket.tickets) >= self.max_batch_size:
+                del self._buckets[key]
+                return FlushBatch(key, bucket.tickets, SIZE, bucket.opened_ns, now)
+        return None
+
+    # -- deadline handling -------------------------------------------------------
+
+    def due(self, now_ns: int | None = None) -> list[FlushBatch]:
+        """Flush every bucket whose oldest request exceeded the wait deadline.
+
+        Returns ``[]`` when nothing is due — a deadline firing against an
+        already-flushed (or never-filled) bucket produces no empty flush.
+        """
+        now = self._clock() if now_ns is None else now_ns
+        flushes: list[FlushBatch] = []
+        with self._lock:
+            expired = [
+                key
+                for key, bucket in self._buckets.items()
+                if now - bucket.opened_ns >= self.max_wait_ns
+            ]
+            for key in expired:
+                bucket = self._buckets.pop(key)
+                flushes.append(
+                    FlushBatch(key, bucket.tickets, DEADLINE, bucket.opened_ns, now)
+                )
+        return flushes
+
+    def next_deadline_ns(self) -> int | None:
+        """The earliest instant a bucket becomes due (None when empty)."""
+        with self._lock:
+            if not self._buckets:
+                return None
+            oldest = min(bucket.opened_ns for bucket in self._buckets.values())
+        return oldest + self.max_wait_ns
+
+    # -- shutdown ------------------------------------------------------------------
+
+    def drain(self) -> list[FlushBatch]:
+        """Flush everything regardless of size or age (service shutdown)."""
+        now = self._clock()
+        with self._lock:
+            buckets = list(self._buckets.items())
+            self._buckets.clear()
+        return [
+            FlushBatch(key, bucket.tickets, DRAIN, bucket.opened_ns, now)
+            for key, bucket in buckets
+        ]
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Tickets currently waiting in buckets."""
+        with self._lock:
+            return sum(len(b.tickets) for b in self._buckets.values())
+
+    @property
+    def num_buckets(self) -> int:
+        """Distinct compatibility classes currently accumulating."""
+        with self._lock:
+            return len(self._buckets)

@@ -1,0 +1,107 @@
+"""Tunable policy knobs of the batched-solver service.
+
+Every knob maps to one side of the paper's central trade-off: batching
+amortizes kernel-launch and dispatch overhead (Section 3.4's fusion
+argument applied at the *request* level), waiting for a bigger batch adds
+queueing latency. :class:`ServeConfig` is frozen so one config object can
+be shared across threads and embedded in cache keys without copying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Supported simulated backends for the worker pool.
+BACKENDS = ("sycl", "cuda")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of a :class:`~repro.serve.service.SolverService`.
+
+    Parameters
+    ----------
+    max_batch_size:
+        A compatibility bucket flushes as soon as it holds this many
+        requests ("size" flush). ``1`` disables micro-batching — every
+        request becomes its own kernel launch, the unamortized baseline.
+    max_wait_ms:
+        A bucket flushes at latest this long after its *first* request
+        arrived ("deadline" flush) — bounds the queueing latency a request
+        can pay waiting for co-batchable traffic.
+    max_pending:
+        Admission bound: requests admitted but not yet completed. Above
+        it, :meth:`~repro.serve.service.SolverService.submit` rejects with
+        :class:`~repro.exceptions.ServiceSaturatedError` (backpressure).
+    retry_after_ms:
+        The retry hint carried by saturation rejections.
+    num_workers:
+        Worker threads, each bound to its own simulated device queue/stream.
+    backend:
+        ``"sycl"`` (PVC stack devices) or ``"cuda"`` (A100 devices).
+    request_timeout_ms:
+        Per-request deadline measured from submission; a request still
+        queued when it expires is completed with
+        :class:`~repro.exceptions.RequestTimeoutError` instead of being
+        solved. ``None`` disables timeouts.
+    fallback:
+        When true, systems that fail or do not converge in a flushed batch
+        are retried *individually* with the direct-LU fallback solver, so
+        one pathological system never fails its co-batched neighbours.
+    shards_per_flush:
+        When > 1, each flushed batch is block-partitioned across this many
+        simulated device lanes (:func:`repro.multi.partition_batch`) and
+        solved shard-by-shard with per-lane trace spans — the paper's
+        multi-GPU distribution applied to a single flush.
+    plan_cache_capacity:
+        Maximum number of resolved execution plans kept (LRU).
+    """
+
+    max_batch_size: int = 64
+    max_wait_ms: float = 2.0
+    max_pending: int = 1024
+    retry_after_ms: float = 5.0
+    num_workers: int = 2
+    backend: str = "sycl"
+    request_timeout_ms: float | None = None
+    fallback: bool = True
+    shards_per_flush: int = 1
+    plan_cache_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {self.max_batch_size}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be non-negative, got {self.max_wait_ms}")
+        if self.max_pending <= 0:
+            raise ValueError(f"max_pending must be positive, got {self.max_pending}")
+        if self.retry_after_ms < 0:
+            raise ValueError(f"retry_after_ms must be non-negative, got {self.retry_after_ms}")
+        if self.num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {self.num_workers}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.request_timeout_ms is not None and self.request_timeout_ms <= 0:
+            raise ValueError(
+                f"request_timeout_ms must be positive or None, got {self.request_timeout_ms}"
+            )
+        if self.shards_per_flush <= 0:
+            raise ValueError(
+                f"shards_per_flush must be positive, got {self.shards_per_flush}"
+            )
+        if self.plan_cache_capacity <= 0:
+            raise ValueError(
+                f"plan_cache_capacity must be positive, got {self.plan_cache_capacity}"
+            )
+
+    @property
+    def max_wait_ns(self) -> int:
+        """The flush deadline in integer nanoseconds."""
+        return int(self.max_wait_ms * 1e6)
+
+    @property
+    def request_timeout_ns(self) -> int | None:
+        """The per-request timeout in integer nanoseconds (None = disabled)."""
+        if self.request_timeout_ms is None:
+            return None
+        return int(self.request_timeout_ms * 1e6)

@@ -1,0 +1,136 @@
+"""The plan cache: resolved dispatch + launch geometry, keyed per config.
+
+Under a request workload the same handful of configurations recur
+endlessly (the motivating applications solve the *same* chemistry system
+shape for every cell, every step). Re-walking the Figure-3 dispatch tree
+and the Section-3.6 launch configurator for every flush is pure overhead,
+so the service resolves each ``(dispatch tuple, num_rows, device)``
+combination once into an :class:`ExecutionPlan` — concrete solver /
+preconditioner / criterion classes plus the batch-size-independent launch
+geometry — and stamps out per-flush launch plans from it.
+
+Hit/miss/eviction counters land in a
+:class:`~repro.observability.metrics.MetricsRegistry` (the service's), so
+cache effectiveness shows up in the same place as the rest of the serve
+telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.dispatch import BatchSolverFactory, ResolvedDispatch
+from repro.core.launch import KernelLaunchPlan, LaunchConfigurator, LaunchGeometry
+from repro.core.matrix.base import BatchedMatrix
+from repro.core.solver.base import BatchIterativeSolver
+from repro.observability.metrics import MetricsRegistry
+from repro.serve.request import BatchKey
+from repro.sycl.device import SyclDevice
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Cache key: the resolved dispatch tuple + what the launch config needs."""
+
+    dispatch: tuple
+    num_rows: int
+    device: str
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Everything dispatch/launch resolution produces for one configuration."""
+
+    resolved: ResolvedDispatch
+    geometry: LaunchGeometry
+
+    def launch_plan(self, num_batch: int) -> KernelLaunchPlan:
+        """A concrete launch plan for a flush of ``num_batch`` systems."""
+        return self.geometry.plan(num_batch)
+
+    def build_solver(self, matrix: BatchedMatrix) -> BatchIterativeSolver:
+        """Instantiate the solver for an assembled flush (no re-resolution)."""
+        return self.resolved.build(self.resolved.prepare(matrix))
+
+
+class PlanCache:
+    """LRU cache of :class:`ExecutionPlan` objects (thread-safe)."""
+
+    def __init__(
+        self,
+        device: SyclDevice,
+        metrics: MetricsRegistry | None = None,
+        capacity: int = 256,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.device = device
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._plans: OrderedDict[PlanKey, ExecutionPlan] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def plan_for(self, key: BatchKey) -> tuple[ExecutionPlan, bool]:
+        """The execution plan for one compatibility class; ``(plan, hit)``.
+
+        On a miss the full resolution runs — factory validation, registry
+        lookups, launch-geometry selection — and the result is cached; on a
+        hit nothing but an ordered-dict move happens.
+        """
+        plan_key = PlanKey(key.dispatch_key(), key.num_rows, self.device.name)
+        with self._lock:
+            plan = self._plans.get(plan_key)
+            if plan is not None:
+                self._plans.move_to_end(plan_key)
+                self.metrics.counter("serve.plan_cache.hits").inc()
+                return plan, True
+
+        # Resolution happens outside the lock: it is pure computation on
+        # immutable inputs, so two racing misses at worst resolve twice.
+        plan = self._resolve(key)
+        with self._lock:
+            self._plans[plan_key] = plan
+            self._plans.move_to_end(plan_key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.metrics.counter("serve.plan_cache.evictions").inc()
+            self.metrics.counter("serve.plan_cache.misses").inc()
+        return plan, False
+
+    def _resolve(self, key: BatchKey) -> ExecutionPlan:
+        factory = BatchSolverFactory(
+            solver=key.solver,
+            preconditioner=key.preconditioner,
+            criterion=key.criterion,
+            precision=key.precision,
+            matrix_format=key.matrix_format,
+            tolerance=key.tolerance,
+            max_iterations=key.max_iterations,
+        )
+        resolved = factory.resolve(key.matrix_format)
+        geometry = LaunchConfigurator(self.device).geometry(key.num_rows)
+        return ExecutionPlan(resolved=resolved, geometry=geometry)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Number of cache hits so far."""
+        return int(self.metrics.counter("serve.plan_cache.hits").value)
+
+    @property
+    def misses(self) -> int:
+        """Number of cache misses so far."""
+        return int(self.metrics.counter("serve.plan_cache.misses").value)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)

@@ -1,0 +1,366 @@
+"""Single-system solve requests, batch-compatibility keys, and tickets.
+
+The service accepts *one linear system per request* — the unit the
+motivating applications produce (one cell's chemistry system, one
+integrator step) — and regroups them into the batches the paper's fused
+kernels want. Two requests may share a fused kernel launch only if every
+dispatch-relevant property matches: matrix format, system size, sparsity
+pattern (the batched formats store the pattern once for the whole batch),
+solver, preconditioner, stopping criterion, tolerance, iteration budget
+and precision. :class:`BatchKey` captures exactly that tuple.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.dispatch import CRITERIA, FORMATS, PRECISIONS, PRECONDITIONERS, SOLVERS
+from repro.core.matrix import BatchCsr, BatchDense, BatchedMatrix
+from repro.exceptions import (
+    BadSparsityPatternError,
+    DimensionMismatchError,
+    UnsupportedCombinationError,
+)
+
+#: Ticket lifecycle states.
+PENDING = "pending"
+DONE = "done"
+FAILED = "failed"
+TIMED_OUT = "timed_out"
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """The compatibility class of a request — equal keys may co-batch.
+
+    ``pattern_token`` is a digest of the sparsity pattern (row pointers +
+    column indices for CSR; the shape for dense), so requests only group
+    when they can share the batched formats' single stored pattern.
+    """
+
+    matrix_format: str
+    num_rows: int
+    pattern_token: str
+    solver: str
+    preconditioner: str
+    criterion: str
+    precision: str
+    tolerance: float
+    max_iterations: int
+
+    def dispatch_key(self) -> tuple:
+        """The Figure-3 dispatch part of the key (plan-cache component)."""
+        return (
+            self.solver,
+            self.preconditioner,
+            self.criterion,
+            self.precision,
+            self.matrix_format,
+            self.tolerance,
+            self.max_iterations,
+        )
+
+
+class SolveRequest:
+    """One linear system ``A x = b`` plus its solver configuration.
+
+    ``a`` may be a dense 2-D ndarray or any scipy sparse matrix; sparse
+    inputs are normalized to CSR on construction (shared-pattern hashing
+    needs a canonical form). ``matrix_format`` forces the batched storage
+    format ("dense", "csr", "ell"); by default sparse inputs serve as CSR
+    and dense inputs as dense.
+    """
+
+    __slots__ = (
+        "b",
+        "x0",
+        "solver",
+        "preconditioner",
+        "criterion",
+        "tolerance",
+        "max_iterations",
+        "precision",
+        "matrix_format",
+        "row_ptrs",
+        "col_idxs",
+        "values",
+        "dense",
+        "num_rows",
+        "batch_key",
+    )
+
+    def __init__(
+        self,
+        a: Any,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        solver: str = "bicgstab",
+        preconditioner: str = "identity",
+        criterion: str = "relative",
+        tolerance: float = 1e-8,
+        max_iterations: int = 500,
+        precision: str = "double",
+        matrix_format: str | None = None,
+    ) -> None:
+        if solver not in SOLVERS:
+            raise UnsupportedCombinationError(
+                f"unknown solver {solver!r}; available: {sorted(SOLVERS)}"
+            )
+        if preconditioner not in PRECONDITIONERS:
+            raise UnsupportedCombinationError(
+                f"unknown preconditioner {preconditioner!r}; "
+                f"available: {sorted(PRECONDITIONERS)}"
+            )
+        if criterion not in CRITERIA:
+            raise UnsupportedCombinationError(
+                f"unknown stopping criterion {criterion!r}; available: {sorted(CRITERIA)}"
+            )
+        if precision not in PRECISIONS:
+            raise UnsupportedCombinationError(
+                f"unknown precision {precision!r}; available: {sorted(PRECISIONS)}"
+            )
+        if matrix_format is not None and matrix_format not in FORMATS:
+            raise UnsupportedCombinationError(
+                f"unknown matrix format {matrix_format!r}; available: {sorted(FORMATS)}"
+            )
+        self.solver = solver
+        self.preconditioner = preconditioner
+        self.criterion = criterion
+        self.tolerance = float(tolerance)
+        self.max_iterations = int(max_iterations)
+        self.precision = precision
+
+        self._ingest_matrix(a, matrix_format)
+
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.num_rows,):
+            raise DimensionMismatchError(
+                f"b must have shape ({self.num_rows},), got {b.shape}"
+            )
+        self.b = b
+        if x0 is not None:
+            x0 = np.asarray(x0, dtype=np.float64)
+            if x0.shape != (self.num_rows,):
+                raise DimensionMismatchError(
+                    f"x0 must have shape ({self.num_rows},), got {x0.shape}"
+                )
+        self.x0 = x0
+        self.batch_key = self._compute_key()
+
+    # -- matrix normalization -----------------------------------------------
+
+    def _ingest_matrix(self, a: Any, matrix_format: str | None) -> None:
+        if sp.issparse(a):
+            fmt = matrix_format or "csr"
+        else:
+            a = np.asarray(a, dtype=np.float64)
+            if a.ndim != 2 or a.shape[0] != a.shape[1]:
+                raise DimensionMismatchError(
+                    f"request matrix must be square 2-D, got shape {getattr(a, 'shape', None)}"
+                )
+            fmt = matrix_format or "dense"
+        self.matrix_format = fmt
+
+        if fmt == "dense":
+            dense = a.toarray() if sp.issparse(a) else a
+            self.dense = np.ascontiguousarray(dense, dtype=np.float64)
+            self.num_rows = self.dense.shape[0]
+            self.row_ptrs = None
+            self.col_idxs = None
+            self.values = None
+        else:
+            # "csr" and "ell" both assemble through the shared-pattern CSR
+            # triplet; ELL conversion happens batch-wise at dispatch.
+            csr = sp.csr_matrix(a) if not sp.issparse(a) else a.tocsr()
+            if csr.shape[0] != csr.shape[1]:
+                raise DimensionMismatchError(
+                    f"request matrix must be square, got shape {csr.shape}"
+                )
+            csr = csr.sorted_indices()
+            csr.eliminate_zeros()
+            if csr.nnz == 0:
+                raise BadSparsityPatternError("request matrix has no stored entries")
+            self.dense = None
+            self.num_rows = csr.shape[0]
+            self.row_ptrs = csr.indptr.astype(np.int32)
+            self.col_idxs = csr.indices.astype(np.int32)
+            self.values = csr.data.astype(np.float64)
+
+    def _compute_key(self) -> BatchKey:
+        if self.matrix_format == "dense":
+            token = f"dense:{self.num_rows}"
+        else:
+            digest = hashlib.sha1(self.row_ptrs.tobytes())
+            digest.update(self.col_idxs.tobytes())
+            token = digest.hexdigest()[:16]
+        return BatchKey(
+            matrix_format=self.matrix_format,
+            num_rows=self.num_rows,
+            pattern_token=token,
+            solver=self.solver,
+            preconditioner=self.preconditioner,
+            criterion=self.criterion,
+            precision=self.precision,
+            tolerance=self.tolerance,
+            max_iterations=self.max_iterations,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveRequest(n={self.num_rows}, format={self.matrix_format!r}, "
+            f"solver={self.solver!r}, preconditioner={self.preconditioner!r})"
+        )
+
+
+def assemble_batch(
+    requests: list[SolveRequest],
+) -> tuple[BatchedMatrix, np.ndarray, np.ndarray | None]:
+    """Coalesce compatible requests into one batched system.
+
+    Returns ``(matrix, b, x0)`` where ``x0`` is ``None`` when no request
+    carries an initial guess (requests without one get a zero guess when
+    any co-batched request has one). The caller guarantees the requests
+    share a :class:`BatchKey`; the shared sparsity pattern is re-verified
+    here against request 0 — a digest collision must not silently stack
+    values of different patterns.
+    """
+    if not requests:
+        raise ValueError("assemble_batch needs at least one request")
+    first = requests[0]
+    if first.matrix_format == "dense":
+        matrix: BatchedMatrix = BatchDense(np.stack([r.dense for r in requests]))
+    else:
+        for i, req in enumerate(requests[1:], start=1):
+            if not (
+                np.array_equal(req.row_ptrs, first.row_ptrs)
+                and np.array_equal(req.col_idxs, first.col_idxs)
+            ):
+                raise BadSparsityPatternError(
+                    f"request {i} does not share the sparsity pattern of request 0 "
+                    "(pattern-digest collision)"
+                )
+        matrix = BatchCsr(
+            first.row_ptrs,
+            first.col_idxs,
+            np.stack([r.values for r in requests]),
+            num_cols=first.num_rows,
+        )
+    b = np.stack([r.b for r in requests])
+    if any(r.x0 is not None for r in requests):
+        x0 = np.stack(
+            [r.x0 if r.x0 is not None else np.zeros(r.num_rows) for r in requests]
+        )
+    else:
+        x0 = None
+    return matrix, b, x0
+
+
+@dataclass
+class SolveOutcome:
+    """What a completed request hands back to its caller."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    solver_name: str
+    used_fallback: bool
+    batch_size: int
+    queue_wait_ms: float
+    solve_ms: float
+    worker: str
+    plan_cache_hit: bool
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveOutcome(solver={self.solver_name!r}, converged={self.converged}, "
+            f"iterations={self.iterations}, batch_size={self.batch_size}, "
+            f"fallback={self.used_fallback})"
+        )
+
+
+class SolveTicket:
+    """The caller's handle on one submitted request (a promise).
+
+    Completion is signalled through a :class:`threading.Event`; callers
+    block in :meth:`result`. The service stamps queue/solve timings onto
+    the ticket as the request moves through the pipeline.
+    """
+
+    def __init__(
+        self,
+        request: SolveRequest,
+        submitted_ns: int,
+        deadline_ns: int | None = None,
+    ) -> None:
+        self.request = request
+        self.submitted_ns = submitted_ns
+        self.deadline_ns = deadline_ns
+        self.flushed_ns: int | None = None
+        self.status = PENDING
+        self._event = threading.Event()
+        self._outcome: SolveOutcome | None = None
+        self._error: Exception | None = None
+
+    # -- caller side ---------------------------------------------------------
+
+    def done(self) -> bool:
+        """True once the request has completed (successfully or not)."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> SolveOutcome:
+        """Block until the request completes; raise its failure if it failed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request not served within {timeout} s (status {self.status!r})"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._outcome is not None
+        return self._outcome
+
+    def exception(self, timeout: float | None = None) -> Exception | None:
+        """Block until completion; return the failure (None on success)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request not served within {timeout} s (status {self.status!r})"
+            )
+        return self._error
+
+    @property
+    def queue_wait_ns(self) -> int | None:
+        """Nanoseconds between submission and flush (None before flush)."""
+        if self.flushed_ns is None:
+            return None
+        return self.flushed_ns - self.submitted_ns
+
+    def expired(self, now_ns: int) -> bool:
+        """True when the per-request deadline has passed."""
+        return self.deadline_ns is not None and now_ns > self.deadline_ns
+
+    # -- service side --------------------------------------------------------
+
+    def _complete(self, outcome: SolveOutcome) -> None:
+        self._outcome = outcome
+        self.status = DONE
+        self._event.set()
+
+    def _fail(self, error: Exception, status: str = FAILED) -> None:
+        self._error = error
+        self.status = status
+        self._event.set()
+
+    def __repr__(self) -> str:
+        return f"SolveTicket(status={self.status!r}, request={self.request!r})"
+
+
+def monotonic_ns() -> int:
+    """The service clock (monotonic, integer nanoseconds)."""
+    return time.monotonic_ns()

@@ -1,0 +1,464 @@
+"""The async batched-solver service: admission → micro-batch → solve → scatter.
+
+:class:`SolverService` is the request-level realization of the paper's
+fusion argument: individual solve requests are admitted into bounded
+queues, coalesced by the dynamic micro-batcher into shared-pattern batches,
+dispatched through the plan cache onto a worker pool of simulated devices,
+and scattered back into per-request outcomes. Every stage emits tracer
+spans (``serve.flush`` > ``serve.assembly`` / ``serve.solve`` /
+``serve.fallback`` / ``serve.scatter``) and metrics on the service's
+:class:`~repro.observability.metrics.MetricsRegistry`.
+
+Robustness behaviours:
+
+* **Backpressure** — past ``max_pending`` admitted-but-incomplete requests,
+  :meth:`submit` raises :class:`~repro.exceptions.ServiceSaturatedError`
+  carrying a retry-after hint; nothing is enqueued.
+* **Per-request timeout** — a request whose deadline passes while it is
+  still queued completes with
+  :class:`~repro.exceptions.RequestTimeoutError` at flush time instead of
+  being solved.
+* **Graceful degradation** — a request that fails or does not converge in
+  its flushed batch is retried individually with the direct-LU fallback
+  solver; its co-batched neighbours are unaffected.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace as dc_replace
+
+import numpy as np
+
+from repro.core.solver.base import BatchSolveResult
+from repro.exceptions import (
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceSaturatedError,
+)
+from repro.multi.distributed import partition_batch
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Tracer, current_tracer, use_tracer
+from repro.serve.batcher import FlushBatch, MicroBatcher
+from repro.serve.config import ServeConfig
+from repro.serve.plan_cache import ExecutionPlan, PlanCache
+from repro.serve.request import (
+    TIMED_OUT,
+    SolveOutcome,
+    SolveRequest,
+    SolveTicket,
+    assemble_batch,
+    monotonic_ns,
+)
+from repro.serve.workers import Worker, WorkerPool
+from repro.sycl.device import SyclDevice, pvc_stack_device
+
+#: Chrome-trace lane base for intra-flush shards (matches repro.multi).
+_SHARD_LANE_BASE = 100
+
+
+class SolverService:
+    """Serve individual solve requests through the batched solvers.
+
+    Usage::
+
+        with SolverService(ServeConfig(max_batch_size=32)) as service:
+            tickets = [service.submit(req) for req in requests]
+            outcomes = [t.result(timeout=5.0) for t in tickets]
+
+    A ``tracer`` passed here is installed for the duration of every flush
+    execution, so traces show queue-wait, assembly, solve and scatter
+    spans on per-worker lanes.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        device: SyclDevice | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.device = device if device is not None else self._default_device()
+        self.metrics = MetricsRegistry()
+        self.plan_cache = PlanCache(
+            self.device, metrics=self.metrics, capacity=self.config.plan_cache_capacity
+        )
+        self.batcher = MicroBatcher(
+            self.config.max_batch_size, self.config.max_wait_ns
+        )
+        self.pool = WorkerPool(
+            self.config.num_workers, backend=self.config.backend, device=device
+        )
+        self._tracer = tracer
+        self._pending = 0
+        self._closed = False
+        self._state = threading.Condition()
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="serve-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    def _default_device(self) -> SyclDevice:
+        if self.config.backend == "cuda":
+            from repro.cudasim.device import a100_device
+
+            return a100_device()
+        return pvc_stack_device(1)
+
+    # -- admission -------------------------------------------------------------
+
+    def submit(self, request: SolveRequest) -> SolveTicket:
+        """Admit one request; returns its ticket or raises on backpressure.
+
+        Raises :class:`ServiceSaturatedError` (with ``retry_after_s``) when
+        ``max_pending`` requests are in flight, :class:`ServiceClosedError`
+        after :meth:`close`.
+        """
+        with self._state:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            if self._pending >= self.config.max_pending:
+                self.metrics.counter("serve.rejected").inc()
+                raise ServiceSaturatedError(
+                    f"service saturated: {self._pending} requests pending "
+                    f"(max_pending={self.config.max_pending})",
+                    retry_after_s=self.config.retry_after_ms / 1e3,
+                )
+            self._pending += 1
+            self.metrics.gauge("serve.pending").set(self._pending)
+
+        now = monotonic_ns()
+        timeout_ns = self.config.request_timeout_ns
+        ticket = SolveTicket(
+            request,
+            submitted_ns=now,
+            deadline_ns=None if timeout_ns is None else now + timeout_ns,
+        )
+        self.metrics.counter("serve.accepted").inc()
+        flush = self.batcher.offer(ticket)
+        if flush is not None:
+            self._dispatch(flush)
+        else:
+            with self._state:
+                self._state.notify_all()  # flusher re-arms its deadline
+        return ticket
+
+    def solve(self, request: SolveRequest, timeout: float | None = None) -> SolveOutcome:
+        """Submit one request and block for its outcome (convenience)."""
+        return self.submit(request).result(timeout)
+
+    # -- flush scheduling ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Force-flush every accumulating bucket now (benchmarks, shutdown)."""
+        for flush in self.batcher.drain():
+            self._dispatch(flush)
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._state:
+                if self._closed:
+                    return
+                deadline = self.batcher.next_deadline_ns()
+                if deadline is None:
+                    self._state.wait()
+                else:
+                    wait_s = max(0.0, (deadline - monotonic_ns()) / 1e9)
+                    self._state.wait(timeout=wait_s)
+                if self._closed:
+                    return
+            for flush in self.batcher.due():
+                self._dispatch(flush)
+
+    def _dispatch(self, flush: FlushBatch) -> None:
+        self.metrics.counter("serve.flushes").inc()
+        self.metrics.counter(f"serve.flushes.{flush.reason}").inc()
+        self.metrics.histogram("serve.batch_size").observe(flush.size)
+        self.pool.submit(lambda worker: self._execute_flush(flush, worker))
+
+    # -- flush execution ------------------------------------------------------------
+
+    def _execute_flush(self, flush: FlushBatch, worker: Worker) -> None:
+        with use_tracer(self._tracer):
+            tracer = current_tracer()
+            now = monotonic_ns()
+            key = flush.key
+            with tracer.span(
+                "serve.flush",
+                category="serve",
+                tid=worker.lane,
+                batch_size=flush.size,
+                reason=flush.reason,
+                solver=key.solver,
+                preconditioner=key.preconditioner,
+                matrix_format=key.matrix_format,
+                num_rows=key.num_rows,
+                worker=worker.name,
+            ) as span:
+                live: list[SolveTicket] = []
+                for ticket in flush.tickets:
+                    ticket.flushed_ns = now
+                    if ticket.expired(now):
+                        self.metrics.counter("serve.timeouts").inc()
+                        self._finish_fail(
+                            ticket,
+                            RequestTimeoutError(
+                                f"request spent {(now - ticket.submitted_ns) / 1e6:.1f} ms "
+                                "queued, past its timeout"
+                            ),
+                            status=TIMED_OUT,
+                        )
+                    else:
+                        self.metrics.histogram("serve.queue_wait_ms").observe(
+                            (now - ticket.submitted_ns) / 1e6
+                        )
+                        live.append(ticket)
+                if not live:
+                    span.set("all_timed_out", True)
+                    return
+
+                try:
+                    with tracer.span("serve.assembly", category="serve", tid=worker.lane):
+                        matrix, b, x0 = assemble_batch([t.request for t in live])
+                    plan, cache_hit = self.plan_cache.plan_for(key)
+                    span.set("plan_cache_hit", cache_hit)
+                    solve_start = monotonic_ns()
+                    with tracer.span(
+                        "serve.solve",
+                        category="serve",
+                        tid=worker.lane,
+                        device=worker.device_name,
+                        **plan.launch_plan(matrix.num_batch).__dict__,
+                    ):
+                        result = self._solve_batch(plan, matrix, b, x0, worker)
+                    solve_ms = (monotonic_ns() - solve_start) / 1e6
+                except Exception as exc:  # whole-flush failure → per-request rescue
+                    self.metrics.counter("serve.flush_failures").inc()
+                    span.set("error", type(exc).__name__)
+                    self._rescue_flush(live, exc, worker, cache_hit=False)
+                    return
+
+                overrides = self._apply_fallbacks(
+                    live, matrix, b, result, worker, tracer
+                )
+
+                with tracer.span("serve.scatter", category="serve", tid=worker.lane):
+                    for i, ticket in enumerate(live):
+                        if i in overrides:
+                            outcome_src, used_fallback = overrides[i]
+                        else:
+                            outcome_src, used_fallback = result.select([i]), False
+                        self._finish_ok(
+                            ticket,
+                            SolveOutcome(
+                                x=outcome_src.x[0],
+                                iterations=int(outcome_src.iterations[0]),
+                                residual_norm=float(outcome_src.residual_norms[0]),
+                                converged=bool(outcome_src.converged[0]),
+                                solver_name=outcome_src.solver_name,
+                                used_fallback=used_fallback,
+                                batch_size=len(live),
+                                queue_wait_ms=(ticket.queue_wait_ns or 0) / 1e6,
+                                solve_ms=solve_ms,
+                                worker=worker.device_name,
+                                plan_cache_hit=cache_hit,
+                            ),
+                        )
+
+    def _solve_batch(
+        self,
+        plan: ExecutionPlan,
+        matrix,
+        b: np.ndarray,
+        x0: np.ndarray | None,
+        worker: Worker,
+    ) -> BatchSolveResult:
+        """Solve one assembled flush on the worker's device context.
+
+        The solve runs as a host task on the worker's queue/stream (so it
+        lands in the device event log); large flushes are optionally
+        block-partitioned across simulated device lanes, the paper's
+        multi-GPU distribution applied within a flush.
+        """
+        shards = self.config.shards_per_flush
+        key = plan.resolved
+
+        def run() -> BatchSolveResult:
+            if shards <= 1 or matrix.num_batch < shards:
+                solver = plan.build_solver(matrix)
+                return solver.solve(b, x0=x0)
+            tracer = current_tracer()
+            parts = partition_batch(matrix.num_batch, shards)
+            results = []
+            for rank, sl in enumerate(parts):
+                with tracer.span(
+                    f"serve.shard{rank}",
+                    category="serve.lane",
+                    tid=_SHARD_LANE_BASE + rank,
+                    rank=rank,
+                    batch_items=sl.stop - sl.start,
+                ):
+                    solver = plan.build_solver(matrix.take_batch(sl))
+                    results.append(
+                        solver.solve(b[sl], x0=None if x0 is None else x0[sl])
+                    )
+            return BatchSolveResult(
+                x=np.vstack([r.x for r in results]),
+                iterations=np.concatenate([r.iterations for r in results]),
+                residual_norms=np.concatenate([r.residual_norms for r in results]),
+                converged=np.concatenate([r.converged for r in results]),
+                logger=results[0].logger,
+                ledger=results[0].ledger,
+                solver_name=results[0].solver_name,
+            )
+
+        result, _event = worker.context.submit_host_task(
+            run,
+            name=f"serve.batch_{key.solver_cls.solver_name}",
+            num_batch=matrix.num_batch,
+        )
+        return result
+
+    # -- graceful degradation ----------------------------------------------------------
+
+    def _apply_fallbacks(
+        self,
+        live: list[SolveTicket],
+        matrix,
+        b: np.ndarray,
+        result: BatchSolveResult,
+        worker: Worker,
+        tracer,
+    ) -> dict[int, tuple[BatchSolveResult, bool]]:
+        """Retry non-converged systems one-by-one with the direct-LU solver.
+
+        Returns per-index overrides; failed retries complete their tickets
+        here (and are returned as overrides pointing at the iterative
+        result so the scatter loop skips them — finished tickets ignore
+        further completion).
+        """
+        overrides: dict[int, tuple[BatchSolveResult, bool]] = {}
+        if not self.config.fallback:
+            return overrides
+        bad = [i for i in range(len(live)) if not bool(result.converged[i])]
+        if not bad:
+            return overrides
+        fallback_key = dc_replace(
+            live[0].request.batch_key, solver="direct", preconditioner="identity"
+        )
+        plan, _hit = self.plan_cache.plan_for(fallback_key)
+        for i in bad:
+            with tracer.span(
+                "serve.fallback",
+                category="serve",
+                tid=worker.lane,
+                index=i,
+                solver="direct",
+            ):
+                try:
+                    solver = plan.build_solver(matrix.take_batch(slice(i, i + 1)))
+                    fallback_result = solver.solve(b[i : i + 1])
+                except Exception as exc:
+                    self.metrics.counter("serve.fallback_failures").inc()
+                    self._finish_fail(live[i], exc)
+                    overrides[i] = (result.select([i]), False)
+                    continue
+            self.metrics.counter("serve.fallbacks").inc()
+            overrides[i] = (fallback_result, True)
+        return overrides
+
+    def _rescue_flush(
+        self, live: list[SolveTicket], error: Exception, worker: Worker, cache_hit: bool
+    ) -> None:
+        """Whole-flush failure: retry each request alone with the fallback."""
+        if not self.config.fallback:
+            for ticket in live:
+                self._finish_fail(ticket, error)
+            return
+        for ticket in live:
+            try:
+                matrix, b, _x0 = assemble_batch([ticket.request])
+                fallback_key = dc_replace(
+                    ticket.request.batch_key, solver="direct", preconditioner="identity"
+                )
+                plan, _hit = self.plan_cache.plan_for(fallback_key)
+                solver = plan.build_solver(matrix)
+                result = solver.solve(b)
+            except Exception as exc:
+                self.metrics.counter("serve.fallback_failures").inc()
+                self._finish_fail(ticket, exc)
+                continue
+            self.metrics.counter("serve.fallbacks").inc()
+            self._finish_ok(
+                ticket,
+                SolveOutcome(
+                    x=result.x[0],
+                    iterations=int(result.iterations[0]),
+                    residual_norm=float(result.residual_norms[0]),
+                    converged=bool(result.converged[0]),
+                    solver_name=result.solver_name,
+                    used_fallback=True,
+                    batch_size=1,
+                    queue_wait_ms=(ticket.queue_wait_ns or 0) / 1e6,
+                    solve_ms=0.0,
+                    worker=worker.device_name,
+                    plan_cache_hit=cache_hit,
+                ),
+            )
+
+    # -- completion --------------------------------------------------------------------
+
+    def _finish_ok(self, ticket: SolveTicket, outcome: SolveOutcome) -> None:
+        if ticket.done():
+            return
+        self.metrics.counter("serve.served").inc()
+        self.metrics.histogram("serve.latency_ms").observe(
+            (monotonic_ns() - ticket.submitted_ns) / 1e6
+        )
+        ticket._complete(outcome)
+        self._release_one()
+
+    def _finish_fail(self, ticket: SolveTicket, error: Exception, status: str = "failed") -> None:
+        if ticket.done():
+            return
+        self.metrics.counter("serve.failed").inc()
+        ticket._fail(error, status=status)
+        self._release_one()
+
+    def _release_one(self) -> None:
+        with self._state:
+            self._pending -= 1
+            self.metrics.gauge("serve.pending").set(self._pending)
+            self._state.notify_all()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet completed."""
+        with self._state:
+            return self._pending
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request has completed."""
+        with self._state:
+            return self._state.wait_for(lambda: self._pending == 0, timeout=timeout)
+
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting requests; optionally serve out everything queued."""
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+            self._state.notify_all()
+        if drain:
+            self.flush()
+            self.pool.join()
+        self._flusher.join(timeout=timeout)
+        self.pool.close()
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)

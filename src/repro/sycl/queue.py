@@ -133,6 +133,33 @@ class Queue:
         self.events.append(event)
         return event
 
+    def submit_host_task(
+        self, fn: Callable[[], Any], name: str = "host_task", **span_args: Any
+    ) -> tuple[Any, Event]:
+        """Run ``fn`` as a host task on this queue (``sycl::host_task``).
+
+        Host tasks interleave with kernel launches in the queue's in-order
+        submission log and profiling timeline — the serving layer submits
+        whole batched solves this way so every flush appears on its
+        device's event log and trace lane. Returns ``(fn(), event)``.
+        """
+        tracer = current_tracer()
+        with tracer.span(
+            name, category="host_task", device=self.device.name, **span_args
+        ):
+            submit = time.perf_counter_ns()
+            result = fn()
+            end = time.perf_counter_ns()
+        event = Event(
+            name=name,
+            submit_ns=submit,
+            start_ns=submit,
+            end_ns=end,
+            stats=LaunchStats(),
+        )
+        self.events.append(event)
+        return result, event
+
     def wait(self) -> None:
         """Block until all submitted work completes (no-op: synchronous)."""
 

@@ -1,7 +1,6 @@
 """BatchCgs: the transpose-free CGS extension solver."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings as hsettings, strategies as st
 
 from repro.core import BatchBicgstab, BatchCgs, BatchJacobi, SolverSettings

@@ -24,7 +24,7 @@ from repro.core import (
 from repro.core.matrix import BatchCsr
 from repro.core.stop import RelativeResidual
 from repro.exceptions import SingularMatrixError
-from repro.workloads.general import random_diag_dominant_batch, random_spd_batch
+from repro.workloads.general import random_diag_dominant_batch
 
 
 def _settings(tol=1e-10, iters=200):

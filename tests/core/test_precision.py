@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import BatchBicgstab, BatchCg, BatchJacobi, SolverSettings
 from repro.core.dispatch import BatchSolverFactory, PRECISIONS
-from repro.core.matrix import BatchCsr, BatchDense, BatchEll
+from repro.core.matrix import BatchDense, BatchEll
 from repro.core.stop import RelativeResidual
 from repro.core.workspace import SlmBudget, plan_workspace
 from repro.exceptions import UnsupportedCombinationError

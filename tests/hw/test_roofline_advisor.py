@@ -1,6 +1,5 @@
 """Roofline evaluation and the Advisor-style Fig. 8 report."""
 
-import numpy as np
 import pytest
 
 from repro.core import BatchBicgstab, BatchJacobi, SolverSettings

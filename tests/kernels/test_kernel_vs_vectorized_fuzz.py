@@ -9,8 +9,7 @@ the vectorized solvers' iteration counts and solutions.
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.core import BatchBicgstab, BatchCg, BatchJacobi, SolverSettings
-from repro.core.matrix import BatchCsr
+from repro.core import BatchCg, SolverSettings
 from repro.core.stop import RelativeResidual
 from repro.kernels import run_batch_bicgstab_on_device, run_batch_cg_on_device
 from repro.sycl.device import pvc_stack_device

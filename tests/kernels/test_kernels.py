@@ -15,7 +15,6 @@ from repro.kernels.spmv import (
 from repro.core.matrix import BatchEll
 from repro.cudasim.device import a100_device
 from repro.sycl.device import cpu_device, pvc_stack_device
-from repro.sycl.memory import LocalSpec
 from repro.sycl.ndrange import NDRange
 from repro.sycl.queue import Queue
 from repro.workloads.general import random_diag_dominant_batch

@@ -1,0 +1,81 @@
+"""`repro trace` exit-code propagation and trace-on-failure behaviour."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+
+
+class TestExitCodePropagation:
+    def test_successful_command_returns_zero(self, tmp_path, capsys):
+        out = tmp_path / "ok.json"
+        code = repro_main(
+            [
+                "trace",
+                "stencil",
+                "--sizes",
+                "16",
+                "--nb-solve",
+                "2",
+                "--trace-out",
+                str(out),
+                "--no-summary",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        events = json.loads(out.read_text())["traceEvents"]
+        assert events
+
+    def test_argparse_error_propagates_nonzero(self, tmp_path, capsys):
+        out = tmp_path / "fail.json"
+        code = repro_main(
+            [
+                "trace",
+                "stencil",
+                "--sizes",
+                "notanint",
+                "--trace-out",
+                str(out),
+                "--no-summary",
+            ]
+        )
+        assert code == 2  # argparse usage-error code, propagated not swallowed
+        captured = capsys.readouterr()
+        assert "exited 2" in captured.err
+
+    def test_trace_written_even_when_wrapped_command_fails(self, tmp_path, capsys):
+        out = tmp_path / "fail.json"
+        code = repro_main(
+            [
+                "trace",
+                "stencil",
+                "--sizes",
+                "notanint",
+                "--trace-out",
+                str(out),
+                "--no-summary",
+            ]
+        )
+        assert code != 0
+        assert out.exists()  # the partial trace survives the failure
+        json.loads(out.read_text())  # and is valid JSON
+
+    def test_unknown_wrapped_command_propagates(self, tmp_path, capsys):
+        out = tmp_path / "unknown.json"
+        code = repro_main(
+            ["trace", "no-such-command", "--trace-out", str(out), "--no-summary"]
+        )
+        assert code == 2
+        assert out.exists()
+
+
+class TestUsage:
+    def test_trace_without_command_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            repro_main(["trace"])
+
+    def test_trace_of_trace_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            repro_main(["trace", "trace", "stencil"])

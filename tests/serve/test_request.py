@@ -1,0 +1,166 @@
+"""SolveRequest normalization, BatchKey compatibility, ticket semantics."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import (
+    BadSparsityPatternError,
+    DimensionMismatchError,
+    UnsupportedCombinationError,
+)
+from repro.serve import SolveRequest, SolveTicket, assemble_batch
+from repro.serve.request import DONE, FAILED, PENDING, SolveOutcome
+
+
+def _tridiag(n=6, scale=1.0):
+    return sp.diags(
+        [np.full(n - 1, -scale), np.full(n, 2.0 * scale), np.full(n - 1, -scale)],
+        offsets=[-1, 0, 1],
+        format="csr",
+    )
+
+
+class TestBatchKey:
+    def test_same_pattern_and_config_share_a_key(self):
+        r1 = SolveRequest(_tridiag(), np.ones(6), solver="cg")
+        r2 = SolveRequest(_tridiag(scale=3.0), np.zeros(6), solver="cg")
+        assert r1.batch_key == r2.batch_key  # values differ, pattern matches
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"solver": "bicgstab"},
+            {"preconditioner": "jacobi"},
+            {"tolerance": 1e-4},
+            {"max_iterations": 7},
+            {"precision": "single"},
+        ],
+    )
+    def test_config_differences_split_keys(self, kwargs):
+        base = SolveRequest(_tridiag(), np.ones(6), solver="cg")
+        other = SolveRequest(_tridiag(), np.ones(6), **{"solver": "cg", **kwargs})
+        assert base.batch_key != other.batch_key
+
+    def test_pattern_differences_split_keys(self):
+        dense_pattern = sp.csr_matrix(np.ones((6, 6)))
+        r1 = SolveRequest(_tridiag(), np.ones(6))
+        r2 = SolveRequest(dense_pattern, np.ones(6))
+        assert r1.batch_key.pattern_token != r2.batch_key.pattern_token
+
+    def test_dense_request_keys_on_shape(self):
+        r = SolveRequest(np.eye(5), np.ones(5))
+        assert r.matrix_format == "dense"
+        assert r.batch_key.pattern_token == "dense:5"
+
+
+class TestValidation:
+    def test_unknown_names_rejected(self):
+        with pytest.raises(UnsupportedCombinationError):
+            SolveRequest(np.eye(3), np.ones(3), solver="nope")
+        with pytest.raises(UnsupportedCombinationError):
+            SolveRequest(np.eye(3), np.ones(3), preconditioner="nope")
+        with pytest.raises(UnsupportedCombinationError):
+            SolveRequest(np.eye(3), np.ones(3), criterion="nope")
+        with pytest.raises(UnsupportedCombinationError):
+            SolveRequest(np.eye(3), np.ones(3), precision="nope")
+        with pytest.raises(UnsupportedCombinationError):
+            SolveRequest(np.eye(3), np.ones(3), matrix_format="nope")
+
+    def test_shape_mismatches_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            SolveRequest(np.eye(3), np.ones(4))
+        with pytest.raises(DimensionMismatchError):
+            SolveRequest(np.ones((3, 4)), np.ones(3))
+        with pytest.raises(DimensionMismatchError):
+            SolveRequest(np.eye(3), np.ones(3), x0=np.ones(4))
+
+    def test_empty_sparse_matrix_rejected(self):
+        with pytest.raises(BadSparsityPatternError):
+            SolveRequest(sp.csr_matrix((4, 4)), np.ones(4))
+
+
+class TestAssembleBatch:
+    def test_values_and_rhs_stack_in_order(self):
+        requests = [
+            SolveRequest(_tridiag(scale=s), np.full(6, s), solver="cg")
+            for s in (1.0, 2.0, 3.0)
+        ]
+        matrix, b, x0 = assemble_batch(requests)
+        assert matrix.num_batch == 3
+        assert b.shape == (3, 6)
+        assert x0 is None
+        np.testing.assert_allclose(b[2], np.full(6, 3.0))
+        np.testing.assert_allclose(matrix.values[1], requests[1].values)
+
+    def test_partial_x0_zero_fills(self):
+        with_guess = SolveRequest(_tridiag(), np.ones(6), x0=np.full(6, 7.0))
+        without = SolveRequest(_tridiag(), np.ones(6))
+        _matrix, _b, x0 = assemble_batch([with_guess, without])
+        np.testing.assert_allclose(x0[0], 7.0)
+        np.testing.assert_allclose(x0[1], 0.0)
+
+    def test_pattern_mismatch_caught_even_past_digests(self):
+        # assemble_batch re-verifies patterns against request 0, so a
+        # hypothetical digest collision cannot silently stack mismatched
+        # patterns.
+        r1 = SolveRequest(_tridiag(), np.ones(6))
+        r2 = SolveRequest(sp.csr_matrix(np.eye(6)), np.ones(6))
+        with pytest.raises(BadSparsityPatternError):
+            assemble_batch([r1, r2])
+
+    def test_dense_requests_assemble_to_batch_dense(self):
+        requests = [SolveRequest(np.eye(4) * s, np.ones(4)) for s in (1.0, 2.0)]
+        matrix, _b, _x0 = assemble_batch(requests)
+        assert matrix.num_batch == 2
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_batch([])
+
+
+class TestSolveTicket:
+    def _outcome(self):
+        return SolveOutcome(
+            x=np.zeros(3),
+            iterations=1,
+            residual_norm=0.0,
+            converged=True,
+            solver_name="cg",
+            used_fallback=False,
+            batch_size=1,
+            queue_wait_ms=0.0,
+            solve_ms=0.0,
+            worker="dev",
+            plan_cache_hit=False,
+        )
+
+    def test_complete_delivers_outcome(self):
+        ticket = SolveTicket(SolveRequest(np.eye(3), np.ones(3)), submitted_ns=0)
+        assert ticket.status == PENDING and not ticket.done()
+        ticket._complete(self._outcome())
+        assert ticket.done() and ticket.status == DONE
+        assert ticket.result(timeout=0.1).converged
+        assert ticket.exception(timeout=0.1) is None
+
+    def test_fail_raises_from_result(self):
+        ticket = SolveTicket(SolveRequest(np.eye(3), np.ones(3)), submitted_ns=0)
+        ticket._fail(RuntimeError("boom"))
+        assert ticket.status == FAILED
+        with pytest.raises(RuntimeError, match="boom"):
+            ticket.result(timeout=0.1)
+
+    def test_result_times_out_while_pending(self):
+        ticket = SolveTicket(SolveRequest(np.eye(3), np.ones(3)), submitted_ns=0)
+        with pytest.raises(TimeoutError):
+            ticket.result(timeout=0.01)
+
+    def test_expiry_and_queue_wait(self):
+        ticket = SolveTicket(
+            SolveRequest(np.eye(3), np.ones(3)), submitted_ns=100, deadline_ns=200
+        )
+        assert not ticket.expired(150)
+        assert ticket.expired(201)
+        assert ticket.queue_wait_ns is None
+        ticket.flushed_ns = 180
+        assert ticket.queue_wait_ns == 80

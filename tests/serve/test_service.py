@@ -1,0 +1,256 @@
+"""SolverService end-to-end: correctness, backpressure, timeouts, fallback."""
+
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import (
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceSaturatedError,
+)
+from repro.observability.tracer import Tracer
+from repro.serve import ServeConfig, SolveRequest, SolverService
+from repro.serve.request import TIMED_OUT
+
+
+def _tridiag(n, scale=1.0):
+    return sp.diags(
+        [np.full(n - 1, -scale), np.full(n, 2.0 * scale), np.full(n - 1, -scale)],
+        offsets=[-1, 0, 1],
+        format="csr",
+    )
+
+
+def _dense_of(request):
+    n = request.num_rows
+    dense = np.zeros((n, n))
+    for row in range(n):
+        lo, hi = request.row_ptrs[row], request.row_ptrs[row + 1]
+        dense[row, request.col_idxs[lo:hi]] = request.values[lo:hi]
+    return dense
+
+
+def _poisoned(n):
+    """A nonsymmetric system on the tridiagonal pattern; CG cannot converge."""
+    matrix = _tridiag(n)
+    data = matrix.data.copy()
+    off = data < 0
+    data[off] = np.where(np.arange(off.sum()) % 2 == 0, 100.0, -99.0)
+    matrix.data = data
+    return matrix
+
+
+class TestEndToEnd:
+    def test_solutions_match_lu_reference(self):
+        rng = np.random.default_rng(0)
+        config = ServeConfig(max_batch_size=4, max_wait_ms=50.0, num_workers=2)
+        with SolverService(config) as service:
+            requests = [
+                SolveRequest(
+                    _tridiag(12, scale=rng.uniform(0.5, 2.0)),
+                    rng.standard_normal(12),
+                    solver="bicgstab",
+                    preconditioner="jacobi",
+                    tolerance=1e-10,
+                )
+                for _ in range(8)
+            ]
+            tickets = [service.submit(r) for r in requests]
+            outcomes = [t.result(timeout=30.0) for t in tickets]
+        for request, outcome in zip(requests, outcomes):
+            assert outcome.converged
+            reference = np.linalg.solve(_dense_of(request), request.b)
+            np.testing.assert_allclose(outcome.x, reference, rtol=1e-6, atol=1e-8)
+        # two full size-triggered flushes of 4
+        assert all(o.batch_size == 4 for o in outcomes)
+
+    def test_incompatible_configs_get_separate_batches(self):
+        rng = np.random.default_rng(1)
+        config = ServeConfig(max_batch_size=16, max_wait_ms=500.0, num_workers=1)
+        with SolverService(config) as service:
+            loose = [
+                service.submit(
+                    SolveRequest(_tridiag(8), rng.standard_normal(8), tolerance=1e-4)
+                )
+                for _ in range(3)
+            ]
+            tight = [
+                service.submit(
+                    SolveRequest(_tridiag(8), rng.standard_normal(8), tolerance=1e-10)
+                )
+                for _ in range(2)
+            ]
+            service.flush()
+            loose_outcomes = [t.result(timeout=30.0) for t in loose]
+            tight_outcomes = [t.result(timeout=30.0) for t in tight]
+        assert all(o.batch_size == 3 for o in loose_outcomes)
+        assert all(o.batch_size == 2 for o in tight_outcomes)
+
+    def test_deadline_flush_serves_partial_batch(self):
+        config = ServeConfig(max_batch_size=64, max_wait_ms=5.0, num_workers=1)
+        with SolverService(config) as service:
+            ticket = service.submit(SolveRequest(_tridiag(8), np.ones(8)))
+            outcome = ticket.result(timeout=30.0)
+        assert outcome.converged and outcome.batch_size == 1
+        assert service.metrics.counter("serve.flushes.deadline").value >= 1
+
+    def test_plan_cache_accounting_across_flushes(self):
+        config = ServeConfig(max_batch_size=2, max_wait_ms=500.0, num_workers=1)
+        with SolverService(config) as service:
+            tickets = [
+                service.submit(SolveRequest(_tridiag(8), np.ones(8)))
+                for _ in range(8)  # four size flushes, one compatibility class
+            ]
+            for ticket in tickets:
+                ticket.result(timeout=30.0)
+            assert service.plan_cache.misses == 1
+            assert service.plan_cache.hits == 3
+            assert service.plan_cache.hit_rate == 0.75
+            hits = [t.result(timeout=1.0).plan_cache_hit for t in tickets]
+        assert sum(1 for h in hits if not h) == 2  # the first flush's requests
+
+    def test_tracer_records_serve_spans(self):
+        tracer = Tracer()
+        config = ServeConfig(max_batch_size=2, max_wait_ms=500.0, num_workers=1)
+        with SolverService(config, tracer=tracer) as service:
+            for _ in range(2):
+                service.submit(SolveRequest(_tridiag(8), np.ones(8)))
+            service.wait_idle(timeout=30.0)
+        names = {span.name for span in tracer.spans}
+        assert {"serve.flush", "serve.assembly", "serve.solve", "serve.scatter"} <= names
+
+
+class TestBackpressure:
+    def test_submit_past_max_pending_rejected(self):
+        config = ServeConfig(
+            max_batch_size=64, max_wait_ms=5000.0, max_pending=2, num_workers=1
+        )
+        service = SolverService(config)
+        try:
+            for _ in range(2):
+                service.submit(SolveRequest(_tridiag(8), np.ones(8)))
+            with pytest.raises(ServiceSaturatedError) as excinfo:
+                service.submit(SolveRequest(_tridiag(8), np.ones(8)))
+            assert excinfo.value.retry_after_s > 0
+            assert service.metrics.counter("serve.rejected").value == 1
+        finally:
+            service.close()
+
+    def test_capacity_frees_up_after_completion(self):
+        config = ServeConfig(
+            max_batch_size=1, max_wait_ms=5000.0, max_pending=1, num_workers=1
+        )
+        with SolverService(config) as service:
+            service.submit(SolveRequest(_tridiag(8), np.ones(8))).result(timeout=30.0)
+            service.wait_idle(timeout=30.0)
+            # pending slot released → next submit admitted
+            service.submit(SolveRequest(_tridiag(8), np.ones(8))).result(timeout=30.0)
+
+    def test_submit_after_close_rejected(self):
+        service = SolverService(ServeConfig(num_workers=1))
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(SolveRequest(_tridiag(8), np.ones(8)))
+
+
+class TestTimeout:
+    def test_expired_request_fails_with_timeout_error(self):
+        config = ServeConfig(
+            max_batch_size=64,
+            max_wait_ms=10_000.0,  # flusher never fires on its own
+            num_workers=1,
+            request_timeout_ms=1.0,
+        )
+        service = SolverService(config)
+        try:
+            ticket = service.submit(SolveRequest(_tridiag(8), np.ones(8)))
+            time.sleep(0.02)  # let the 1 ms deadline lapse while queued
+            service.flush()
+            with pytest.raises(RequestTimeoutError):
+                ticket.result(timeout=30.0)
+            assert ticket.status == TIMED_OUT
+            assert service.metrics.counter("serve.timeouts").value == 1
+        finally:
+            service.close()
+
+
+class TestGracefulDegradation:
+    def test_nonconvergent_request_falls_back_without_harming_batch(self):
+        rng = np.random.default_rng(2)
+        n = 12
+        config = ServeConfig(max_batch_size=8, max_wait_ms=500.0, num_workers=1)
+        with SolverService(config) as service:
+            healthy = [
+                service.submit(
+                    SolveRequest(
+                        _tridiag(n),
+                        rng.standard_normal(n),
+                        solver="cg",
+                        preconditioner="jacobi",
+                        max_iterations=40,
+                    )
+                )
+                for _ in range(3)
+            ]
+            bad_request = SolveRequest(
+                _poisoned(n),
+                rng.standard_normal(n),
+                solver="cg",
+                preconditioner="jacobi",
+                max_iterations=40,
+            )
+            assert bad_request.batch_key == healthy[0].request.batch_key
+            bad = service.submit(bad_request)
+            service.flush()
+            bad_outcome = bad.result(timeout=30.0)
+            healthy_outcomes = [t.result(timeout=30.0) for t in healthy]
+
+        assert bad_outcome.used_fallback
+        assert bad_outcome.solver_name == "direct"
+        assert bad_outcome.converged
+        reference = np.linalg.solve(_dense_of(bad_request), bad_request.b)
+        np.testing.assert_allclose(bad_outcome.x, reference, rtol=1e-8)
+        assert all(o.converged and not o.used_fallback for o in healthy_outcomes)
+        assert all(o.batch_size == 4 for o in healthy_outcomes)
+        assert service.metrics.counter("serve.fallbacks").value == 1
+        assert service.metrics.counter("serve.failed").value == 0
+
+    def test_fallback_disabled_reports_nonconvergence(self):
+        config = ServeConfig(
+            max_batch_size=1, max_wait_ms=500.0, num_workers=1, fallback=False
+        )
+        with SolverService(config) as service:
+            outcome = service.solve(
+                SolveRequest(
+                    _poisoned(12),
+                    np.ones(12),
+                    solver="cg",
+                    preconditioner="jacobi",
+                    max_iterations=40,
+                ),
+                timeout=30.0,
+            )
+        assert not outcome.converged
+        assert not outcome.used_fallback
+        assert service.metrics.counter("serve.fallbacks").value == 0
+
+
+class TestLifecycle:
+    def test_close_drains_queued_requests(self):
+        config = ServeConfig(max_batch_size=64, max_wait_ms=10_000.0, num_workers=1)
+        service = SolverService(config)
+        tickets = [
+            service.submit(SolveRequest(_tridiag(8), np.ones(8))) for _ in range(3)
+        ]
+        service.close(drain=True)
+        for ticket in tickets:
+            assert ticket.result(timeout=1.0).converged
+        assert service.pending == 0
+
+    def test_close_is_idempotent(self):
+        service = SolverService(ServeConfig(num_workers=1))
+        service.close()
+        service.close()

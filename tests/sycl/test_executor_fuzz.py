@@ -9,7 +9,6 @@ of interleaving.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sycl.device import cpu_device

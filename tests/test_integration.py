@@ -1,7 +1,6 @@
 """End-to-end scenarios crossing subsystem boundaries."""
 
 import numpy as np
-import pytest
 
 from repro.core import BatchBicgstab, BatchJacobi, SolverSettings
 from repro.core.dispatch import BatchSolverFactory
@@ -11,7 +10,7 @@ from repro.hw import analyze_solve, estimate_solve, gpu
 from repro.kernels import run_batch_bicgstab_on_device
 from repro.sycl.device import pvc_stack_device
 from repro.workloads.pele import pele_batch, pele_rhs
-from repro.workloads.stencil import stencil_rhs, three_point_stencil
+from repro.workloads.stencil import three_point_stencil
 from repro.workloads.sundials import BdfIntegrator, robertson_batch
 
 

@@ -21,7 +21,6 @@ from repro.hw.specs import gpu
 from repro.hw.timing import estimate_runtime, estimate_solve
 from repro.multi.comm import SimWorld, _payload_bytes
 from repro.utils.units import format_bytes, format_flops, format_time
-from repro.workloads.general import random_diag_dominant_batch, random_spd_batch
 from repro.workloads.pele import pele_batch, pele_rhs
 from repro.workloads.stencil import three_point_stencil
 

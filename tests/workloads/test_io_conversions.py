@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.dispatch import BatchSolverFactory
-from repro.core.matrix import BatchCsr, BatchDense, BatchEll
+from repro.core.matrix import BatchDense
 from repro.core.matrix.conversions import convert
 from repro.exceptions import BadSparsityPatternError, UnsupportedCombinationError
 from repro.workloads.general import random_diag_dominant_batch
