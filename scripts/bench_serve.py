@@ -219,6 +219,9 @@ def main(argv: list[str] | None = None) -> int:
         help="max_batch_size sweep (must include 1 and >=64 for the headline)",
     )
     parser.add_argument("--quick", action="store_true", help="smaller workload")
+    parser.add_argument(
+        "--seed", type=int, default=7, help="base RNG seed for the workloads"
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -233,6 +236,7 @@ def main(argv: list[str] | None = None) -> int:
             size=args.size,
             num_workers=args.workers,
             max_wait_ms=args.wait_ms,
+            seed=args.seed,
         )
         sweep.append(point)
         print(
@@ -268,14 +272,14 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     plan_cache = run_plan_cache_workload(
-        num_requests=240 if args.quick else 600, size=args.size
+        num_requests=240 if args.quick else 600, size=args.size, seed=args.seed + 4
     )
     print(
         f"plan cache: {plan_cache['hits']}/{plan_cache['lookups']} hits "
         f"({plan_cache['hit_rate']:.1%}) over {plan_cache['requests']} requests"
     )
 
-    fallback = run_fallback_workload()
+    fallback = run_fallback_workload(seed=args.seed + 6)
     print(
         f"fallback: poisoned request solved by {fallback['poisoned_solver']!r} "
         f"(used_fallback={fallback['poisoned_used_fallback']}), "

@@ -27,4 +27,8 @@ echo "== serve smoke =="
 python scripts/smoke_serve.py
 
 echo
+echo "== tune smoke =="
+python scripts/smoke_tune.py
+
+echo
 echo "ci: OK"

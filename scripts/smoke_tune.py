@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Fast contract checks of the autotuning subsystem (CI smoke).
+
+Small workload, tiny budget, temp-file TuningDB — verifies in a few
+seconds that:
+
+* seeded random search runs under budget and never loses to the default;
+* the same seed replays the identical search result (determinism);
+* a second tune of the same key is a DB cache hit with no new
+  measurements, including through a fresh ``TuningDB`` instance reloading
+  the persisted file;
+* ``clear`` forces a re-search;
+* the serving plan cache invalidates its plans when the DB generation
+  changes.
+
+Usage: python scripts/smoke_tune.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def check(condition: bool, label: str, failures: list[str]) -> None:
+    print(f"  {'ok' if condition else 'FAIL'}: {label}")
+    if not condition:
+        failures.append(label)
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.hw.specs import gpu
+    from repro.serve.plan_cache import PlanCache
+    from repro.serve.request import BatchKey
+    from repro.tune import RANDOM, Autotuner, TuningDB, stencil_workload
+
+    failures: list[str] = []
+    spec = gpu("pvc1")
+    workload = stencil_workload(16, nb_solve=4)
+
+    with tempfile.TemporaryDirectory(prefix="smoke_tune_") as tmp:
+        db_path = Path(tmp) / "tuning_db.json"
+        db = TuningDB(db_path)
+        tuner = Autotuner(spec, db=db, strategy=RANDOM, budget=6, seed=3)
+
+        print("tune smoke: seeded random search, tiny budget, temp DB")
+        first = tuner.tune(workload)
+        check(not first.from_cache, "first tune runs a search", failures)
+        check(
+            first.record.modeled_seconds <= first.record.default_seconds,
+            "tuned config never loses to the default",
+            failures,
+        )
+        check(
+            first.search is not None and first.search.evaluations <= 6 + 1,
+            "random search respects its budget (+ default measurement)",
+            failures,
+        )
+
+        measurements = db.metrics.counter("tune.measurements").value
+        second = tuner.tune(workload)
+        check(second.from_cache, "same-key re-tune is a DB cache hit", failures)
+        check(
+            db.metrics.counter("tune.measurements").value == measurements,
+            "cache hit runs no new measurements",
+            failures,
+        )
+
+        # determinism: a fresh in-memory search with the same seed replays
+        replay = Autotuner(spec, db=TuningDB(), strategy=RANDOM, budget=6, seed=3)
+        check(
+            replay.tune(workload).record.candidate == first.record.candidate,
+            "same seed reproduces the same winner",
+            failures,
+        )
+
+        # persistence: a brand-new DB instance reloads the stored record
+        reloaded = Autotuner(spec, db=TuningDB(db_path), strategy=RANDOM, budget=6, seed=3)
+        check(
+            reloaded.tune(workload).from_cache,
+            "persisted record survives a DB reload",
+            failures,
+        )
+
+        removed = db.clear(device=spec.device.name)
+        check(removed >= 1, "clear removes the stored record", failures)
+        check(
+            not tuner.tune(workload).from_cache,
+            "tune after clear re-searches",
+            failures,
+        )
+
+        # plan-cache invalidation: a DB mutation drops cached plans
+        cache = PlanCache(spec.device, tuning_db=db)
+        key = BatchKey(
+            matrix_format="csr",
+            num_rows=16,
+            pattern_token="smoke",
+            solver="cg",
+            preconditioner="jacobi",
+            criterion="relative",
+            precision="double",
+            tolerance=1e-8,
+            max_iterations=100,
+        )
+        cache.plan_for(key)
+        _, hit = cache.plan_for(key)
+        check(hit, "plan cache hits on a repeated key", failures)
+        db.clear()  # bumps the generation
+        _, hit = cache.plan_for(key)
+        invalidations = cache.metrics.counter("serve.plan_cache.invalidations").value
+        check(
+            not hit and invalidations == 1,
+            "DB generation change invalidates cached plans",
+            failures,
+        )
+
+    if failures:
+        print(f"tune smoke: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("tune smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

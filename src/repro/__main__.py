@@ -10,6 +10,10 @@ Commands:
 * ``features`` — the dispatch feature matrix (Table 3 + extensions).
 * ``serve-demo`` — run a synthetic request workload through the async
   batched-solver service (``repro.serve``) and print its metrics.
+* ``tune``     — drive the empirical autotuner (``repro.tune``): search
+  launch configurations for a workload (``tune tune``), inspect the
+  persistent tuning database (``tune show``), or drop records
+  (``tune clear``).
 * ``trace``    — run any of the above with tracing enabled and export a
   Chrome trace-event file, e.g.
   ``python -m repro trace stencil --trace-out trace.json``
@@ -103,6 +107,7 @@ def _cmd_serve_demo(args) -> int:
         max_wait_ms=args.wait_ms,
         num_workers=args.workers,
         backend=args.backend,
+        tuning_db_path=args.tuning_db,
     )
     pattern_batch = three_point_stencil(args.size, 1)
     pattern = pattern_batch.item_scipy(0)
@@ -141,8 +146,118 @@ def _cmd_serve_demo(args) -> int:
         f"{sum(sizes) / len(sizes):.1f}, plan-cache hit rate "
         f"{service.plan_cache.hit_rate:.0%}"
     )
+
+    def count(name: str) -> int:
+        return int(service.metrics.counter(name).value)
+
+    print(
+        f"plan cache: {count('serve.plan_cache.hits')} hits, "
+        f"{count('serve.plan_cache.misses')} misses, "
+        f"{count('serve.plan_cache.evictions')} evictions, "
+        f"{count('serve.plan_cache.invalidations')} invalidations"
+    )
+    print(
+        f"fallbacks: {count('serve.fallbacks')} solved by direct-LU, "
+        f"{count('serve.fallback_failures')} failed"
+    )
     print()
     print_table(service.metrics.rows(), "serve metrics")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    """Drive the autotuner / inspect the persistent tuning database."""
+    from repro.bench.report import print_table
+    from repro.hw.specs import gpu
+    from repro.tune import (
+        Autotuner,
+        TuningDB,
+        derive_threshold,
+        pele_workload,
+        stencil_workload,
+    )
+
+    db = TuningDB(args.db)
+
+    if args.action == "show":
+        records = db.records()
+        if not records:
+            print(f"tuning DB {args.db}: no records")
+            return 0
+        rows = [
+            {
+                "device": r.key.device,
+                "solver": r.key.solver,
+                "precond": r.key.preconditioner,
+                "rows": r.key.rows_bucket,
+                "precision": r.key.precision,
+                "sg": r.candidate.sub_group_size,
+                "wg": r.candidate.work_group_size,
+                "reduce": r.candidate.reduction_scope,
+                "slm": r.candidate.slm_strategy,
+                "tuned_us": round(r.modeled_seconds * 1e6, 2),
+                "speedup": round(r.speedup, 3),
+                "strategy": r.strategy,
+                "evals": r.evaluations,
+            }
+            for r in records
+        ]
+        print_table(rows, f"tuning DB {args.db} (generation {db.generation})")
+        for device_name in sorted({r.key.device for r in records}):
+            threshold = derive_threshold(db, device_name)
+            if threshold is not None:
+                print(
+                    f"derived sub-group threshold for {device_name}: "
+                    f"{threshold} rows"
+                )
+        return 0
+
+    if args.action == "clear":
+        device = None if args.platform is None else gpu(args.platform).device.name
+        removed = db.clear(device=device, solver=args.solver)
+        print(
+            f"removed {removed} record(s) from {args.db} "
+            f"(generation {db.generation})"
+        )
+        return 0
+
+    # action == "tune": search (or fetch) the configuration for one workload
+    if args.platform is None:
+        raise SystemExit("repro tune tune: --platform is required")
+    spec = gpu(args.platform)
+    if args.workload == "stencil":
+        workload = stencil_workload(args.rows, nb_solve=args.nb_solve)
+    else:
+        workload = pele_workload(args.workload, nb_solve=args.nb_solve)
+    tuner = Autotuner(
+        spec,
+        db=db,
+        strategy=args.strategy,
+        budget=args.budget,
+        patience=args.patience,
+        seed=args.seed,
+        prune_fraction=args.prune_fraction,
+    )
+    outcome = tuner.tune(workload, force=args.force, store_generic=args.store_generic)
+    record = outcome.record
+    source = "cache hit (no measurements)" if outcome.from_cache else (
+        f"searched {record.evaluations} candidates ({record.strategy})"
+    )
+    print(
+        f"{spec.key} / {workload.name} ({workload.solver}, "
+        f"{workload.num_rows} rows): {source}"
+    )
+    print(
+        f"  tuned:   sg={record.candidate.sub_group_size} "
+        f"wg={record.candidate.work_group_size} "
+        f"reduce={record.candidate.reduction_scope} "
+        f"slm={record.candidate.slm_strategy} "
+        f"-> {record.modeled_seconds * 1e6:.2f} us"
+    )
+    print(
+        f"  default: {record.default_seconds * 1e6:.2f} us  "
+        f"(speedup {record.speedup:.3f}x)"
+    )
     return 0
 
 
@@ -285,7 +400,50 @@ def build_parser() -> argparse.ArgumentParser:
     serve_demo.add_argument("--workers", type=int, default=2)
     serve_demo.add_argument("--backend", choices=["sycl", "cuda"], default="sycl")
     serve_demo.add_argument("--solver", default="bicgstab")
+    serve_demo.add_argument(
+        "--tuning-db",
+        default=None,
+        help="serve tuned launch geometry from this TuningDB file",
+    )
     serve_demo.set_defaults(fn=_cmd_serve_demo)
+
+    tune = sub.add_parser(
+        "tune", help="empirical launch-parameter autotuning (repro.tune)"
+    )
+    tune.add_argument(
+        "action",
+        choices=["tune", "show", "clear"],
+        help="tune = search one workload; show = list records; clear = drop records",
+    )
+    tune.add_argument("--db", default="tuning_db.json", help="TuningDB file path")
+    tune.add_argument(
+        "--platform",
+        default=None,
+        help="platform key (pvc1/pvc2/a100/h100); required for 'tune', "
+        "filters for 'clear'",
+    )
+    tune.add_argument(
+        "--workload",
+        default="stencil",
+        help="'stencil' (with --rows) or a PeleLM mechanism name",
+    )
+    tune.add_argument("--rows", type=int, default=32)
+    tune.add_argument("--nb-solve", type=int, default=8)
+    tune.add_argument("--strategy", choices=["grid", "coordinate", "random"], default="grid")
+    tune.add_argument("--budget", type=int, default=16)
+    tune.add_argument("--patience", type=int, default=8)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--prune-fraction", type=float, default=1.0)
+    tune.add_argument("--force", action="store_true", help="re-search even on a DB hit")
+    tune.add_argument(
+        "--store-generic",
+        action="store_true",
+        help="also store the winner under the device-wide wildcard key",
+    )
+    tune.add_argument(
+        "--solver", dest="solver", default=None, help="solver filter for 'clear'"
+    )
+    tune.set_defaults(fn=_cmd_tune)
 
     trace = sub.add_parser(
         "trace",

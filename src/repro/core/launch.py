@@ -97,16 +97,34 @@ class LaunchGeometry:
 
 
 class LaunchConfigurator:
-    """Chooses work-group/sub-group sizes for a device and matrix size."""
+    """Chooses work-group/sub-group sizes for a device and matrix size.
 
-    def __init__(self, device: SyclDevice, sub_group_threshold_rows: int | None = None) -> None:
+    ``tuning_db`` is any object with a ``lookup_geometry(device, solver,
+    preconditioner, num_rows, precision)`` method (duck-typed so this core
+    layer never imports :mod:`repro.tune`); when it returns a geometry,
+    that experimentally-tuned choice replaces the Section-3.6 heuristic.
+    """
+
+    def __init__(
+        self,
+        device: SyclDevice,
+        sub_group_threshold_rows: int | None = None,
+        tuning_db: object | None = None,
+    ) -> None:
         self.device = device
+        self.tuning_db = tuning_db
         if sub_group_threshold_rows is None:
-            sub_group_threshold_rows = int(
-                device.extra.get(
-                    "sub_group_threshold_rows", DEFAULT_SUB_GROUP_THRESHOLD_ROWS
-                )
+            raw = device.extra.get(
+                "sub_group_threshold_rows", DEFAULT_SUB_GROUP_THRESHOLD_ROWS
             )
+            try:
+                sub_group_threshold_rows = int(raw)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"device {device.name!r} carries a non-integer "
+                    f"extra['sub_group_threshold_rows'] value {raw!r}; expected "
+                    "a positive row count"
+                ) from None
         if sub_group_threshold_rows <= 0:
             raise ValueError(
                 f"sub_group_threshold_rows must be positive, got {sub_group_threshold_rows}"
@@ -143,10 +161,45 @@ class LaunchConfigurator:
         """Sub-group-scope reductions once a single sub-group covers the rows."""
         return SUB_GROUP_REDUCE if num_rows <= sub_group_size else WORK_GROUP_REDUCE
 
-    def geometry(self, num_rows: int) -> LaunchGeometry:
-        """The batch-size-independent launch choices for ``num_rows``."""
+    def tuned_geometry(
+        self,
+        num_rows: int,
+        solver: str = "*",
+        preconditioner: str = "*",
+        precision: str = "*",
+    ) -> LaunchGeometry | None:
+        """The TuningDB's geometry for this problem, or ``None``.
+
+        Wildcard (``"*"``) context fields match only device-wide generic
+        records, so callers without a full dispatch context still pick up
+        tunings stored for the whole device.
+        """
+        if self.tuning_db is None:
+            return None
+        return self.tuning_db.lookup_geometry(
+            self.device, solver, preconditioner, num_rows, precision
+        )
+
+    def geometry(
+        self,
+        num_rows: int,
+        solver: str = "*",
+        preconditioner: str = "*",
+        precision: str = "*",
+    ) -> LaunchGeometry:
+        """The batch-size-independent launch choices for ``num_rows``.
+
+        A :class:`TuningDB` attached at construction is consulted first
+        (with the given dispatch context); the Section-3.6 heuristic is the
+        fallback for problems nobody has tuned.
+        """
         if num_rows <= 0:
             raise ValueError(f"num_rows must be positive, got {num_rows}")
+        tuned = self.tuned_geometry(
+            num_rows, solver=solver, preconditioner=preconditioner, precision=precision
+        )
+        if tuned is not None:
+            return tuned
         sg = self.pick_sub_group_size(num_rows)
         self.device.validate_sub_group_size(sg)
         wg = self.pick_work_group_size(num_rows, sg)
@@ -162,13 +215,21 @@ class LaunchConfigurator:
         num_rows: int,
         num_batch: int,
         workspace: WorkspacePlan | None = None,
+        solver: str = "*",
+        preconditioner: str = "*",
+        precision: str = "*",
     ) -> KernelLaunchPlan:
         """Full launch plan for a batch of ``num_batch`` n-row systems."""
         if num_rows <= 0 or num_batch <= 0:
             raise ValueError(
                 f"num_rows and num_batch must be positive, got ({num_rows}, {num_batch})"
             )
-        plan = self.geometry(num_rows).plan(
+        plan = self.geometry(
+            num_rows,
+            solver=solver,
+            preconditioner=preconditioner,
+            precision=precision,
+        ).plan(
             num_batch,
             slm_bytes_per_group=0 if workspace is None else workspace.slm_bytes_used,
         )

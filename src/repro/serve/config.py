@@ -55,6 +55,11 @@ class ServeConfig:
         multi-GPU distribution applied to a single flush.
     plan_cache_capacity:
         Maximum number of resolved execution plans kept (LRU).
+    tuning_db_path:
+        Path of a persistent :class:`~repro.tune.TuningDB` file. When set
+        (and no database object is passed to the service directly), the
+        service opens it and serves tuned launch geometry through the plan
+        cache. ``None`` keeps the pure Section-3.6 heuristic.
     """
 
     max_batch_size: int = 64
@@ -67,6 +72,7 @@ class ServeConfig:
     fallback: bool = True
     shards_per_flush: int = 1
     plan_cache_capacity: int = 256
+    tuning_db_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:

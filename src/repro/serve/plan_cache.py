@@ -63,14 +63,35 @@ class PlanCache:
         device: SyclDevice,
         metrics: MetricsRegistry | None = None,
         capacity: int = 256,
+        tuning_db: object | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.device = device
         self.capacity = capacity
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tuning_db = tuning_db
+        self._db_generation = (
+            tuning_db.generation if tuning_db is not None else None
+        )
         self._plans: OrderedDict[PlanKey, ExecutionPlan] = OrderedDict()
         self._lock = threading.Lock()
+
+    def _check_tuning_generation_locked(self) -> None:
+        """Drop every cached plan when the TuningDB has mutated.
+
+        Cached plans embed launch geometry resolved against a specific
+        database state; a new/removed tuning record must not keep serving
+        flushes through a stale geometry.
+        """
+        if self.tuning_db is None:
+            return
+        generation = self.tuning_db.generation
+        if generation != self._db_generation:
+            self._db_generation = generation
+            if self._plans:
+                self._plans.clear()
+                self.metrics.counter("serve.plan_cache.invalidations").inc()
 
     def plan_for(self, key: BatchKey) -> tuple[ExecutionPlan, bool]:
         """The execution plan for one compatibility class; ``(plan, hit)``.
@@ -81,6 +102,7 @@ class PlanCache:
         """
         plan_key = PlanKey(key.dispatch_key(), key.num_rows, self.device.name)
         with self._lock:
+            self._check_tuning_generation_locked()
             plan = self._plans.get(plan_key)
             if plan is not None:
                 self._plans.move_to_end(plan_key)
@@ -89,8 +111,15 @@ class PlanCache:
 
         # Resolution happens outside the lock: it is pure computation on
         # immutable inputs, so two racing misses at worst resolve twice.
+        generation_at_resolve = self._db_generation
         plan = self._resolve(key)
         with self._lock:
+            self._check_tuning_generation_locked()
+            if self._db_generation != generation_at_resolve:
+                # the TuningDB mutated while we resolved: hand the plan to
+                # this caller but do not cache it against the new generation
+                self.metrics.counter("serve.plan_cache.misses").inc()
+                return plan, False
             self._plans[plan_key] = plan
             self._plans.move_to_end(plan_key)
             while len(self._plans) > self.capacity:
@@ -110,7 +139,12 @@ class PlanCache:
             max_iterations=key.max_iterations,
         )
         resolved = factory.resolve(key.matrix_format)
-        geometry = LaunchConfigurator(self.device).geometry(key.num_rows)
+        geometry = LaunchConfigurator(self.device, tuning_db=self.tuning_db).geometry(
+            key.num_rows,
+            solver=key.solver,
+            preconditioner=key.preconditioner,
+            precision=key.precision,
+        )
         return ExecutionPlan(resolved=resolved, geometry=geometry)
 
     # -- introspection -----------------------------------------------------------

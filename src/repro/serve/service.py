@@ -76,12 +76,21 @@ class SolverService:
         config: ServeConfig | None = None,
         device: SyclDevice | None = None,
         tracer: Tracer | None = None,
+        tuning_db: object | None = None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
         self.device = device if device is not None else self._default_device()
         self.metrics = MetricsRegistry()
+        if tuning_db is None and self.config.tuning_db_path is not None:
+            from repro.tune.db import TuningDB
+
+            tuning_db = TuningDB(self.config.tuning_db_path, metrics=self.metrics)
+        self.tuning_db = tuning_db
         self.plan_cache = PlanCache(
-            self.device, metrics=self.metrics, capacity=self.config.plan_cache_capacity
+            self.device,
+            metrics=self.metrics,
+            capacity=self.config.plan_cache_capacity,
+            tuning_db=tuning_db,
         )
         self.batcher = MicroBatcher(
             self.config.max_batch_size, self.config.max_wait_ns

@@ -1,0 +1,85 @@
+"""Empirical autotuning of the Section 3.5/3.6 launch parameters.
+
+The paper deliberately leaves its launch knobs open — the small/large
+sub-group threshold "needs to be determined experimentally for each
+targeted device", SLM placement is a capacity-bounded priority order —
+and this subsystem determines them experimentally, in the style of
+Triton/TVM tuning caches:
+
+* :mod:`repro.tune.space` — the legal launch-parameter space per
+  ``(device, num_rows)``;
+* :mod:`repro.tune.evaluate` — cheap cost-model scoring and measured
+  (real solver run + wave model) scoring of candidates;
+* :mod:`repro.tune.search` — exhaustive grid, coordinate descent, and
+  seeded random search with budget/early stopping, all with optional
+  cost-model pre-pruning;
+* :mod:`repro.tune.db` — the persistent, versioned, atomically-written
+  TuningDB keyed by (device, solver, preconditioner, rows bucket,
+  precision), with staleness detection and a generation counter that
+  downstream caches (``repro.serve.PlanCache``) watch;
+* :mod:`repro.tune.tuner` — the :class:`Autotuner` orchestrator and the
+  :func:`derive_threshold` device-threshold extractor.
+
+Consumption: ``LaunchConfigurator(device, tuning_db=db)`` consults the
+database before its heuristic, ``SolverService(..., tuning_db=db)``
+serves tuned geometry through its plan cache, and ``python -m repro
+tune`` drives searches from the command line.
+"""
+
+from repro.tune.db import ANY, TuningDB, TuningKey, TuningRecord, bucket_rows
+from repro.tune.evaluate import (
+    CandidateEvaluator,
+    TuneWorkload,
+    pele_workload,
+    plan_candidate_workspace,
+    stencil_workload,
+)
+from repro.tune.search import (
+    COORDINATE,
+    GRID,
+    RANDOM,
+    STRATEGIES,
+    SearchResult,
+    coordinate_descent,
+    grid_search,
+    prune_candidates,
+    random_search,
+    run_search,
+)
+from repro.tune.space import (
+    SLM_STRATEGIES,
+    ParameterSpace,
+    TuneCandidate,
+    space_signature,
+)
+from repro.tune.tuner import Autotuner, TuneOutcome, derive_threshold
+
+__all__ = [
+    "ANY",
+    "Autotuner",
+    "CandidateEvaluator",
+    "COORDINATE",
+    "GRID",
+    "ParameterSpace",
+    "RANDOM",
+    "STRATEGIES",
+    "SearchResult",
+    "SLM_STRATEGIES",
+    "TuneCandidate",
+    "TuneOutcome",
+    "TuneWorkload",
+    "TuningDB",
+    "TuningKey",
+    "TuningRecord",
+    "bucket_rows",
+    "coordinate_descent",
+    "derive_threshold",
+    "grid_search",
+    "pele_workload",
+    "plan_candidate_workspace",
+    "prune_candidates",
+    "random_search",
+    "run_search",
+    "space_signature",
+    "stencil_workload",
+]

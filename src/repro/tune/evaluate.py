@@ -1,0 +1,390 @@
+"""Empirical evaluation of tuning candidates.
+
+Two evaluation fidelities, mirroring how real autotuners stage their
+search:
+
+* :meth:`CandidateEvaluator.cost_model_seconds` — a *cheap analytic
+  score*: synthetic per-iteration traffic derived from the matrix shape
+  and the solver's declared workspace, priced by the
+  :mod:`repro.hw.timing` wave model. No solver runs. Used by the
+  pre-pruning pass that discards obviously-bad candidates before any
+  measured run.
+* :meth:`CandidateEvaluator.measured_seconds` — the *measured* score: the
+  real solver runs once on the simulator (its iteration counts and
+  per-object traffic ledger are cached and shared across candidates,
+  since the numerics are launch-geometry independent), then each
+  candidate's workspace placement and launch geometry are priced with the
+  measured traffic through the same wave model. This is the modeled
+  solve time the TuningDB records.
+
+Both paths price occupancy with the ``exact`` SLM policy — residency is
+precisely what the work-group sizing and SLM-placement knobs trade
+against bandwidth locality, which the paper's default greedy policy
+(every group claims the whole SLM) deliberately leaves on the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.core.dispatch import BatchSolverFactory
+from repro.core.launch import WORK_GROUP_REDUCE
+from repro.core.workspace import SlmBudget, WorkspacePlan, plan_workspace
+from repro.hw.memmodel import TrafficSplit, split_traffic
+from repro.hw.occupancy import EXACT
+from repro.hw.specs import GpuSpec
+from repro.hw.timing import estimate_runtime
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import current_tracer
+from repro.tune.space import (
+    SLM_HALF,
+    SLM_LARGE_FIRST,
+    SLM_OFF,
+    SLM_PAPER,
+    SLM_SMALL_FIRST,
+    ParameterSpace,
+    TuneCandidate,
+)
+
+#: Nominal iteration count of the analytic cost model: it scales every
+#: candidate identically, so only the relative ranking matters.
+_COST_MODEL_ITERATIONS = 10.0
+
+#: Reductions per solver iteration assumed by the analytic cost model when
+#: no measured ledger exists yet (CG: 2 dots + 1 norm; BiCGSTAB: 4 dots +
+#: 2 norms). The measured path derives the true figure from the ledger.
+_NOMINAL_REDUCTIONS = {"cg": 3.0, "bicgstab": 6.0}
+
+
+def plan_candidate_workspace(
+    vectors: list[tuple[str, int]],
+    budget: SlmBudget,
+    strategy: str,
+    precond_doubles: int = 0,
+    bytes_per_value: int = 8,
+) -> WorkspacePlan:
+    """The Section-3.5 allocation under one tuning strategy.
+
+    ``paper`` keeps the solver-declared priority order; ``small_first`` /
+    ``large_first`` reorder by size; ``half_capacity`` halves the budget
+    (doubling the residency the occupancy model can reach); ``off``
+    streams everything from global memory.
+    """
+    if strategy == SLM_OFF:
+        budget = SlmBudget(0)
+    elif strategy == SLM_HALF:
+        budget = SlmBudget(budget.capacity_bytes // 2)
+    elif strategy not in (SLM_PAPER, SLM_SMALL_FIRST, SLM_LARGE_FIRST):
+        raise ValueError(f"unknown SLM strategy {strategy!r}")
+    order = list(vectors)
+    if strategy == SLM_SMALL_FIRST:
+        order.sort(key=lambda item: item[1])
+    elif strategy == SLM_LARGE_FIRST:
+        order.sort(key=lambda item: item[1], reverse=True)
+    return plan_workspace(
+        order, budget, precond_doubles=precond_doubles, bytes_per_value=bytes_per_value
+    )
+
+
+@dataclass(frozen=True)
+class TuneWorkload:
+    """The problem the tuner measures candidates against.
+
+    ``nb_solve`` systems are actually solved on the simulator (enough to
+    measure iterations and traffic); ``num_batch_model`` is the batch
+    size the wave model prices — the paper's replicate-to-emulate-a-
+    larger-mesh device (Section 4.1).
+    """
+
+    kind: str  # "stencil" or "pele"
+    name: str  # display name / mechanism name
+    num_rows: int
+    solver: str = "cg"
+    preconditioner: str = "jacobi"
+    criterion: str = "relative"
+    precision: str = "double"
+    tolerance: float = 1e-8
+    max_iterations: int = 200
+    nb_solve: int = 8
+    num_batch_model: int = 2**15
+    seed: int = 0
+
+    def build(self):
+        """The ``(matrix, b)`` pair of this workload (seeded)."""
+        if self.kind == "stencil":
+            from repro.workloads.stencil import stencil_rhs, three_point_stencil
+
+            matrix = three_point_stencil(self.num_rows, self.nb_solve, seed=self.seed)
+            return matrix, stencil_rhs(self.num_rows, self.nb_solve, seed=self.seed + 1)
+        if self.kind == "pele":
+            from repro.workloads.pele import pele_batch, pele_rhs
+
+            matrix = pele_batch(self.name, self.nb_solve, seed=self.seed)
+            return matrix, pele_rhs(matrix, seed=self.seed + 1)
+        raise ValueError(f"unknown workload kind {self.kind!r}")
+
+
+def stencil_workload(num_rows: int, **kwargs) -> TuneWorkload:
+    """A 3-point-stencil tuning workload (SPD; CG by default)."""
+    return TuneWorkload(kind="stencil", name=f"stencil{num_rows}", num_rows=num_rows, **kwargs)
+
+
+def pele_workload(mechanism: str, **kwargs) -> TuneWorkload:
+    """A PeleLM mechanism tuning workload (non-SPD; BiCGSTAB by default)."""
+    from repro.workloads.pele import MECHANISMS
+
+    if mechanism not in MECHANISMS:
+        raise KeyError(
+            f"unknown mechanism {mechanism!r}; available: {sorted(MECHANISMS)}"
+        )
+    kwargs.setdefault("solver", "bicgstab")
+    return TuneWorkload(
+        kind="pele",
+        name=mechanism,
+        num_rows=MECHANISMS[mechanism].num_rows,
+        **kwargs,
+    )
+
+
+@dataclass
+class _MeasuredSolve:
+    """The once-per-workload simulator run shared by every candidate."""
+
+    vectors: list[tuple[str, int]]
+    precond_doubles: int
+    value_bytes: int
+    nnz_per_item: int
+    pattern_bytes: float
+    iterations: float
+    ledger: object
+    reductions_per_iter: float
+
+
+class CandidateEvaluator:
+    """Prices :class:`TuneCandidate` values for one (platform, workload)."""
+
+    def __init__(
+        self,
+        spec: GpuSpec,
+        workload: TuneWorkload,
+        metrics: MetricsRegistry | None = None,
+        policy: str = EXACT,
+    ) -> None:
+        self.spec = spec
+        self.workload = workload
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.policy = policy
+        self.space = ParameterSpace(spec.device, workload.num_rows)
+        self._measured: _MeasuredSolve | None = None
+        self._analytic: _MeasuredSolve | None = None
+
+    # -- the one expensive simulator run ------------------------------------
+
+    def _ensure_measured(self) -> _MeasuredSolve:
+        if self._measured is not None:
+            return self._measured
+        w = self.workload
+        tracer = current_tracer()
+        with tracer.span(
+            "tune.measure_workload",
+            category="tune",
+            workload=w.name,
+            solver=w.solver,
+            platform=self.spec.key,
+            nb_solve=w.nb_solve,
+        ):
+            matrix, b = w.build()
+            factory = BatchSolverFactory(
+                solver=w.solver,
+                preconditioner=w.preconditioner,
+                criterion=w.criterion,
+                precision=w.precision,
+                tolerance=w.tolerance,
+                max_iterations=w.max_iterations,
+            )
+            resolved = factory.resolve(matrix.format_name)
+            matrix = resolved.prepare(matrix)
+            solver = resolved.build(matrix)
+            result = solver.solve(b)
+            values_bytes_per_item = matrix.value_bytes * matrix.nnz_per_item
+            iterations = solver.model_stages(result)
+            calls = result.ledger.calls
+            reduction_calls = calls.get("dot", 0) + calls.get("norm", 0)
+            self._measured = _MeasuredSolve(
+                vectors=solver.workspace_vectors(),
+                precond_doubles=solver.preconditioner.workspace_doubles_per_system(),
+                value_bytes=matrix.value_bytes,
+                nnz_per_item=matrix.nnz_per_item,
+                pattern_bytes=max(
+                    0.0, matrix.storage_bytes - values_bytes_per_item * matrix.num_batch
+                ),
+                iterations=iterations,
+                ledger=result.ledger,
+                reductions_per_iter=reduction_calls / (w.nb_solve * iterations),
+            )
+        self.metrics.counter("tune.workload_solves").inc()
+        return self._measured
+
+    # -- shared pieces -------------------------------------------------------
+
+    def _workspace_for(self, candidate: TuneCandidate, measured: _MeasuredSolve) -> WorkspacePlan:
+        return plan_candidate_workspace(
+            measured.vectors,
+            SlmBudget(self.spec.slm_bytes_per_cu),
+            candidate.slm_strategy,
+            precond_doubles=measured.precond_doubles,
+            bytes_per_value=measured.value_bytes,
+        )
+
+    def _cold_bytes(self, measured: _MeasuredSolve) -> float:
+        nb = self.workload.num_batch_model
+        n, vb = self.workload.num_rows, measured.value_bytes
+        return (
+            measured.value_bytes * measured.nnz_per_item * nb
+            + measured.pattern_bytes
+            + 2.0 * vb * n * nb  # b read + x write
+        )
+
+    def _price(
+        self,
+        candidate: TuneCandidate,
+        workspace: WorkspacePlan,
+        per_group_iter: TrafficSplit,
+        iterations: float,
+        cold_bytes: float,
+        value_bytes: int,
+        reductions_per_iter: float,
+    ) -> float:
+        # Section 3.6: work-group-scope reductions round-trip per-item
+        # partials through SLM and synchronize at a work-group barrier;
+        # sub-group-scope reductions stay in registers (shuffles) and cost
+        # neither. This is the term that makes the sub-group fast path win
+        # below the experimentally-determined threshold.
+        work_group_scope = candidate.reduction_scope == WORK_GROUP_REDUCE
+        if work_group_scope:
+            reduce_slm = (
+                2.0 * candidate.work_group_size * value_bytes * reductions_per_iter
+            )
+            per_group_iter = replace(
+                per_group_iter, slm_bytes=per_group_iter.slm_bytes + reduce_slm
+            )
+        plan = candidate.geometry(self.spec.device.name).plan(
+            self.workload.num_batch_model, slm_bytes_per_group=workspace.slm_bytes_used
+        )
+        timing = estimate_runtime(
+            self.spec,
+            per_group_iter,
+            iterations,
+            self.workload.num_batch_model,
+            plan,
+            workspace,
+            policy=self.policy,
+            cold_bytes_total=cold_bytes,
+            flop_rate_scale=8.0 / value_bytes,
+        )
+        seconds = timing.total_seconds
+        if work_group_scope:
+            seconds += (
+                timing.occupancy.waves
+                * iterations
+                * reductions_per_iter
+                * self.spec.iter_latency_ns
+                * 1e-9
+            )
+        return seconds
+
+    # -- evaluation fidelities ----------------------------------------------
+
+    def cost_model_seconds(self, candidate: TuneCandidate) -> float:
+        """Analytic score from synthetic traffic (no solver run)."""
+        measured = self._ensure_analytic()
+        workspace = self._workspace_for(candidate, measured)
+        n, vb = self.workload.num_rows, measured.value_bytes
+        slm = hbm = 0.0
+        for name, doubles in measured.vectors:
+            nbytes = 2.0 * doubles * vb  # one read + one write per iteration
+            if workspace.level_of(name) == "slm":
+                slm += nbytes
+            else:
+                hbm += nbytes
+        l2 = measured.nnz_per_item * (vb + 4.0) + n * vb  # SpMV values+pattern, b
+        split = TrafficSplit(
+            slm_bytes=slm,
+            l2_bytes=l2,
+            hbm_bytes=hbm,
+            flops=2.0 * measured.nnz_per_item + 10.0 * n,
+        )
+        self.metrics.counter("tune.cost_model_evals").inc()
+        return self._price(
+            candidate,
+            workspace,
+            split,
+            _COST_MODEL_ITERATIONS,
+            0.0,
+            vb,
+            measured.reductions_per_iter,
+        )
+
+    def _ensure_analytic(self) -> _MeasuredSolve:
+        """Workspace/shape facts for the cost model without solving.
+
+        Reuses the measured run when one already happened; otherwise
+        builds the solver (cheap: preconditioner generation only) and
+        leaves the solve for a later measured evaluation.
+        """
+        if self._measured is not None:
+            return self._measured
+        if self._analytic is not None:
+            return self._analytic
+        w = self.workload
+        matrix, _b = w.build()
+        factory = BatchSolverFactory(
+            solver=w.solver,
+            preconditioner=w.preconditioner,
+            criterion=w.criterion,
+            precision=w.precision,
+            tolerance=w.tolerance,
+            max_iterations=w.max_iterations,
+        )
+        resolved = factory.resolve(matrix.format_name)
+        matrix = resolved.prepare(matrix)
+        solver = resolved.build(matrix)
+        self._analytic = _MeasuredSolve(
+            vectors=solver.workspace_vectors(),
+            precond_doubles=solver.preconditioner.workspace_doubles_per_system(),
+            value_bytes=matrix.value_bytes,
+            nnz_per_item=matrix.nnz_per_item,
+            pattern_bytes=0.0,
+            iterations=_COST_MODEL_ITERATIONS,
+            ledger=None,
+            reductions_per_iter=_NOMINAL_REDUCTIONS.get(w.solver, 3.0),
+        )
+        return self._analytic
+
+    def measured_seconds(self, candidate: TuneCandidate) -> float:
+        """Modeled solve time from the real (measured) simulator run."""
+        measured = self._ensure_measured()
+        workspace = self._workspace_for(candidate, measured)
+        full = split_traffic(measured.ledger, workspace)
+        per_group_iter = full.scaled(
+            1.0 / (self.workload.nb_solve * measured.iterations)
+        )
+        self.metrics.counter("tune.measurements").inc()
+        return self._price(
+            candidate,
+            workspace,
+            per_group_iter,
+            measured.iterations,
+            self._cold_bytes(measured),
+            measured.value_bytes,
+            measured.reductions_per_iter,
+        )
+
+    def default_candidate(self) -> TuneCandidate:
+        """The untuned pipeline's choice (heuristic geometry, paper SLM)."""
+        return self.space.default_candidate()
+
+
+#: An evaluation function: candidate -> modeled seconds (lower is better).
+EvalFn = Callable[[TuneCandidate], float]

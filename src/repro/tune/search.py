@@ -1,0 +1,264 @@
+"""Search strategies over the launch-parameter space.
+
+Three strategies, all driving a ``candidate -> modeled seconds``
+evaluation function (lower is better) and all recording their trajectory:
+
+* :func:`grid_search` — exhaustive; the reference answer for the small
+  per-problem spaces here (tens of candidates).
+* :func:`coordinate_descent` — start from the heuristic default and
+  improve one dimension at a time until a full sweep finds nothing
+  better; cheap and deterministic.
+* :func:`random_search` — seeded uniform sampling under an evaluation
+  budget with early stopping after ``patience`` non-improving draws; the
+  strategy that scales when the space grows.
+
+Every strategy can be preceded by a **cost-model pre-pruning pass**
+(:func:`prune_candidates`): candidates are ranked by the cheap analytic
+model and only the best fraction graduates to measured evaluation — the
+standard staged-fidelity trick of empirical autotuners.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.tune.evaluate import CandidateEvaluator, EvalFn
+from repro.tune.space import ParameterSpace, TuneCandidate
+
+#: Registered strategy names (CLI / Autotuner surface).
+GRID = "grid"
+COORDINATE = "coordinate"
+RANDOM = "random"
+STRATEGIES = (GRID, COORDINATE, RANDOM)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search: the winner plus the evidence trail."""
+
+    strategy: str
+    best: TuneCandidate
+    best_seconds: float
+    default: TuneCandidate
+    default_seconds: float
+    evaluations: int
+    seed: int | None = None
+    pruned_from: int | None = None
+    history: list[tuple[TuneCandidate, float]] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Default-over-best modeled time (>= 1 when the default is in the
+        evaluated set, since the best can only match or beat it)."""
+        if self.best_seconds <= 0:
+            return 1.0
+        return self.default_seconds / self.best_seconds
+
+
+def prune_candidates(
+    candidates: list[TuneCandidate],
+    cost_model: EvalFn,
+    keep_fraction: float = 0.5,
+    min_keep: int = 4,
+) -> list[TuneCandidate]:
+    """Rank by the cheap cost model, keep the best slice for measurement."""
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+    if keep_fraction == 1.0 or len(candidates) <= min_keep:
+        return list(candidates)
+    ranked = sorted(candidates, key=cost_model)
+    keep = max(min_keep, int(len(ranked) * keep_fraction))
+    return ranked[:keep]
+
+
+def _evaluate(
+    candidates: list[TuneCandidate],
+    measure: EvalFn,
+    history: list[tuple[TuneCandidate, float]],
+    cache: dict[TuneCandidate, float],
+) -> None:
+    for candidate in candidates:
+        if candidate in cache:
+            continue
+        seconds = measure(candidate)
+        cache[candidate] = seconds
+        history.append((candidate, seconds))
+
+
+def _finish(
+    strategy: str,
+    space: ParameterSpace,
+    measure: EvalFn,
+    history: list[tuple[TuneCandidate, float]],
+    cache: dict[TuneCandidate, float],
+    seed: int | None = None,
+    pruned_from: int | None = None,
+) -> SearchResult:
+    """Common epilogue: make sure the default was measured, pick the best."""
+    default = space.default_candidate()
+    _evaluate([default], measure, history, cache)
+    best = min(cache, key=cache.get)
+    return SearchResult(
+        strategy=strategy,
+        best=best,
+        best_seconds=cache[best],
+        default=default,
+        default_seconds=cache[default],
+        evaluations=len(cache),
+        seed=seed,
+        pruned_from=pruned_from,
+        history=history,
+    )
+
+
+def grid_search(
+    evaluator: CandidateEvaluator,
+    prune_fraction: float = 1.0,
+) -> SearchResult:
+    """Measure every (optionally pre-pruned) legal candidate."""
+    space = evaluator.space
+    candidates = space.candidates()
+    pruned_from = None
+    if prune_fraction < 1.0:
+        pruned_from = len(candidates)
+        candidates = prune_candidates(
+            candidates, evaluator.cost_model_seconds, keep_fraction=prune_fraction
+        )
+    history: list[tuple[TuneCandidate, float]] = []
+    cache: dict[TuneCandidate, float] = {}
+    _evaluate(candidates, evaluator.measured_seconds, history, cache)
+    return _finish(
+        GRID, space, evaluator.measured_seconds, history, cache, pruned_from=pruned_from
+    )
+
+
+def coordinate_descent(
+    evaluator: CandidateEvaluator,
+    max_rounds: int = 4,
+) -> SearchResult:
+    """Greedy one-dimension-at-a-time improvement from the default.
+
+    Each round sweeps the four dimensions in order; within a dimension
+    every legal alternative value (others held fixed) is measured and the
+    best kept. Stops after a full round without improvement, or
+    ``max_rounds``.
+    """
+    if max_rounds <= 0:
+        raise ValueError(f"max_rounds must be positive, got {max_rounds}")
+    space = evaluator.space
+    history: list[tuple[TuneCandidate, float]] = []
+    cache: dict[TuneCandidate, float] = {}
+    current = space.default_candidate()
+    _evaluate([current], evaluator.measured_seconds, history, cache)
+
+    def neighbours(base: TuneCandidate, dim: str) -> list[TuneCandidate]:
+        out = []
+        if dim == "sub_group_size":
+            values = space.sub_group_sizes()
+        elif dim == "work_group_size":
+            values = space.work_group_sizes(base.sub_group_size)
+        elif dim == "reduction_scope":
+            values = space.reduction_scopes(base.sub_group_size)
+        else:
+            values = list(space.slm_strategies())
+        for value in values:
+            moved = TuneCandidate(**{**base.as_dict(), dim: value})  # type: ignore[arg-type]
+            if moved != base and space.is_legal(moved):
+                out.append(moved)
+        return out
+
+    for _round in range(max_rounds):
+        improved = False
+        for dim in (
+            "sub_group_size",
+            "work_group_size",
+            "reduction_scope",
+            "slm_strategy",
+        ):
+            moves = neighbours(current, dim)
+            _evaluate(moves, evaluator.measured_seconds, history, cache)
+            best_move = min(moves, key=cache.get, default=None)
+            if best_move is not None and cache[best_move] < cache[current]:
+                current = best_move
+                improved = True
+        if not improved:
+            break
+    return _finish(COORDINATE, space, evaluator.measured_seconds, history, cache)
+
+
+def random_search(
+    evaluator: CandidateEvaluator,
+    budget: int = 16,
+    patience: int = 8,
+    seed: int = 0,
+    prune_fraction: float = 0.5,
+) -> SearchResult:
+    """Seeded random sampling under a measured-evaluation budget.
+
+    The candidate pool is cost-model pre-pruned to ``prune_fraction``;
+    sampling stops early after ``patience`` consecutive draws that fail
+    to improve on the incumbent. The same seed replays the exact search.
+    """
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    if patience <= 0:
+        raise ValueError(f"patience must be positive, got {patience}")
+    space = evaluator.space
+    pool = space.candidates()
+    pruned_from = None
+    if prune_fraction < 1.0:
+        pruned_from = len(pool)
+        pool = prune_candidates(
+            pool, evaluator.cost_model_seconds, keep_fraction=prune_fraction
+        )
+    rng = random.Random(seed)
+    order = list(pool)
+    rng.shuffle(order)
+
+    history: list[tuple[TuneCandidate, float]] = []
+    cache: dict[TuneCandidate, float] = {}
+    best_seconds = float("inf")
+    since_improvement = 0
+    for candidate in order[:budget]:
+        _evaluate([candidate], evaluator.measured_seconds, history, cache)
+        if cache[candidate] < best_seconds:
+            best_seconds = cache[candidate]
+            since_improvement = 0
+        else:
+            since_improvement += 1
+            if since_improvement >= patience:
+                break
+    return _finish(
+        RANDOM,
+        space,
+        evaluator.measured_seconds,
+        history,
+        cache,
+        seed=seed,
+        pruned_from=pruned_from,
+    )
+
+
+def run_search(
+    evaluator: CandidateEvaluator,
+    strategy: str = GRID,
+    budget: int = 16,
+    patience: int = 8,
+    seed: int = 0,
+    prune_fraction: float = 1.0,
+) -> SearchResult:
+    """Dispatch to a strategy by name (the Autotuner/CLI entry point)."""
+    if strategy == GRID:
+        return grid_search(evaluator, prune_fraction=prune_fraction)
+    if strategy == COORDINATE:
+        return coordinate_descent(evaluator)
+    if strategy == RANDOM:
+        return random_search(
+            evaluator,
+            budget=budget,
+            patience=patience,
+            seed=seed,
+            prune_fraction=prune_fraction if prune_fraction < 1.0 else 0.5,
+        )
+    raise ValueError(f"unknown search strategy {strategy!r}; available: {STRATEGIES}")

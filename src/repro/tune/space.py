@@ -1,0 +1,204 @@
+"""The launch-parameter space the autotuner searches.
+
+The paper leaves its launch parameters open on purpose: the small/large
+sub-group threshold "needs to be determined experimentally for each
+targeted device" (Section 3.6) and the SLM placement follows a priority
+order bounded by device capacity (Section 3.5). A :class:`TuneCandidate`
+pins every one of those free choices for one ``(device, num_rows)``
+problem class:
+
+* **sub-group size** — any width the device's compiler supports;
+* **work-group size** — a sub-group-aligned size between one sub-group
+  and the full row coverage (smaller groups process rows in strided
+  chunks but raise work-group residency per compute unit);
+* **reduction scope** — sub-group-scope reductions are only legal when a
+  single sub-group covers the system (the paper's small-matrix fast
+  path); work-group scope is always legal;
+* **SLM strategy** — how the Section-3.5 priority list is ordered and
+  bounded before the greedy allocator runs (the paper's order, size-based
+  reorderings, a half-capacity cap that trades SLM locality for
+  residency, or no SLM at all).
+
+:class:`ParameterSpace` enumerates exactly the *legal* combinations for a
+device, and :func:`space_signature` fingerprints the capability surface so
+persisted tuning records can be detected as stale when the device
+description (or the space itself) changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.core.launch import (
+    SUB_GROUP_REDUCE,
+    WORK_GROUP_REDUCE,
+    LaunchConfigurator,
+    LaunchGeometry,
+)
+from repro.sycl.device import SyclDevice
+from repro.utils.validation import round_up
+
+#: Bumped whenever the space's shape or legality rules change; part of the
+#: staleness signature of persisted records.
+SPACE_VERSION = 1
+
+#: SLM placement strategies (how the priority list reaches the allocator).
+SLM_PAPER = "paper"  # the solver-declared Section-3.5 order
+SLM_SMALL_FIRST = "small_first"  # pack many small vectors first
+SLM_LARGE_FIRST = "large_first"  # keep the big bandwidth hogs resident
+SLM_HALF = "half_capacity"  # cap at half the SLM -> double residency
+SLM_OFF = "off"  # everything streams from global memory
+
+SLM_STRATEGIES = (SLM_PAPER, SLM_SMALL_FIRST, SLM_LARGE_FIRST, SLM_HALF, SLM_OFF)
+
+
+@dataclass(frozen=True)
+class TuneCandidate:
+    """One fully-pinned launch configuration under tuning."""
+
+    sub_group_size: int
+    work_group_size: int
+    reduction_scope: str
+    slm_strategy: str
+
+    def geometry(self, device_name: str) -> LaunchGeometry:
+        """The launch geometry this candidate realizes."""
+        return LaunchGeometry(
+            work_group_size=self.work_group_size,
+            sub_group_size=self.sub_group_size,
+            reduction_scope=self.reduction_scope,
+            device_name=device_name,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view (the TuningDB record payload)."""
+        return {
+            "sub_group_size": self.sub_group_size,
+            "work_group_size": self.work_group_size,
+            "reduction_scope": self.reduction_scope,
+            "slm_strategy": self.slm_strategy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TuneCandidate":
+        """Rebuild a candidate from its :meth:`as_dict` payload."""
+        return cls(
+            sub_group_size=int(data["sub_group_size"]),
+            work_group_size=int(data["work_group_size"]),
+            reduction_scope=str(data["reduction_scope"]),
+            slm_strategy=str(data["slm_strategy"]),
+        )
+
+
+def space_signature(device: SyclDevice) -> str:
+    """Fingerprint of the tunable capability surface of ``device``.
+
+    Persisted tuning records carry this; a record whose signature no
+    longer matches the live device (different sub-group widths, SLM
+    capacity, work-group or residency limits — or a newer space version)
+    is *stale* and must not steer launches.
+    """
+    digest = hashlib.sha1(
+        "|".join(
+            [
+                f"v{SPACE_VERSION}",
+                device.name,
+                ",".join(str(s) for s in sorted(device.sub_group_sizes)),
+                str(device.max_work_group_size),
+                str(device.slm_bytes_per_cu),
+                str(device.max_work_items_per_cu),
+            ]
+        ).encode()
+    )
+    return digest.hexdigest()[:16]
+
+
+class ParameterSpace:
+    """All legal :class:`TuneCandidate` values for ``(device, num_rows)``."""
+
+    def __init__(self, device: SyclDevice, num_rows: int) -> None:
+        if num_rows <= 0:
+            raise ValueError(f"num_rows must be positive, got {num_rows}")
+        self.device = device
+        self.num_rows = num_rows
+
+    # -- per-dimension enumeration ------------------------------------------
+
+    def sub_group_sizes(self) -> list[int]:
+        """Supported sub-group widths (ascending)."""
+        return sorted(self.device.sub_group_sizes)
+
+    def work_group_sizes(self, sub_group_size: int) -> list[int]:
+        """Sub-group-aligned work-group sizes from one sub-group up to
+        full row coverage, clamped to the device maximum."""
+        coverage = round_up(self.num_rows, sub_group_size)
+        cap = self.device.max_work_group_size // sub_group_size * sub_group_size
+        if cap <= 0:
+            return []
+        limit = min(coverage, cap)
+        sizes = []
+        wg = sub_group_size
+        while wg < limit:
+            sizes.append(wg)
+            wg *= 2
+        sizes.append(limit)
+        return sizes
+
+    def reduction_scopes(self, sub_group_size: int) -> list[str]:
+        """Work-group scope always; sub-group scope only when one
+        sub-group covers every row (the correctness condition of the
+        paper's small-matrix fast path)."""
+        scopes = [WORK_GROUP_REDUCE]
+        if self.num_rows <= sub_group_size:
+            scopes.insert(0, SUB_GROUP_REDUCE)
+        return scopes
+
+    def slm_strategies(self) -> tuple[str, ...]:
+        """The SLM placement strategies (device-independent)."""
+        return SLM_STRATEGIES
+
+    # -- the space ----------------------------------------------------------
+
+    def is_legal(self, candidate: TuneCandidate) -> bool:
+        """True when the device can run ``candidate`` for this row count."""
+        sg, wg = candidate.sub_group_size, candidate.work_group_size
+        if not self.device.supports_sub_group_size(sg):
+            return False
+        if wg < sg or wg % sg != 0 or wg > self.device.max_work_group_size:
+            return False
+        if wg > round_up(self.num_rows, sg):
+            return False
+        if candidate.reduction_scope == SUB_GROUP_REDUCE and self.num_rows > sg:
+            return False
+        if candidate.reduction_scope not in (SUB_GROUP_REDUCE, WORK_GROUP_REDUCE):
+            return False
+        return candidate.slm_strategy in SLM_STRATEGIES
+
+    def candidates(self) -> list[TuneCandidate]:
+        """Every legal candidate, in deterministic enumeration order."""
+        out = []
+        for sg in self.sub_group_sizes():
+            for wg in self.work_group_sizes(sg):
+                for scope in self.reduction_scopes(sg):
+                    for strategy in self.slm_strategies():
+                        out.append(TuneCandidate(sg, wg, scope, strategy))
+        return out
+
+    def default_candidate(self) -> TuneCandidate:
+        """What the untuned pipeline would pick: the Section-3.6 heuristic
+        geometry with the paper's SLM priority order."""
+        geo = LaunchConfigurator(self.device).geometry(self.num_rows)
+        return TuneCandidate(
+            sub_group_size=geo.sub_group_size,
+            work_group_size=geo.work_group_size,
+            reduction_scope=geo.reduction_scope,
+            slm_strategy=SLM_PAPER,
+        )
+
+    def signature(self) -> str:
+        """The staleness signature of this space's device."""
+        return space_signature(self.device)
+
+    def __len__(self) -> int:
+        return len(self.candidates())

@@ -1,5 +1,7 @@
 """Dispatch mechanism, launch configuration and SLM workspace planning."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 from hypothesis import given, settings as hsettings, strategies as st
@@ -21,7 +23,7 @@ from repro.core.launch import (
 )
 from repro.core.workspace import GLOBAL, SLM, SlmBudget, plan_workspace
 from repro.cudasim.device import a100_device
-from repro.exceptions import UnsupportedCombinationError
+from repro.exceptions import DeviceCapabilityError, UnsupportedCombinationError
 from repro.sycl.device import pvc_stack_device
 from repro.workloads.general import random_diag_dominant_batch, random_spd_batch
 from tests.conftest import relative_residuals
@@ -170,6 +172,40 @@ class TestLaunchConfigurator:
             cfg.configure(0, 10)
         with pytest.raises(ValueError):
             LaunchConfigurator(pvc_stack_device(1), sub_group_threshold_rows=0)
+
+    def test_threshold_from_device_extra(self):
+        dev = replace(pvc_stack_device(1), extra={"sub_group_threshold_rows": 10})
+        cfg = LaunchConfigurator(dev)
+        assert cfg.sub_group_threshold_rows == 10
+        assert cfg.pick_sub_group_size(22) == 32  # above the tuned threshold
+
+    def test_explicit_threshold_beats_device_extra(self):
+        dev = replace(pvc_stack_device(1), extra={"sub_group_threshold_rows": 10})
+        cfg = LaunchConfigurator(dev, sub_group_threshold_rows=100)
+        assert cfg.sub_group_threshold_rows == 100
+
+    @pytest.mark.parametrize("bad", ["not-a-number", object(), None, [64]])
+    def test_non_integer_extra_threshold_rejected_at_construction(self, bad):
+        dev = replace(pvc_stack_device(1), extra={"sub_group_threshold_rows": bad})
+        with pytest.raises(ValueError, match="sub_group_threshold_rows"):
+            LaunchConfigurator(dev)
+
+    def test_non_positive_extra_threshold_rejected(self):
+        dev = replace(pvc_stack_device(1), extra={"sub_group_threshold_rows": "-5"})
+        with pytest.raises(ValueError, match="positive"):
+            LaunchConfigurator(dev)
+
+    def test_work_group_clamp_stays_sub_group_aligned(self):
+        # a capability-limited device whose max is not a sub-group multiple
+        dev = replace(pvc_stack_device(1), max_work_group_size=100)
+        cfg = LaunchConfigurator(dev)
+        assert cfg.pick_work_group_size(5000, 32) == 96  # 100 // 32 * 32
+
+    def test_device_too_small_for_sub_group_raises(self):
+        dev = replace(pvc_stack_device(1), max_work_group_size=8)
+        cfg = LaunchConfigurator(dev)
+        with pytest.raises(DeviceCapabilityError):
+            cfg.pick_work_group_size(100, 16)
 
 
 class TestWorkspacePlanning:

@@ -1,0 +1,147 @@
+"""Search strategies: correctness, determinism, budgets, pruning."""
+
+import pytest
+
+from repro.sycl.device import pvc_stack_device
+from repro.tune.search import (
+    GRID,
+    RANDOM,
+    coordinate_descent,
+    grid_search,
+    prune_candidates,
+    random_search,
+    run_search,
+)
+from repro.tune.space import ParameterSpace, TuneCandidate
+
+
+class FakeEvaluator:
+    """Deterministic synthetic landscape over a real parameter space.
+
+    Scores prefer large sub-groups, small work-groups and the
+    ``half_capacity`` SLM strategy — far from the heuristic default, so a
+    working search must move on every dimension.
+    """
+
+    def __init__(self, num_rows: int = 64):
+        self.space = ParameterSpace(pvc_stack_device(1), num_rows)
+        self.measured_calls = 0
+
+    def score(self, c: TuneCandidate) -> float:
+        penalty = 0.0
+        penalty += 0.0 if c.sub_group_size == 32 else 1.0
+        penalty += c.work_group_size / 64.0
+        penalty += 0.0 if c.slm_strategy == "half_capacity" else 0.5
+        penalty += 0.0 if c.reduction_scope == "work_group" else 0.25
+        return 1.0 + penalty
+
+    def measured_seconds(self, c: TuneCandidate) -> float:
+        self.measured_calls += 1
+        return self.score(c)
+
+    def cost_model_seconds(self, c: TuneCandidate) -> float:
+        return self.score(c)
+
+
+def best_of(space: ParameterSpace, score) -> TuneCandidate:
+    return min(space.candidates(), key=score)
+
+
+class TestGrid:
+    def test_grid_finds_global_optimum(self):
+        ev = FakeEvaluator()
+        result = grid_search(ev)
+        assert result.best == best_of(ev.space, ev.score)
+        assert result.best_seconds == pytest.approx(ev.score(result.best))
+        assert result.speedup >= 1.0
+
+    def test_grid_prunes_before_measuring(self):
+        full = FakeEvaluator()
+        grid_search(full)
+        pruned = FakeEvaluator()
+        result = grid_search(pruned, prune_fraction=0.25)
+        assert pruned.measured_calls < full.measured_calls
+        assert result.pruned_from == len(pruned.space.candidates())
+        # cost model == measurement here, so pruning keeps the optimum
+        assert result.best == best_of(pruned.space, pruned.score)
+
+    def test_default_always_measured(self):
+        ev = FakeEvaluator()
+        result = grid_search(ev)
+        assert result.default == ev.space.default_candidate()
+        assert result.default_seconds == pytest.approx(ev.score(result.default))
+
+
+class TestCoordinateDescent:
+    def test_improves_every_dimension(self):
+        ev = FakeEvaluator()
+        result = coordinate_descent(ev)
+        assert result.best == best_of(ev.space, ev.score)
+        assert result.evaluations <= len(ev.space.candidates())
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            coordinate_descent(FakeEvaluator(), max_rounds=0)
+
+
+class TestRandom:
+    def test_seeded_search_is_deterministic(self):
+        r1 = random_search(FakeEvaluator(), budget=8, seed=42)
+        r2 = random_search(FakeEvaluator(), budget=8, seed=42)
+        assert r1.best == r2.best
+        assert [c for c, _ in r1.history] == [c for c, _ in r2.history]
+
+    def test_different_seeds_explore_differently(self):
+        r1 = random_search(FakeEvaluator(), budget=8, seed=1, prune_fraction=1.0)
+        r2 = random_search(FakeEvaluator(), budget=8, seed=2, prune_fraction=1.0)
+        assert [c for c, _ in r1.history] != [c for c, _ in r2.history]
+
+    def test_budget_respected(self):
+        ev = FakeEvaluator()
+        result = random_search(ev, budget=5, seed=0, prune_fraction=1.0)
+        # budget draws + the guaranteed default measurement
+        assert result.evaluations <= 5 + 1
+        assert result.seed == 0
+
+    def test_early_stopping(self):
+        ev = FakeEvaluator()
+        result = random_search(ev, budget=10**6, patience=3, seed=0)
+        assert result.evaluations < len(ev.space.candidates())
+
+    def test_never_worse_than_default(self):
+        result = random_search(FakeEvaluator(), budget=2, seed=9)
+        assert result.best_seconds <= result.default_seconds
+
+    def test_invalid_budget_and_patience(self):
+        with pytest.raises(ValueError):
+            random_search(FakeEvaluator(), budget=0)
+        with pytest.raises(ValueError):
+            random_search(FakeEvaluator(), patience=0)
+
+
+class TestPruning:
+    def test_keeps_best_fraction(self):
+        ev = FakeEvaluator()
+        pool = ev.space.candidates()
+        kept = prune_candidates(pool, ev.cost_model_seconds, keep_fraction=0.25)
+        assert len(kept) == max(4, int(len(pool) * 0.25))
+        assert best_of(ev.space, ev.score) in kept
+
+    def test_small_pools_pass_through(self):
+        ev = FakeEvaluator()
+        pool = ev.space.candidates()[:3]
+        assert prune_candidates(pool, ev.cost_model_seconds, 0.1) == pool
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            prune_candidates([], lambda c: 0.0, keep_fraction=0.0)
+
+
+class TestDispatch:
+    def test_run_search_dispatches(self):
+        assert run_search(FakeEvaluator(), strategy=GRID).strategy == GRID
+        assert run_search(FakeEvaluator(), strategy=RANDOM, budget=4).strategy == RANDOM
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown search strategy"):
+            run_search(FakeEvaluator(), strategy="annealing")

@@ -1,0 +1,110 @@
+"""Parameter-space model: legality, enumeration, signatures."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.launch import SUB_GROUP_REDUCE, WORK_GROUP_REDUCE
+from repro.sycl.device import cpu_device, pvc_stack_device
+from repro.tune.space import (
+    SLM_PAPER,
+    SLM_STRATEGIES,
+    ParameterSpace,
+    TuneCandidate,
+    space_signature,
+)
+
+
+class TestEnumeration:
+    def test_sub_group_sizes_sorted(self):
+        space = ParameterSpace(pvc_stack_device(1), 32)
+        assert space.sub_group_sizes() == [16, 32]
+
+    def test_work_group_sizes_are_aligned_and_bounded(self):
+        space = ParameterSpace(pvc_stack_device(1), 100)
+        for sg in space.sub_group_sizes():
+            sizes = space.work_group_sizes(sg)
+            assert sizes, "at least one work-group size per sub-group width"
+            for wg in sizes:
+                assert wg % sg == 0
+                assert wg <= space.device.max_work_group_size
+            # the largest size covers every row
+            assert sizes[-1] >= min(100, space.device.max_work_group_size)
+
+    def test_sub_group_scope_only_when_one_sub_group_covers(self):
+        space = ParameterSpace(pvc_stack_device(1), 32)
+        assert space.reduction_scopes(32) == [SUB_GROUP_REDUCE, WORK_GROUP_REDUCE]
+        assert space.reduction_scopes(16) == [WORK_GROUP_REDUCE]
+
+    def test_candidates_all_legal_and_deterministic(self):
+        space = ParameterSpace(pvc_stack_device(1), 48)
+        candidates = space.candidates()
+        assert candidates == space.candidates()  # deterministic order
+        assert len(set(candidates)) == len(candidates)  # no duplicates
+        for candidate in candidates:
+            assert space.is_legal(candidate)
+
+    def test_invalid_num_rows_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSpace(pvc_stack_device(1), 0)
+
+
+class TestLegality:
+    def test_unsupported_sub_group_size_illegal(self):
+        space = ParameterSpace(pvc_stack_device(1), 32)
+        bad = TuneCandidate(8, 32, WORK_GROUP_REDUCE, SLM_PAPER)
+        assert not space.is_legal(bad)
+
+    def test_misaligned_work_group_illegal(self):
+        space = ParameterSpace(pvc_stack_device(1), 64)
+        assert not space.is_legal(TuneCandidate(32, 48, WORK_GROUP_REDUCE, SLM_PAPER))
+
+    def test_sub_group_scope_illegal_for_large_rows(self):
+        space = ParameterSpace(pvc_stack_device(1), 64)
+        assert not space.is_legal(TuneCandidate(32, 64, SUB_GROUP_REDUCE, SLM_PAPER))
+
+    def test_unknown_slm_strategy_illegal(self):
+        space = ParameterSpace(pvc_stack_device(1), 32)
+        assert not space.is_legal(TuneCandidate(32, 32, WORK_GROUP_REDUCE, "bogus"))
+
+    def test_oversized_work_group_illegal(self):
+        space = ParameterSpace(pvc_stack_device(1), 16)
+        # work-group beyond the rounded row coverage is wasted residency
+        assert not space.is_legal(TuneCandidate(16, 64, WORK_GROUP_REDUCE, SLM_PAPER))
+
+
+class TestDefaultAndRoundtrip:
+    def test_default_candidate_matches_heuristic(self):
+        space = ParameterSpace(pvc_stack_device(1), 32)
+        default = space.default_candidate()
+        assert default.sub_group_size == 16  # below the default threshold
+        assert default.work_group_size == 32
+        assert default.reduction_scope == WORK_GROUP_REDUCE
+        assert default.slm_strategy == SLM_PAPER
+        assert space.is_legal(default)
+
+    def test_candidate_dict_roundtrip(self):
+        candidate = TuneCandidate(32, 64, WORK_GROUP_REDUCE, SLM_STRATEGIES[2])
+        assert TuneCandidate.from_dict(candidate.as_dict()) == candidate
+
+    def test_geometry_carries_device_name(self):
+        geo = TuneCandidate(16, 32, WORK_GROUP_REDUCE, SLM_PAPER).geometry("dev")
+        assert geo.device_name == "dev"
+        assert geo.work_group_size == 32
+
+
+class TestSignature:
+    def test_signature_stable_for_same_device(self):
+        assert space_signature(pvc_stack_device(1)) == space_signature(
+            pvc_stack_device(1)
+        )
+
+    def test_signature_changes_with_capabilities(self):
+        base = pvc_stack_device(1)
+        assert space_signature(base) != space_signature(
+            replace(base, max_work_group_size=512)
+        )
+        assert space_signature(base) != space_signature(
+            replace(base, slm_bytes_per_cu=base.slm_bytes_per_cu // 2)
+        )
+        assert space_signature(base) != space_signature(cpu_device())
