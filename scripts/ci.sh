@@ -28,7 +28,18 @@ python scripts/smoke_serve.py
 
 echo
 echo "== tune smoke =="
-python scripts/smoke_tune.py
+python scripts/smoke_tune.py --sanitize
+
+echo
+echo "== sanitize =="
+python -m repro sanitize selftest
+# fast checked subset: detector/shadow units plus every kernel test
+# re-run under a suite-wide sanitizer (SANITIZE=1)
+SANITIZE=1 python -m pytest -q \
+    tests/sanitize/test_detectors.py \
+    tests/sanitize/test_shadow.py \
+    tests/sanitize/test_sanitize_cli.py \
+    tests/kernels
 
 echo
 echo "ci: OK"

@@ -31,7 +31,7 @@ def check(condition: bool, label: str, failures: list[str]) -> None:
         failures.append(label)
 
 
-def main(argv: list[str] | None = None) -> int:
+def _run() -> int:
     from repro.hw.specs import gpu
     from repro.serve.plan_cache import PlanCache
     from repro.serve.request import BatchKey
@@ -122,6 +122,95 @@ def main(argv: list[str] | None = None) -> int:
         print(f"tune smoke: {len(failures)} failure(s)", file=sys.stderr)
         return 1
     print("tune smoke: OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="additionally launch the fused kernel at a freshly tuned "
+        "geometry under the kernel sanitizer (tuned geometries must "
+        "never trade correctness)",
+    )
+    args = parser.parse_args(argv)
+    code = _run()
+    if not args.sanitize or code != 0:
+        return code
+
+    import numpy as np
+
+    from repro.core.launch import LaunchConfigurator
+    from repro.hw.specs import gpu
+    from repro.kernels.cg_kernel import batch_cg_kernel
+    from repro.sanitize import Sanitizer, format_summary, use_sanitizer
+    from repro.sycl.memory import LocalSpec
+    from repro.sycl.queue import Queue
+    from repro.tune import RANDOM, Autotuner, TuningDB, stencil_workload
+    from repro.workloads.stencil import stencil_rhs, three_point_stencil
+
+    failures: list[str] = []
+    spec = gpu("pvc1")
+    db = TuningDB()
+    result = Autotuner(spec, db=db, strategy=RANDOM, budget=6, seed=3).tune(
+        stencil_workload(16, nb_solve=4)
+    )
+    geometry = LaunchConfigurator(spec.device, tuning_db=db).geometry(
+        16, solver="cg", preconditioner="jacobi", precision="double"
+    )
+    check(
+        geometry.sub_group_size == result.record.candidate.sub_group_size,
+        "configurator serves the freshly tuned geometry",
+        failures,
+    )
+
+    nb, n = 4, 16
+    matrix = three_point_stencil(n, nb)
+    b = stencil_rhs(n, nb, seed=5)
+    x = np.zeros((nb, n))
+    iters = np.zeros(nb, dtype=np.int64)
+
+    print("\ntune smoke: fused kernel at the tuned geometry, sanitized")
+    sanitizer = Sanitizer()
+    with use_sanitizer(sanitizer):
+        Queue().parallel_for(
+            geometry.plan(nb).nd_range(),
+            batch_cg_kernel,
+            args=(
+                matrix.row_ptrs,
+                matrix.col_idxs,
+                matrix.values,
+                b,
+                x,
+                1.0 / matrix.diagonal(),
+                1e-8 * np.linalg.norm(b, axis=1),
+                200,
+                iters,
+                False,
+                None,
+            ),
+            local_specs=[LocalSpec(name, (n,)) for name in ("r", "z", "p", "t", "x")],
+            name="batch_cg_fused_tuned",
+        )
+    check(sanitizer.stats.launches == 1, "sanitizer observed the launch", failures)
+    check(sanitizer.clean, "tuned-geometry launch is violation-free", failures)
+    check(bool((iters < 200).all()), "every system converged", failures)
+    residual = b - matrix.apply(x)
+    rel = np.linalg.norm(residual, axis=1) / np.linalg.norm(b, axis=1)
+    check(bool((rel < 1e-7).all()), "solutions solve the systems", failures)
+    check(
+        result.record.modeled_seconds <= result.record.default_seconds,
+        "tuned geometry still beats the default",
+        failures,
+    )
+    print(format_summary(sanitizer))
+    if failures:
+        print(f"tune smoke (sanitize): {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("tune smoke (sanitize): OK")
     return 0
 
 

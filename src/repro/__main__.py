@@ -18,6 +18,15 @@ Commands:
   Chrome trace-event file, e.g.
   ``python -m repro trace stencil --trace-out trace.json``
   (open the result in Perfetto or ``chrome://tracing``).
+* ``sanitize`` — the kernel sanitizer (``repro.sanitize``):
+  ``sanitize selftest`` runs the seeded-mutation detector battery,
+  ``sanitize check <case>`` runs one battery kernel (violations print a
+  structured report and exit 1), ``sanitize diff`` runs the backend
+  differential grid, and ``sanitize <command> [args]`` runs any other
+  repro command with every kernel launch checked, e.g.
+  ``python -m repro sanitize stencil --sizes 16``. Composes with
+  ``trace``: ``repro trace sanitize check racy-write --trace-out t.json``
+  still writes the trace of the failing launch.
 """
 
 from __future__ import annotations
@@ -361,6 +370,115 @@ def _cmd_trace(argv: list[str]) -> int:
     return code
 
 
+def _sanitize_selftest() -> int:
+    """Run the seeded-mutation battery; non-zero unless every case passes."""
+    from repro.sanitize.selftest import run_selftest
+
+    results = run_selftest()
+    width = max(len(r.name) for r in results)
+    failures = 0
+    for r in results:
+        status = "PASS" if r.passed else "FAIL"
+        failures += not r.passed
+        expect = r.expect if r.expect is not None else "clean"
+        got = r.got if r.got is not None else "clean"
+        print(f"  {status}  {r.name:<{width}}  expect={expect}  got={got}")
+    total = len(results)
+    print(
+        f"\nsanitizer selftest: {total - failures}/{total} cases passed "
+        f"({sum(1 for r in results if r.expect)} mutants, "
+        f"{sum(1 for r in results if r.expect is None)} clean)"
+    )
+    return 1 if failures else 0
+
+
+def _sanitize_check(case_name: str) -> int:
+    """Run one battery kernel; a violation prints its report and exits 1."""
+    from repro.sanitize.selftest import case_by_name, run_case
+
+    try:
+        case = case_by_name(case_name)
+    except KeyError as exc:
+        raise SystemExit(f"repro sanitize check: {exc.args[0]}") from None
+    result = run_case(case)
+    if result.got is None:
+        print(f"{case.name}: no violation")
+        return 0
+    print(result.message)
+    return 1
+
+
+def _sanitize_diff(argv: list[str]) -> int:
+    """Run the differential grid on a seeded random SPD batch."""
+    import numpy as np
+
+    from repro.sanitize.diff import kernel_grid, run_differential
+
+    parser = argparse.ArgumentParser(prog="repro sanitize diff")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--batch", type=int, default=3)
+    parser.add_argument("--rows", type=int, default=16)
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    nb, n = args.batch, args.rows
+    dense = np.zeros((nb, n, n))
+    for k in range(nb):
+        a = rng.standard_normal((n, n)) * 0.1
+        dense[k] = np.eye(n) + a @ a.T
+    b = rng.standard_normal((nb, n))
+
+    disagreements = 0
+    for case in kernel_grid(f"seed{args.seed}"):
+        outcome = run_differential(dense, b, case)
+        disagreements += not outcome.agree
+        print(outcome.describe())
+    print(
+        f"\ndifferential grid: {disagreements} disagreement(s) over "
+        f"{len(kernel_grid('x'))} cases (batch {nb}, {n} rows, seed {args.seed})"
+    )
+    return 1 if disagreements else 0
+
+
+def _cmd_sanitize(argv: list[str]) -> int:
+    """The ``sanitize`` command: selftest / check / diff / wrapped command.
+
+    Wrapping installs a process-wide sanitizer, runs the inner command, and
+    prints the checking summary; a violation prints its structured report
+    and exits 1 (the report still reaches any enclosing ``trace`` wrapper,
+    which writes the trace collected up to the failure).
+    """
+    from repro.exceptions import BarrierDivergenceError, SanitizerError
+    from repro.sanitize import Sanitizer, format_summary, use_sanitizer
+
+    if not argv or argv[0] == "sanitize":
+        raise SystemExit(
+            "usage: repro sanitize {selftest | check <case> | diff [opts] | "
+            "<command> [args]}"
+        )
+    if argv[0] == "selftest":
+        return _sanitize_selftest()
+    if argv[0] == "check":
+        if len(argv) < 2:
+            raise SystemExit("usage: repro sanitize check <case>")
+        return _sanitize_check(argv[1])
+    if argv[0] == "diff":
+        return _sanitize_diff(argv[1:])
+
+    sanitizer = Sanitizer()
+    try:
+        with use_sanitizer(sanitizer):
+            code = main(argv)
+    except (SanitizerError, BarrierDivergenceError) as exc:
+        print(str(exc), file=sys.stderr)
+        print(file=sys.stderr)
+        print(format_summary(sanitizer), file=sys.stderr)
+        return 1
+    print()
+    print(format_summary(sanitizer))
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (one sub-command per experiment)."""
     parser = argparse.ArgumentParser(
@@ -453,6 +571,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("wrapped", nargs=argparse.REMAINDER)
     trace.set_defaults(fn=lambda a: _cmd_trace(a.wrapped))
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="kernel sanitizer: 'selftest' (mutation battery), 'check <case>' "
+        "(one battery kernel), 'diff' (backend differential grid), or any "
+        "repro command to run with launch checking enabled",
+    )
+    sanitize.add_argument("wrapped", nargs=argparse.REMAINDER)
+    sanitize.set_defaults(fn=lambda a: _cmd_sanitize(a.wrapped))
 
     return parser
 

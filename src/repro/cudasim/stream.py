@@ -15,7 +15,7 @@ from repro.cudasim.device import CudaDevice, a100_device
 from repro.cudasim.thread import cuda_nd_range, wrap_cuda_kernel
 from repro.observability.tracer import current_tracer
 from repro.sycl.executor import LaunchStats, launch
-from repro.sycl.memory import LocalSpec
+from repro.sycl.memory import LocalSpec, total_local_bytes
 from repro.sycl.queue import Event
 
 
@@ -56,6 +56,14 @@ class Stream:
         with tracer.span(
             kernel_name, category="kernel", device=self.device.name
         ) as span:
+            # set geometry before the launch so an aborted launch (e.g. a
+            # sanitizer violation) still leaves a valid kernel span
+            span.set_args(
+                num_groups=config.grid_dim,
+                work_group_size=config.block_dim,
+                sub_group_size=ndrange.sub_group_size,
+                slm_bytes_per_group=total_local_bytes(list(shared_specs or [])),
+            )
             submit = time.perf_counter_ns()
             stats: LaunchStats = launch(
                 self.device,
@@ -63,15 +71,10 @@ class Stream:
                 wrap_cuda_kernel(kernel),
                 args=args,
                 local_specs=list(shared_specs or []),
+                name=kernel_name,
             )
             end = time.perf_counter_ns()
-            span.set_args(
-                num_groups=stats.num_groups,
-                work_group_size=stats.local_size,
-                sub_group_size=stats.sub_group_size,
-                slm_bytes_per_group=stats.slm_bytes_per_group,
-                collectives=dict(stats.collective_counts),
-            )
+            span.set_args(collectives=dict(stats.collective_counts))
         event = Event(
             name=kernel_name,
             submit_ns=submit,

@@ -50,7 +50,13 @@ class BarrierDivergenceError(ExecutionModelError, RuntimeError):
 
     SYCL (and CUDA) leave this undefined behaviour on hardware; the simulator
     turns it into a hard error so kernel bugs surface deterministically.
+    When the sanitizer (:mod:`repro.sanitize`) is the one raising, the
+    structured diagnostic rides on ``report`` (otherwise ``None``).
     """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class LocalMemoryError(ExecutionModelError, MemoryError):
@@ -67,6 +73,49 @@ class DeviceCapabilityError(ExecutionModelError, ValueError):
 
 class KernelFaultError(ExecutionModelError, RuntimeError):
     """A kernel performed an illegal access (e.g. out-of-bounds SLM index)."""
+
+
+# --------------------------------------------------------------------------
+# Kernel sanitizer errors (repro.sanitize)
+# --------------------------------------------------------------------------
+
+
+class SanitizerError(ExecutionModelError):
+    """Base class for violations detected by the kernel sanitizer.
+
+    Raised only when a :class:`repro.sanitize.Sanitizer` is installed; the
+    structured :class:`repro.sanitize.SanitizerReport` travels on the
+    ``report`` attribute so tooling (the CLI, the differential harness)
+    can render diagnostics without parsing the message.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class SlmRaceError(SanitizerError):
+    """Two work-items accessed the same SLM cell without an intervening
+    barrier, and at least one access was a write (a data race)."""
+
+
+class UninitializedSlmReadError(SanitizerError):
+    """A work-item read an SLM cell no work-item had written.
+
+    Real shared local memory is uninitialized; the zero-fill the simulator
+    performs would mask the bug, so the sanitizer flags the read itself.
+    """
+
+
+class SlmOutOfBoundsError(SanitizerError, KernelFaultError):
+    """A work-item indexed an SLM array outside its declared shape
+    (negative indices count: SYCL local accessors do not wrap)."""
+
+
+class CollectiveMisuseError(SanitizerError):
+    """A group/sub-group collective was used illegally: non-uniform
+    participation across the scope, or a shuffle/broadcast whose width
+    parameter does not fit the dispatched sub-group size."""
 
 
 # --------------------------------------------------------------------------

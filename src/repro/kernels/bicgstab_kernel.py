@@ -63,8 +63,13 @@ def batch_bicgstab_kernel(
     max_iters,
     out_iters,
     reduce_style,
+    res_history=None,
 ):
-    """Fused preconditioned-BiCGSTAB kernel; one work-group per system."""
+    """Fused preconditioned-BiCGSTAB kernel; one work-group per system.
+
+    ``res_history`` (shape ``(num_batch, max_iters + 1)``), when given,
+    receives per-iteration residual norms from work-item 0.
+    """
     sysid = item.group_id
     n = row_ptrs.shape[0] - 1
     lid, wg = item.local_id, item.local_range
@@ -81,6 +86,8 @@ def batch_bicgstab_kernel(
 
     res2 = yield from _dot(item, slm, slm.r, slm.r, n, reduce_style)
     threshold2 = float(thresholds[sysid]) ** 2
+    if res_history is not None and lid == 0:
+        res_history[sysid, 0] = res2 ** 0.5
     rho_old, alpha, omega = 1.0, 1.0, 1.0
 
     iters = 0
@@ -120,6 +127,8 @@ def batch_bicgstab_kernel(
         res2 = yield from _dot(item, slm, slm.r, slm.r, n, reduce_style)
         rho_old = rho
         iters += 1
+        if res_history is not None and lid == 0:
+            res_history[sysid, iters] = res2 ** 0.5
         if omega == 0.0 or rho == 0.0:
             break  # breakdown: freeze this system (group-uniform condition)
 
@@ -138,6 +147,7 @@ def run_batch_bicgstab_on_device(
     max_iterations: int = 200,
     reduce_style: str = "group",
     queue: Queue | None = None,
+    res_history: np.ndarray | None = None,
 ):
     """Launch the fused BiCGSTAB kernel for a whole batch.
 
@@ -186,6 +196,7 @@ def run_batch_bicgstab_on_device(
             max_iterations,
             out_iters,
             reduce_style,
+            res_history,
         ),
         local_specs=local_specs,
         name=f"batch_bicgstab_fused_{reduce_style}",

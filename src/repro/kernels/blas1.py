@@ -92,7 +92,11 @@ def block_reduce_cuda(cuda: CudaItem, shared, value: float):
         # sub-group collectives stay convergent lockstep per warp.
         yield from warp_reduce_sum(cuda, 0.0)
     yield cuda.syncthreads()
-    return float(shared.reduce_buf[0])
+    total = float(shared.reduce_buf[0])
+    # sync again before returning: the caller's next reduction writes
+    # reduce_buf immediately, which would race with the reads above
+    yield cuda.syncthreads()
+    return total
 
 
 def group_norm2_squared(item: NDItem, a, n: int):

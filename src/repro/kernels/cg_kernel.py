@@ -39,9 +39,15 @@ def batch_cg_kernel(
     max_iters,
     out_iters,
     use_subgroup_spmv,
+    res_history=None,
 ):
     """Fused preconditioned-CG kernel; work-group ``item.group_id`` owns
-    system ``item.group_id``."""
+    system ``item.group_id``.
+
+    When ``res_history`` (shape ``(num_batch, max_iters + 1)``) is given,
+    work-item 0 records the residual norm of every iteration — the device
+    side of the differential harness's convergence-history comparison.
+    """
     sysid = item.group_id
     n = row_ptrs.shape[0] - 1
     lid, wg = item.local_id, item.local_range
@@ -60,6 +66,8 @@ def batch_cg_kernel(
     rho = yield from group_dot(item, slm.r, slm.z, n)
     res2 = yield from group_dot(item, slm.r, slm.r, n)
     threshold2 = float(thresholds[sysid]) ** 2
+    if res_history is not None and lid == 0:
+        res_history[sysid, 0] = res2 ** 0.5
 
     iters = 0
     while iters < max_iters and res2 > threshold2:
@@ -95,6 +103,8 @@ def batch_cg_kernel(
         yield item.barrier()
         rho = rho_new
         iters += 1
+        if res_history is not None and lid == 0:
+            res_history[sysid, iters] = res2 ** 0.5
 
     for row in range(lid, n, wg):
         x_out[sysid, row] = slm.x[row]
@@ -111,11 +121,14 @@ def run_batch_cg_on_device(
     max_iterations: int = 200,
     use_subgroup_spmv: bool = False,
     queue: Queue | None = None,
+    res_history: np.ndarray | None = None,
 ):
     """Launch the fused CG kernel for a whole batch; returns (x, iters, event).
 
     ``inv_diag`` enables scalar-Jacobi preconditioning (identity when
     omitted). Thresholds follow the relative-residual criterion.
+    ``res_history`` (caller-allocated, shape ``(num_batch, max_iterations
+    + 1)``) receives per-iteration residual norms when given.
     """
     nb, n = matrix.num_batch, matrix.num_rows
     b = matrix.check_vector("b", b)
@@ -144,6 +157,7 @@ def run_batch_cg_on_device(
             max_iterations,
             out_iters,
             use_subgroup_spmv,
+            res_history,
         ),
         local_specs=local_specs,
         name="batch_cg_fused",

@@ -34,8 +34,13 @@ def batch_richardson_kernel(
     omega,
     max_iters,
     out_iters,
+    res_history=None,
 ):
-    """Fused relaxed-Richardson kernel; one work-group per system."""
+    """Fused relaxed-Richardson kernel; one work-group per system.
+
+    ``res_history`` (shape ``(num_batch, max_iters + 1)``), when given,
+    receives per-iteration residual norms from work-item 0.
+    """
     sysid = item.group_id
     n = row_ptrs.shape[0] - 1
     lid, wg = item.local_id, item.local_range
@@ -48,6 +53,8 @@ def batch_richardson_kernel(
 
     res2 = yield from group_dot(item, slm.r, slm.r, n)
     threshold2 = float(thresholds[sysid]) ** 2
+    if res_history is not None and lid == 0:
+        res_history[sysid, 0] = res2 ** 0.5
 
     iters = 0
     while iters < max_iters and res2 > threshold2:
@@ -65,6 +72,8 @@ def batch_richardson_kernel(
 
         res2 = yield from group_dot(item, slm.r, slm.r, n)
         iters += 1
+        if res_history is not None and lid == 0:
+            res_history[sysid, iters] = res2 ** 0.5
 
     for row in range(lid, n, wg):
         x_out[sysid, row] = slm.x[row]
@@ -81,6 +90,7 @@ def run_batch_richardson_on_device(
     tolerance: float = 1e-10,
     max_iterations: int = 1000,
     queue: Queue | None = None,
+    res_history: np.ndarray | None = None,
 ):
     """Launch the fused Richardson kernel; returns (x, iterations, event)."""
     nb, n = matrix.num_batch, matrix.num_rows
@@ -109,6 +119,7 @@ def run_batch_richardson_on_device(
             float(omega),
             max_iterations,
             out_iters,
+            res_history,
         ),
         local_specs=local_specs,
         name="batch_richardson_fused",

@@ -1,0 +1,65 @@
+"""Installation of the active sanitizer (mirrors the tracer's pattern).
+
+The execution-model simulators never take a sanitizer parameter: the
+executor asks :func:`current_sanitizer` at launch time and gets ``None``
+when checking is off, so unsanitized launches pay a single attribute
+lookup. Checked regions install a :class:`~repro.sanitize.Sanitizer`
+with :func:`use_sanitizer` (a context manager, safely nestable) or
+process-wide with :func:`set_sanitizer` (what the ``python -m repro
+sanitize`` CLI does).
+"""
+
+from __future__ import annotations
+
+import contextvars
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sanitize.sanitizer import Sanitizer
+
+_SANITIZER: contextvars.ContextVar["Sanitizer | None"] = contextvars.ContextVar(
+    "repro_sanitizer", default=None
+)
+
+
+def current_sanitizer() -> "Sanitizer | None":
+    """The sanitizer installed for the current context (``None`` = off)."""
+    return _SANITIZER.get()
+
+
+def set_sanitizer(sanitizer: "Sanitizer | None") -> "Sanitizer | None":
+    """Install ``sanitizer`` process-wide; returns the previous one."""
+    previous = _SANITIZER.get()
+    _SANITIZER.set(sanitizer)
+    return previous
+
+
+def sanitizing() -> bool:
+    """True when a sanitizer is installed in the current context."""
+    return _SANITIZER.get() is not None
+
+
+class _UseSanitizer:
+    """Context manager installing a sanitizer for a dynamic extent."""
+
+    def __init__(self, sanitizer: "Sanitizer | None") -> None:
+        self._sanitizer = sanitizer
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> "Sanitizer | None":
+        self._token = _SANITIZER.set(self._sanitizer)
+        return self._sanitizer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _SANITIZER.reset(self._token)
+            self._token = None
+
+
+def use_sanitizer(sanitizer: "Sanitizer | None") -> _UseSanitizer:
+    """``with use_sanitizer(Sanitizer()): ...`` — scoped installation.
+
+    Passing ``None`` disables checking inside the block (useful to carve
+    an unchecked region out of a ``SANITIZE=1`` test run).
+    """
+    return _UseSanitizer(sanitizer)

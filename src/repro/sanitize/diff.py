@@ -1,0 +1,317 @@
+"""Differential harness: device kernels vs. the NumPy reference path.
+
+The harness runs one batched problem through three implementations of the
+same algorithm —
+
+* the **reference** path: the vectorized NumPy solvers behind the
+  multi-level dispatch mechanism (:func:`repro.core.dispatch`), with the
+  full residual history recorded;
+* the **sycl** backend: the fused work-group kernels of
+  :mod:`repro.kernels` executed on the SYCL simulator;
+* the **cuda** backend: the same kernels executed on a
+  :mod:`repro.cudasim` device (and, for BiCGSTAB, the warp-shuffle
+  reduction structure instead of the group-reduce primitive) —
+
+under an installed sanitizer, and compares per-system iteration counts,
+solutions and convergence histories. Exact bitwise equality across paths
+is *not* the contract: the three paths reduce in different orders (NumPy
+pairwise summation, the SYCL group primitive sequentially over lanes, the
+CUDA butterfly over warps), which is precisely the backend difference
+Section 3.2 of the paper describes. What must hold — and what
+:func:`run_differential` checks — is that residual histories track each
+other to accumulation-error tolerance, iteration counts match within a
+one-iteration threshold-crossing slack, and the returned solutions solve
+the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.dispatch import BatchSolverFactory
+from repro.core.matrix.batch_csr import BatchCsr
+from repro.cudasim.device import a100_device
+from repro.kernels import (
+    run_batch_bicgstab_on_device,
+    run_batch_cg_on_device,
+    run_batch_richardson_on_device,
+)
+from repro.sanitize.context import use_sanitizer
+from repro.sanitize.sanitizer import Sanitizer, SanitizerConfig
+from repro.sycl.device import pvc_stack_device
+
+#: Solvers with a fused device-kernel implementation.
+KERNEL_SOLVERS = ("cg", "bicgstab", "richardson")
+
+#: Preconditioners the fused kernels implement (identity / scalar Jacobi).
+KERNEL_PRECONDITIONERS = ("identity", "jacobi")
+
+BACKENDS = ("sycl", "cuda")
+
+#: Comparison slack per precision: (history rtol, solution atol scale,
+#: allowed iteration-count delta). Single precision stores the operators
+#: in float32, so recurrences drift measurably faster.
+_TOLERANCES = {
+    "double": (1e-6, 1e-7, 1),
+    "single": (5e-3, 5e-4, 3),
+}
+
+
+@dataclass(frozen=True)
+class DiffCase:
+    """One cell of the differential grid."""
+
+    name: str
+    solver: str
+    preconditioner: str = "identity"
+    precision: str = "double"
+    backend: str = "sycl"
+    tolerance: float = 1e-8
+    max_iterations: int = 200
+    omega: float = 0.9  # richardson relaxation
+
+    def label(self) -> str:
+        """Stable human-readable id (test ids, CLI output)."""
+        return (
+            f"{self.name}/{self.solver}+{self.preconditioner}"
+            f"/{self.precision}/{self.backend}"
+        )
+
+
+@dataclass
+class BackendRun:
+    """Result of the device-kernel path of one case."""
+
+    x: np.ndarray
+    iterations: np.ndarray
+    history: np.ndarray  # (nb, max_iterations + 1), NaN past convergence
+    sanitizer_summary: dict[str, Any]
+
+
+@dataclass
+class DiffOutcome:
+    """The comparison verdict of one differential case."""
+
+    case: DiffCase
+    agree: bool
+    iterations_ref: np.ndarray
+    iterations_dev: np.ndarray
+    max_solution_diff: float
+    max_history_rel_diff: float
+    max_residual: float
+    failures: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One line per verdict, with failure detail when disagreeing."""
+        head = f"{self.case.label()}: {'agree' if self.agree else 'DISAGREE'}"
+        if self.agree:
+            return head
+        return head + "\n  " + "\n  ".join(self.failures)
+
+
+def _as_precision(array: np.ndarray, precision: str) -> np.ndarray:
+    if precision == "single":
+        return np.asarray(array, dtype=np.float32)
+    return np.asarray(array, dtype=np.float64)
+
+
+def run_reference(matrix: BatchCsr, b: np.ndarray, case: DiffCase):
+    """The NumPy path through the dispatch mechanism, history enabled."""
+    factory = BatchSolverFactory(
+        solver=case.solver,
+        preconditioner=case.preconditioner,
+        precision=case.precision,
+        criterion="relative",
+        tolerance=case.tolerance,
+        max_iterations=case.max_iterations,
+        keep_history=True,
+        solver_options={"omega": case.omega} if case.solver == "richardson" else {},
+    )
+    return factory.solve(matrix, _as_precision(b, case.precision))
+
+
+def run_backend(
+    matrix: BatchCsr,
+    b: np.ndarray,
+    case: DiffCase,
+    config: SanitizerConfig | None = None,
+) -> BackendRun:
+    """The fused-kernel path of one case, executed under a fresh sanitizer."""
+    device = pvc_stack_device(1) if case.backend == "sycl" else a100_device()
+    values = _as_precision(matrix.values, case.precision)
+    dev_matrix = BatchCsr(
+        matrix.row_ptrs, matrix.col_idxs, values, num_cols=matrix.num_cols
+    )
+    dev_b = _as_precision(b, case.precision)
+    nb = matrix.num_batch
+    inv_diag = None
+    if case.preconditioner == "jacobi":
+        inv_diag = 1.0 / dev_matrix.diagonal()
+    history = np.full((nb, case.max_iterations + 1), np.nan)
+
+    sanitizer = Sanitizer(config)
+    with use_sanitizer(sanitizer):
+        if case.solver == "cg":
+            x, iters, _ = run_batch_cg_on_device(
+                device,
+                dev_matrix,
+                dev_b,
+                inv_diag=inv_diag,
+                tolerance=case.tolerance,
+                max_iterations=case.max_iterations,
+                res_history=history,
+            )
+        elif case.solver == "bicgstab":
+            style = "cuda" if case.backend == "cuda" else "group"
+            x, iters, _ = run_batch_bicgstab_on_device(
+                device,
+                dev_matrix,
+                dev_b,
+                inv_diag=inv_diag,
+                tolerance=case.tolerance,
+                max_iterations=case.max_iterations,
+                reduce_style=style,
+                res_history=history,
+            )
+        elif case.solver == "richardson":
+            x, iters, _ = run_batch_richardson_on_device(
+                device,
+                dev_matrix,
+                dev_b,
+                inv_diag=inv_diag,
+                omega=case.omega,
+                tolerance=case.tolerance,
+                max_iterations=case.max_iterations,
+                res_history=history,
+            )
+        else:
+            raise ValueError(
+                f"solver {case.solver!r} has no fused device kernel; "
+                f"kernel-backed solvers: {KERNEL_SOLVERS}"
+            )
+    return BackendRun(x, iters, history, sanitizer.summary())
+
+
+def run_differential(
+    dense: np.ndarray,
+    b: np.ndarray,
+    case: DiffCase,
+    config: SanitizerConfig | None = None,
+) -> DiffOutcome:
+    """Run one case through reference and device paths and compare.
+
+    ``dense`` is the ``(nb, n, n)`` dense batch (the generator output);
+    both paths consume the same shared-pattern CSR conversion of it.
+    """
+    matrix = BatchCsr.from_dense(dense)
+    reference = run_reference(matrix, b, case)
+    device = run_backend(matrix, b, case, config)
+
+    hist_rtol, sol_scale, iter_slack = _TOLERANCES[case.precision]
+    failures: list[str] = []
+
+    # -- iteration counts ----------------------------------------------------
+    it_ref = np.asarray(reference.iterations, dtype=np.int64)
+    it_dev = np.asarray(device.iterations, dtype=np.int64)
+    delta = np.abs(it_ref - it_dev)
+    if delta.max(initial=0) > iter_slack:
+        failures.append(
+            f"iteration counts diverge: reference {it_ref.tolist()} vs "
+            f"device {it_dev.tolist()} (allowed slack {iter_slack})"
+        )
+
+    # -- convergence histories ----------------------------------------------
+    # Mixed relative/absolute comparison: once both recurrences drop below
+    # the stopping threshold their exact values are roundoff noise, so the
+    # per-system threshold doubles as the absolute floor.
+    ref_hist = reference.logger.history  # (records, nb)
+    b_norms_hist = np.linalg.norm(np.asarray(b, dtype=np.float64), axis=1)
+    max_hist_diff = 0.0
+    for sysid in range(matrix.num_batch):
+        floor = case.tolerance * float(b_norms_hist[sysid])
+        shared = min(ref_hist.shape[0] - 1, int(it_dev[sysid]))
+        for k in range(shared + 1):
+            ref_val = float(ref_hist[k, sysid])
+            dev_val = float(device.history[sysid, k])
+            if np.isnan(dev_val):
+                break
+            denom = max(abs(ref_val), abs(dev_val), 1e-300)
+            rel = abs(ref_val - dev_val) / denom
+            if abs(ref_val - dev_val) > hist_rtol * denom + floor:
+                failures.append(
+                    f"history mismatch: system {sysid} iteration {k}: "
+                    f"reference |r| = {ref_val:.17g}, device |r| = "
+                    f"{dev_val:.17g} (rel {rel:.2e} > {hist_rtol:.0e})"
+                )
+                break
+            if abs(ref_val) > floor or abs(dev_val) > floor:
+                max_hist_diff = max(max_hist_diff, rel)
+
+    # -- solutions -----------------------------------------------------------
+    x_ref = np.asarray(reference.x, dtype=np.float64)
+    x_dev = np.asarray(device.x, dtype=np.float64)
+    scale = max(float(np.max(np.abs(x_ref))), 1.0)
+    sol_diff = float(np.max(np.abs(x_ref - x_dev))) / scale
+    if sol_diff > sol_scale:
+        failures.append(
+            f"solutions diverge: max relative element difference {sol_diff:.2e} "
+            f"> {sol_scale:.0e}"
+        )
+
+    # -- true residuals ------------------------------------------------------
+    residual = np.einsum("bij,bj->bi", np.asarray(dense, dtype=np.float64), x_dev)
+    residual -= np.asarray(b, dtype=np.float64)
+    b_norms = np.linalg.norm(np.asarray(b, dtype=np.float64), axis=1)
+    rel_res = np.linalg.norm(residual, axis=1) / np.maximum(b_norms, 1e-300)
+    # converged systems must actually solve the system (tuning/sanitizer
+    # overhead must never trade correctness — the acceptance criterion)
+    converged = it_dev < case.max_iterations
+    tol_slack = case.tolerance * (1e3 if case.precision == "single" else 10.0)
+    bad = converged & (rel_res > tol_slack)
+    if bad.any():
+        failures.append(
+            f"device solution does not solve the system: relative residuals "
+            f"{rel_res[bad].tolist()} exceed {tol_slack:.1e} "
+            f"for systems {np.nonzero(bad)[0].tolist()}"
+        )
+
+    return DiffOutcome(
+        case=case,
+        agree=not failures,
+        iterations_ref=it_ref,
+        iterations_dev=it_dev,
+        max_solution_diff=sol_diff,
+        max_history_rel_diff=max_hist_diff,
+        max_residual=float(rel_res.max(initial=0.0)),
+        failures=failures,
+    )
+
+
+def kernel_grid(
+    name: str,
+    precisions: tuple = ("double", "single"),
+    backends: tuple = BACKENDS,
+    tolerance: float = 1e-8,
+    max_iterations: int = 200,
+) -> list[DiffCase]:
+    """Every kernel-backed solver x preconditioner x precision x backend."""
+    cases = []
+    for solver in KERNEL_SOLVERS:
+        for precond in KERNEL_PRECONDITIONERS:
+            for precision in precisions:
+                for backend in backends:
+                    cases.append(
+                        DiffCase(
+                            name=name,
+                            solver=solver,
+                            preconditioner=precond,
+                            precision=precision,
+                            backend=backend,
+                            tolerance=tolerance,
+                            max_iterations=max_iterations,
+                        )
+                    )
+    return cases

@@ -1,0 +1,76 @@
+"""Structured sanitizer diagnostics.
+
+Every violation the sanitizer raises carries a :class:`SanitizerReport`
+on the exception's ``report`` attribute: the detector class, the kernel
+and work-group, the work-items and source sites involved, and — when a
+tracer is installed — the name of the enclosing span, so a report can be
+correlated with the trace of the launch that produced it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Detector classes (the ``kind`` field of a report).
+SLM_RACE = "slm-race"
+UNINIT_READ = "uninit-read"
+OOB_ACCESS = "oob-access"
+BARRIER_DIVERGENCE = "barrier-divergence"
+COLLECTIVE_MISUSE = "collective-misuse"
+
+ALL_KINDS = (SLM_RACE, UNINIT_READ, OOB_ACCESS, BARRIER_DIVERGENCE, COLLECTIVE_MISUSE)
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """A source location inside kernel code (file, line, function)."""
+
+    filename: str
+    lineno: int
+    function: str
+
+    def __str__(self) -> str:
+        return f"{os.path.basename(self.filename)}:{self.lineno} in {self.function}"
+
+
+@dataclass
+class SanitizerReport:
+    """One diagnosed violation.
+
+    ``kind`` is one of the detector classes above; ``items`` holds the
+    local ids of the offending work-items and ``sites`` the corresponding
+    source locations (as strings). ``span`` is the name of the enclosing
+    tracer span when tracing was active, else ``None``. Detector-specific
+    facts (array name, cell index, epoch numbers, ...) live in
+    ``details``.
+    """
+
+    kind: str
+    kernel: str
+    group_id: int
+    message: str
+    array: str | None = None
+    index: Any = None
+    items: tuple[int, ...] = ()
+    sites: tuple[str, ...] = ()
+    span: str | None = None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering (used as the exception text)."""
+        lines = [f"[sanitizer:{self.kind}] {self.message}"]
+        lines.append(f"  kernel: {self.kernel}  work-group: {self.group_id}")
+        if self.array is not None:
+            cell = "" if self.index is None else f"[{self.index}]"
+            lines.append(f"  slm array: {self.array}{cell}")
+        if self.items:
+            lines.append(f"  work-items (local ids): {list(self.items)}")
+        for site in self.sites:
+            lines.append(f"  at: {site}")
+        if self.span is not None:
+            lines.append(f"  span: {self.span}")
+        for key, value in self.details.items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Shadow state for shared local memory.
+
+When a sanitizer is active, the executor hands kernels a namespace of
+:class:`ShadowArray` objects instead of raw NumPy arrays. Each element
+access goes through per-cell shadow state — an initialized bit plus the
+last write and the per-item last reads since the previous barrier — which
+is what lets the sanitizer diagnose uninitialized reads, out-of-bounds
+indices and inter-work-item races *at the access site*, naming both
+offending work-items and their source lines.
+
+Only the element accesses kernels actually perform (integer and
+integer-tuple indexing) take the exact fast path; slices and fancy
+indexing fall back to an index-map expansion so tests and debugging
+helpers that look at whole arrays still get checked.
+"""
+
+from __future__ import annotations
+
+import sys
+from types import SimpleNamespace
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.sanitize.report import AccessSite
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sanitize.sanitizer import GroupCheck
+
+#: Index of the fields inside an access record tuple.
+ACC_ITEM, ACC_SG, ACC_GEPOCH, ACC_SUBEPOCH, ACC_SITE = range(5)
+
+
+def caller_site() -> AccessSite | None:
+    """Source location of the kernel code performing the current access.
+
+    Walks out of the sanitizer's own frames; the first foreign frame is
+    the kernel (or kernel subroutine) line that touched SLM.
+    """
+    frame = sys._getframe(1)
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if module not in ("repro.sanitize.shadow", "repro.sanitize.sanitizer"):
+            return AccessSite(frame.f_code.co_filename, frame.f_lineno, frame.f_code.co_name)
+        frame = frame.f_back
+    return None  # pragma: no cover - only if called from sanitizer top-level
+
+
+class ShadowArray:
+    """A checked view over one work-group's SLM array.
+
+    Mirrors the small slice of the ndarray interface the kernels use
+    (shape/dtype/len plus element get/set); every access is validated and
+    recorded through the owning :class:`GroupCheck`.
+    """
+
+    __slots__ = ("data", "name", "_check", "init", "writes", "reads", "_flat_map")
+
+    def __init__(self, data: np.ndarray, name: str, check: "GroupCheck") -> None:
+        self.data = data
+        self.name = name
+        self._check = check
+        #: per-cell "some work-item wrote this" bits (flat layout).
+        self.init = np.zeros(data.size, dtype=bool)
+        #: flat index -> last write access record.
+        self.writes: dict[int, tuple] = {}
+        #: flat index -> {local_id: last read access record}.
+        self.reads: dict[int, dict[int, tuple]] = {}
+        self._flat_map: np.ndarray | None = None
+
+    # -- ndarray surface -----------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying SLM array."""
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the underlying SLM array."""
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return self.data.size
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShadowArray({self.name!r}, shape={self.data.shape})"
+
+    def fill(self, value) -> None:
+        """Bulk host-side fill (poisoning); leaves the init bits untouched.
+
+        ``poison_local`` uses this path: poisoning mimics *uninitialized*
+        memory, so it must not count as kernel initialization.
+        """
+        self.data.fill(value)
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        """Whole-array read (e.g. ``np.asarray(slm.x)``): checked as such."""
+        self._check.on_read(self, range(self.data.size))
+        return np.asarray(self.data, dtype=dtype)
+
+    # -- element access ------------------------------------------------------
+
+    def __getitem__(self, idx):
+        self._check.on_read(self, self._flat_indices(idx))
+        return self.data[idx]
+
+    def __setitem__(self, idx, value) -> None:
+        self._check.on_write(self, self._flat_indices(idx))
+        self.data[idx] = value
+
+    # -- index handling ------------------------------------------------------
+
+    def _flat_indices(self, idx) -> Iterable[int]:
+        """Flat cell indices touched by ``idx``, with strict bounds checks.
+
+        Integer components must lie in ``[0, dim)``: SLM accessors have no
+        Python-style negative wrap-around on hardware, so a negative index
+        is out of bounds here even though NumPy would accept it.
+        """
+        shape = self.data.shape
+        if isinstance(idx, (int, np.integer)):
+            i = int(idx)
+            if i < 0 or i >= shape[0]:
+                self._check.oob(self, idx)
+            if self.data.ndim == 1:
+                return (i,)
+            row = self.data.size // shape[0]
+            return range(i * row, (i + 1) * row)
+        if (
+            isinstance(idx, tuple)
+            and len(idx) == self.data.ndim
+            and all(isinstance(c, (int, np.integer)) for c in idx)
+        ):
+            coords = tuple(int(c) for c in idx)
+            for c, dim in zip(coords, shape):
+                if c < 0 or c >= dim:
+                    self._check.oob(self, idx)
+            return (int(np.ravel_multi_index(coords, shape)),)
+        # Generic path (slices, fancy indexing): NumPy semantics, every
+        # selected cell tracked.
+        if self._flat_map is None:
+            self._flat_map = np.arange(self.data.size).reshape(shape)
+        try:
+            selected = self._flat_map[idx]
+        except IndexError:
+            self._check.oob(self, idx)
+        return np.ravel(selected).tolist()
+
+
+class ShadowLocal(SimpleNamespace):
+    """The sanitized replacement for the plain SLM namespace.
+
+    Attribute layout matches :func:`repro.sycl.memory.allocate_local`; each
+    attribute is a :class:`ShadowArray` over the original storage, so the
+    kernel's results land in the very same buffers.
+    """
+
+
+def wrap_local(local: SimpleNamespace, check: "GroupCheck") -> ShadowLocal:
+    """Wrap every array of one work-group's SLM namespace for checking."""
+    wrapped = ShadowLocal()
+    for name, array in vars(local).items():
+        shadow = ShadowArray(array, name, check)
+        check.track_array(shadow)
+        setattr(wrapped, name, shadow)
+    return wrapped

@@ -22,6 +22,8 @@ from typing import Any, Callable, Iterable
 
 from repro.exceptions import BarrierDivergenceError, KernelFaultError
 from repro.observability.tracer import current_tracer
+from repro.sanitize.context import current_sanitizer
+from repro.sanitize.report import AccessSite
 from repro.sycl.device import SyclDevice
 from repro.sycl.group import GROUP, SUB_GROUP, NDItem, SyncOp, evaluate_collective
 from repro.sycl.memory import (
@@ -55,28 +57,64 @@ class LaunchStats:
 
 
 class _WorkItemState:
-    """Scheduler bookkeeping for one running work-item."""
+    """Scheduler bookkeeping for one running work-item.
 
-    __slots__ = ("item", "gen", "status", "pending")
+    ``site`` is the source location of the item's current sync point
+    (captured only when a sanitizer is active; ``None`` otherwise).
+    """
+
+    __slots__ = ("item", "gen", "status", "pending", "site")
 
     def __init__(self, item: NDItem, gen: Any) -> None:
         self.item = item
         self.gen = gen
         self.status = _RUNNING
         self.pending: SyncOp | None = None
+        self.site: AccessSite | None = None
 
 
-def _advance(state: _WorkItemState, send_value: Any = None, *, first: bool = False) -> None:
+def _yield_site(gen: Any) -> AccessSite | None:
+    """Source location of the statement a suspended generator yielded from.
+
+    Kernels delegate to subroutines with ``yield from``; the innermost
+    generator of the delegation chain holds the frame of the actual
+    barrier/collective statement.
+    """
+    inner = gen
+    while True:
+        delegate = getattr(inner, "gi_yieldfrom", None)
+        if delegate is None or not inspect.isgenerator(delegate):
+            break
+        inner = delegate
+    frame = getattr(inner, "gi_frame", None)
+    if frame is None:
+        return None
+    return AccessSite(frame.f_code.co_filename, frame.f_lineno, frame.f_code.co_name)
+
+
+def _advance(
+    state: _WorkItemState,
+    send_value: Any = None,
+    *,
+    first: bool = False,
+    check: Any = None,
+) -> None:
     """Run one work-item until its next sync point or completion."""
     if state.gen is None:
         state.status = _DONE
         return
+    if check is not None:
+        check.set_current(state.item)
     try:
         yielded = state.gen.send(None) if first else state.gen.send(send_value)
     except StopIteration:
         state.status = _DONE
         state.pending = None
+        state.site = None
         return
+    finally:
+        if check is not None:
+            check.set_current(None)
     if not isinstance(yielded, SyncOp):
         raise KernelFaultError(
             f"work-item {state.item.global_id} yielded {yielded!r}; kernels "
@@ -84,6 +122,8 @@ def _advance(state: _WorkItemState, send_value: Any = None, *, first: bool = Fal
         )
     state.status = _WAITING
     state.pending = yielded
+    if check is not None:
+        state.site = _yield_site(state.gen)
 
 
 def run_work_group(
@@ -93,28 +133,47 @@ def run_work_group(
     local: Any,
     args: tuple,
     stats: LaunchStats | None = None,
+    check: Any = None,
 ) -> None:
-    """Execute every work-item of one work-group to completion."""
+    """Execute every work-item of one work-group to completion.
+
+    ``check`` is the sanitizer's per-group :class:`~repro.sanitize.GroupCheck`
+    (or ``None``); when present, ``local`` is already its shadow-wrapped
+    view and every work-item advance runs with the shadow state primed.
+    """
     base = group_id * ndrange.local_size
     states: list[_WorkItemState] = []
     for local_id in range(ndrange.local_size):
         item = NDItem(ndrange, base + local_id)
-        produced = kernel(item, local, *args)
+        if check is not None:
+            # non-generator kernels execute their whole body inside this
+            # call, so the shadow state must already know the item
+            check.set_current(item)
+        try:
+            produced = kernel(item, local, *args)
+        finally:
+            if check is not None:
+                check.set_current(None)
         gen = produced if inspect.isgenerator(produced) else None
         states.append(_WorkItemState(item, gen))
 
     for state in states:
-        _advance(state, first=True)
+        _advance(state, first=True, check=check)
 
     while True:
         if all(s.status == _DONE for s in states):
             return
-        if not _assemble_round(ndrange, states, stats):
+        if not _assemble_round(ndrange, states, stats, check):
+            if check is not None:
+                check.classify_deadlock(states)
             _raise_divergence(states)
 
 
 def _assemble_round(
-    ndrange: NDRange, states: list[_WorkItemState], stats: LaunchStats | None
+    ndrange: NDRange,
+    states: list[_WorkItemState],
+    stats: LaunchStats | None,
+    check: Any = None,
 ) -> bool:
     """Complete every collective whose scope has fully assembled.
 
@@ -124,15 +183,20 @@ def _assemble_round(
 
     # Work-group scope: requires every work-item of the group.
     if all(s.status == _WAITING and s.pending.scope == GROUP for s in states):
-        _check_signatures(states, "work-group")
+        _check_signatures(states, "work-group", check)
         op = states[0].pending
+        if check is not None:
+            check.check_assembly(op, states, "the work-group")
         lanes = [s.item.local_id for s in states]
         values = [s.pending.value for s in states]
         results = evaluate_collective(op.kind, op.params, lanes, values)
         if stats is not None:
             stats.record_collective(op.kind, GROUP)
+        if check is not None:
+            # epochs advance before any member resumes and touches SLM
+            check.on_sync_complete(op, lanes, None)
         for state, result in zip(states, results):
-            _advance(state, result)
+            _advance(state, result, check=check)
         return True
 
     # Sub-group scope: each sub-group assembles independently.
@@ -141,23 +205,32 @@ def _assemble_round(
         if not members:
             continue
         if all(s.status == _WAITING and s.pending.scope == SUB_GROUP for s in members):
-            _check_signatures(members, f"sub-group {sg_id}")
+            _check_signatures(members, f"sub-group {sg_id}", check)
             op = members[0].pending
+            if check is not None:
+                check.check_assembly(op, members, f"sub-group {sg_id}")
             lanes = [s.item.lane for s in members]
             values = [s.pending.value for s in members]
             results = evaluate_collective(op.kind, op.params, lanes, values)
             if stats is not None:
                 stats.record_collective(op.kind, SUB_GROUP)
+            if check is not None:
+                check.on_sync_complete(op, [s.item.local_id for s in members], sg_id)
             for state, result in zip(members, results):
-                _advance(state, result)
+                _advance(state, result, check=check)
             progressed = True
 
     return progressed
 
 
-def _check_signatures(states: Iterable[_WorkItemState], scope_name: str) -> None:
+def _check_signatures(
+    states: Iterable[_WorkItemState], scope_name: str, check: Any = None
+) -> None:
+    states = list(states)
     sigs = {s.pending.signature() for s in states}
     if len(sigs) > 1:
+        if check is not None:
+            check.classify_deadlock(states)
         raise BarrierDivergenceError(
             f"work-items of {scope_name} reached different synchronization "
             f"operations: {sorted(sigs)}"
@@ -183,12 +256,17 @@ def launch(
     args: tuple = (),
     local_specs: list[LocalSpec] | None = None,
     poison_slm: bool = False,
+    name: str | None = None,
 ) -> LaunchStats:
     """Validate and execute a full ND-range kernel launch on ``device``.
 
     Raises the same classes of errors a strict SYCL runtime would: invalid
     sub-group/work-group sizes, SLM over-subscription, and (beyond real
-    runtimes) deterministic barrier-divergence detection.
+    runtimes) deterministic barrier-divergence detection. When a sanitizer
+    is installed (:func:`repro.sanitize.use_sanitizer`) every work-group
+    additionally runs under shadow-memory and convergence checking.
+    ``name`` labels the launch in sanitizer reports (defaults to the
+    kernel's ``__name__``).
     """
     device.validate_work_group_size(ndrange.local_size)
     device.validate_sub_group_size(ndrange.sub_group_size)
@@ -201,11 +279,25 @@ def launch(
         sub_group_size=ndrange.sub_group_size,
         slm_bytes_per_group=total_local_bytes(specs),
     )
+    sanitizer = current_sanitizer()
+    kernel_name = name or getattr(kernel, "__name__", "kernel")
+    if sanitizer is not None:
+        sanitizer.begin_launch(kernel_name, ndrange.num_groups)
     for group_id in range(ndrange.num_groups):
         local = allocate_local(specs)
         if poison_slm:
             poison_local(local)
-        run_work_group(ndrange, group_id, kernel, local, args, stats)
+        check = None
+        if sanitizer is not None:
+            check = sanitizer.begin_group(
+                kernel_name,
+                group_id,
+                ndrange.local_size,
+                ndrange.sub_group_size,
+                ndrange.sub_groups_per_group,
+            )
+            local = check.wrap_local(local)
+        run_work_group(ndrange, group_id, kernel, local, args, stats, check)
 
     tracer = current_tracer()
     if tracer.enabled:

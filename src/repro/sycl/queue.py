@@ -29,7 +29,7 @@ from typing import Any, Callable
 from repro.observability.tracer import current_tracer
 from repro.sycl.device import SyclDevice, cpu_device
 from repro.sycl.executor import LaunchStats, launch
-from repro.sycl.memory import LocalSpec
+from repro.sycl.memory import LocalSpec, total_local_bytes
 from repro.sycl.ndrange import NDRange
 
 
@@ -105,6 +105,15 @@ class Queue:
         with tracer.span(
             kernel_name, category="kernel", device=self.device.name
         ) as span:
+            # geometry is known up front: set it before the launch so a
+            # launch aborted mid-flight (e.g. by a sanitizer violation)
+            # still leaves a valid kernel span on the trace
+            span.set_args(
+                num_groups=ndrange.global_size // ndrange.local_size,
+                work_group_size=ndrange.local_size,
+                sub_group_size=ndrange.sub_group_size,
+                slm_bytes_per_group=total_local_bytes(list(local_specs or [])),
+            )
             submit = time.perf_counter_ns()
             start = submit
             stats = launch(
@@ -114,15 +123,10 @@ class Queue:
                 args=args,
                 local_specs=local_specs,
                 poison_slm=poison_slm,
+                name=kernel_name,
             )
             end = time.perf_counter_ns()
-            span.set_args(
-                num_groups=stats.num_groups,
-                work_group_size=stats.local_size,
-                sub_group_size=stats.sub_group_size,
-                slm_bytes_per_group=stats.slm_bytes_per_group,
-                collectives=dict(stats.collective_counts),
-            )
+            span.set_args(collectives=dict(stats.collective_counts))
         event = Event(
             name=kernel_name,
             submit_ns=submit,

@@ -1,6 +1,15 @@
-"""Shared fixtures: small, well-conditioned batched systems and devices."""
+"""Shared fixtures: small, well-conditioned batched systems and devices.
+
+Setting ``SANITIZE=1`` in the environment runs every test under an
+installed kernel sanitizer (see :mod:`repro.sanitize`), so any simulated
+kernel launch the suite performs is checked for races, barrier divergence,
+uninitialized/out-of-bounds SLM and collective misuse. Tests that
+deliberately execute buggy kernels opt out with ``@pytest.mark.no_sanitize``.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -9,6 +18,29 @@ from repro.core.matrix import BatchCsr
 from repro.sycl.device import cpu_device, pvc_stack_device
 from repro.workloads.general import random_diag_dominant_batch, random_spd_batch
 from repro.workloads.stencil import stencil_rhs, three_point_stencil
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_sanitize: never install the SANITIZE=1 suite-wide sanitizer "
+        "for this test (it runs deliberately invalid kernels)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _suite_sanitizer(request):
+    """Opt-in suite-wide sanitizer, controlled by the SANITIZE env toggle."""
+    if os.environ.get("SANITIZE") != "1" or request.node.get_closest_marker(
+        "no_sanitize"
+    ):
+        yield None
+        return
+    from repro.sanitize import Sanitizer, use_sanitizer
+
+    sanitizer = Sanitizer()
+    with use_sanitizer(sanitizer):
+        yield sanitizer
 
 
 @pytest.fixture

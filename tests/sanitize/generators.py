@@ -1,0 +1,111 @@
+"""Seeded problem generators for the differential harness.
+
+Property-based in spirit but deliberately dependency-free (no hypothesis):
+every generator is a pure function of an integer seed, so a failing grid
+cell is reproducible from its test id alone, and the shrinking helper can
+re-run sub-batches deterministically.
+
+Generators cover the shapes the paper's batched workloads take: 3-point
+stencils (the scaling study), random shared-pattern SPD and diagonally
+dominant general systems (the CSR/ELL/dense dispatch paths), and
+Pele-shaped chemistry Jacobians (``A = I - gamma J`` with a mechanism
+sparsity pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.general import random_diag_dominant_batch, random_spd_batch
+from repro.workloads.pele import pele_batch, pele_rhs
+from repro.workloads.stencil import stencil_rhs, three_point_stencil
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One generated batched system: dense operator batch plus rhs.
+
+    ``spd`` gates which solvers the differential grid may run (CG needs
+    symmetric positive definite items); ``richardson_safe`` marks batches
+    whose spectrum keeps the *unpreconditioned* relaxed Richardson
+    iteration contractive.
+    """
+
+    name: str
+    dense: np.ndarray
+    b: np.ndarray
+    spd: bool
+    richardson_safe: bool = False
+
+    @property
+    def num_batch(self) -> int:
+        return self.dense.shape[0]
+
+    def subset(self, indices) -> "Problem":
+        """The sub-batch holding only ``indices`` (used for shrinking)."""
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        return Problem(
+            f"{self.name}[{idx.tolist()}]",
+            self.dense[idx],
+            self.b[idx],
+            self.spd,
+            self.richardson_safe,
+        )
+
+
+def gen_stencil(seed: int, num_batch: int = 3, num_rows: int = 16) -> Problem:
+    """SPD 3-point-stencil batch — the paper's scaling-study operator."""
+    matrix = three_point_stencil(num_rows, num_batch)
+    b = stencil_rhs(num_rows, num_batch, seed=seed)
+    # stencil diagonals ~2: scale to keep unpreconditioned Richardson stable
+    dense = matrix.to_batch_dense()
+    return Problem(f"stencil{num_rows}", dense / 4.0, b, spd=True, richardson_safe=True)
+
+
+def gen_near_identity_spd(seed: int, num_batch: int = 3, num_rows: int = 12) -> Problem:
+    """SPD batch with spectrum close to 1 (every solver converges fast)."""
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((num_batch, num_rows, num_rows))
+    for k in range(num_batch):
+        a = rng.standard_normal((num_rows, num_rows)) / num_rows
+        dense[k] = np.eye(num_rows) + a @ a.T
+    b = rng.standard_normal((num_batch, num_rows))
+    return Problem("near-identity-spd", dense, b, spd=True, richardson_safe=True)
+
+
+def gen_random_spd(seed: int, num_batch: int = 3, num_rows: int = 12) -> Problem:
+    """Random shared-pattern SPD batch via the library's workload generator."""
+    matrix = random_spd_batch(num_batch=num_batch, num_rows=num_rows, density=0.3, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    b = rng.standard_normal((num_batch, num_rows))
+    return Problem("random-spd", matrix.to_batch_dense(), b, spd=True)
+
+
+def gen_diag_dominant(seed: int, num_batch: int = 3, num_rows: int = 12) -> Problem:
+    """Nonsymmetric diagonally dominant batch (the general-solver path)."""
+    matrix = random_diag_dominant_batch(
+        num_batch=num_batch, num_rows=num_rows, density=0.3, seed=seed
+    )
+    rng = np.random.default_rng(seed + 1)
+    b = rng.standard_normal((num_batch, num_rows))
+    return Problem("diag-dominant", matrix.to_batch_dense(), b, spd=False)
+
+
+def gen_pele(seed: int, num_batch: int = 2) -> Problem:
+    """Pele-shaped chemistry Jacobians (drm19, the smallest mechanism)."""
+    matrix = pele_batch("drm19", num_batch=num_batch, seed=seed)
+    b = pele_rhs(matrix, seed=seed + 1)
+    return Problem("pele-drm19", matrix.to_batch_dense(), b, spd=False)
+
+
+def default_problems(seed: int = 0) -> list[Problem]:
+    """The problem battery the backend-agreement grid runs over."""
+    return [
+        gen_stencil(seed),
+        gen_near_identity_spd(seed + 10),
+        gen_random_spd(seed + 20),
+        gen_diag_dominant(seed + 30),
+        gen_pele(seed + 40),
+    ]

@@ -1,0 +1,255 @@
+"""Unit tests for the SLM shadow state (ShadowArray / GroupCheck).
+
+These bypass the executor: a GroupCheck is driven directly with fake
+work-items, which pins the epoch-based happens-before rules — the heart of
+the race detector — at the level of individual accesses.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    SlmOutOfBoundsError,
+    SlmRaceError,
+    UninitializedSlmReadError,
+)
+from repro.sanitize.sanitizer import Sanitizer, SanitizerConfig
+from repro.sanitize.shadow import ShadowArray, wrap_local
+
+_WG, _SG, _NSG = 8, 4, 2
+
+
+def _check(config=None):
+    sanitizer = Sanitizer(config)
+    return sanitizer, sanitizer.begin_group("unit", 0, _WG, _SG, _NSG)
+
+
+def _item(local_id: int, sub_group_id: int = 0):
+    return SimpleNamespace(local_id=local_id, sub_group_id=sub_group_id)
+
+
+def _group_barrier():
+    return SimpleNamespace(kind="barrier", scope="group", params=None)
+
+
+def _sub_barrier():
+    return SimpleNamespace(kind="barrier", scope="sub_group", params=None)
+
+
+def _shadow(shape=(_WG,), config=None):
+    sanitizer, check = _check(config)
+    arr = ShadowArray(np.zeros(shape), "buf", check)
+    check.track_array(arr)
+    return sanitizer, check, arr
+
+
+# -- init bits ---------------------------------------------------------------
+
+
+def test_read_before_any_write_is_uninitialized():
+    _, check, arr = _shadow()
+    check.set_current(_item(0))
+    with pytest.raises(UninitializedSlmReadError):
+        arr[0]
+
+
+def test_write_then_read_by_same_item_is_clean():
+    _, check, arr = _shadow()
+    check.set_current(_item(0))
+    arr[3] = 7.0
+    assert arr[3] == 7.0
+
+
+def test_fill_is_poisoning_not_initialization():
+    _, check, arr = _shadow()
+    arr.fill(float("nan"))
+    check.set_current(_item(0))
+    with pytest.raises(UninitializedSlmReadError):
+        arr[0]
+
+
+def test_host_side_access_is_unchecked():
+    """check.current is None between work-items: host pokes stay permissive."""
+    _, check, arr = _shadow()
+    assert arr[0] == 0.0  # would be uninit inside a kernel
+
+
+def test_whole_array_read_checks_every_cell():
+    _, check, arr = _shadow(shape=(4,))
+    check.set_current(_item(0))
+    for i in range(3):
+        arr[i] = 1.0
+    with pytest.raises(UninitializedSlmReadError):
+        np.asarray(arr)  # cell 3 never written
+    arr[3] = 1.0
+    assert np.asarray(arr).sum() == 4.0
+
+
+# -- bounds ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("idx", [-1, _WG, _WG + 5])
+def test_integer_index_out_of_declared_shape(idx):
+    _, check, arr = _shadow()
+    check.set_current(_item(0))
+    with pytest.raises(SlmOutOfBoundsError):
+        arr[idx] = 1.0
+
+
+def test_negative_index_rejected_even_where_numpy_would_wrap():
+    _, check, arr = _shadow()
+    check.set_current(_item(0))
+    arr[2] = 5.0
+    with pytest.raises(SlmOutOfBoundsError):
+        arr[-6]  # NumPy alias of cell 2 on an 8-cell array
+
+
+def test_tuple_index_bounds_per_axis():
+    _, check, arr = _shadow(shape=(4, 3))
+    check.set_current(_item(0))
+    arr[1, 2] = 1.0
+    with pytest.raises(SlmOutOfBoundsError):
+        arr[1, 3] = 1.0
+    with pytest.raises(SlmOutOfBoundsError):
+        arr[1, -1] = 1.0
+
+
+def test_fancy_index_oob_goes_through_the_generic_path():
+    _, check, arr = _shadow(shape=(4,))
+    check.set_current(_item(0))
+    with pytest.raises(SlmOutOfBoundsError):
+        arr[[0, 9]] = 1.0
+
+
+def test_bounds_violation_still_stops_access_when_detector_is_off():
+    """check_bounds=False skips the report, never the stop (no corruption)."""
+    _, check, arr = _shadow(config=SanitizerConfig(check_bounds=False))
+    check.set_current(_item(0))
+    with pytest.raises(SlmOutOfBoundsError):
+        arr[-1] = 1.0
+
+
+# -- multi-dimensional and slice tracking ------------------------------------
+
+
+def test_row_write_initializes_the_whole_row():
+    _, check, arr = _shadow(shape=(3, 4))
+    check.set_current(_item(0))
+    arr[1] = 2.0
+    assert arr[1, 0] == 2.0 and arr[1, 3] == 2.0
+    with pytest.raises(UninitializedSlmReadError):
+        arr[0, 0]
+
+
+def test_slice_write_tracks_selected_cells_only():
+    _, check, arr = _shadow()
+    check.set_current(_item(0))
+    arr[2:5] = 1.0
+    assert float(np.sum(arr[2:5])) == 3.0
+    with pytest.raises(UninitializedSlmReadError):
+        arr[5]
+
+
+# -- the epoch happens-before rules ------------------------------------------
+
+
+def test_write_write_conflict_between_items_is_a_race():
+    _, check, arr = _shadow()
+    check.set_current(_item(0))
+    arr[0] = 1.0
+    check.set_current(_item(1))
+    with pytest.raises(SlmRaceError) as err:
+        arr[0] = 2.0
+    assert set(err.value.report.items) == {0, 1}
+
+
+def test_read_write_conflict_is_a_race():
+    _, check, arr = _shadow()
+    check.set_current(_item(0))
+    arr[1] = 1.0
+    check.on_sync_complete(_group_barrier(), range(_WG), None)
+    check.set_current(_item(2))
+    arr[1]  # read after the barrier: clean
+    check.set_current(_item(3, sub_group_id=0))
+    with pytest.raises(SlmRaceError):
+        arr[1] = 9.0  # write conflicting with item 2's un-fenced read
+
+
+def test_group_barrier_orders_everything():
+    _, check, arr = _shadow()
+    check.set_current(_item(0, sub_group_id=0))
+    arr[0] = 1.0
+    check.on_sync_complete(_group_barrier(), range(_WG), None)
+    check.set_current(_item(5, sub_group_id=1))
+    arr[0] = 2.0  # no race: the group barrier fenced the first write
+    assert arr.data[0] == 2.0
+
+
+def test_sub_group_barrier_orders_only_that_sub_group():
+    _, check, arr = _shadow()
+    check.set_current(_item(0, sub_group_id=0))
+    arr[0] = 1.0
+    check.on_sync_complete(_sub_barrier(), range(_SG), 0)
+    # same sub-group: ordered by its barrier
+    check.set_current(_item(1, sub_group_id=0))
+    arr[0] = 2.0
+    # other sub-group: only a *group* barrier would order it
+    check.set_current(_item(5, sub_group_id=1))
+    with pytest.raises(SlmRaceError):
+        arr[0] = 3.0
+
+
+def test_same_item_repeated_writes_never_race():
+    _, check, arr = _shadow()
+    check.set_current(_item(4))
+    for _ in range(5):
+        arr[2] = 1.0
+        arr[2]
+
+
+def test_collective_does_not_fence_by_default_but_config_relaxes():
+    reduce_op = SimpleNamespace(kind="reduce", scope="group", params=("sum",))
+
+    _, check, arr = _shadow()
+    check.set_current(_item(0))
+    arr[0] = 1.0
+    check.on_sync_complete(reduce_op, range(_WG), None)
+    check.set_current(_item(1))
+    with pytest.raises(SlmRaceError):
+        arr[0] = 2.0
+
+    _, check, arr = _shadow(config=SanitizerConfig(collectives_fence=True))
+    check.set_current(_item(0))
+    arr[0] = 1.0
+    check.on_sync_complete(reduce_op, range(_WG), None)
+    check.set_current(_item(1))
+    arr[0] = 2.0  # fenced under the relaxed model
+
+
+# -- namespace wrapping ------------------------------------------------------
+
+
+def test_wrap_local_shares_storage_and_tracks_arrays():
+    _, check = _check()
+    local = SimpleNamespace(x=np.zeros(4), y=np.zeros((2, 3)))
+    wrapped = wrap_local(local, check)
+    assert isinstance(wrapped.x, ShadowArray) and isinstance(wrapped.y, ShadowArray)
+    assert wrapped.x.data is local.x and wrapped.y.data is local.y
+    assert wrapped.x.shape == (4,) and wrapped.y.ndim == 2
+    assert len(wrapped.x) == 4 and wrapped.y.size == 6
+    check.set_current(_item(0))
+    wrapped.x[1] = 3.0
+    assert local.x[1] == 3.0  # kernel results land in the original buffer
+
+
+def test_accesses_are_counted_in_stats():
+    sanitizer, check, arr = _shadow()
+    check.set_current(_item(0))
+    arr[0] = 1.0
+    arr[0]
+    arr[1] = 2.0
+    assert sanitizer.stats.slm_accesses == 3

@@ -35,6 +35,7 @@ class TestBarriers:
         )
         assert list(out) == list(range(7, -1, -1))
 
+    @pytest.mark.no_sanitize  # asserts the bare executor's diagnostic
     def test_divergent_barrier_raises(self, queue):
         def kernel(item, slm):
             if item.local_id == 0:
@@ -43,6 +44,7 @@ class TestBarriers:
         with pytest.raises(BarrierDivergenceError, match="finished work-items"):
             queue.parallel_for(NDRange(8, 8, 8), kernel)
 
+    @pytest.mark.no_sanitize  # asserts the bare executor's diagnostic
     def test_mismatched_collectives_raise(self, queue):
         def kernel(item, slm):
             if item.local_id < 4:
@@ -53,6 +55,7 @@ class TestBarriers:
         with pytest.raises(BarrierDivergenceError, match="different synchronization"):
             queue.parallel_for(NDRange(8, 8, 8), kernel)
 
+    @pytest.mark.no_sanitize  # asserts the bare executor's diagnostic
     def test_group_vs_sub_group_deadlock_detected(self, queue):
         # one lane of sub-group 1 goes to the group barrier while its
         # siblings sit in a sub-group barrier: neither scope can assemble
@@ -168,6 +171,7 @@ class TestLaunchStats:
 
 
 class TestPoisonedSlm:
+    @pytest.mark.no_sanitize  # the uninitialized read is the point
     def test_kernel_reading_uninitialized_slm_sees_nan(self, queue):
         out = np.zeros(4)
 
