@@ -23,7 +23,6 @@ Usage: python scripts/bench_autotune.py [--out BENCH_autotune.json]
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import tempfile
 import time
@@ -149,21 +148,28 @@ def main(argv: list[str] | None = None) -> int:
             thresholds[platform] = threshold
             print(f"derived sub-group threshold ({platform}): {threshold} rows")
 
+    from repro.bench.schema import bench_payload, write_bench
+
     wins = [r for r in results if r["speedup"] > 1.0]
-    report = {
-        "benchmark": "autotune",
-        "strategy": args.strategy,
-        "seed": args.seed,
-        "db_path": db_path,
-        "pairs": results,
-        "pairs_tuned_beats_default": len(wins),
-        "rerun_cache_hit": rerun_is_hit,
-        "clear_forces_research": clear_forces_search,
-        "derived_thresholds": thresholds,
-        "db_generation": db.generation,
-    }
-    out = Path(args.out)
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    report = bench_payload(
+        "autotune",
+        workload={
+            "strategy": args.strategy,
+            "seed": args.seed,
+            "budget": args.budget,
+            "quick": bool(args.quick),
+            "db_path": db_path,
+        },
+        metrics={
+            "pairs": results,
+            "pairs_tuned_beats_default": len(wins),
+            "rerun_cache_hit": rerun_is_hit,
+            "clear_forces_research": clear_forces_search,
+            "derived_thresholds": thresholds,
+            "db_generation": db.generation,
+        },
+    )
+    out = write_bench(args.out, report)
     print(f"\nwrote {out}")
 
     # acceptance checks (return non-zero so CI can gate on them)

@@ -69,6 +69,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--nb-solve", type=int, default=4)
     args = parser.parse_args(argv)
 
+    from repro.bench.schema import bench_payload, write_bench
     from repro.sanitize import SanitizerConfig
 
     off_s, _ = _time_kernel_solves(args.repeats, args.num_rows, args.nb_solve, None)
@@ -82,35 +83,35 @@ def main(argv: list[str] | None = None) -> int:
         SanitizerConfig(record_sites=False),
     )
 
-    payload = {
-        "benchmark": "sanitize_overhead",
-        "date": time.strftime("%Y-%m-%d"),
-        "workload": {
+    payload = bench_payload(
+        "sanitize_overhead",
+        workload={
             "solver": "cg (fused simulator kernel)",
             "matrix": f"3pt-stencil n={args.num_rows}",
             "num_batch": args.nb_solve,
             "tolerance": 1e-9,
             "repeats": args.repeats,
         },
-        "sanitizer_off_s": off_s,
-        "sanitizer_on_s": on_s,
-        "sanitizer_on_no_sites_s": fast_s,
-        "on_slowdown_x": on_s / off_s if off_s > 0 else float("nan"),
-        "no_sites_slowdown_x": fast_s / off_s if off_s > 0 else float("nan"),
-        "per_solve_off_ms": off_s / args.repeats * 1e3,
-        "per_solve_on_ms": on_s / args.repeats * 1e3,
-        "checked_per_repeat": {
-            "slm_accesses": on_summary["slm_accesses"] // (args.repeats + 1),
-            "syncs": on_summary["syncs"] // (args.repeats + 1),
+        metrics={
+            "sanitizer_off_s": off_s,
+            "sanitizer_on_s": on_s,
+            "sanitizer_on_no_sites_s": fast_s,
+            "on_slowdown_x": on_s / off_s if off_s > 0 else float("nan"),
+            "no_sites_slowdown_x": fast_s / off_s if off_s > 0 else float("nan"),
+            "per_solve_off_ms": off_s / args.repeats * 1e3,
+            "per_solve_on_ms": on_s / args.repeats * 1e3,
+            "checked_per_repeat": {
+                "slm_accesses": on_summary["slm_accesses"] // (args.repeats + 1),
+                "syncs": on_summary["syncs"] // (args.repeats + 1),
+            },
         },
-        "notes": (
+        notes=(
             "sanitizer_off is the production path (no sanitizer installed: one "
             "contextvar lookup per launch); on/no-sites pay per-SLM-access "
             "shadow checks, with and without sys._getframe source-site capture"
         ),
-    }
-    out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=1) + "\n")
+    )
+    out = write_bench(args.out, payload)
     print(json.dumps(payload, indent=1))
     print(f"\nwritten to {out}")
     return 0

@@ -21,7 +21,6 @@ Usage: python scripts/bench_serve.py [--out BENCH_serve_throughput.json]
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -288,9 +287,11 @@ def main(argv: list[str] | None = None) -> int:
         f"failed_requests={fallback['failed_requests']}"
     )
 
-    report = {
-        "benchmark": "serve_throughput",
-        "workload": {
+    from repro.bench.schema import bench_payload, write_bench
+
+    report = bench_payload(
+        "serve_throughput",
+        workload={
             "system_rows": args.size,
             "requests_per_point": args.requests,
             "arrival_rate_rps": args.rate,
@@ -299,13 +300,14 @@ def main(argv: list[str] | None = None) -> int:
             "solver": "bicgstab",
             "preconditioner": "jacobi",
         },
-        "sweep": sweep,
-        "batching_win": batching_win,
-        "plan_cache": plan_cache,
-        "fallback": fallback,
-    }
-    out = Path(args.out)
-    out.write_text(json.dumps(report, indent=2) + "\n")
+        metrics={
+            "sweep": sweep,
+            "batching_win": batching_win,
+            "plan_cache": plan_cache,
+            "fallback": fallback,
+        },
+    )
+    out = write_bench(args.out, report)
     print(f"\nwrote {out}")
 
     # acceptance checks (return non-zero so CI can gate on them)

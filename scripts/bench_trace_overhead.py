@@ -86,6 +86,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro.bench.schema import bench_payload, write_bench
     from repro.observability import Tracer
 
     off_s = _time_solves(args.repeats, args.num_rows, args.nb_solve, tracer=None)
@@ -93,36 +94,36 @@ def main(argv: list[str] | None = None) -> int:
     kernel_s = _time_kernel_solves(args.kernel_repeats, 16, 2)
 
     overhead_pct = 100.0 * (on_s - off_s) / off_s if off_s > 0 else float("nan")
-    payload = {
-        "benchmark": "trace_overhead",
-        "date": time.strftime("%Y-%m-%d"),
-        "workload": {
+    payload = bench_payload(
+        "trace_overhead",
+        workload={
             "solver": "cg",
             "matrix": f"3pt-stencil n={args.num_rows}",
             "num_batch": args.nb_solve,
             "tolerance": 1e-9,
             "repeats": args.repeats,
         },
-        "tracer_off_s": off_s,
-        "tracer_on_s": on_s,
-        "tracer_on_overhead_pct": overhead_pct,
-        "per_solve_off_ms": off_s / args.repeats * 1e3,
-        "per_solve_on_ms": on_s / args.repeats * 1e3,
-        "kernel_path": {
-            "solver": "cg (fused simulator kernel)",
-            "matrix": "3pt-stencil n=16",
-            "num_batch": 2,
-            "repeats": args.kernel_repeats,
-            "total_s": kernel_s,
+        metrics={
+            "tracer_off_s": off_s,
+            "tracer_on_s": on_s,
+            "tracer_on_overhead_pct": overhead_pct,
+            "per_solve_off_ms": off_s / args.repeats * 1e3,
+            "per_solve_on_ms": on_s / args.repeats * 1e3,
+            "kernel_path": {
+                "solver": "cg (fused simulator kernel)",
+                "matrix": "3pt-stencil n=16",
+                "num_batch": 2,
+                "repeats": args.kernel_repeats,
+                "total_s": kernel_s,
+            },
         },
-        "notes": (
+        notes=(
             "tracer_off is the production no-op path (no tracer installed); "
             "later PRs compare their tracer_off against this baseline to "
             "verify instrumentation stays cheap"
         ),
-    }
-    out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    )
+    out = write_bench(args.out, payload)
     print(json.dumps(payload, indent=2))
     print(f"\nwrote {out}")
     return 0

@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Perf-regression gate: compare BENCH_*.json against a committed manifest.
+
+Every committed benchmark artifact (schema-v1, see
+:mod:`repro.bench.schema`) is checked against
+``benchmarks/baseline_manifest.json``, which records per metric:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "benchmarks": {
+        "BENCH_serve_throughput.json": {
+          "metrics": {
+            "batching_win.speedup":
+              {"baseline": 2.1, "direction": "higher", "tolerance_pct": 15.0}
+          }
+        }
+      }
+    }
+
+``direction: "higher"`` means higher is better — the gate fails when the
+current value drops below ``baseline * (1 - tolerance_pct/100)``.
+``"lower"`` is the mirror (latencies, slowdown ratios): fail above
+``baseline * (1 + tolerance_pct/100)``. Metric keys are the dotted paths
+of :func:`repro.bench.schema.flatten_metrics`, so nested sweep points are
+addressable (``sweep.2.throughput_rps``).
+
+A missing artifact or a manifest metric absent from the artifact is a
+hard failure — a benchmark silently dropping a measurement must not read
+as "no regression". Improvements beyond tolerance are reported (so stale
+baselines get refreshed) but never fail the gate.
+
+Usage: python scripts/check_regression.py [--manifest FILE] [--root DIR]
+       [--update]    # rewrite manifest baselines from the current artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def load_manifest(path: Path) -> dict:
+    manifest = json.loads(path.read_text())
+    version = manifest.get("schema_version")
+    if version != MANIFEST_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: manifest schema_version {version!r} unsupported"
+        )
+    return manifest
+
+
+def check_metric(name: str, value: float, rule: dict) -> tuple[str, str]:
+    """``(status, detail)`` where status is ok / improved / REGRESSION."""
+    baseline = float(rule["baseline"])
+    direction = rule["direction"]
+    tolerance = float(rule.get("tolerance_pct", 10.0)) / 100.0
+    if direction not in ("higher", "lower"):
+        raise ValueError(f"{name}: direction must be 'higher' or 'lower'")
+
+    # tolerance band of width tolerance*|baseline| on the bad side; the
+    # abs() keeps the band sane for negative baselines (overhead deltas)
+    # and makes a zero baseline an exact gate (any bad-direction move fails)
+    band = tolerance * abs(baseline)
+    if direction == "higher":
+        bad = value < baseline - band
+    else:
+        bad = value > baseline + band
+    delta_pct = (
+        100.0 * (value - baseline) / abs(baseline)
+        if baseline != 0.0
+        else (0.0 if value == baseline else float("inf"))
+    )
+
+    detail = (
+        f"{name}: {value:g} vs baseline {baseline:g} "
+        f"({delta_pct:+.1f}%, {direction} is better, "
+        f"tolerance {tolerance * 100.0:.0f}%)"
+    )
+    if bad:
+        return "REGRESSION", detail
+    improved = (
+        delta_pct > tolerance * 100.0
+        if direction == "higher"
+        else delta_pct < -tolerance * 100.0
+    )
+    return ("improved" if improved else "ok"), detail
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--manifest", default=None, help="default: benchmarks/baseline_manifest.json"
+    )
+    parser.add_argument(
+        "--root", default=None, help="directory holding the BENCH_*.json artifacts"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite manifest baselines from the current artifacts "
+        "(directions and tolerances are kept)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.schema import flatten_metrics, load_bench
+
+    repo = Path(__file__).resolve().parent.parent
+    manifest_path = Path(args.manifest or repo / "benchmarks" / "baseline_manifest.json")
+    root = Path(args.root) if args.root else repo
+    manifest = load_manifest(manifest_path)
+
+    failures: list[str] = []
+    improvements: list[str] = []
+    checked = 0
+    for artifact_name, entry in sorted(manifest["benchmarks"].items()):
+        artifact_path = root / artifact_name
+        if not artifact_path.exists():
+            failures.append(f"{artifact_name}: artifact missing at {artifact_path}")
+            continue
+        try:
+            payload = load_bench(artifact_path)
+        except ValueError as err:
+            failures.append(str(err))
+            continue
+        flat = flatten_metrics(payload)
+        for metric_name, rule in sorted(entry["metrics"].items()):
+            if metric_name not in flat:
+                failures.append(
+                    f"{artifact_name}: metric {metric_name!r} absent from artifact"
+                )
+                continue
+            if args.update:
+                rule["baseline"] = flat[metric_name]
+                continue
+            status, detail = check_metric(metric_name, flat[metric_name], rule)
+            checked += 1
+            print(f"[{status:>10}] {artifact_name} :: {detail}")
+            if status == "REGRESSION":
+                failures.append(f"{artifact_name}: {detail}")
+            elif status == "improved":
+                improvements.append(f"{artifact_name}: {detail}")
+
+    if args.update:
+        if failures:
+            for failure in failures:
+                print(f"check_regression: FAIL — {failure}", file=sys.stderr)
+            return 1
+        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+        print(f"updated baselines in {manifest_path}")
+        return 0
+
+    if improvements:
+        print(
+            f"\n{len(improvements)} metric(s) improved beyond tolerance — "
+            "consider refreshing baselines with --update"
+        )
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"check_regression: FAIL — {failure}", file=sys.stderr)
+        return 1
+    print(f"\ncheck_regression: OK ({checked} metric(s) within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests, lint, and the two smoke checks.
+# CI gate: tier-1 tests, lint, the smoke checks, and the perf-regression
+# gate over the committed BENCH_*.json artifacts.
 #
 # Mirrors what the reproducibility driver expects to hold: the full test
 # suite green, the lint gate clean, the tracing pipeline producing valid
-# Chrome traces, and the serving layer honouring its contracts.
+# Chrome traces, the serving layer honouring its contracts, the profiler
+# attributing counters on both backends with green model drift, and the
+# committed benchmark artifacts within tolerance of the baseline
+# manifest. Every stage is a hard gate: set -e aborts the script (and
+# fails CI) on the first non-zero exit — no warn-and-continue stages.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -29,6 +34,14 @@ python scripts/smoke_serve.py
 echo
 echo "== tune smoke =="
 python scripts/smoke_tune.py --sanitize
+
+echo
+echo "== profile smoke =="
+python scripts/smoke_profile.py --out /tmp/ci_profile_smoke.folded
+
+echo
+echo "== perf-regression gate =="
+python scripts/check_regression.py
 
 echo
 echo "== sanitize =="

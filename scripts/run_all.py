@@ -125,6 +125,61 @@ def main(argv=None) -> int:
         f"({time.perf_counter() - start:.1f} s)"
     )
 
+    # profiling smoke + overhead benchmark: measured-counter attribution,
+    # model drift, and the disabled-path cost bound
+    import bench_profile_overhead
+    import bench_sanitize_overhead
+    import smoke_profile
+
+    start = time.perf_counter()
+    code = smoke_profile.main(["--out", str(out / "profile_smoke.folded")])
+    if code != 0:
+        return code
+    print(f"profile smoke OK ({time.perf_counter() - start:.1f} s)")
+
+    start = time.perf_counter()
+    code = bench_sanitize_overhead.main(
+        ["--out", str(out / "BENCH_sanitize_overhead.json")]
+    )
+    if code != 0:
+        return code
+    code = bench_profile_overhead.main(
+        [
+            "--out",
+            str(out / "BENCH_profile_overhead.json"),
+            "--baseline",
+            str(out / "BENCH_sanitize_overhead.json"),
+        ]
+    )
+    if code != 0:
+        return code
+    print(
+        f"wrote {out / 'BENCH_profile_overhead.json'} "
+        f"({time.perf_counter() - start:.1f} s)"
+    )
+
+    # tracer overhead artifact (the regression gate checks every manifest
+    # entry, so the full artifact set must exist under --out)
+    import bench_trace_overhead
+
+    start = time.perf_counter()
+    code = bench_trace_overhead.main(
+        ["--out", str(out / "BENCH_trace_overhead.json")]
+    )
+    if code != 0:
+        return code
+    print(
+        f"wrote {out / 'BENCH_trace_overhead.json'} "
+        f"({time.perf_counter() - start:.1f} s)"
+    )
+
+    # regression gate over the freshly regenerated artifacts
+    import check_regression
+
+    code = check_regression.main(["--root", str(out)])
+    if code != 0:
+        return code
+
     print(f"\nall artifacts in {out}/")
     return 0
 

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Smoke test for the measured-counter profiler (repro.profile).
+
+Four fast end-to-end checks on the real kernel/simulator stack:
+
+1. **Attribution** — a profiled drm19 (PeleLM) CG+BiCGSTAB run on both
+   simulated backends produces per-phase rows for every solver phase the
+   paper names (spmv / precond / blas1 / reduction), and the rendered
+   report mentions both backends.
+2. **Drift** — measured arithmetic intensity of the fused CG kernel
+   agrees with the analytic model (TrafficLedger, kernel-faithful
+   binning) within the default tolerance on both comparison levels.
+3. **Flamegraph export** — the folded-stack export is non-empty and
+   every line is ``stack;frames weight``.
+4. **Determinism** — two identical profiled runs produce bitwise-equal
+   counter snapshots.
+
+Exit 0 on success; non-zero with a message on the first violation.
+
+Usage: python scripts/smoke_profile.py [--out profile_smoke.folded]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+FOLDED_LINE = re.compile(r"^\S.*;[a-z0-9_]+ \d+$")
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"smoke_profile: FAIL — {message}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=None, help="also write the folded export here"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.profile import PHASES
+    from repro.profile.folded import folded_lines, write_folded
+    from repro.profile.report import attribution_rows, format_report
+    from repro.profile.roofline import drift_report, modeled_intensities
+    from repro.profile.runner import build_workload, profile_workload
+    from repro.hw.specs import gpu
+
+    # -- 1. attribution on the paper's smallest PeleLM mechanism --------------
+    workload = "drm19"
+    num_batch = 4
+    max_iterations = 20
+    profilers = profile_workload(
+        workload,
+        solvers=("cg", "bicgstab"),
+        backends=("sycl", "cuda"),
+        num_batch=num_batch,
+        max_iterations=max_iterations,
+    )
+    check(set(profilers) == {"sycl", "cuda"}, "expected both backends profiled")
+    for backend, profiler in profilers.items():
+        rows = attribution_rows(profiler, backend=backend)
+        check(bool(rows), f"{backend}: no attribution rows collected")
+        phases_seen = {row["phase"] for row in rows}
+        for phase in ("spmv", "precond", "blas1", "reduction"):
+            check(
+                phase in phases_seen,
+                f"{backend}: phase {phase!r} missing from attribution "
+                f"(saw {sorted(phases_seen)})",
+            )
+        spmv_flops = sum(
+            row["flops"] for row in rows if row["phase"] == "spmv"
+        )
+        check(spmv_flops > 0, f"{backend}: zero measured spmv flops")
+    report_text = format_report(profilers, title=f"profile smoke ({workload})")
+    check("sycl" in report_text and "cuda" in report_text,
+          "report must mention both backends")
+    print(report_text)
+
+    # -- 2. measured-vs-model drift on the fused CG kernel --------------------
+    spec = gpu("pvc1")
+    matrix, b = build_workload(workload, num_batch=num_batch)
+    modeled = modeled_intensities(
+        spec, matrix, b, solver="cg", max_iterations=max_iterations
+    )
+    profile = profilers["sycl"].profile_for("batch_cg_fused")
+    drift = drift_report(profile, spec, modeled)
+    print()
+    print(drift.describe())
+    check(drift.ok, "measured AI drifted from the analytic model")
+
+    # -- 3. folded-stack flamegraph export ------------------------------------
+    lines = folded_lines(profilers["sycl"], weight="flops")
+    check(bool(lines), "folded export is empty")
+    for line in lines:
+        check(
+            FOLDED_LINE.match(line) is not None,
+            f"malformed folded line: {line!r}",
+        )
+    if args.out:
+        out = write_folded(lines, args.out)
+        print(f"\nwrote {out} ({len(lines)} folded stacks)")
+
+    # -- 4. bitwise determinism -----------------------------------------------
+    rerun = profile_workload(
+        workload,
+        solvers=("cg", "bicgstab"),
+        backends=("sycl", "cuda"),
+        num_batch=num_batch,
+        max_iterations=max_iterations,
+    )
+    for backend in ("sycl", "cuda"):
+        check(
+            profilers[backend].snapshot() == rerun[backend].snapshot(),
+            f"{backend}: counters not bitwise-stable across identical runs",
+        )
+
+    print("\nsmoke_profile: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

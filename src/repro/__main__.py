@@ -18,6 +18,14 @@ Commands:
   Chrome trace-event file, e.g.
   ``python -m repro trace stencil --trace-out trace.json``
   (open the result in Perfetto or ``chrome://tracing``).
+* ``profile``  — measured kernel counters (``repro.profile``):
+  ``profile report`` prints the per-kernel × per-phase counter
+  attribution for both simulated backends, ``profile roofline`` places
+  the measured arithmetic intensity on the platform roofline and checks
+  it against the analytic model (non-zero exit on drift),
+  ``profile export`` writes flamegraph-ready folded stacks, and
+  ``profile <command> [args]`` runs any other repro command with counter
+  collection enabled, e.g. ``python -m repro profile stencil --sizes 16``.
 * ``sanitize`` — the kernel sanitizer (``repro.sanitize``):
   ``sanitize selftest`` runs the seeded-mutation detector battery,
   ``sanitize check <case>`` runs one battery kernel (violations print a
@@ -479,6 +487,189 @@ def _cmd_sanitize(argv: list[str]) -> int:
     return code
 
 
+def _profile_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload",
+        default="drm19",
+        help="PeleLM mechanism name or stencil:<n> (default drm19)",
+    )
+    parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--solvers", default="cg,bicgstab")
+    parser.add_argument("--backends", default="sycl,cuda")
+    parser.add_argument("--max-iters", type=int, default=40)
+    parser.add_argument("--tolerance", type=float, default=1e-8)
+
+
+def _profile_report(argv: list[str]) -> int:
+    """Per-kernel × per-phase measured-counter attribution, both backends."""
+    from repro.profile.report import format_report
+    from repro.profile.runner import profile_workload
+
+    parser = argparse.ArgumentParser(prog="repro profile report")
+    _profile_workload_args(parser)
+    args = parser.parse_args(argv)
+
+    profilers = profile_workload(
+        args.workload,
+        solvers=tuple(args.solvers.split(",")),
+        backends=tuple(args.backends.split(",")),
+        num_batch=args.batch,
+        tolerance=args.tolerance,
+        max_iterations=args.max_iters,
+    )
+    print(
+        format_report(
+            profilers, f"measured counters: {args.workload} (batch {args.batch})"
+        )
+    )
+    return 0
+
+
+def _profile_roofline(argv: list[str]) -> int:
+    """Measured roofline placement + model-drift verdict (exit 1 on drift)."""
+    from repro.hw.specs import gpu
+    from repro.profile.roofline import (
+        DEFAULT_TOLERANCE,
+        drift_report,
+        modeled_intensities,
+        place_measured,
+    )
+    from repro.profile.runner import build_workload, profile_workload
+
+    parser = argparse.ArgumentParser(prog="repro profile roofline")
+    _profile_workload_args(parser)
+    parser.add_argument("--solver", default="cg")
+    parser.add_argument("--platform", default="pvc1")
+    parser.add_argument(
+        "--drift-tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="max relative measured-vs-model intensity drift per level",
+    )
+    args = parser.parse_args(argv)
+
+    backend = "cuda" if args.platform in ("a100", "h100") else "sycl"
+    profilers = profile_workload(
+        args.workload,
+        solvers=(args.solver,),
+        backends=(backend,),
+        num_batch=args.batch,
+        tolerance=args.tolerance,
+        max_iterations=args.max_iters,
+    )
+    profiler = profilers[backend]
+    spec = gpu(args.platform)
+    matrix, b = build_workload(args.workload, num_batch=args.batch)
+    modeled = modeled_intensities(
+        spec,
+        matrix,
+        b,
+        solver=args.solver,
+        tolerance=args.tolerance,
+        max_iterations=args.max_iters,
+    )
+
+    failed = False
+    for name in profiler.kernel_names():
+        profile = profiler.profile_for(name)
+        report = drift_report(
+            profile, spec, modeled, tolerance=args.drift_tolerance
+        )
+        print(report.describe())
+        failed |= not report.ok
+        # placement against the modeled device time for this spec
+        point = place_measured(profile, spec, runtime_seconds=1e-3)
+        print(
+            f"  roofline: binding roof = {point.binding_roof}, attainable "
+            f"{point.attainable_gflops:.1f} GFLOP/s "
+            f"(compute roof {point.compute_roof_gflops:.0f})"
+        )
+    return 1 if failed else 0
+
+
+def _profile_export(argv: list[str]) -> int:
+    """Folded-stack (flamegraph) and JSON snapshot export."""
+    import json as _json
+
+    from repro.profile.folded import folded_lines, write_folded
+    from repro.profile.runner import profile_workload
+
+    parser = argparse.ArgumentParser(prog="repro profile export")
+    _profile_workload_args(parser)
+    parser.add_argument("--out", default="profile.folded")
+    parser.add_argument(
+        "--weight",
+        default="flops",
+        help="counter weighting the stacks (flops, total_bytes, slm_bytes, ...)",
+    )
+    parser.add_argument("--json-out", default=None)
+    args = parser.parse_args(argv)
+
+    profilers = profile_workload(
+        args.workload,
+        solvers=tuple(args.solvers.split(",")),
+        backends=tuple(args.backends.split(",")),
+        num_batch=args.batch,
+        tolerance=args.tolerance,
+        max_iterations=args.max_iters,
+    )
+    lines: list[str] = []
+    for backend in sorted(profilers):
+        lines.extend(
+            f"{backend};{line}" for line in folded_lines(profilers[backend], args.weight)
+        )
+    write_folded(lines, args.out)
+    print(f"wrote {len(lines)} folded stacks to {args.out} (weight: {args.weight})")
+    if args.json_out:
+        snapshot = {b: p.snapshot() for b, p in sorted(profilers.items())}
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            _json.dump(snapshot, fh, indent=2, sort_keys=True)
+        print(f"wrote counter snapshot to {args.json_out}")
+    return 0
+
+
+def _cmd_profile(argv: list[str]) -> int:
+    """The ``profile`` command: report / roofline / export / wrapped command.
+
+    Wrapping installs a process-wide profiler, runs the inner command, and
+    prints the measured-counter attribution for every kernel it launched —
+    composing with ``trace`` and ``sanitize`` the same way they compose
+    with each other.
+    """
+    from repro.profile import Profiler, set_profiler
+    from repro.profile.report import format_report
+
+    if not argv or argv[0] == "profile":
+        raise SystemExit(
+            "usage: repro profile {report [opts] | roofline [opts] | "
+            "export [opts] | <command> [args]}"
+        )
+    if argv[0] in ("report", "roofline", "export"):
+        handler = {
+            "report": _profile_report,
+            "roofline": _profile_roofline,
+            "export": _profile_export,
+        }[argv[0]]
+        try:
+            return handler(argv[1:])
+        except ValueError as exc:  # unknown workload/solver/backend names
+            print(f"repro profile {argv[0]}: {exc}", file=sys.stderr)
+            return 2
+
+    profiler = Profiler()
+    set_profiler(profiler)
+    try:
+        code = main(argv)
+    finally:
+        set_profiler(None)
+    print()
+    if profiler.kernel_names():
+        print(format_report(profiler, "measured kernel counters"))
+    else:
+        print("profile: no instrumented kernel launches")
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (one sub-command per experiment)."""
     parser = argparse.ArgumentParser(
@@ -571,6 +762,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("wrapped", nargs=argparse.REMAINDER)
     trace.set_defaults(fn=lambda a: _cmd_trace(a.wrapped))
+
+    profile = sub.add_parser(
+        "profile",
+        help="measured kernel counters (repro.profile): 'report' (per-phase "
+        "attribution, both backends), 'roofline' (measured placement + "
+        "model-drift verdict), 'export' (folded stacks / JSON), or any "
+        "repro command to run with counter collection enabled",
+    )
+    profile.add_argument("wrapped", nargs=argparse.REMAINDER)
+    profile.set_defaults(fn=lambda a: _cmd_profile(a.wrapped))
 
     sanitize = sub.add_parser(
         "sanitize",

@@ -9,6 +9,14 @@ programmatically.
 """
 
 from repro.bench.report import format_table, print_table
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    bench_payload,
+    flatten_metrics,
+    git_revision,
+    load_bench,
+    write_bench,
+)
 from repro.bench.figures import (
     fig4a_matrix_scaling,
     fig4b_batch_scaling,
@@ -26,6 +34,12 @@ from repro.bench.tables import (
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "bench_payload",
+    "flatten_metrics",
+    "git_revision",
+    "load_bench",
+    "write_bench",
     "format_table",
     "print_table",
     "fig4a_matrix_scaling",

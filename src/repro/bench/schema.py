@@ -1,0 +1,154 @@
+"""Shared schema for the committed ``BENCH_*.json`` artifacts.
+
+Every benchmark script at ``scripts/bench_*.py`` historically invented its
+own top-level JSON shape, which made cross-benchmark tooling (the
+perf-regression gate in ``scripts/check_regression.py``) impossible to
+write generically. This module fixes the envelope:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "benchmark": "serve_throughput",
+      "git_rev": "fbbef9b...",
+      "date": "2026-08-06",
+      "workload": { ... knobs that define the experiment ... },
+      "metrics":  { ... everything measured ... },
+      "notes": "free-form provenance"
+    }
+
+``workload`` holds the *inputs* (sizes, rates, repeat counts) and
+``metrics`` the *outputs* (timings, throughputs, ratios, nested sweeps).
+The regression gate only ever looks inside ``metrics``, addressed by
+dotted paths produced by :func:`flatten_metrics` — nested dicts join with
+``"."`` and list elements by index, so a sweep point's throughput is e.g.
+``sweep.2.throughput_rps``.
+
+Only the envelope is fixed; the contents of ``workload``/``metrics`` stay
+benchmark-specific. :func:`load_bench` validates the envelope so the gate
+fails loudly on a stale pre-schema artifact instead of silently skipping
+its metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+SCHEMA_VERSION = 1
+
+_ENVELOPE_KEYS = ("schema_version", "benchmark", "workload", "metrics")
+
+
+def git_revision(root: str | Path | None = None) -> str | None:
+    """The current git commit hash, or ``None`` outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(root) if root is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def bench_payload(
+    benchmark: str,
+    *,
+    workload: Mapping[str, Any],
+    metrics: Mapping[str, Any],
+    notes: str | None = None,
+    date: str | None = None,
+    git_rev: str | None = None,
+) -> dict[str, Any]:
+    """Assemble one schema-conforming benchmark artifact.
+
+    ``date`` and ``git_rev`` default to "now" / "HEAD" so callers normally
+    omit them; tests pass fixed values for byte-stable output.
+    """
+    payload: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "git_rev": git_rev if git_rev is not None else git_revision(),
+        "date": date if date is not None else time.strftime("%Y-%m-%d"),
+        "workload": dict(workload),
+        "metrics": dict(metrics),
+    }
+    if notes is not None:
+        payload["notes"] = notes
+    return payload
+
+
+def write_bench(path: str | Path, payload: Mapping[str, Any]) -> Path:
+    """Validate and write a benchmark artifact (indent-2 JSON, newline)."""
+    _validate(dict(payload), str(path))
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return out
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    """Read and validate one ``BENCH_*.json`` artifact."""
+    payload = json.loads(Path(path).read_text())
+    _validate(payload, str(path))
+    return payload
+
+
+def _validate(payload: dict[str, Any], origin: str) -> None:
+    missing = [key for key in _ENVELOPE_KEYS if key not in payload]
+    if missing:
+        raise ValueError(
+            f"{origin}: not a schema-v{SCHEMA_VERSION} benchmark artifact "
+            f"(missing {', '.join(missing)})"
+        )
+    version = payload["schema_version"]
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{origin}: schema_version {version!r} unsupported "
+            f"(this tooling speaks {SCHEMA_VERSION})"
+        )
+    for key in ("workload", "metrics"):
+        if not isinstance(payload[key], dict):
+            raise ValueError(f"{origin}: {key!r} must be an object")
+
+
+def flatten_metrics(payload: Mapping[str, Any]) -> dict[str, float]:
+    """Numeric leaves of ``payload['metrics']`` keyed by dotted path.
+
+    Booleans flatten to 0.0/1.0 so contract flags (``rerun_cache_hit``)
+    can be gated like any other metric; strings and nulls are skipped.
+    """
+    flat: dict[str, float] = {}
+
+    def walk(prefix: str, node: Any) -> None:
+        if isinstance(node, bool):
+            flat[prefix] = 1.0 if node else 0.0
+        elif isinstance(node, (int, float)):
+            flat[prefix] = float(node)
+        elif isinstance(node, dict):
+            for key, value in node.items():
+                walk(f"{prefix}.{key}" if prefix else str(key), value)
+        elif isinstance(node, (list, tuple)):
+            for index, value in enumerate(node):
+                walk(f"{prefix}.{index}" if prefix else str(index), value)
+
+    walk("", payload.get("metrics", {}))
+    return flat
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "bench_payload",
+    "flatten_metrics",
+    "git_revision",
+    "load_bench",
+    "write_bench",
+]

@@ -24,6 +24,7 @@ from repro.core.matrix.batch_csr import BatchCsr
 from repro.cudasim.thread import WARP_SIZE, CudaItem
 from repro.kernels.blas1 import block_reduce_cuda, group_dot, sub_group_dot
 from repro.kernels.spmv import spmv_csr_item_rows
+from repro.profile.context import kernel_phase
 from repro.sycl.device import SyclDevice
 from repro.sycl.memory import LocalSpec
 from repro.sycl.ndrange import NDRange
@@ -41,9 +42,12 @@ def _dot(item, slm, a, b, n, style):
     elif style == "sub_group":
         total = yield from sub_group_dot(item, a, b, n)
     elif style == "cuda":
+        prof = kernel_phase("reduction")
         partial = 0.0
         for row in range(item.local_id, n, item.local_range):
             partial += float(a[row]) * float(b[row])
+            if prof:
+                prof.add_flops(2)
         total = yield from block_reduce_cuda(CudaItem(item), slm, partial)
     else:
         raise ValueError(f"unknown reduction style {style!r}")
@@ -75,6 +79,7 @@ def batch_bicgstab_kernel(
     lid, wg = item.local_id, item.local_range
     vals = values[sysid]
 
+    prof = kernel_phase("blas1")
     for row in range(lid, n, wg):
         rhs = float(b[sysid, row])
         slm.x[row] = 0.0
@@ -95,10 +100,16 @@ def batch_bicgstab_kernel(
         rho = yield from _dot(item, slm, slm.r_hat, slm.r, n, reduce_style)
         beta = (rho / rho_old) * (alpha / omega) if rho_old != 0.0 and omega != 0.0 else 0.0
 
-        # p <- r + beta (p - omega v) ; p_hat <- M p
+        # p <- r + beta (p - omega v) ; p_hat <- M p  (4 + 1 flops/row; the
+        # Jacobi apply is fused into this loop, so its flop rides in blas1 —
+        # unlike CG/Richardson, whose standalone apply loops feed "precond")
+        if prof:
+            prof.enter_phase("blas1")
         for row in range(lid, n, wg):
             slm.p[row] = slm.r[row] + beta * (slm.p[row] - omega * slm.v[row])
             slm.p_hat[row] = slm.p[row] * float(inv_diag[sysid, row])
+            if prof:
+                prof.add_flops(5)
         yield item.barrier()
 
         # v <- A p_hat ; alpha <- rho / (r_hat . v)
@@ -106,10 +117,14 @@ def batch_bicgstab_kernel(
         rv = yield from _dot(item, slm, slm.r_hat, slm.v, n, reduce_style)
         alpha = rho / rv if rv != 0.0 else 0.0
 
-        # s <- r - alpha v ; s_hat <- M s
+        # s <- r - alpha v ; s_hat <- M s  (2 + 1 flops/row)
+        if prof:
+            prof.enter_phase("blas1")
         for row in range(lid, n, wg):
             slm.s[row] = slm.r[row] - alpha * slm.v[row]
             slm.s_hat[row] = slm.s[row] * float(inv_diag[sysid, row])
+            if prof:
+                prof.add_flops(3)
         yield item.barrier()
 
         # t <- A s_hat ; omega <- (t . s) / (t . t)
@@ -118,10 +133,14 @@ def batch_bicgstab_kernel(
         tt = yield from _dot(item, slm, slm.t, slm.t, n, reduce_style)
         omega = ts / tt if tt != 0.0 else 0.0
 
-        # x <- x + alpha p_hat + omega s_hat ; r <- s - omega t
+        # x <- x + alpha p_hat + omega s_hat ; r <- s - omega t  (6 flops/row)
+        if prof:
+            prof.enter_phase("blas1")
         for row in range(lid, n, wg):
             slm.x[row] += alpha * slm.p_hat[row] + omega * slm.s_hat[row]
             slm.r[row] = slm.s[row] - omega * slm.t[row]
+            if prof:
+                prof.add_flops(6)
         yield item.barrier()
 
         res2 = yield from _dot(item, slm, slm.r, slm.r, n, reduce_style)
@@ -132,6 +151,8 @@ def batch_bicgstab_kernel(
         if omega == 0.0 or rho == 0.0:
             break  # breakdown: freeze this system (group-uniform condition)
 
+    if prof:
+        prof.enter_phase("blas1")
     for row in range(lid, n, wg):
         x_out[sysid, row] = slm.x[row]
     if lid == 0:

@@ -22,6 +22,7 @@ Each is a generator subroutine: call with ``yield from`` inside a kernel.
 from __future__ import annotations
 
 from repro.cudasim.thread import WARP_SIZE, CudaItem
+from repro.profile.context import kernel_phase
 from repro.sycl.group import NDItem
 
 
@@ -32,9 +33,12 @@ def group_dot(item: NDItem, a, b, n: int):
     one ``reduce_over_group`` — the SYCL primitive — combines the
     partials. All work-items receive the result.
     """
+    prof = kernel_phase("reduction")
     partial = 0.0
     for row in range(item.local_id, n, item.local_range):
         partial += float(a[row]) * float(b[row])
+        if prof:
+            prof.add_flops(2)
     total = yield item.reduce_over_group(partial, "sum")
     return total
 
@@ -47,19 +51,25 @@ def sub_group_dot(item: NDItem, a, b, n: int):
     Every sub-group computes the same full dot product (lanes stride the
     whole array), so no cross-sub-group combine is needed.
     """
+    prof = kernel_phase("reduction")
     partial = 0.0
     for row in range(item.lane, n, item.sub_group_range):
         partial += float(a[row]) * float(b[row])
+        if prof:
+            prof.add_flops(2)
     total = yield item.reduce_over_sub_group(partial, "sum")
     return total
 
 
 def warp_reduce_sum(cuda: CudaItem, value: float):
     """Butterfly shuffle reduction within a warp (lane 0 holds the total)."""
+    prof = kernel_phase("reduction")
     offset = WARP_SIZE // 2
     while offset > 0:
         other = yield cuda.shfl_down(value, offset)
         value = value + other
+        if prof:
+            prof.add_flops(1)
         offset //= 2
     return value
 

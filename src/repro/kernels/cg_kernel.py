@@ -21,6 +21,7 @@ from repro.core.launch import LaunchConfigurator
 from repro.core.matrix.batch_csr import BatchCsr
 from repro.kernels.blas1 import group_dot
 from repro.kernels.spmv import spmv_csr_item_rows, spmv_csr_subgroup_rows
+from repro.profile.context import kernel_phase
 from repro.sycl.device import SyclDevice
 from repro.sycl.memory import LocalSpec
 from repro.sycl.queue import Queue
@@ -53,12 +54,16 @@ def batch_cg_kernel(
     lid, wg = item.local_id, item.local_range
     vals = values[sysid]
 
-    # r <- b ; z <- M r ; p <- z ; x <- 0
+    # r <- b ; z <- M r ; p <- z ; x <- 0  (the M b product is the only
+    # arithmetic in the staging loop: 1 flop/row)
+    prof = kernel_phase("blas1")
     for row in range(lid, n, wg):
         rhs = float(b[sysid, row])
         slm.x[row] = 0.0
         slm.r[row] = rhs
         z0 = rhs * float(inv_diag[sysid, row])
+        if prof:
+            prof.add_flops(1)
         slm.z[row] = z0
         slm.p[row] = z0
     yield item.barrier()
@@ -84,28 +89,42 @@ def batch_cg_kernel(
         pt = yield from group_dot(item, slm.p, slm.t, n)
         alpha = rho / pt if pt != 0.0 else 0.0
 
-        # x <- x + alpha p ; r <- r - alpha t
+        # x <- x + alpha p ; r <- r - alpha t  (2 flops per axpy element)
+        if prof:
+            prof.enter_phase("blas1")
         for row in range(lid, n, wg):
             slm.x[row] += alpha * slm.p[row]
             slm.r[row] -= alpha * slm.t[row]
+            if prof:
+                prof.add_flops(4)
         yield item.barrier()
 
         res2 = yield from group_dot(item, slm.r, slm.r, n)
 
         # z <- M r ; rho' <- r . z ; p <- z + (rho'/rho) p
+        if prof:
+            prof.enter_phase("precond")
         for row in range(lid, n, wg):
             slm.z[row] = slm.r[row] * float(inv_diag[sysid, row])
+            if prof:
+                prof.add_flops(1)
         yield item.barrier()
         rho_new = yield from group_dot(item, slm.r, slm.z, n)
         beta = rho_new / rho if rho != 0.0 else 0.0
+        if prof:
+            prof.enter_phase("blas1")
         for row in range(lid, n, wg):
             slm.p[row] = slm.z[row] + beta * slm.p[row]
+            if prof:
+                prof.add_flops(2)
         yield item.barrier()
         rho = rho_new
         iters += 1
         if res_history is not None and lid == 0:
             res_history[sysid, iters] = res2 ** 0.5
 
+    if prof:
+        prof.enter_phase("blas1")
     for row in range(lid, n, wg):
         x_out[sysid, row] = slm.x[row]
     if lid == 0:

@@ -16,6 +16,7 @@ from repro.core.launch import LaunchConfigurator
 from repro.core.matrix.batch_csr import BatchCsr
 from repro.kernels.blas1 import group_dot
 from repro.kernels.spmv import spmv_csr_item_rows
+from repro.profile.context import kernel_phase
 from repro.sycl.device import SyclDevice
 from repro.sycl.memory import LocalSpec
 from repro.sycl.queue import Queue
@@ -46,6 +47,7 @@ def batch_richardson_kernel(
     lid, wg = item.local_id, item.local_range
     vals = values[sysid]
 
+    prof = kernel_phase("blas1")
     for row in range(lid, n, wg):
         slm.x[row] = 0.0
         slm.r[row] = float(b[sysid, row])
@@ -58,16 +60,25 @@ def batch_richardson_kernel(
 
     iters = 0
     while iters < max_iters and res2 > threshold2:
-        # x += omega * M r  (z staged in SLM for the following SpMV)
+        # x += omega * M r  (z staged in SLM for the following SpMV;
+        # 1 + 2 flops/row, attributed to the preconditioner phase)
+        if prof:
+            prof.enter_phase("precond")
         for row in range(lid, n, wg):
             slm.z[row] = slm.r[row] * float(inv_diag[sysid, row])
             slm.x[row] += omega * slm.z[row]
+            if prof:
+                prof.add_flops(3)
         yield item.barrier()
 
-        # r -= omega * A z
+        # r -= omega * A z  (2 flops/row)
         yield from spmv_csr_item_rows(item, row_ptrs, col_idxs, vals, slm.z, slm.t, n)
+        if prof:
+            prof.enter_phase("blas1")
         for row in range(lid, n, wg):
             slm.r[row] -= omega * slm.t[row]
+            if prof:
+                prof.add_flops(2)
         yield item.barrier()
 
         res2 = yield from group_dot(item, slm.r, slm.r, n)
@@ -75,6 +86,8 @@ def batch_richardson_kernel(
         if res_history is not None and lid == 0:
             res_history[sysid, iters] = res2 ** 0.5
 
+    if prof:
+        prof.enter_phase("blas1")
     for row in range(lid, n, wg):
         x_out[sysid, row] = slm.x[row]
     if lid == 0:

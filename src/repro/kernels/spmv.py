@@ -19,15 +19,19 @@ they are generator subroutines composed into the fused solver kernels.
 
 from __future__ import annotations
 
+from repro.profile.context import kernel_phase
 from repro.sycl.group import NDItem
 
 
 def spmv_csr_item_rows(item: NDItem, row_ptrs, col_idxs, values, x, y, n: int):
     """One work-item per row (local-id strided); no communication."""
+    prof = kernel_phase("spmv")
     for row in range(item.local_id, n, item.local_range):
         acc = 0.0
         for pos in range(int(row_ptrs[row]), int(row_ptrs[row + 1])):
             acc += float(values[pos]) * float(x[int(col_idxs[pos])])
+            if prof:
+                prof.add_flops(2)
         y[row] = acc
     yield item.barrier()
 
@@ -38,14 +42,18 @@ def spmv_csr_subgroup_rows(item: NDItem, row_ptrs, col_idxs, values, x, y, n: in
     Sub-groups may execute different numbers of reductions when ``n`` is
     not a multiple of the sub-group count — legal, since sub-group
     collectives only synchronize within their own scope; the trailing
-    work-group barrier re-converges everyone.
+    work-group barrier re-converges everyone (the profiler reports these
+    rounds as divergence events).
     """
+    prof = kernel_phase("spmv")
     sg, lane = item.sub_group_id, item.lane
     for row in range(sg, n, item.num_sub_groups):
         start, end = int(row_ptrs[row]), int(row_ptrs[row + 1])
         partial = 0.0
         for pos in range(start + lane, end, item.sub_group_range):
             partial += float(values[pos]) * float(x[int(col_idxs[pos])])
+            if prof:
+                prof.add_flops(2)
         total = yield item.reduce_over_sub_group(partial, "sum")
         if lane == 0:
             y[row] = total
@@ -58,11 +66,14 @@ def spmv_ell_item_rows(item: NDItem, col_idxs, values, x, y, n: int, ell_width: 
     ``col_idxs`` is ``(ell_width, n)`` with -1 padding; ``values`` is the
     per-item ``(ell_width, n)`` column-major slab.
     """
+    prof = kernel_phase("spmv")
     for row in range(item.local_id, n, item.local_range):
         acc = 0.0
         for slot in range(ell_width):
             col = int(col_idxs[slot][row])
             if col >= 0:
                 acc += float(values[slot][row]) * float(x[col])
+                if prof:
+                    prof.add_flops(2)
         y[row] = acc
     yield item.barrier()

@@ -42,8 +42,10 @@ from repro.observability.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LogHistogram,
     MetricsRegistry,
 )
+from repro.observability.prometheus import render as render_prometheus
 from repro.observability.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -69,7 +71,9 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricsRegistry",
+    "render_prometheus",
     "NULL_TRACER",
     "NullTracer",
     "Span",

@@ -17,13 +17,42 @@ import math
 import threading
 from typing import Any, Iterable
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "LogHistogram", "MetricsRegistry"]
 
 
-class Counter:
+class _Labeled:
+    """Mixin giving an instrument per-label child instruments.
+
+    ``metric.labels(backend="sycl")`` returns a child of the same type
+    named ``metric{backend="sycl"}`` — the Prometheus child convention —
+    created on first use and stored on the parent, so snapshots and the
+    text exposition see every breakdown that was ever touched.
+    """
+
+    __slots__ = ()
+
+    def labels(self, **labels: Any):
+        if not labels:
+            raise ValueError(f"metric {self.name!r}: labels() needs at least one label")
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                rendered = ",".join(f'{k}="{v}"' for k, v in key)
+                child = type(self)(f"{self.name}{{{rendered}}}")
+                self._children[key] = child
+        return child
+
+    def children(self) -> list:
+        """Every label child created so far (stable order)."""
+        with self._lock:
+            return [self._children[k] for k in sorted(self._children)]
+
+
+class Counter(_Labeled):
     """A monotonically increasing count (launches, iterations, bytes)."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "_value", "_lock", "_children")
 
     kind = "counter"
 
@@ -31,6 +60,7 @@ class Counter:
         self.name = name
         self._value = 0.0
         self._lock = threading.Lock()
+        self._children: dict[tuple, Counter] = {}
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
@@ -49,10 +79,10 @@ class Counter:
         return {"value": self._value}
 
 
-class Gauge:
+class Gauge(_Labeled):
     """A point-in-time value (modelled runtime, occupancy, queue depth)."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "_value", "_lock", "_children")
 
     kind = "gauge"
 
@@ -60,6 +90,7 @@ class Gauge:
         self.name = name
         self._value = math.nan
         self._lock = threading.Lock()
+        self._children: dict[tuple, Gauge] = {}
 
     def set(self, value: float) -> None:
         """Record the latest value."""
@@ -165,6 +196,160 @@ class Histogram:
         }
 
 
+class LogHistogram:
+    """A streaming latency histogram with fixed logarithmic buckets.
+
+    The HDR-histogram idea at its smallest: observations land in
+    geometric buckets ``[growth^i, growth^(i+1))``, so memory stays
+    bounded no matter how many samples stream through and any quantile is
+    answered with bounded *relative* error (one bucket width, i.e. a
+    factor of ``growth``). The default growth of ``2**0.25`` ≈ 1.19 keeps
+    every quantile estimate within ±19 % of the exact value — plenty for
+    p50/p90/p99 service latencies — at ~4 buckets per octave.
+
+    Unlike :class:`Histogram` (exact, keeps every sample) this type is
+    **mergeable**: two histograms with the same growth add bucket-wise,
+    which is what per-worker collection followed by a global rollup
+    needs. Values ``<= 0`` are clamped into a dedicated underflow bucket
+    reported as 0.
+    """
+
+    __slots__ = ("name", "growth", "_buckets", "_zero", "_count", "_sum",
+                 "_min", "_max", "_lock")
+
+    kind = "log_histogram"
+
+    #: Default bucket growth factor (4 buckets per factor-of-2).
+    DEFAULT_GROWTH = 2.0 ** 0.25
+
+    def __init__(self, name: str, growth: float = DEFAULT_GROWTH) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"log histogram {name!r}: growth must be > 1, got {growth}")
+        self.name = name
+        self.growth = float(growth)
+        self._buckets: dict[int, int] = {}
+        self._zero = 0  # observations <= 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def _index(self, value: float) -> int:
+        return math.floor(math.log(value) / math.log(self.growth))
+
+    def observe(self, value: float) -> None:
+        """Record one sample in O(1) time and O(buckets) total memory."""
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            if value <= 0.0:
+                self._zero += 1
+            else:
+                idx = self._index(value)
+                self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of samples."""
+        for value in values:
+            self.observe(value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples (exact — tracked outside the buckets)."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (NaN when empty; exact, from the tracked sum)."""
+        return self._sum / self._count if self._count else math.nan
+
+    @property
+    def min(self) -> float:
+        """Smallest sample (NaN when empty; exact)."""
+        return self._min if self._count else math.nan
+
+    @property
+    def max(self) -> float:
+        """Largest sample (NaN when empty; exact)."""
+        return self._max if self._count else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Estimated percentile: the geometric midpoint of the bucket the
+        nearest-rank sample landed in (relative error < one growth step).
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if self._count == 0:
+                return math.nan
+            if p == 0.0:
+                return self._min
+            rank = math.ceil(p / 100.0 * self._count)
+            seen = self._zero
+            if rank <= seen:
+                return 0.0
+            for idx in sorted(self._buckets):
+                seen += self._buckets[idx]
+                if rank <= seen:
+                    # clamp the estimate into the actually observed range
+                    mid = self.growth ** (idx + 0.5)
+                    return min(max(mid, self._min), self._max)
+            return self._max
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Add another histogram's buckets into this one (same growth)."""
+        if abs(other.growth - self.growth) > 1e-12:
+            raise ValueError(
+                f"cannot merge log histograms with growth {self.growth} and "
+                f"{other.growth}"
+            )
+        with other._lock:
+            buckets = dict(other._buckets)
+            zero, count = other._zero, other._count
+            total, vmin, vmax = other._sum, other._min, other._max
+        with self._lock:
+            for idx, n in buckets.items():
+                self._buckets[idx] = self._buckets.get(idx, 0) + n
+            self._zero += zero
+            self._count += count
+            self._sum += total
+            self._min = min(self._min, vmin)
+            self._max = max(self._max, vmax)
+
+    def bucket_bounds(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs for text exposition."""
+        with self._lock:
+            bounds = []
+            cumulative = self._zero
+            if self._zero:
+                bounds.append((0.0, cumulative))
+            for idx in sorted(self._buckets):
+                cumulative += self._buckets[idx]
+                bounds.append((self.growth ** (idx + 1), cumulative))
+            return bounds
+
+    def summary(self) -> dict[str, Any]:
+        """count / mean / min / p50 / p90 / p99 / max snapshot."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "max": self.max,
+        }
+
+
 class MetricsRegistry:
     """Get-or-create registry of named instruments (thread-safe)."""
 
@@ -196,17 +381,31 @@ class MetricsRegistry:
         """The histogram called ``name`` (created on first use)."""
         return self._get_or_create(name, Histogram)
 
+    def log_histogram(self, name: str) -> LogHistogram:
+        """The streaming log-bucket histogram ``name`` (created on first use)."""
+        return self._get_or_create(name, LogHistogram)
+
     def __len__(self) -> int:
         return len(self._metrics)
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
-    def snapshot(self) -> dict[str, dict[str, Any]]:
-        """``{name: {"kind": ..., **summary}}`` for every instrument."""
+    def instruments(self) -> list[Any]:
+        """Every instrument, label children expanded after their parent."""
         with self._lock:
             metrics = list(self._metrics.values())
-        return {m.name: {"kind": m.kind, **m.summary()} for m in metrics}
+        out = []
+        for metric in metrics:
+            out.append(metric)
+            if hasattr(metric, "children"):
+                out.extend(metric.children())
+        return out
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """``{name: {"kind": ..., **summary}}`` for every instrument,
+        including per-label children (their name carries the labels)."""
+        return {m.name: {"kind": m.kind, **m.summary()} for m in self.instruments()}
 
     def rows(self) -> list[dict[str, Any]]:
         """Uniform dict-rows for :func:`repro.bench.report.format_table`."""

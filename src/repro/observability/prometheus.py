@@ -1,0 +1,123 @@
+"""Prometheus-style text exposition of a metrics registry.
+
+Renders a :class:`~repro.observability.metrics.MetricsRegistry` snapshot
+in the Prometheus text format (version 0.0.4), so the serve demo and any
+long-running host can expose the same instruments a real deployment
+would scrape:
+
+* :class:`~repro.observability.metrics.Counter` → ``counter`` family
+  (label children become labelled samples of the parent family);
+* :class:`~repro.observability.metrics.Gauge` → ``gauge`` family (NaN
+  gauges — never set — are skipped);
+* :class:`~repro.observability.metrics.Histogram` (exact) → ``summary``
+  with p50/p90/p99 quantile samples plus ``_sum``/``_count``;
+* :class:`~repro.observability.metrics.LogHistogram` → classic
+  ``histogram`` with cumulative ``_bucket{le="..."}`` samples from the
+  log-bucket bounds, a ``+Inf`` bucket, and ``_sum``/``_count``.
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``); dots become underscores.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LogHistogram,
+    MetricsRegistry,
+)
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABELS = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$")
+
+
+def sanitize_name(name: str) -> str:
+    """A legal Prometheus metric name for an internal instrument name."""
+    clean = _NAME_BAD.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _split_labels(name: str) -> tuple[str, str]:
+    """``("family", 'k="v"')`` from an instrument name with label braces."""
+    match = _LABELS.match(name)
+    if match:
+        return match.group("name"), match.group("labels")
+    return name, ""
+
+
+def _fmt(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _sample(family: str, labels: str, value: float, suffix: str = "") -> str:
+    label_part = f"{{{labels}}}" if labels else ""
+    return f"{family}{suffix}{label_part} {_fmt(value)}"
+
+
+def _histogram_lines(family: str, labels: str, hist: Histogram) -> list[str]:
+    lines = []
+    base = labels + ("," if labels else "")
+    for q in (0.5, 0.9, 0.99):
+        lines.append(
+            _sample(family, f'{base}quantile="{q}"', hist.percentile(q * 100.0))
+        )
+    lines.append(_sample(family, labels, hist.total, "_sum"))
+    lines.append(_sample(family, labels, float(hist.count), "_count"))
+    return lines
+
+
+def _log_histogram_lines(family: str, labels: str, hist: LogHistogram) -> list[str]:
+    lines = []
+    base = labels + ("," if labels else "")
+    for bound, cumulative in hist.bucket_bounds():
+        lines.append(
+            _sample(family, f'{base}le="{_fmt(bound)}"', float(cumulative), "_bucket")
+        )
+    lines.append(
+        _sample(family, f'{base}le="+Inf"', float(hist.count), "_bucket")
+    )
+    lines.append(_sample(family, labels, hist.total, "_sum"))
+    lines.append(_sample(family, labels, float(hist.count), "_count"))
+    return lines
+
+
+_PROM_TYPE = {
+    Counter: "counter",
+    Gauge: "gauge",
+    Histogram: "summary",
+    LogHistogram: "histogram",
+}
+
+
+def render(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text format (one scrape body)."""
+    lines: list[str] = []
+    seen_families: set[str] = set()
+    for metric in registry.instruments():
+        raw_family, labels = _split_labels(metric.name)
+        family = sanitize_name(raw_family)
+        prom_type = _PROM_TYPE[type(metric)]
+        if family not in seen_families:
+            seen_families.add(family)
+            lines.append(f"# TYPE {family} {prom_type}")
+        if isinstance(metric, Counter):
+            lines.append(_sample(family, labels, metric.value))
+        elif isinstance(metric, Gauge):
+            if not math.isnan(metric.value):
+                lines.append(_sample(family, labels, metric.value))
+        elif isinstance(metric, LogHistogram):
+            lines.extend(_log_histogram_lines(family, labels, metric))
+        else:
+            lines.extend(_histogram_lines(family, labels, metric))
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,115 @@
+"""Installation of the active profiler (mirrors the sanitizer's pattern).
+
+The execution-model simulators never take a profiler parameter: the
+executor asks :func:`current_profiler` at launch time and gets ``None``
+when counter collection is off, so unprofiled launches pay a single
+contextvar lookup. Profiled regions install a
+:class:`~repro.profile.Profiler` with :func:`use_profiler` (a context
+manager, safely nestable) or process-wide with :func:`set_profiler`
+(what the ``python -m repro profile <cmd>`` CLI does).
+
+A second contextvar holds the *launch in flight*: while the executor is
+advancing a kernel's work-items it installs the launch's
+:class:`~repro.profile.profiler.LaunchProfile` so the lightweight phase
+markers in :mod:`repro.kernels` (:func:`kernel_phase`) can find it
+without any parameter threading. When no profiler is installed the
+marker costs one contextvar lookup returning ``None``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.profile.profiler import LaunchProfile, Profiler
+
+_PROFILER: contextvars.ContextVar["Profiler | None"] = contextvars.ContextVar(
+    "repro_profiler", default=None
+)
+
+_ACTIVE_LAUNCH: contextvars.ContextVar["LaunchProfile | None"] = contextvars.ContextVar(
+    "repro_profile_active_launch", default=None
+)
+
+
+def current_profiler() -> "Profiler | None":
+    """The profiler installed for the current context (``None`` = off)."""
+    return _PROFILER.get()
+
+
+def set_profiler(profiler: "Profiler | None") -> "Profiler | None":
+    """Install ``profiler`` process-wide; returns the previous one."""
+    previous = _PROFILER.get()
+    _PROFILER.set(profiler)
+    return previous
+
+
+def profiling() -> bool:
+    """True when a profiler is installed in the current context."""
+    return _PROFILER.get() is not None
+
+
+class _UseProfiler:
+    """Context manager installing a profiler for a dynamic extent."""
+
+    def __init__(self, profiler: "Profiler | None") -> None:
+        self._profiler = profiler
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> "Profiler | None":
+        self._token = _PROFILER.set(self._profiler)
+        return self._profiler
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _PROFILER.reset(self._token)
+            self._token = None
+
+
+def use_profiler(profiler: "Profiler | None") -> _UseProfiler:
+    """``with use_profiler(Profiler()): ...`` — scoped installation.
+
+    Passing ``None`` disables collection inside the block (carves an
+    unprofiled region out of a profiled run).
+    """
+    return _UseProfiler(profiler)
+
+
+# -- the launch in flight (set by the executor, read by phase markers) --------
+
+
+def set_active_launch(launch: "LaunchProfile | None") -> contextvars.Token:
+    """Install the launch being executed; returns the reset token."""
+    return _ACTIVE_LAUNCH.set(launch)
+
+
+def reset_active_launch(token: contextvars.Token) -> None:
+    """Undo :func:`set_active_launch`."""
+    _ACTIVE_LAUNCH.reset(token)
+
+
+def active_launch() -> "LaunchProfile | None":
+    """The :class:`LaunchProfile` of the launch in flight (``None`` = off)."""
+    return _ACTIVE_LAUNCH.get()
+
+
+def kernel_phase(name: str) -> "LaunchProfile | None":
+    """Phase marker: attribute subsequent counters to solver phase ``name``.
+
+    Called from inside kernel code (``kernel_phase("spmv")``); the phase
+    sticks to the *calling work-item* until its next marker. Returns the
+    active :class:`LaunchProfile` so kernels can hand-count FLOPs::
+
+        prof = kernel_phase("blas1")
+        ...
+        if prof:
+            prof.add_flops(2)
+
+    When no profiler is installed this is a single contextvar lookup
+    returning ``None`` — the marker is near-free on the production path.
+    """
+    launch = _ACTIVE_LAUNCH.get()
+    if launch is not None:
+        launch.enter_phase(name)
+    return launch

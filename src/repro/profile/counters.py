@@ -1,0 +1,169 @@
+"""Per-phase hardware-counter records and their per-kernel aggregation.
+
+The counter set mirrors what VTune / NSight expose for a GPU kernel and
+what the paper's Section 4 performance narrative needs: floating-point
+operations, global-memory and shared-local-memory traffic, barrier and
+collective counts, and divergence events. Counters are attributed to
+solver *phases* — the building blocks of Algorithm 1 — via the
+:func:`~repro.profile.context.kernel_phase` markers placed in
+:mod:`repro.kernels`:
+
+* ``spmv``       — the sparse matrix-vector product (t = A p);
+* ``precond``    — preconditioner application (z = M r);
+* ``blas1``      — axpy/copy-style vector updates and staging loops;
+* ``reduction``  — dot products and norms (the group/sub-group/warp
+  reduction trees of Section 3.2);
+* ``other``      — anything before the first marker.
+
+Counting conventions (what "exact" means in the tests):
+
+* **FLOPs** are hand-counted at the kernel source: one per floating
+  add/sub/mul/div on *vector elements*. Group-uniform scalar recurrence
+  arithmetic (``alpha``, ``beta``, thresholds, residual square roots) is
+  control flow, not counted — matching the analytic
+  :class:`~repro.core.counters.TrafficLedger` convention so measured and
+  modeled arithmetic intensities are directly comparable.
+* **Bytes** are counted automatically by the access proxies
+  (:mod:`repro.profile.proxy`): every element load/store of a wrapped
+  global or SLM array adds its ``dtype.itemsize``. Logical traffic, like
+  the ledger — caching is the hardware model's job.
+* **Divergence events** count sub-group collectives that completed while
+  a sibling work-item of the same work-group was already finished or
+  waiting on a *different* synchronization operation — the simulator's
+  deterministic analogue of divergence counters (uniform control flow
+  measures exactly zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Canonical phase ordering for reports.
+PHASES = ("spmv", "precond", "blas1", "reduction", "other")
+
+
+@dataclass
+class PhaseCounters:
+    """The measured counters of one solver phase."""
+
+    flops: int = 0
+    global_read_bytes: int = 0
+    global_write_bytes: int = 0
+    slm_read_bytes: int = 0
+    slm_write_bytes: int = 0
+    barriers: int = 0
+    group_collectives: int = 0
+    sub_group_collectives: int = 0
+    divergence_events: int = 0
+
+    @property
+    def global_bytes(self) -> int:
+        """Global-memory traffic, reads plus writes."""
+        return self.global_read_bytes + self.global_write_bytes
+
+    @property
+    def slm_bytes(self) -> int:
+        """Shared-local-memory traffic, reads plus writes."""
+        return self.slm_read_bytes + self.slm_write_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """All measured traffic regardless of level."""
+        return self.global_bytes + self.slm_bytes
+
+    def merge(self, other: "PhaseCounters") -> None:
+        """Accumulate ``other`` into this record (launch -> kernel rollup)."""
+        self.flops += other.flops
+        self.global_read_bytes += other.global_read_bytes
+        self.global_write_bytes += other.global_write_bytes
+        self.slm_read_bytes += other.slm_read_bytes
+        self.slm_write_bytes += other.slm_write_bytes
+        self.barriers += other.barriers
+        self.group_collectives += other.group_collectives
+        self.sub_group_collectives += other.sub_group_collectives
+        self.divergence_events += other.divergence_events
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot (stable keys; used by tests and exports)."""
+        return {
+            "flops": self.flops,
+            "global_read_bytes": self.global_read_bytes,
+            "global_write_bytes": self.global_write_bytes,
+            "slm_read_bytes": self.slm_read_bytes,
+            "slm_write_bytes": self.slm_write_bytes,
+            "barriers": self.barriers,
+            "group_collectives": self.group_collectives,
+            "sub_group_collectives": self.sub_group_collectives,
+            "divergence_events": self.divergence_events,
+        }
+
+
+def phase_order(name: str) -> int:
+    """Sort key putting known phases in canonical order, unknown last."""
+    try:
+        return PHASES.index(name)
+    except ValueError:
+        return len(PHASES)
+
+
+@dataclass
+class KernelProfile:
+    """Counters of one kernel name, aggregated over its launches."""
+
+    name: str
+    device: str | None = None
+    launches: int = 0
+    phases: dict[str, PhaseCounters] = field(default_factory=dict)
+
+    def phase(self, name: str) -> PhaseCounters:
+        """The phase record called ``name`` (created on first use)."""
+        counters = self.phases.get(name)
+        if counters is None:
+            counters = self.phases[name] = PhaseCounters()
+        return counters
+
+    def totals(self) -> PhaseCounters:
+        """Sum of every phase (a fresh record; safe to mutate)."""
+        total = PhaseCounters()
+        for counters in self.phases.values():
+            total.merge(counters)
+        return total
+
+    def sorted_phases(self) -> list[tuple[str, PhaseCounters]]:
+        """Phases in canonical report order."""
+        return sorted(self.phases.items(), key=lambda kv: phase_order(kv[0]))
+
+    def arithmetic_intensity(self, level: str = "slm") -> float:
+        """Measured FLOP/byte against one traffic level.
+
+        ``level`` is ``"slm"``, ``"global"`` or ``"total"`` — the measured
+        analogue of :meth:`repro.core.counters.TrafficLedger.arithmetic_intensity`.
+        """
+        total = self.totals()
+        nbytes = {
+            "slm": total.slm_bytes,
+            "global": total.global_bytes,
+            "total": total.total_bytes,
+        }[level]
+        return total.flops / nbytes if nbytes > 0 else 0.0
+
+    def merge(self, other: "KernelProfile") -> None:
+        """Fold another profile of the same kernel into this one."""
+        self.launches += other.launches
+        if self.device is None:
+            self.device = other.device
+        for name, counters in other.phases.items():
+            self.phase(name).merge(counters)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Nested plain-dict snapshot (bitwise-stable across runs)."""
+        return {
+            "kernel": self.name,
+            "device": self.device,
+            "launches": self.launches,
+            "phases": {
+                name: counters.as_dict() for name, counters in self.sorted_phases()
+            },
+            "totals": self.totals().as_dict(),
+        }

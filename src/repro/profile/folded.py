@@ -1,0 +1,95 @@
+"""Folded-stack export: profiler counters in flamegraph-ready form.
+
+The folded format is one stack per line, frames separated by ``;``, with
+an integer weight — the input ``flamegraph.pl`` and speedscope consume::
+
+    batch_cg_fused;spmv 288
+    batch_cg_fused;reduction 352
+
+Two exports live here:
+
+* :func:`folded_lines` — pure counter stacks (``kernel;phase``) weighted
+  by any counter field (FLOPs by default);
+* :func:`folded_from_trace` — the join with the tracer: each kernel-
+  category span contributes its *host* ancestry (``parent`` chain) as the
+  outer frames and the profiler's phase shares of that kernel as the leaf
+  frames, weighted by the span's wall-clock nanoseconds. This is the
+  top-down view: where the time went, split by what the kernel was doing.
+"""
+
+from __future__ import annotations
+
+from repro.observability.tracer import Tracer
+from repro.profile.profiler import Profiler
+
+
+def folded_lines(profiler: Profiler, weight: str = "flops") -> list[str]:
+    """``kernel;phase <weight>`` lines, sorted, zero-weight stacks dropped.
+
+    ``weight`` names any :class:`~repro.profile.counters.PhaseCounters`
+    field or derived property (``flops``, ``global_bytes``, ``slm_bytes``,
+    ``total_bytes``, ``barriers``, ...).
+    """
+    lines = []
+    for name in profiler.kernel_names():
+        kernel = profiler.profile_for(name)
+        for phase, counters in kernel.sorted_phases():
+            value = int(getattr(counters, weight))
+            if value > 0:
+                lines.append(f"{kernel.name};{phase} {value}")
+    return lines
+
+
+def _span_stack(span) -> list[str]:
+    frames = []
+    node = span
+    while node is not None:
+        frames.append(node.name)
+        node = node.parent
+    frames.reverse()
+    return frames
+
+
+def folded_from_trace(
+    tracer: Tracer, profiler: Profiler, share_by: str = "flops"
+) -> list[str]:
+    """Join kernel spans with phase shares into wall-clock folded stacks.
+
+    Every span with ``category == "kernel"`` whose name has a collected
+    profile is split into per-phase leaf frames, each taking the phase's
+    share (by ``share_by``, FLOPs by default) of the span's duration in
+    nanoseconds. Kernel spans without counters, and the share remainder
+    of kernels whose ``share_by`` total is zero, fold as the bare kernel
+    stack.
+    """
+    lines: list[str] = []
+    for span in tracer.spans:
+        if span.category != "kernel":
+            continue
+        duration = max(0, span.end_ns - span.start_ns)
+        if duration == 0:
+            continue
+        stack = ";".join(_span_stack(span))
+        kernel = profiler.kernels.get(span.name)
+        total = int(getattr(kernel.totals(), share_by)) if kernel else 0
+        if not kernel or total == 0:
+            lines.append(f"{stack} {duration}")
+            continue
+        assigned = 0
+        phase_items = kernel.sorted_phases()
+        for phase, counters in phase_items:
+            share = duration * int(getattr(counters, share_by)) // total
+            if share > 0:
+                lines.append(f"{stack};{phase} {share}")
+                assigned += share
+        if duration - assigned > 0:  # integer-division remainder
+            lines.append(f"{stack} {duration - assigned}")
+    return lines
+
+
+def write_folded(lines: list[str], path: str) -> str:
+    """Write folded stacks to ``path`` (one stack per line)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return path

@@ -1,0 +1,121 @@
+"""Access-counting array proxies for global memory and SLM.
+
+The profiler measures memory traffic the same way the sanitizer checks
+it: by substituting the arrays a kernel sees. A :class:`CountingArray`
+forwards every element access to the wrapped array (which may itself be
+the sanitizer's :class:`~repro.sanitize.shadow.ShadowArray` — the
+profiler always wraps *outside* the sanitizer so both observe the same
+accesses) and reports the byte count of each load/store to the launch's
+:class:`~repro.profile.profiler.LaunchProfile`.
+
+Counted traffic is *logical*: one ``dtype.itemsize`` per element touch,
+exactly the convention of :class:`~repro.core.counters.TrafficLedger`.
+Indexing that yields a subarray (e.g. ``values[sysid]`` selecting one
+batch item's value row) counts nothing and returns a counting view, so
+only the eventual element accesses are charged.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Any, Callable
+
+import numpy as np
+
+
+class CountingArray:
+    """An array proxy charging each element access to a byte counter.
+
+    ``on_read`` / ``on_write`` are the launch profile's bound accumulator
+    methods for this array's memory space (global or SLM).
+    """
+
+    __slots__ = ("_data", "_on_read", "_on_write")
+
+    def __init__(
+        self,
+        data: Any,
+        on_read: Callable[[int], None],
+        on_write: Callable[[int], None],
+    ) -> None:
+        self._data = data
+        self._on_read = on_read
+        self._on_write = on_write
+
+    # -- shape/dtype surface the kernels use ---------------------------------
+
+    @property
+    def shape(self):
+        return self._data.shape
+
+    @property
+    def dtype(self):
+        return self._data.dtype
+
+    @property
+    def size(self) -> int:
+        return self._data.size
+
+    @property
+    def ndim(self) -> int:
+        return self._data.ndim
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        # a bulk materialization reads every element once
+        self._on_read(int(self._data.size) * self._data.dtype.itemsize)
+        array = np.asarray(self._data)
+        if dtype is not None:
+            array = array.astype(dtype, copy=False)
+        return array
+
+    def fill(self, value) -> None:
+        """Fill the whole array, counted as one full-size write."""
+        self._data.fill(value)
+        self._on_write(int(self._data.size) * self._data.dtype.itemsize)
+
+    # -- the counted accesses -------------------------------------------------
+
+    def __getitem__(self, idx):
+        value = self._data[idx]
+        if isinstance(value, (np.ndarray, CountingArray)) or (
+            not np.isscalar(value) and getattr(value, "ndim", 0) != 0
+        ):
+            # subarray selection: defer counting to its element accesses
+            return CountingArray(value, self._on_read, self._on_write)
+        self._on_read(self._data.dtype.itemsize)
+        return value
+
+    def __setitem__(self, idx, value) -> None:
+        self._data[idx] = value
+        self._on_write(self._data.dtype.itemsize * int(np.size(value)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CountingArray({self._data!r})"
+
+
+def wrap_args(
+    args: tuple, on_read: Callable[[int], None], on_write: Callable[[int], None]
+) -> tuple:
+    """Wrap every ndarray argument of a launch in a :class:`CountingArray`."""
+    return tuple(
+        CountingArray(a, on_read, on_write) if isinstance(a, np.ndarray) else a
+        for a in args
+    )
+
+
+def wrap_local(
+    local: Any, on_read: Callable[[int], None], on_write: Callable[[int], None]
+) -> SimpleNamespace:
+    """Wrap a work-group's SLM namespace (possibly already shadow-wrapped).
+
+    Each named SLM array — a plain ndarray, or the sanitizer's
+    ``ShadowArray`` when checking is on — becomes a counting proxy; the
+    namespace shape (``slm.r``, ``slm.p`` ...) is preserved.
+    """
+    wrapped = SimpleNamespace()
+    for name, array in vars(local).items():
+        setattr(wrapped, name, CountingArray(array, on_read, on_write))
+    return wrapped

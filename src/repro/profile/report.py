@@ -1,0 +1,82 @@
+"""Top-down attribution report over collected profiler counters.
+
+Turns a :class:`~repro.profile.profiler.Profiler` snapshot into the
+per-kernel × per-phase rows the ``repro profile report`` command prints:
+how the measured FLOPs, global/SLM bytes, synchronization and divergence
+events distribute over the solver phases, plus per-kernel totals with the
+measured arithmetic intensity at each memory level.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bench.report import format_table
+from repro.profile.counters import KernelProfile, PhaseCounters
+from repro.profile.profiler import Profiler
+
+
+def _phase_row(
+    kernel: KernelProfile,
+    phase: str,
+    counters: PhaseCounters,
+    total_flops: int,
+    backend: str | None = None,
+) -> dict[str, Any]:
+    row: dict[str, Any] = {}
+    if backend is not None:
+        row["backend"] = backend
+    row.update(
+        {
+            "kernel": kernel.name,
+            "phase": phase,
+            "flops": counters.flops,
+            "flop%": 100.0 * counters.flops / total_flops if total_flops else 0.0,
+            "global_B": counters.global_bytes,
+            "slm_B": counters.slm_bytes,
+            "barriers": counters.barriers,
+            "grp_coll": counters.group_collectives,
+            "sg_coll": counters.sub_group_collectives,
+            "diverge": counters.divergence_events,
+        }
+    )
+    return row
+
+
+def attribution_rows(
+    profiler: Profiler, backend: str | None = None
+) -> list[dict[str, Any]]:
+    """One row per kernel × phase plus a ``total`` row per kernel.
+
+    The total row carries the measured arithmetic intensity (FLOP/byte)
+    against SLM and global memory — the numbers the roofline placement
+    consumes.
+    """
+    rows: list[dict[str, Any]] = []
+    for name in profiler.kernel_names():
+        kernel = profiler.profile_for(name)
+        totals = kernel.totals()
+        for phase, counters in kernel.sorted_phases():
+            rows.append(_phase_row(kernel, phase, counters, totals.flops, backend))
+        total_row = _phase_row(kernel, "total", totals, totals.flops, backend)
+        total_row["AI_slm"] = kernel.arithmetic_intensity("slm")
+        total_row["AI_global"] = kernel.arithmetic_intensity("global")
+        rows.append(total_row)
+    # phase rows carry "-" in the intensity columns so every row shares keys
+    for row in rows:
+        row.setdefault("AI_slm", None)
+        row.setdefault("AI_global", None)
+    return rows
+
+
+def format_report(
+    profilers: dict[str, Profiler] | Profiler, title: str = "measured counters"
+) -> str:
+    """Render the attribution table for one profiler or a per-backend dict."""
+    if isinstance(profilers, Profiler):
+        rows = attribution_rows(profilers)
+    else:
+        rows = []
+        for backend in sorted(profilers):
+            rows.extend(attribution_rows(profilers[backend], backend=backend))
+    return format_table(rows, title)

@@ -1,0 +1,192 @@
+"""Measured roofline placement and model-drift detection.
+
+Two views of the same kernel exist in this repo: the *measured* counters
+the profiler collects during simulated execution, and the *modeled*
+traffic the analytic path derives (reference-solver
+:class:`~repro.core.counters.TrafficLedger` classified by the Section 3.5
+workspace plan into :func:`~repro.hw.memmodel.split_traffic`). Both
+express arithmetic intensity in FLOP/byte, so they are directly
+comparable — and *should* agree, because both count logical traffic with
+the same FLOP convention. :func:`drift_report` quantifies the residual
+disagreement per memory level and flags it against a tolerance: a red
+drift means the hand-placed kernel counters, the kernel implementation
+and the analytic model have diverged, which is exactly the silent rot the
+detector exists to catch.
+
+Level mapping: the profiler distinguishes SLM from global traffic but
+(like a real GPU counter set) not L2 from HBM within global; the model's
+``l2 + hbm`` lanes are therefore compared against measured ``global``.
+The comparison bins the model's ledger the way the fused kernels are
+actually written — iteration vectors staged in SLM, the operator values,
+sparsity pattern, right-hand side and preconditioner state streamed from
+global memory — rather than through :func:`~repro.hw.memmodel.split_traffic`'s
+workspace plan, which may additionally promote the matrix values into an
+SLM-resident ``A_cache`` the simulator kernels do not implement.
+:func:`place_measured` plots the measured point on the
+:class:`~repro.hw.roofline.Roofline` by assigning all measured global
+bytes to the L2 lane — consistent with the workspace model for the fused
+solvers, whose iteration vectors live in SLM and whose global traffic is
+the L2-served operator/RHS stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dispatch import BatchSolverFactory
+from repro.hw.memmodel import TrafficSplit
+from repro.hw.roofline import Roofline, RooflinePoint
+from repro.hw.specs import GpuSpec
+from repro.profile.counters import KernelProfile
+
+#: Default relative drift tolerance. The measured and modeled paths count
+#: the same logical quantities but bucket a few edge flows differently
+#: (per-item threshold/iteration bookkeeping, double row-pointer touches,
+#: work-group-size-dependent scalar reads), so a few percent of drift is
+#: structural; beyond this the two views no longer describe the same
+#: kernel — someone changed a kernel, a counter or the analytic model
+#: without updating the others.
+DEFAULT_TOLERANCE = 0.25
+
+LEVELS = ("slm", "global")
+
+
+@dataclass(frozen=True)
+class LevelDrift:
+    """Measured vs. modeled arithmetic intensity at one memory level."""
+
+    level: str
+    measured: float
+    modeled: float
+    drift: float  # max/min ratio - 1; 0 = perfect agreement
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        return self.drift <= self.tolerance
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """The drift verdict of one kernel against the analytic model."""
+
+    kernel: str
+    spec_key: str
+    levels: tuple[LevelDrift, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Green iff every level's drift is within tolerance."""
+        return all(level.ok for level in self.levels)
+
+    def describe(self) -> str:
+        """Human-readable per-level drift table ("green" or "DRIFT")."""
+        lines = [f"{self.kernel} vs model on {self.spec_key}: "
+                 f"{'green' if self.ok else 'DRIFT'}"]
+        for lv in self.levels:
+            mark = "ok" if lv.ok else "EXCEEDS"
+            lines.append(
+                f"  {lv.level:7s} measured {lv.measured:8.4f} FLOP/B  "
+                f"modeled {lv.modeled:8.4f} FLOP/B  "
+                f"drift {lv.drift:6.1%} ({mark} tol {lv.tolerance:.0%})"
+            )
+        return "\n".join(lines)
+
+
+def measured_intensities(profile: KernelProfile) -> dict[str, float]:
+    """Measured FLOP/byte per comparison level from collected counters."""
+    return {level: profile.arithmetic_intensity(level) for level in LEVELS}
+
+
+def modeled_intensities(
+    spec: GpuSpec,
+    matrix,
+    b: np.ndarray,
+    solver: str = "cg",
+    preconditioner: str = "jacobi",
+    tolerance: float = 1e-8,
+    max_iterations: int = 200,
+) -> dict[str, float]:
+    """Model-side FLOP/byte per level, by the ``estimate_solve`` recipe.
+
+    Runs the reference NumPy solver for its instrumented traffic ledger
+    and bins it kernel-faithfully: operator values/pattern, ``b`` and
+    ``precond`` are global traffic, iteration vectors are SLM (the fused
+    kernels stage every vector in SLM via ``LocalSpec``).
+    """
+    factory = BatchSolverFactory(
+        solver=solver,
+        preconditioner=preconditioner,
+        criterion="relative",
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+    )
+    solver_obj = factory.create(matrix)
+    result = solver_obj.solve(np.asarray(b, dtype=np.float64))
+    slm_bytes = 0.0
+    global_bytes = 0.0
+    for name, nbytes in result.ledger.bytes_by_object.items():
+        if (
+            name.endswith(("_values", "_pattern"))
+            or name == "b"
+            or name == "precond"
+        ):
+            global_bytes += nbytes
+        else:
+            slm_bytes += nbytes
+    flops = result.ledger.flops
+    return {
+        "slm": flops / slm_bytes if slm_bytes else 0.0,
+        "global": flops / global_bytes if global_bytes else 0.0,
+    }
+
+
+def _drift(measured: float, modeled: float) -> float:
+    if measured <= 0.0 or modeled <= 0.0:
+        # one side has no traffic at this level: perfect agreement only
+        # when both are empty, otherwise infinite drift
+        return 0.0 if measured == modeled else float("inf")
+    hi, lo = max(measured, modeled), min(measured, modeled)
+    return hi / lo - 1.0
+
+
+def drift_report(
+    profile: KernelProfile,
+    spec: GpuSpec,
+    modeled: dict[str, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> DriftReport:
+    """Compare measured vs. modeled intensities level by level."""
+    measured = measured_intensities(profile)
+    levels = tuple(
+        LevelDrift(
+            level=level,
+            measured=measured[level],
+            modeled=modeled.get(level, 0.0),
+            drift=_drift(measured[level], modeled.get(level, 0.0)),
+            tolerance=tolerance,
+        )
+        for level in LEVELS
+    )
+    return DriftReport(kernel=profile.name, spec_key=spec.key, levels=levels)
+
+
+def place_measured(
+    profile: KernelProfile, spec: GpuSpec, runtime_seconds: float
+) -> RooflinePoint:
+    """Plot the measured counters on the platform roofline.
+
+    Measured global bytes take the L2 lane (see module docstring);
+    ``runtime_seconds`` is whatever clock the caller trusts — modeled
+    device time for simulator runs, wall clock for real ones.
+    """
+    totals = profile.totals()
+    split = TrafficSplit(
+        slm_bytes=float(totals.slm_bytes),
+        l2_bytes=float(totals.global_bytes),
+        hbm_bytes=0.0,
+        flops=float(totals.flops),
+    )
+    return Roofline(spec).evaluate(split, runtime_seconds)

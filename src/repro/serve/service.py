@@ -218,8 +218,10 @@ class SolverService:
                             status=TIMED_OUT,
                         )
                     else:
-                        self.metrics.histogram("serve.queue_wait_ms").observe(
-                            (now - ticket.submitted_ns) / 1e6
+                        wait_ms = (now - ticket.submitted_ns) / 1e6
+                        self.metrics.histogram("serve.queue_wait_ms").observe(wait_ms)
+                        self.metrics.log_histogram("serve.queue_wait_hdr_ms").observe(
+                            wait_ms
                         )
                         live.append(ticket)
                 if not live:
@@ -241,6 +243,12 @@ class SolverService:
                     ):
                         result = self._solve_batch(plan, matrix, b, x0, worker)
                     solve_ms = (monotonic_ns() - solve_start) / 1e6
+                    self.metrics.log_histogram("serve.flush_solve_hdr_ms").observe(
+                        solve_ms
+                    )
+                    self.metrics.counter("serve.flush_solves").labels(
+                        backend=self.config.backend, solver=key.solver
+                    ).inc()
                 except Exception as exc:  # whole-flush failure → per-request rescue
                     self.metrics.counter("serve.flush_failures").inc()
                     span.set("error", type(exc).__name__)
@@ -421,9 +429,11 @@ class SolverService:
         if ticket.done():
             return
         self.metrics.counter("serve.served").inc()
-        self.metrics.histogram("serve.latency_ms").observe(
-            (monotonic_ns() - ticket.submitted_ns) / 1e6
-        )
+        latency_ms = (monotonic_ns() - ticket.submitted_ns) / 1e6
+        self.metrics.histogram("serve.latency_ms").observe(latency_ms)
+        # HDR-style streaming twin: bounded memory, mergeable, and what the
+        # Prometheus exposition renders as a classic histogram
+        self.metrics.log_histogram("serve.latency_hdr_ms").observe(latency_ms)
         ticket._complete(outcome)
         self._release_one()
 

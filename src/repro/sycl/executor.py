@@ -22,6 +22,11 @@ from typing import Any, Callable, Iterable
 
 from repro.exceptions import BarrierDivergenceError, KernelFaultError
 from repro.observability.tracer import current_tracer
+from repro.profile.context import (
+    current_profiler,
+    reset_active_launch,
+    set_active_launch,
+)
 from repro.sanitize.context import current_sanitizer
 from repro.sanitize.report import AccessSite
 from repro.sycl.device import SyclDevice
@@ -98,6 +103,7 @@ def _advance(
     *,
     first: bool = False,
     check: Any = None,
+    prof: Any = None,
 ) -> None:
     """Run one work-item until its next sync point or completion."""
     if state.gen is None:
@@ -105,6 +111,8 @@ def _advance(
         return
     if check is not None:
         check.set_current(state.item)
+    if prof is not None:
+        prof.set_current(state.item)
     try:
         yielded = state.gen.send(None) if first else state.gen.send(send_value)
     except StopIteration:
@@ -134,12 +142,16 @@ def run_work_group(
     args: tuple,
     stats: LaunchStats | None = None,
     check: Any = None,
+    prof: Any = None,
 ) -> None:
     """Execute every work-item of one work-group to completion.
 
     ``check`` is the sanitizer's per-group :class:`~repro.sanitize.GroupCheck`
     (or ``None``); when present, ``local`` is already its shadow-wrapped
     view and every work-item advance runs with the shadow state primed.
+    ``prof`` is the profiler's per-launch
+    :class:`~repro.profile.profiler.LaunchProfile` (or ``None``); when
+    present, ``local`` and ``args`` are already counting-proxy views.
     """
     base = group_id * ndrange.local_size
     states: list[_WorkItemState] = []
@@ -149,6 +161,8 @@ def run_work_group(
             # non-generator kernels execute their whole body inside this
             # call, so the shadow state must already know the item
             check.set_current(item)
+        if prof is not None:
+            prof.set_current(item)
         try:
             produced = kernel(item, local, *args)
         finally:
@@ -158,12 +172,12 @@ def run_work_group(
         states.append(_WorkItemState(item, gen))
 
     for state in states:
-        _advance(state, first=True, check=check)
+        _advance(state, first=True, check=check, prof=prof)
 
     while True:
         if all(s.status == _DONE for s in states):
             return
-        if not _assemble_round(ndrange, states, stats, check):
+        if not _assemble_round(ndrange, states, stats, check, prof):
             if check is not None:
                 check.classify_deadlock(states)
             _raise_divergence(states)
@@ -174,6 +188,7 @@ def _assemble_round(
     states: list[_WorkItemState],
     stats: LaunchStats | None,
     check: Any = None,
+    prof: Any = None,
 ) -> bool:
     """Complete every collective whose scope has fully assembled.
 
@@ -195,9 +210,21 @@ def _assemble_round(
         if check is not None:
             # epochs advance before any member resumes and touches SLM
             check.on_sync_complete(op, lanes, None)
+        if prof is not None:
+            prof.on_collective(op.kind, GROUP, states[0].item)
         for state, result in zip(states, results):
-            _advance(state, result, check=check)
+            _advance(state, result, check=check, prof=prof)
         return True
+
+    # Divergence accounting uses the state of the *round entry* — members
+    # resumed by an earlier sub-group's completion in the same round must
+    # not masquerade as divergent siblings (uniform flow measures zero).
+    snapshot = None
+    if prof is not None:
+        snapshot = [
+            (s.status, s.pending.signature() if s.status == _WAITING else None)
+            for s in states
+        ]
 
     # Sub-group scope: each sub-group assembles independently.
     for sg_id in range(ndrange.sub_groups_per_group):
@@ -216,8 +243,19 @@ def _assemble_round(
                 stats.record_collective(op.kind, SUB_GROUP)
             if check is not None:
                 check.on_sync_complete(op, [s.item.local_id for s in members], sg_id)
+            if prof is not None:
+                prof.on_collective(op.kind, SUB_GROUP, members[0].item)
+                sig = op.signature()
+                for s, (status, pending_sig) in zip(states, snapshot):
+                    if s.item.sub_group_id == sg_id:
+                        continue
+                    if status == _DONE or (
+                        status == _WAITING and pending_sig != sig
+                    ):
+                        prof.on_divergence(members[0].item)
+                        break
             for state, result in zip(members, results):
-                _advance(state, result, check=check)
+                _advance(state, result, check=check, prof=prof)
             progressed = True
 
     return progressed
@@ -264,9 +302,13 @@ def launch(
     sub-group/work-group sizes, SLM over-subscription, and (beyond real
     runtimes) deterministic barrier-divergence detection. When a sanitizer
     is installed (:func:`repro.sanitize.use_sanitizer`) every work-group
-    additionally runs under shadow-memory and convergence checking.
-    ``name`` labels the launch in sanitizer reports (defaults to the
-    kernel's ``__name__``).
+    additionally runs under shadow-memory and convergence checking; when a
+    profiler is installed (:func:`repro.profile.use_profiler`) every
+    global/SLM access, collective and divergence event is counted into
+    per-phase hardware counters. The two compose: the profiler wraps
+    *outside* the sanitizer's shadow views so both observe every access.
+    ``name`` labels the launch in sanitizer reports and counter profiles
+    (defaults to the kernel's ``__name__``).
     """
     device.validate_work_group_size(ndrange.local_size)
     device.validate_sub_group_size(ndrange.sub_group_size)
@@ -280,24 +322,38 @@ def launch(
         slm_bytes_per_group=total_local_bytes(specs),
     )
     sanitizer = current_sanitizer()
+    profiler = current_profiler()
     kernel_name = name or getattr(kernel, "__name__", "kernel")
     if sanitizer is not None:
         sanitizer.begin_launch(kernel_name, ndrange.num_groups)
-    for group_id in range(ndrange.num_groups):
-        local = allocate_local(specs)
-        if poison_slm:
-            poison_local(local)
-        check = None
-        if sanitizer is not None:
-            check = sanitizer.begin_group(
-                kernel_name,
-                group_id,
-                ndrange.local_size,
-                ndrange.sub_group_size,
-                ndrange.sub_groups_per_group,
-            )
-            local = check.wrap_local(local)
-        run_work_group(ndrange, group_id, kernel, local, args, stats, check)
+    prof = None
+    token = None
+    if profiler is not None:
+        prof = profiler.begin_launch(kernel_name, ndrange.num_groups, device.name)
+        args = prof.wrap_args(args)
+        token = set_active_launch(prof)
+    try:
+        for group_id in range(ndrange.num_groups):
+            local = allocate_local(specs)
+            if poison_slm:
+                poison_local(local)
+            check = None
+            if sanitizer is not None:
+                check = sanitizer.begin_group(
+                    kernel_name,
+                    group_id,
+                    ndrange.local_size,
+                    ndrange.sub_group_size,
+                    ndrange.sub_groups_per_group,
+                )
+                local = check.wrap_local(local)
+            if prof is not None:
+                local = prof.wrap_local(local)
+            run_work_group(ndrange, group_id, kernel, local, args, stats, check, prof)
+    finally:
+        if prof is not None:
+            reset_active_launch(token)
+            profiler.end_launch(prof)
 
     tracer = current_tracer()
     if tracer.enabled:

@@ -1,0 +1,224 @@
+"""BENCH_*.json schema envelope and the perf-regression gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    bench_payload,
+    flatten_metrics,
+    git_revision,
+    load_bench,
+    write_bench,
+)
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def _load_check_regression():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", REPO / "scripts" / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_regression", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSchema:
+    def test_payload_round_trip(self, tmp_path):
+        payload = bench_payload(
+            "demo",
+            workload={"rows": 8},
+            metrics={"throughput": 12.5, "nested": {"p99": 3.0}},
+            notes="hand-made",
+            date="2026-08-06",
+            git_rev="deadbeef",
+        )
+        assert payload["schema_version"] == SCHEMA_VERSION
+        path = write_bench(tmp_path / "BENCH_demo.json", payload)
+        assert load_bench(path) == payload
+
+    def test_defaults_fill_provenance(self):
+        payload = bench_payload("demo", workload={}, metrics={})
+        assert payload["date"]
+        # inside this repo's work tree the rev resolves
+        assert payload["git_rev"] == git_revision()
+
+    def test_load_rejects_pre_schema_artifact(self, tmp_path):
+        legacy = tmp_path / "BENCH_old.json"
+        legacy.write_text(json.dumps({"benchmark": "old", "speed": 1.0}))
+        with pytest.raises(ValueError, match="missing"):
+            load_bench(legacy)
+
+    def test_load_rejects_future_version(self, tmp_path):
+        artifact = tmp_path / "BENCH_future.json"
+        artifact.write_text(
+            json.dumps(
+                {
+                    "schema_version": 99,
+                    "benchmark": "x",
+                    "workload": {},
+                    "metrics": {},
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="unsupported"):
+            load_bench(artifact)
+
+    def test_flatten_metrics_paths(self):
+        payload = bench_payload(
+            "demo",
+            workload={},
+            metrics={
+                "top": 1,
+                "nested": {"a": 2.5, "flag": True},
+                "sweep": [{"x": 10}, {"x": 20}],
+                "skip_me": "a string",
+                "null": None,
+            },
+        )
+        flat = flatten_metrics(payload)
+        assert flat == {
+            "top": 1.0,
+            "nested.a": 2.5,
+            "nested.flag": 1.0,
+            "sweep.0.x": 10.0,
+            "sweep.1.x": 20.0,
+        }
+
+    def test_committed_artifacts_conform(self):
+        bench_files = sorted(REPO.glob("BENCH_*.json"))
+        assert bench_files, "committed BENCH artifacts must exist"
+        for path in bench_files:
+            payload = load_bench(path)
+            assert payload["benchmark"]
+            assert flatten_metrics(payload)
+
+
+class TestRegressionGate:
+    def _write_world(self, tmp_path, throughput: float) -> tuple[Path, Path]:
+        artifact = bench_payload(
+            "serve_throughput",
+            workload={"rows": 32},
+            metrics={"batching_win": {"speedup": throughput}},
+            date="2026-08-06",
+            git_rev="cafe",
+        )
+        write_bench(tmp_path / "BENCH_serve_throughput.json", artifact)
+        manifest = {
+            "schema_version": 1,
+            "benchmarks": {
+                "BENCH_serve_throughput.json": {
+                    "metrics": {
+                        "batching_win.speedup": {
+                            "baseline": 4.0,
+                            "direction": "higher",
+                            "tolerance_pct": 15.0,
+                        }
+                    }
+                }
+            },
+        }
+        manifest_path = tmp_path / "manifest.json"
+        manifest_path.write_text(json.dumps(manifest))
+        return manifest_path, tmp_path
+
+    def test_baseline_passes(self, tmp_path, capsys):
+        gate = _load_check_regression()
+        manifest, root = self._write_world(tmp_path, throughput=4.0)
+        code = gate.main(["--manifest", str(manifest), "--root", str(root)])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_twenty_percent_regression_fails(self, tmp_path, capsys):
+        gate = _load_check_regression()
+        manifest, root = self._write_world(tmp_path, throughput=4.0 * 0.8)
+        code = gate.main(["--manifest", str(manifest), "--root", str(root)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_within_tolerance_passes(self, tmp_path):
+        gate = _load_check_regression()
+        manifest, root = self._write_world(tmp_path, throughput=4.0 * 0.9)
+        code = gate.main(["--manifest", str(manifest), "--root", str(root)])
+        assert code == 0
+
+    def test_missing_metric_fails(self, tmp_path):
+        gate = _load_check_regression()
+        manifest, root = self._write_world(tmp_path, throughput=4.0)
+        artifact = load_bench(root / "BENCH_serve_throughput.json")
+        artifact["metrics"] = {"something_else": 1.0}
+        write_bench(root / "BENCH_serve_throughput.json", artifact)
+        code = gate.main(["--manifest", str(manifest), "--root", str(root)])
+        assert code == 1
+
+    def test_missing_artifact_fails(self, tmp_path):
+        gate = _load_check_regression()
+        manifest, root = self._write_world(tmp_path, throughput=4.0)
+        (root / "BENCH_serve_throughput.json").unlink()
+        code = gate.main(["--manifest", str(manifest), "--root", str(root)])
+        assert code == 1
+
+    def test_lower_is_better_direction(self, tmp_path):
+        gate = _load_check_regression()
+        artifact = bench_payload(
+            "overhead",
+            workload={},
+            metrics={"slowdown_x": 3.0},
+            date="2026-08-06",
+            git_rev="cafe",
+        )
+        write_bench(tmp_path / "BENCH_overhead.json", artifact)
+        manifest_path = tmp_path / "manifest.json"
+        manifest_path.write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "benchmarks": {
+                        "BENCH_overhead.json": {
+                            "metrics": {
+                                "slowdown_x": {
+                                    "baseline": 2.0,
+                                    "direction": "lower",
+                                    "tolerance_pct": 25.0,
+                                }
+                            }
+                        }
+                    },
+                }
+            )
+        )
+        code = gate.main(
+            ["--manifest", str(manifest_path), "--root", str(tmp_path)]
+        )
+        assert code == 1  # 3.0 > 2.0 * 1.25
+
+    def test_update_rewrites_baselines(self, tmp_path):
+        gate = _load_check_regression()
+        manifest, root = self._write_world(tmp_path, throughput=5.5)
+        code = gate.main(
+            ["--manifest", str(manifest), "--root", str(root), "--update"]
+        )
+        assert code == 0
+        updated = json.loads(manifest.read_text())
+        rule = updated["benchmarks"]["BENCH_serve_throughput.json"]["metrics"][
+            "batching_win.speedup"
+        ]
+        assert rule["baseline"] == 5.5
+        assert rule["direction"] == "higher"  # directions/tolerances kept
+        # and the refreshed manifest now gates cleanly
+        code = gate.main(["--manifest", str(manifest), "--root", str(root)])
+        assert code == 0
+
+    def test_committed_manifest_gates_committed_artifacts(self):
+        """The CI invariant: repo-root artifacts pass the repo manifest."""
+        gate = _load_check_regression()
+        code = gate.main([])
+        assert code == 0

@@ -1,0 +1,172 @@
+"""Hand-counted counter correctness for the fused CG kernel.
+
+Every expectation below is a closed-form function of (rows, nnz, batch,
+iterations, work-group size) derived by reading ``batch_cg_kernel`` line
+by line — not a golden value copied from a previous run. With
+``tolerance=0`` the kernel runs exactly ``max_iterations`` iterations, so
+the counts are fully determined:
+
+* **spmv** — ``2*nnz`` flops per iteration per system; global reads are
+  the CSR stream (8 B values + 4 B col index per nnz, two 4 B row-pointer
+  touches per row), SLM reads the staged ``p`` vector, SLM writes the
+  result vector.
+* **precond** — the standalone Jacobi apply: 1 flop per row, one 8 B
+  ``inv_diag`` read, one SLM read + write per row.
+* **blas1** — init (1 flop/row) plus x/r update (4) and p update (2) per
+  iteration; global traffic is the initial ``b``/``x`` read, the x
+  copy-out and the per-system iteration-count write.
+* **reduction** — 2 flops per element per dot product, ``2 + 3*iters``
+  dots per system, one group collective per dot; the only global reads
+  are the per-item ``thresholds[sysid]`` load — the one term that scales
+  with the work-group size, which is why the expected counters are
+  computed per backend from its own ``LaunchConfigurator`` plan (PVC
+  picks W=16 where the A100 picks W=32).
+
+The same formulas must hold bitwise on both simulated backends because
+they share the executor; the W term is the only architectural difference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.launch import LaunchConfigurator
+from repro.cudasim.device import a100_device
+from repro.profile import Profiler
+from repro.profile.runner import build_workload, run_profiled
+from repro.sycl.device import pvc_stack_device
+
+BACKEND_DEVICES = {"sycl": pvc_stack_device, "cuda": a100_device}
+
+
+def expected_cg_counters(n: int, nnz: int, nb: int, iters: int, wg: int) -> dict:
+    """Per-phase counter dict for a tolerance=0 fused-CG solve."""
+    dots = 2 + 3 * iters
+    return {
+        "spmv": {
+            "flops": 2 * nnz * iters * nb,
+            "global_read_bytes": (12 * nnz + 8 * n) * iters * nb,
+            "global_write_bytes": 0,
+            "slm_read_bytes": 8 * nnz * iters * nb,
+            "slm_write_bytes": 8 * n * iters * nb,
+            "barriers": nb * iters,
+            "group_collectives": 0,
+            "sub_group_collectives": 0,
+            "divergence_events": 0,
+        },
+        "precond": {
+            "flops": n * iters * nb,
+            "global_read_bytes": 8 * n * iters * nb,
+            "global_write_bytes": 0,
+            "slm_read_bytes": 8 * n * iters * nb,
+            "slm_write_bytes": 8 * n * iters * nb,
+            "barriers": nb * iters,
+            "group_collectives": 0,
+            "sub_group_collectives": 0,
+            "divergence_events": 0,
+        },
+        "blas1": {
+            "flops": n * nb * (1 + 6 * iters),
+            "global_read_bytes": 16 * n * nb,
+            "global_write_bytes": 8 * nb * (n + 1),
+            "slm_read_bytes": 8 * n * nb * (6 * iters + 1),
+            "slm_write_bytes": 8 * n * nb * (3 * iters + 4),
+            "barriers": nb * (2 * iters + 1),
+            "group_collectives": 0,
+            "sub_group_collectives": 0,
+            "divergence_events": 0,
+        },
+        "reduction": {
+            "flops": 2 * n * nb * dots,
+            "global_read_bytes": 8 * wg * nb,
+            "global_write_bytes": 0,
+            "slm_read_bytes": 16 * n * nb * dots,
+            "slm_write_bytes": 0,
+            "barriers": 0,
+            "group_collectives": nb * dots,
+            "sub_group_collectives": 0,
+            "divergence_events": 0,
+        },
+    }
+
+
+@pytest.mark.parametrize("backend", ["sycl", "cuda"])
+@pytest.mark.parametrize("n,nb,iters", [(8, 2, 3), (12, 2, 2), (8, 3, 2)])
+def test_fused_cg_counters_match_hand_count(backend, n, nb, iters):
+    matrix, b = build_workload(f"stencil:{n}", num_batch=nb)
+    nnz = int(matrix.row_ptrs[-1])
+    device = BACKEND_DEVICES[backend](1) if backend == "sycl" else a100_device()
+    wg = LaunchConfigurator(device).configure(n, nb).work_group_size
+
+    prof = run_profiled(
+        matrix, b, solver="cg", backend=backend, tolerance=0.0, max_iterations=iters
+    )
+    profile = prof.profile_for("batch_cg_fused")
+    expected = expected_cg_counters(n, nnz, nb, iters, wg)
+
+    assert set(profile.phases) == set(expected)
+    for phase, want in expected.items():
+        got = profile.phase(phase).as_dict()
+        assert got == want, f"{backend}/{phase}: {got} != {want}"
+
+
+@pytest.mark.parametrize("backend", ["sycl", "cuda"])
+def test_counters_bitwise_stable_across_runs(backend):
+    matrix, b = build_workload("stencil:8", num_batch=2)
+    snapshots = []
+    for _ in range(2):
+        prof = run_profiled(
+            matrix, b, solver="cg", backend=backend, tolerance=0.0, max_iterations=3
+        )
+        snapshots.append(prof.snapshot())
+    assert snapshots[0] == snapshots[1]
+
+
+def test_sycl_and_cuda_differ_only_in_work_group_term():
+    """The cross-backend delta is exactly the thresholds-read W term."""
+    matrix, b = build_workload("stencil:8", num_batch=2)
+    profs = {
+        backend: run_profiled(
+            matrix, b, solver="cg", backend=backend, tolerance=0.0, max_iterations=3
+        ).profile_for("batch_cg_fused")
+        for backend in ("sycl", "cuda")
+    }
+    for phase in ("spmv", "precond", "blas1"):
+        assert (
+            profs["sycl"].phase(phase).as_dict()
+            == profs["cuda"].phase(phase).as_dict()
+        )
+    sycl_red = profs["sycl"].phase("reduction").as_dict()
+    cuda_red = profs["cuda"].phase("reduction").as_dict()
+    # PVC W=16 vs A100 W=32: 8 B * delta-W * nb more threshold reads
+    assert cuda_red["global_read_bytes"] - sycl_red["global_read_bytes"] == 8 * 16 * 2
+    for key in sycl_red:
+        if key != "global_read_bytes":
+            assert sycl_red[key] == cuda_red[key]
+
+
+def test_merged_profiler_totals_add_up():
+    matrix, b = build_workload("stencil:8", num_batch=2)
+    prof = Profiler()
+    run_profiled(
+        matrix,
+        b,
+        solver="cg",
+        backend="sycl",
+        tolerance=0.0,
+        max_iterations=3,
+        profiler=prof,
+    )
+    single = prof.profile_for("batch_cg_fused").totals().as_dict()
+    run_profiled(
+        matrix,
+        b,
+        solver="cg",
+        backend="sycl",
+        tolerance=0.0,
+        max_iterations=3,
+        profiler=prof,
+    )
+    double = prof.profile_for("batch_cg_fused").totals().as_dict()
+    assert double == {k: 2 * v for k, v in single.items()}
+    assert prof.profile_for("batch_cg_fused").launches == 2

@@ -1,0 +1,109 @@
+"""Measured-vs-model drift detection and roofline placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.roofline import RooflinePoint
+from repro.hw.specs import gpu
+from repro.profile.roofline import (
+    DEFAULT_TOLERANCE,
+    DriftReport,
+    LevelDrift,
+    drift_report,
+    measured_intensities,
+    modeled_intensities,
+    place_measured,
+)
+from repro.profile.runner import build_workload, run_profiled
+
+
+@pytest.fixture(scope="module")
+def cg_profile():
+    matrix, b = build_workload("stencil:16", num_batch=4)
+    prof = run_profiled(
+        matrix, b, solver="cg", backend="sycl", tolerance=1e-8, max_iterations=40
+    )
+    return matrix, b, prof.profile_for("batch_cg_fused")
+
+
+class TestDrift:
+    def test_fused_cg_within_tolerance(self, cg_profile):
+        matrix, b, profile = cg_profile
+        spec = gpu("pvc1")
+        modeled = modeled_intensities(
+            spec, matrix, b, solver="cg", tolerance=1e-8, max_iterations=40
+        )
+        report = drift_report(profile, spec, modeled)
+        assert isinstance(report, DriftReport)
+        assert {lv.level for lv in report.levels} == {"slm", "global"}
+        for lv in report.levels:
+            assert lv.drift < DEFAULT_TOLERANCE, report.describe()
+        assert report.ok
+        assert "green" in report.describe()
+
+    def test_tampered_counters_flagged(self, cg_profile):
+        """Doubling measured FLOPs must push drift past tolerance."""
+        matrix, b, profile = cg_profile
+        spec = gpu("pvc1")
+        modeled = modeled_intensities(
+            spec, matrix, b, solver="cg", tolerance=1e-8, max_iterations=40
+        )
+        measured = measured_intensities(profile)
+        report = drift_report(profile, spec, modeled)
+        assert report.ok
+        # simulate the rot the detector exists for: a kernel change that
+        # doubles flops without the model being updated
+        for phase in profile.phases.values():
+            phase.flops *= 2
+        try:
+            bad = drift_report(profile, spec, modeled)
+            assert not bad.ok
+            assert "DRIFT" in bad.describe()
+            assert any(lv.drift > DEFAULT_TOLERANCE for lv in bad.levels)
+        finally:
+            for phase in profile.phases.values():
+                phase.flops //= 2
+        assert measured_intensities(profile) == measured
+
+    def test_empty_level_is_infinite_drift(self):
+        spec = gpu("pvc1")
+        from repro.profile.counters import KernelProfile
+
+        profile = KernelProfile("ghost")
+        profile.phase("spmv").flops = 100
+        profile.phase("spmv").global_read_bytes = 100
+        # no SLM traffic measured, but the model expects some
+        report = drift_report(profile, spec, {"slm": 1.0, "global": 1.0})
+        slm = next(lv for lv in report.levels if lv.level == "slm")
+        assert slm.drift == float("inf")
+        assert not report.ok
+
+    def test_level_drift_ok_property(self):
+        good = LevelDrift("slm", 1.0, 1.1, 0.1, 0.25)
+        bad = LevelDrift("slm", 1.0, 2.0, 1.0, 0.25)
+        assert good.ok and not bad.ok
+
+
+class TestPlacement:
+    def test_measured_point_on_roofline(self, cg_profile):
+        _, _, profile = cg_profile
+        spec = gpu("pvc1")
+        point = place_measured(profile, spec, runtime_seconds=1e-3)
+        assert isinstance(point, RooflinePoint)
+        totals = profile.totals()
+        # all measured global traffic rides the L2 lane by construction:
+        # the L2 intensity is flops/global_bytes and HBM carries nothing
+        assert point.intensity_by_level["l2"] == pytest.approx(
+            totals.flops / totals.global_bytes
+        )
+        assert point.intensity_by_level["slm"] == pytest.approx(
+            totals.flops / totals.slm_bytes
+        )
+        assert "hbm" not in point.intensity_by_level or point.intensity_by_level[
+            "hbm"
+        ] == float("inf")
+        assert point.achieved_gflops == pytest.approx(
+            totals.flops / 1e-3 / 1e9
+        )
+        assert point.binding_roof in ("l2", "slm", "hbm", "compute")
