@@ -40,6 +40,26 @@ echo "== profile smoke =="
 python scripts/smoke_profile.py --out /tmp/ci_profile_smoke.folded
 
 echo
+echo "== slo check =="
+# clean workload: every objective healthy, exit 0
+python -m repro slo check --requests 16 --epochs 3 --size 8
+# seeded latency regression: the burn-rate alert must page (non-zero exit)
+if python -m repro slo check --requests 16 --epochs 3 --size 8 \
+    --inject-latency-ms 5000 --inject-fraction 0.4 >/dev/null 2>&1; then
+    echo "slo check: seeded latency regression was NOT detected" >&2
+    exit 1
+fi
+echo "slo check: seeded regression detected (non-zero exit) — OK"
+
+echo
+echo "== telemetry smoke =="
+# one dashboard frame renders, and the overhead bench holds its
+# (quick-mode) disabled-path bound
+python -m repro top --frames 1 --interval 0.05 --requests 12 --size 8 >/dev/null
+python scripts/bench_telemetry_overhead.py --quick \
+    --out /tmp/ci_telemetry_overhead.json >/dev/null
+
+echo
 echo "== perf-regression gate =="
 python scripts/check_regression.py
 

@@ -173,6 +173,38 @@ def main(argv=None) -> int:
         f"({time.perf_counter() - start:.1f} s)"
     )
 
+    # telemetry: SLO monitor self-checks (clean run healthy, seeded
+    # regression pages) and the disabled-path overhead artifact
+    from repro.__main__ import main as repro_main
+
+    start = time.perf_counter()
+    slo_args = ["slo", "check", "--requests", "16", "--epochs", "3", "--size", "8"]
+    code = repro_main(slo_args)
+    if code != 0:
+        return code
+    seeded = repro_main(
+        slo_args + ["--inject-latency-ms", "5000", "--inject-fraction", "0.4"]
+    )
+    if seeded == 0:
+        print("slo check: seeded latency regression was NOT detected", file=sys.stderr)
+        return 1
+    print(f"slo check OK (clean healthy, seeded regression pages) "
+          f"({time.perf_counter() - start:.1f} s)")
+
+    import bench_telemetry_overhead
+
+    start = time.perf_counter()
+    telemetry_args = ["--out", str(out / "BENCH_telemetry_overhead.json")]
+    if args.quick:
+        telemetry_args.append("--quick")
+    code = bench_telemetry_overhead.main(telemetry_args)
+    if code != 0:
+        return code
+    print(
+        f"wrote {out / 'BENCH_telemetry_overhead.json'} "
+        f"({time.perf_counter() - start:.1f} s)"
+    )
+
     # regression gate over the freshly regenerated artifacts
     import check_regression
 

@@ -26,6 +26,17 @@ Commands:
   ``profile export`` writes flamegraph-ready folded stacks, and
   ``profile <command> [args]`` runs any other repro command with counter
   collection enabled, e.g. ``python -m repro profile stencil --sizes 16``.
+* ``slo``      — the SLO monitor (``repro.telemetry``): ``slo check``
+  runs a synthetic serve workload on a synthetic multi-hour clock and
+  exits non-zero when any burn-rate alert fires (seed a regression with
+  ``--inject-latency-ms``), ``slo report`` prints the burn table (or
+  evaluates a Prometheus text dump offline via ``--metrics-in``), and
+  ``slo <command> [args]`` runs any other repro command with a telemetry
+  hub installed and scores its combined metrics against the objectives
+  at exit, e.g. ``python -m repro slo serve-demo --requests 64``.
+* ``top``      — a live text dashboard over a running synthetic serve
+  workload: gauges, counters, latency percentiles with sparklines, SLO
+  burn state and the structured event-log tail, one frame per interval.
 * ``sanitize`` — the kernel sanitizer (``repro.sanitize``):
   ``sanitize selftest`` runs the seeded-mutation detector battery,
   ``sanitize check <case>`` runs one battery kernel (violations print a
@@ -179,6 +190,16 @@ def _cmd_serve_demo(args) -> int:
     )
     print()
     print_table(service.metrics.rows(), "serve metrics")
+
+    if args.metrics_out:
+        from repro.observability import render_prometheus
+
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(render_prometheus(service.metrics))
+        print(f"prometheus metrics written to {args.metrics_out}")
+    if args.events_out:
+        path = service.events.write_jsonl(args.events_out)
+        print(f"{len(service.events)} telemetry events written to {path}")
     return 0
 
 
@@ -670,6 +691,334 @@ def _cmd_profile(argv: list[str]) -> int:
     return code
 
 
+def _slo_specs(args):
+    """Objectives for the ``slo``/``top`` commands: file or stock defaults."""
+    from repro.telemetry import default_slos, load_slos
+
+    if getattr(args, "specs", None):
+        return load_slos(args.specs)
+    return default_slos(latency_threshold_ms=args.threshold_ms)
+
+
+def _slo_run_synthetic(args):
+    """Drive a synthetic serve workload on a synthetic multi-hour clock.
+
+    Each epoch submits ``--requests`` real requests through a
+    :class:`~repro.serve.service.SolverService`, optionally seeds a
+    latency regression (``--inject-latency-ms`` observed for
+    ``--inject-fraction`` of the epoch's requests — the knob CI flips to
+    prove the alert pages), then advances the synthetic clock by
+    ``--epoch-minutes`` and samples the monitor. Returns the monitor, its
+    final statuses and the service's event log.
+    """
+    import numpy as np
+
+    from repro.serve import ServeConfig, SolveRequest, SolverService
+    from repro.telemetry import SloMonitor
+    from repro.workloads.stencil import three_point_stencil
+
+    state = {"now": 0.0}
+    config = ServeConfig(
+        max_batch_size=args.batch_size,
+        max_wait_ms=1.0,
+        num_workers=args.workers,
+        backend=args.backend,
+    )
+    pattern = three_point_stencil(args.size, 1).item_scipy(0)
+    rng = np.random.default_rng(args.seed)
+
+    with SolverService(config) as service:
+        monitor = SloMonitor(
+            service.metrics, specs=_slo_specs(args), clock=lambda: state["now"]
+        )
+        monitor.sample()
+        hdr = service.metrics.log_histogram("serve.latency_hdr_ms")
+        for _epoch in range(args.epochs):
+            tickets = []
+            for _ in range(args.requests):
+                values = pattern.copy()
+                values.data = values.data * rng.uniform(0.9, 1.1, size=values.nnz)
+                tickets.append(
+                    service.submit(
+                        SolveRequest(
+                            values,
+                            rng.standard_normal(args.size),
+                            solver=args.solver,
+                            preconditioner="jacobi",
+                            tolerance=1e-8,
+                        )
+                    )
+                )
+            for ticket in tickets:
+                ticket.result(timeout=60.0)
+            if args.inject_latency_ms > 0:
+                for _ in range(int(round(args.inject_fraction * args.requests))):
+                    hdr.observe(args.inject_latency_ms)
+            state["now"] += args.epoch_minutes * 60.0
+            monitor.sample()
+        statuses = monitor.evaluate(now=state["now"])
+        events = service.events
+    return monitor, statuses, events
+
+
+def _slo_offline_statuses(args):
+    """Score a Prometheus text dump against the objectives (no windows)."""
+    from pathlib import Path
+
+    from repro.telemetry import SloStatus, counts_from_prometheus
+
+    text = Path(args.metrics_in).read_text(encoding="utf-8")
+    statuses = []
+    for spec in _slo_specs(args):
+        bad, total = counts_from_prometheus(spec, text)
+        statuses.append(SloStatus(spec=spec, bad=bad, total=total))
+    return statuses
+
+
+def _slo_check_or_report(mode: str, argv: list[str]) -> int:
+    """The ``slo check`` / ``slo report`` forms (synthetic or offline)."""
+    from repro.bench.report import print_table
+    from repro.observability.metrics import MetricsRegistry
+    from repro.telemetry import SloMonitor
+
+    parser = argparse.ArgumentParser(prog=f"repro slo {mode}")
+    parser.add_argument("--requests", type=int, default=32, help="requests per epoch")
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument(
+        "--epoch-minutes",
+        type=float,
+        default=10.0,
+        help="synthetic minutes the clock advances per epoch",
+    )
+    parser.add_argument("--size", type=int, default=16)
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--backend", choices=["sycl", "cuda"], default="sycl")
+    parser.add_argument("--solver", default="bicgstab")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--threshold-ms",
+        type=float,
+        default=500.0,
+        help="latency objective boundary (ignored with --specs)",
+    )
+    parser.add_argument("--specs", default=None, help="SLO spec JSON file")
+    parser.add_argument(
+        "--metrics-in",
+        default=None,
+        help="score a Prometheus text dump offline instead of running a workload",
+    )
+    parser.add_argument(
+        "--inject-latency-ms",
+        type=float,
+        default=0.0,
+        help="seed a latency regression: observe this latency for a "
+        "fraction of each epoch's requests",
+    )
+    parser.add_argument(
+        "--inject-fraction",
+        type=float,
+        default=0.3,
+        help="fraction of each epoch's requests the seeded regression hits",
+    )
+    args = parser.parse_args(argv)
+
+    if args.metrics_in:
+        statuses = _slo_offline_statuses(args)
+        monitor = SloMonitor(MetricsRegistry(), specs=[s.spec for s in statuses])
+        print_table(monitor.report_rows(statuses), f"slo compliance ({args.metrics_in})")
+        failing = [s for s in statuses if not s.compliant]
+    else:
+        minutes = args.epochs * args.epoch_minutes
+        print(
+            f"slo {mode}: {args.epochs} epochs x {args.requests} requests, "
+            f"synthetic clock {minutes:.0f} min"
+            + (
+                f", seeded regression {args.inject_latency_ms:.0f} ms on "
+                f"{args.inject_fraction:.0%} of requests"
+                if args.inject_latency_ms > 0
+                else ""
+            )
+        )
+        _monitor, statuses, _events = _slo_run_synthetic(args)
+        print()
+        print_table(_monitor.report_rows(statuses), "slo burn state")
+        failing = [s for s in statuses if s.burning or not s.compliant]
+
+    if failing:
+        names = ", ".join(s.spec.name for s in failing)
+        print(f"\nslo {mode}: FAILING — {names}", file=sys.stderr)
+        return 1 if mode == "check" else 0
+    print(f"\nslo {mode}: all objectives healthy")
+    return 0
+
+
+def _slo_wrap(argv: list[str]) -> int:
+    """Run a wrapped command under a telemetry hub and score it at exit.
+
+    Every :class:`~repro.serve.service.SolverService` the wrapped command
+    creates registers its metrics on the hub and shares the hub's event
+    log; at exit the combined counts are scored against the objectives
+    (overall compliance — a one-shot command has no burn-window
+    timeline). Non-zero when the wrapped command fails *or* an objective
+    is violated, so CI can gate any repro command on its SLOs.
+    """
+    import traceback
+
+    from repro.bench.report import print_table
+    from repro.observability.metrics import MetricsRegistry
+    from repro.telemetry import SloMonitor, TelemetryHub, use_event_log, use_hub
+
+    options = {"threshold_ms": 500.0, "specs": None, "events_out": None}
+    rest: list[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        key = None
+        if arg.startswith("--slo-threshold-ms"):
+            key = "threshold_ms"
+        elif arg.startswith("--slo-specs"):
+            key = "specs"
+        elif arg.startswith("--slo-events-out"):
+            key = "events_out"
+        if key is not None:
+            if "=" in arg:
+                options[key] = arg.split("=", 1)[1]
+            else:
+                if i + 1 >= len(argv):
+                    raise SystemExit(f"repro slo: {arg} requires a value")
+                options[key] = argv[i + 1]
+                i += 1
+        else:
+            rest.append(arg)
+        i += 1
+    options["threshold_ms"] = float(options["threshold_ms"])
+
+    hub = TelemetryHub()
+    try:
+        with use_hub(hub), use_event_log(hub.event_log):
+            code = main(rest)
+    except SystemExit as exc:
+        if exc.code is None:
+            code = 0
+        elif isinstance(exc.code, int):
+            code = exc.code
+        else:
+            print(exc.code, file=sys.stderr)
+            code = 1
+    except Exception:
+        traceback.print_exc()
+        code = 1
+
+    class _Opts:
+        specs = options["specs"]
+        threshold_ms = options["threshold_ms"]
+
+    specs = _slo_specs(_Opts)
+    statuses = hub.slo_statuses(specs)
+    monitor = SloMonitor(MetricsRegistry(), specs=specs)
+    print()
+    print_table(monitor.report_rows(statuses), "slo compliance (wrapped command)")
+    if options["events_out"]:
+        path = hub.event_log.write_jsonl(options["events_out"])
+        print(f"{len(hub.event_log)} telemetry events written to {path}")
+    violated = [s for s in statuses if not s.compliant]
+    if violated:
+        names = ", ".join(s.spec.name for s in violated)
+        print(f"slo: VIOLATED — {names}", file=sys.stderr)
+        return code or 1
+    if not hub.registries:
+        print("slo: wrapped command created no services; nothing to score")
+    else:
+        print("slo: all objectives met")
+    if code != 0:
+        print(f"warning: wrapped command exited {code}", file=sys.stderr)
+    return code
+
+
+def _cmd_slo(argv: list[str]) -> int:
+    """The ``slo`` command: check / report / wrapped command."""
+    if not argv or argv[0] == "slo":
+        raise SystemExit(
+            "usage: repro slo {check [opts] | report [opts] | <command> [args] "
+            "[--slo-threshold-ms MS] [--slo-specs FILE] [--slo-events-out FILE]}"
+        )
+    if argv[0] in ("check", "report"):
+        return _slo_check_or_report(argv[0], argv[1:])
+    return _slo_wrap(argv)
+
+
+def _cmd_top(args) -> int:
+    """Live text dashboard over a synthetic serve workload."""
+    import threading
+    import time as _time
+
+    import numpy as np
+
+    from repro.serve import ServeConfig, SolveRequest, SolverService
+    from repro.telemetry import SloMonitor, dashboard_text, default_slos
+    from repro.workloads.stencil import three_point_stencil
+
+    config = ServeConfig(
+        max_batch_size=args.batch_size,
+        max_wait_ms=2.0,
+        num_workers=args.workers,
+        backend=args.backend,
+    )
+    pattern = three_point_stencil(args.size, 1).item_scipy(0)
+    rng = np.random.default_rng(args.seed)
+
+    with SolverService(config) as service:
+        monitor = SloMonitor(
+            service.metrics, specs=default_slos(latency_threshold_ms=args.threshold_ms)
+        )
+        monitor.sample()
+        stop = threading.Event()
+
+        def feed() -> None:
+            # spread the workload across the dashboard's lifetime so the
+            # frames show the counters moving
+            for k in range(args.requests):
+                if stop.is_set():
+                    return
+                values = pattern.copy()
+                values.data = values.data * rng.uniform(0.9, 1.1, size=values.nnz)
+                try:
+                    ticket = service.submit(
+                        SolveRequest(
+                            values,
+                            rng.standard_normal(args.size),
+                            solver=args.solver,
+                            preconditioner="jacobi",
+                            tolerance=1e-8,
+                        )
+                    )
+                    ticket.result(timeout=60.0)
+                except Exception:
+                    return
+                if args.requests > 1 and k % 8 == 7:
+                    _time.sleep(min(args.interval / 4.0, 0.05))
+
+        feeder = threading.Thread(target=feed, name="repro-top-feeder", daemon=True)
+        feeder.start()
+        try:
+            for frame in range(args.frames):
+                if frame:
+                    _time.sleep(args.interval)
+                print(
+                    dashboard_text(
+                        service.metrics,
+                        monitor=monitor,
+                        events=service.events,
+                        title=f"repro top — frame {frame + 1}/{args.frames}",
+                    )
+                )
+        finally:
+            stop.set()
+            feeder.join(timeout=60.0)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (one sub-command per experiment)."""
     parser = argparse.ArgumentParser(
@@ -713,6 +1062,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--tuning-db",
         default=None,
         help="serve tuned launch geometry from this TuningDB file",
+    )
+    serve_demo.add_argument(
+        "--metrics-out",
+        default=None,
+        help="dump the service metrics in Prometheus text format to this file",
+    )
+    serve_demo.add_argument(
+        "--events-out",
+        default=None,
+        help="write the structured telemetry event log (JSONL) to this file",
     )
     serve_demo.set_defaults(fn=_cmd_serve_demo)
 
@@ -772,6 +1131,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("wrapped", nargs=argparse.REMAINDER)
     profile.set_defaults(fn=lambda a: _cmd_profile(a.wrapped))
+
+    slo = sub.add_parser(
+        "slo",
+        help="SLO monitor (repro.telemetry): 'check' (synthetic workload + "
+        "burn-rate alerts, non-zero when burning; seed a regression with "
+        "--inject-latency-ms), 'report' (burn table, or score a Prometheus "
+        "dump via --metrics-in), or any repro command to run under a "
+        "telemetry hub and score at exit",
+    )
+    slo.add_argument("wrapped", nargs=argparse.REMAINDER)
+    slo.set_defaults(fn=lambda a: _cmd_slo(a.wrapped))
+
+    top = sub.add_parser(
+        "top",
+        help="live text dashboard over a synthetic serve workload: metrics, "
+        "latency sparklines, SLO burn state, recent events",
+    )
+    top.add_argument("--frames", type=int, default=4)
+    top.add_argument("--interval", type=float, default=0.5, help="seconds between frames")
+    top.add_argument("--requests", type=int, default=64)
+    top.add_argument("--size", type=int, default=16)
+    top.add_argument("--batch-size", type=int, default=16)
+    top.add_argument("--workers", type=int, default=2)
+    top.add_argument("--backend", choices=["sycl", "cuda"], default="sycl")
+    top.add_argument("--solver", default="bicgstab")
+    top.add_argument("--threshold-ms", type=float, default=500.0)
+    top.add_argument("--seed", type=int, default=0)
+    top.set_defaults(fn=_cmd_top)
 
     sanitize = sub.add_parser(
         "sanitize",

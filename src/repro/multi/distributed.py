@@ -21,6 +21,7 @@ from repro.core.solver.base import BatchSolveResult
 from repro.hw.specs import GpuSpec
 from repro.hw.timing import TimingBreakdown, estimate_solve
 from repro.multi.comm import SimWorld
+from repro.observability.context import current_trace_context
 from repro.observability.tracer import current_tracer
 
 #: Export lane (Chrome-trace ``tid``) of rank 0; rank ``k`` lands on
@@ -87,6 +88,12 @@ def solve_distributed(
         num_ranks=world.size,
         num_batch=matrix.num_batch,
     ) as span:
+        # when a request-scoped trace context is ambient (a serve flush, a
+        # traced client call), fan-in onto the shared multi span is a link;
+        # the per-rank lane spans below inherit the trace via parentage
+        ctx = current_trace_context()
+        if ctx is not None:
+            span.link(ctx)
         b = matrix.check_vector("b", b)
         parts = partition_batch(matrix.num_batch, world.size)
 

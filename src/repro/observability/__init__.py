@@ -38,6 +38,15 @@ or from the command line::
     python -m repro trace stencil --trace-out trace.json
 """
 
+from repro.observability.context import (
+    TraceContext,
+    current_trace_context,
+    mint_context,
+    new_span_id,
+    new_trace_id,
+    set_trace_context,
+    use_trace_context,
+)
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -77,16 +86,23 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Span",
+    "TraceContext",
     "TraceEvent",
     "Tracer",
     "chrome_trace",
     "chrome_trace_events",
+    "current_trace_context",
     "current_tracer",
     "format_summary",
+    "mint_context",
+    "new_span_id",
+    "new_trace_id",
+    "set_trace_context",
     "set_tracer",
     "summary_rows",
     "traced",
     "use_tracer",
+    "use_trace_context",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",

@@ -1,0 +1,153 @@
+"""Request-scoped trace context: the identity a solve carries end to end.
+
+A :class:`TraceContext` is minted once per :class:`~repro.serve.request.
+SolveRequest` (or by any other entry point that wants request-scoped
+attribution) and rides along wherever the request goes — through the
+micro-batcher, across the worker pool, into kernel launches. It is the
+W3C-traceparent trio reduced to what the simulator needs:
+
+``trace_id``
+    Identifies the whole request journey; every span and event that can be
+    attributed to exactly one request carries it.
+``span_id``
+    The *root* span id of the journey — what child spans and batch fan-in
+    links point back at.
+``sampled``
+    The head-sampling decision. Routine telemetry for unsampled requests
+    is dropped at the source; *critical* telemetry (errors, fallbacks,
+    tail latencies — see :mod:`repro.telemetry.events`) is always kept.
+
+Propagation is ambient via a :class:`contextvars.ContextVar`, the same
+mechanism the tracer uses for its open-span stack, so the context flows
+correctly across nested calls, ``contextvars.copy_context()`` hand-offs
+into worker threads, and generator/coroutine suspension — places where
+``threading.local`` silently attributes to the wrong request.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "TraceContext",
+    "mint_context",
+    "new_trace_id",
+    "new_span_id",
+    "new_request_id",
+    "current_trace_context",
+    "set_trace_context",
+    "use_trace_context",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit trace id (16 hex chars)."""
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 hex chars)."""
+    return os.urandom(8).hex()
+
+
+def new_request_id() -> str:
+    """A fresh human-scannable request id (``req-`` + 8 hex chars)."""
+    return f"req-{os.urandom(4).hex()}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable identity of one traced request journey."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+    request_id: str = ""
+
+    def child(self) -> "TraceContext":
+        """The same journey under a fresh span id (manual child contexts)."""
+        return replace(self, span_id=new_span_id())
+
+    def with_sampled(self, sampled: bool) -> "TraceContext":
+        """A copy with the head-sampling decision overridden."""
+        return replace(self, sampled=sampled)
+
+    def to_dict(self) -> dict:
+        """Wire form (JSONL export, cross-process propagation headers)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "sampled": self.sampled,
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceContext":
+        """Rebuild a context from its :meth:`to_dict` wire form."""
+        return cls(
+            trace_id=data["trace_id"],
+            span_id=data["span_id"],
+            sampled=bool(data.get("sampled", True)),
+            request_id=data.get("request_id", ""),
+        )
+
+    def __repr__(self) -> str:
+        flag = "sampled" if self.sampled else "unsampled"
+        return f"TraceContext({self.trace_id}/{self.span_id}, {flag}, {self.request_id!r})"
+
+
+def mint_context(sampled: bool = True, request_id: str | None = None) -> TraceContext:
+    """Mint a fresh context: new trace id, new root span id, new request id."""
+    return TraceContext(
+        trace_id=new_trace_id(),
+        span_id=new_span_id(),
+        sampled=sampled,
+        request_id=request_id if request_id is not None else new_request_id(),
+    )
+
+
+_CURRENT: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_trace_context() -> TraceContext | None:
+    """The ambient trace context of the calling execution context, if any."""
+    return _CURRENT.get()
+
+
+def set_trace_context(ctx: TraceContext | None) -> TraceContext | None:
+    """Install ``ctx`` as the ambient context; returns the previous one.
+
+    Prefer :func:`use_trace_context` — the scoped form restores correctly
+    on exceptions and composes with nested scopes.
+    """
+    previous = _CURRENT.get()
+    _CURRENT.set(ctx)
+    return previous
+
+
+class use_trace_context:
+    """Scope a trace context: ``with use_trace_context(ctx): ...``.
+
+    ``use_trace_context(None)`` is a cheap no-op scope (keeps the ambient
+    context) so call sites can write it unconditionally.
+    """
+
+    __slots__ = ("ctx", "_token")
+
+    def __init__(self, ctx: TraceContext | None) -> None:
+        self.ctx = ctx
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> TraceContext | None:
+        if self.ctx is None:
+            return _CURRENT.get()
+        self._token = _CURRENT.set(self.ctx)
+        return self.ctx
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _CURRENT.reset(self._token)

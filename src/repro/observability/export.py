@@ -64,6 +64,17 @@ def chrome_trace_events(tracer: Tracer, process_name: str = "repro") -> list[dic
         }
     ]
     for span in tracer.spans:
+        args = _jsonable(span.args)
+        # request attribution rides in args: Perfetto surfaces args in the
+        # span detail pane, and the ids survive a JSON round-trip unchanged
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
+        if span.span_id is not None:
+            args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_span_id"] = span.parent_id
+        if span.links:
+            args["links"] = _jsonable(span.links)
         events.append(
             {
                 "name": span.name,
@@ -73,7 +84,7 @@ def chrome_trace_events(tracer: Tracer, process_name: str = "repro") -> list[dic
                 "dur": span.duration_ns / 1e3,
                 "pid": _PID,
                 "tid": span.tid if span.tid is not None else 0,
-                "args": _jsonable(span.args),
+                "args": args,
             }
         )
     for event in tracer.events:
@@ -140,6 +151,10 @@ def jsonl_records(tracer: Tracer) -> list[dict]:
                 "dur_ns": span.duration_ns,
                 "tid": span.tid if span.tid is not None else 0,
                 "parent": span.parent.name if span.parent is not None else None,
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_span_id": span.parent_id,
+                "links": _jsonable(span.links),
                 "args": _jsonable(span.args),
             }
         )
@@ -150,6 +165,8 @@ def jsonl_records(tracer: Tracer) -> list[dict]:
                 "name": event.name,
                 "ts_ns": event.ts_ns - tracer.epoch_ns,
                 "tid": event.tid,
+                "trace_id": event.trace_id,
+                "span_id": event.span_id,
                 "args": _jsonable(event.args),
             }
         )

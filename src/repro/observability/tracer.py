@@ -16,17 +16,29 @@ opt-in ``tracer=`` argument which they install via :func:`use_tracer` for
 the duration of the call.
 
 Thread safety: finished records append under a lock; the *open-span stack*
-is thread-local, so concurrent solves on different threads nest their own
-spans correctly and export with distinct ``tid`` lanes.
+lives in a :class:`contextvars.ContextVar`, so concurrent solves on
+different threads — and interleaved host tasks that inherit a copied
+context — nest their own spans correctly and export with distinct ``tid``
+lanes. Spans additionally carry request attribution: a ``trace_id``
+inherited from the enclosing span or the ambient
+:class:`~repro.observability.context.TraceContext`, and *span links*
+recording batch fan-in (several requests converging on one shared flush
+span, OpenTelemetry style).
 """
 
 from __future__ import annotations
 
+import contextvars
 import functools
 import threading
 import time
 from typing import Any, Callable
 
+from repro.observability.context import (
+    TraceContext,
+    current_trace_context,
+    new_span_id,
+)
 from repro.observability.metrics import MetricsRegistry
 
 __all__ = [
@@ -41,21 +53,39 @@ __all__ = [
     "traced",
 ]
 
+#: Open spans of the calling execution context, innermost last. One stack
+#: is shared by all tracers; parentage and ``current_span`` filter by the
+#: owning tracer so nested ``use_tracer`` scopes stay independent.
+_SPAN_STACK: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro_span_stack", default=()
+)
+
 
 class TraceEvent:
     """One instant marker or counter sample (non-span trace record)."""
 
-    __slots__ = ("kind", "name", "ts_ns", "tid", "args")
+    __slots__ = ("kind", "name", "ts_ns", "tid", "args", "trace_id", "span_id")
 
     INSTANT = "instant"
     COUNTER = "counter"
 
-    def __init__(self, kind: str, name: str, ts_ns: int, tid: int, args: dict) -> None:
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        ts_ns: int,
+        tid: int,
+        args: dict,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+    ) -> None:
         self.kind = kind
         self.name = name
         self.ts_ns = ts_ns
         self.tid = tid
         self.args = args
+        self.trace_id = trace_id
+        self.span_id = span_id
 
     def __repr__(self) -> str:
         return f"TraceEvent({self.kind}, {self.name!r}, ts={self.ts_ns})"
@@ -77,6 +107,10 @@ class Span:
         "end_ns",
         "tid",
         "parent",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "links",
         "_tracer",
     )
 
@@ -87,6 +121,7 @@ class Span:
         category: str,
         args: dict,
         tid: int | None = None,
+        context: TraceContext | None = None,
     ) -> None:
         self._tracer = tracer
         self.name = name
@@ -96,6 +131,12 @@ class Span:
         self.end_ns = 0
         self.tid = tid
         self.parent: Span | None = None
+        # request attribution: a ``context`` passed explicitly wins; else
+        # _open_span inherits from the enclosing span / ambient context
+        self.trace_id: str | None = context.trace_id if context is not None else None
+        self.span_id: str | None = None
+        self.parent_id: str | None = context.span_id if context is not None else None
+        self.links: list[dict] = []
 
     # -- annotation ----------------------------------------------------------
 
@@ -109,10 +150,28 @@ class Span:
         self.args.update(kwargs)
         return self
 
+    def link(self, target: "TraceContext | Span") -> "Span":
+        """Record a causal link to another trace (OpenTelemetry span link).
+
+        Used for batch fan-in: a shared flush span belongs to no single
+        request, so it *links* every constituent request's root context
+        instead — reconstruction follows the links back out.
+        """
+        self.links.append({"trace_id": target.trace_id, "span_id": target.span_id})
+        return self
+
     def event(self, name: str, **args: Any) -> None:
         """Drop an instant marker at the current time on this span's lane."""
         self._tracer._record_event(
-            TraceEvent(TraceEvent.INSTANT, name, time.perf_counter_ns(), self.tid, args)
+            TraceEvent(
+                TraceEvent.INSTANT,
+                name,
+                time.perf_counter_ns(),
+                self.tid,
+                args,
+                trace_id=self.trace_id,
+                span_id=self.span_id,
+            )
         )
 
     @property
@@ -155,6 +214,10 @@ class _NullSpan:
     end_ns = 0
     tid = None
     parent = None
+    trace_id = None
+    span_id = None
+    parent_id = None
+    links: list = []
     duration_ns = 0
     duration_seconds = 0.0
 
@@ -162,6 +225,9 @@ class _NullSpan:
         return self
 
     def set_args(self, **kwargs: Any) -> "_NullSpan":
+        return self
+
+    def link(self, target: Any) -> "_NullSpan":
         return self
 
     def event(self, name: str, **args: Any) -> None:
@@ -193,21 +259,30 @@ class Tracer:
         self.spans: list[Span] = []
         self.events: list[TraceEvent] = []
         self._lock = threading.Lock()
-        self._local = threading.local()
         self._tids: dict[int, int] = {}
 
     # -- recording API -------------------------------------------------------
 
-    def span(self, name: str, category: str = "", tid: int | None = None, **args: Any):
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        tid: int | None = None,
+        context: TraceContext | None = None,
+        **args: Any,
+    ):
         """A context manager recording one span (finished on ``__exit__``).
 
         ``tid`` overrides the export lane — used e.g. for per-rank lanes of
         the distributed solves; by default spans land on the lane of the
-        thread that opened them.
+        thread that opened them. ``context`` pins the span to a specific
+        request's trace (per-request scatter/fallback spans inside a shared
+        flush); without it the span inherits the enclosing span's trace id
+        or the ambient :func:`current_trace_context`.
         """
         if not self.enabled:
             return _NULL_SPAN
-        return Span(self, name, category, dict(args), tid=tid)
+        return Span(self, name, category, dict(args), tid=tid, context=context)
 
     def instant(self, name: str, **args: Any) -> None:
         """Record a free-standing instant marker."""
@@ -264,9 +339,11 @@ class Tracer:
     # -- introspection -------------------------------------------------------
 
     def current_span(self) -> Span | None:
-        """The innermost open span on the calling thread, if any."""
-        stack = getattr(self._local, "stack", None)
-        return stack[-1] if stack else None
+        """The innermost open span of the calling execution context, if any."""
+        for span in reversed(_SPAN_STACK.get()):
+            if span._tracer is self:
+                return span
+        return None
 
     @property
     def num_records(self) -> int:
@@ -282,28 +359,50 @@ class Tracer:
     # -- span bookkeeping (called by Span) ------------------------------------
 
     def _open_span(self, span: Span) -> None:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        span.parent = stack[-1] if stack else None
+        stack = _SPAN_STACK.get()
+        span.parent = self.current_span()
+        span.span_id = new_span_id()
+        if span.parent is not None and span.parent_id is None:
+            # structural parent: the enclosing span, whatever trace it is on
+            span.parent_id = span.parent.span_id
+        if span.trace_id is None:
+            if span.parent is not None and span.parent.trace_id is not None:
+                span.trace_id = span.parent.trace_id
+            else:
+                ctx = current_trace_context()
+                if ctx is not None:
+                    span.trace_id = ctx.trace_id
+                    if span.parent_id is None:
+                        span.parent_id = ctx.span_id
         if span.tid is None:
             span.tid = self._thread_tid()
-        stack.append(span)
+        _SPAN_STACK.set(stack + (span,))
         span.start_ns = time.perf_counter_ns()
 
     def _close_span(self, span: Span) -> None:
         span.end_ns = time.perf_counter_ns()
-        stack = getattr(self._local, "stack", None)
+        stack = _SPAN_STACK.get()
         if stack and stack[-1] is span:
-            stack.pop()
-        elif stack and span in stack:  # tolerate out-of-order exits
-            stack.remove(span)
+            _SPAN_STACK.set(stack[:-1])
+        elif span in stack:  # tolerate out-of-order exits
+            idx = len(stack) - 1 - stack[::-1].index(span)
+            _SPAN_STACK.set(stack[:idx] + stack[idx + 1 :])
         with self._lock:
             self.spans.append(span)
 
     def _record_event(self, event: TraceEvent) -> None:
         if event.tid is None:
             event.tid = self._thread_tid()
+        if event.trace_id is None:
+            span = self.current_span()
+            if span is not None and span.trace_id is not None:
+                event.trace_id = span.trace_id
+                event.span_id = span.span_id
+            else:
+                ctx = current_trace_context()
+                if ctx is not None:
+                    event.trace_id = ctx.trace_id
+                    event.span_id = ctx.span_id
         with self._lock:
             self.events.append(event)
 
@@ -333,7 +432,14 @@ class NullTracer(Tracer):
         self.spans = []
         self.events = []
 
-    def span(self, name: str, category: str = "", tid: int | None = None, **args: Any):
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        tid: int | None = None,
+        context: TraceContext | None = None,
+        **args: Any,
+    ):
         return _NULL_SPAN
 
     def instant(self, name: str, **args: Any) -> None:

@@ -45,6 +45,13 @@ class SanitizerReport:
     tracer span when tracing was active, else ``None``. Detector-specific
     facts (array name, cell index, epoch numbers, ...) live in
     ``details``.
+
+    Request attribution: ``trace_id`` is the ambient
+    :class:`~repro.observability.context.TraceContext` at trip time (when
+    the launch ran under one request's context), and ``trace_ids`` /
+    ``request_ids`` name *every* victim request of a batched flush — the
+    serving layer stamps them when a trip aborts a shared launch, so the
+    report identifies whose systems died, not just which batch.
     """
 
     kind: str
@@ -56,6 +63,9 @@ class SanitizerReport:
     items: tuple[int, ...] = ()
     sites: tuple[str, ...] = ()
     span: str | None = None
+    trace_id: str | None = None
+    trace_ids: tuple[str, ...] = ()
+    request_ids: tuple[str, ...] = ()
     details: dict[str, Any] = field(default_factory=dict)
 
     def format(self) -> str:
@@ -71,6 +81,12 @@ class SanitizerReport:
             lines.append(f"  at: {site}")
         if self.span is not None:
             lines.append(f"  span: {self.span}")
+        if self.trace_id is not None:
+            lines.append(f"  trace: {self.trace_id}")
+        if self.request_ids:
+            lines.append(f"  victim requests: {list(self.request_ids)}")
+        elif self.trace_ids:
+            lines.append(f"  victim traces: {list(self.trace_ids)}")
         for key, value in self.details.items():
             lines.append(f"  {key}: {value}")
         return "\n".join(lines)

@@ -47,8 +47,10 @@ from repro.exceptions import (
     SlmRaceError,
     UninitializedSlmReadError,
 )
+from repro.observability.context import current_trace_context
 from repro.observability.tracer import current_tracer
 from repro.sanitize import report as _report
+from repro.telemetry.events import SANITIZER_TRIP, emit_event
 from repro.sanitize.report import AccessSite, SanitizerReport
 from repro.sanitize.shadow import (
     ACC_GEPOCH,
@@ -155,6 +157,17 @@ class Sanitizer:
             self.reports.append(rep)
             count = self.stats.violations.get(rep.kind, 0) + 1
             self.stats.violations[rep.kind] = count
+        ctx = current_trace_context()
+        if ctx is not None:
+            rep.trace_id = ctx.trace_id
+        emit_event(
+            SANITIZER_TRIP,
+            ctx=ctx,
+            critical=True,
+            kind=rep.kind,
+            kernel=rep.kernel,
+            group=rep.group_id,
+        )
         tracer = current_tracer()
         if tracer.enabled:
             span = tracer.current_span()

@@ -11,6 +11,7 @@ threads (a flusher that sleeps until :meth:`next_deadline_ns`).
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import Callable
@@ -23,6 +24,11 @@ DEADLINE = "deadline"
 DRAIN = "drain"
 
 
+def _new_flush_id() -> str:
+    """A short identity for one flush (ties span links and events together)."""
+    return f"flush-{os.urandom(4).hex()}"
+
+
 @dataclass
 class FlushBatch:
     """One batch of co-batchable tickets handed to the worker pool."""
@@ -32,6 +38,7 @@ class FlushBatch:
     reason: str
     opened_ns: int
     flushed_ns: int
+    flush_id: str = field(default_factory=_new_flush_id)
 
     @property
     def size(self) -> int:

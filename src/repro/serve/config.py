@@ -60,6 +60,17 @@ class ServeConfig:
         (and no database object is passed to the service directly), the
         service opens it and serves tuned launch geometry through the plan
         cache. ``None`` keeps the pure Section-3.6 heuristic.
+    telemetry_sample_rate:
+        Head-sampling rate for request-scoped telemetry in ``[0, 1]``:
+        the fraction of requests whose routine structured events are kept
+        (the decision is deterministic in the trace id, so one request is
+        sampled consistently everywhere). Critical events — errors,
+        timeouts, fallbacks, sanitizer trips, p99-tail completions — are
+        always kept regardless. ``0.0`` is the cheapest disabled-path
+        setting the overhead benchmark gates.
+    event_log_capacity:
+        Ring size of the service's bounded-memory structured event log
+        (one ring for routine events, one pinned ring for criticals).
     """
 
     max_batch_size: int = 64
@@ -73,6 +84,8 @@ class ServeConfig:
     shards_per_flush: int = 1
     plan_cache_capacity: int = 256
     tuning_db_path: str | None = None
+    telemetry_sample_rate: float = 1.0
+    event_log_capacity: int = 2048
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -98,6 +111,14 @@ class ServeConfig:
         if self.plan_cache_capacity <= 0:
             raise ValueError(
                 f"plan_cache_capacity must be positive, got {self.plan_cache_capacity}"
+            )
+        if not 0.0 <= self.telemetry_sample_rate <= 1.0:
+            raise ValueError(
+                f"telemetry_sample_rate must be in [0, 1], got {self.telemetry_sample_rate}"
+            )
+        if self.event_log_capacity <= 0:
+            raise ValueError(
+                f"event_log_capacity must be positive, got {self.event_log_capacity}"
             )
 
     @property

@@ -64,6 +64,7 @@ class PlanCache:
         metrics: MetricsRegistry | None = None,
         capacity: int = 256,
         tuning_db: object | None = None,
+        event_log: object | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -71,6 +72,7 @@ class PlanCache:
         self.capacity = capacity
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tuning_db = tuning_db
+        self.event_log = event_log
         self._db_generation = (
             tuning_db.generation if tuning_db is not None else None
         )
@@ -90,8 +92,18 @@ class PlanCache:
         if generation != self._db_generation:
             self._db_generation = generation
             if self._plans:
+                dropped = len(self._plans)
                 self._plans.clear()
                 self.metrics.counter("serve.plan_cache.invalidations").inc()
+                if self.event_log is not None:
+                    from repro.telemetry.events import PLAN_CACHE_INVALIDATED
+
+                    self.event_log.emit(
+                        PLAN_CACHE_INVALIDATED,
+                        critical=True,
+                        generation=generation,
+                        plans_dropped=dropped,
+                    )
 
     def plan_for(self, key: BatchKey) -> tuple[ExecutionPlan, bool]:
         """The execution plan for one compatibility class; ``(plan, hit)``.

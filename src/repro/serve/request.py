@@ -22,6 +22,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.core.dispatch import CRITERIA, FORMATS, PRECISIONS, PRECONDITIONERS, SOLVERS
+from repro.observability.context import TraceContext, mint_context
 from repro.core.matrix import BatchCsr, BatchDense, BatchedMatrix
 from repro.exceptions import (
     BadSparsityPatternError,
@@ -94,6 +95,7 @@ class SolveRequest:
         "dense",
         "num_rows",
         "batch_key",
+        "trace_context",
     )
 
     def __init__(
@@ -108,6 +110,7 @@ class SolveRequest:
         max_iterations: int = 500,
         precision: str = "double",
         matrix_format: str | None = None,
+        trace_context: TraceContext | None = None,
     ) -> None:
         if solver not in SOLVERS:
             raise UnsupportedCombinationError(
@@ -153,6 +156,15 @@ class SolveRequest:
                 )
         self.x0 = x0
         self.batch_key = self._compute_key()
+        # every request is born with its own trace identity; upstream
+        # callers that already carry one (a client retry, a multi-hop
+        # pipeline) pass it in and the journey keeps one trace_id
+        self.trace_context = trace_context if trace_context is not None else mint_context()
+
+    @property
+    def request_id(self) -> str:
+        """Human-scannable identity of this request (from its trace context)."""
+        return self.trace_context.request_id
 
     # -- matrix normalization -----------------------------------------------
 
@@ -277,12 +289,14 @@ class SolveOutcome:
     solve_ms: float
     worker: str
     plan_cache_hit: bool
+    trace_id: str = ""
+    request_id: str = ""
 
     def __repr__(self) -> str:
         return (
             f"SolveOutcome(solver={self.solver_name!r}, converged={self.converged}, "
             f"iterations={self.iterations}, batch_size={self.batch_size}, "
-            f"fallback={self.used_fallback})"
+            f"fallback={self.used_fallback}, request_id={self.request_id!r})"
         )
 
 
@@ -333,6 +347,11 @@ class SolveTicket:
                 f"request not served within {timeout} s (status {self.status!r})"
             )
         return self._error
+
+    @property
+    def trace_context(self) -> TraceContext:
+        """The request's trace identity (shortcut for service code)."""
+        return self.request.trace_context
 
     @property
     def queue_wait_ns(self) -> int | None:

@@ -39,6 +39,19 @@ from repro.exceptions import (
 from repro.multi.distributed import partition_batch
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Tracer, current_tracer, use_tracer
+from repro.telemetry.events import (
+    REQUEST_ADMITTED,
+    REQUEST_FAILED,
+    REQUEST_FALLBACK,
+    REQUEST_FLUSHED,
+    REQUEST_REJECTED,
+    REQUEST_SOLVED,
+    REQUEST_TIMED_OUT,
+    SANITIZER_TRIP,
+    EventLog,
+    current_event_log,
+)
+from repro.telemetry.hub import current_hub
 from repro.serve.batcher import FlushBatch, MicroBatcher
 from repro.serve.config import ServeConfig
 from repro.serve.plan_cache import ExecutionPlan, PlanCache
@@ -81,16 +94,34 @@ class SolverService:
         self.config = config if config is not None else ServeConfig()
         self.device = device if device is not None else self._default_device()
         self.metrics = MetricsRegistry()
+        # structured event log: a `repro slo <command>` wrapper hub wins,
+        # then a process-installed log, then a private bounded ring
+        hub = current_hub()
+        if hub is not None:
+            hub.register(self.metrics)
+            self.events: EventLog = hub.event_log
+        else:
+            installed = current_event_log()
+            self.events = (
+                installed
+                if installed is not None
+                else EventLog(capacity=self.config.event_log_capacity)
+            )
         if tuning_db is None and self.config.tuning_db_path is not None:
             from repro.tune.db import TuningDB
 
-            tuning_db = TuningDB(self.config.tuning_db_path, metrics=self.metrics)
+            tuning_db = TuningDB(
+                self.config.tuning_db_path,
+                metrics=self.metrics,
+                event_log=self.events,
+            )
         self.tuning_db = tuning_db
         self.plan_cache = PlanCache(
             self.device,
             metrics=self.metrics,
             capacity=self.config.plan_cache_capacity,
             tuning_db=tuning_db,
+            event_log=self.events,
         )
         self.batcher = MicroBatcher(
             self.config.max_batch_size, self.config.max_wait_ns
@@ -123,11 +154,19 @@ class SolverService:
         ``max_pending`` requests are in flight, :class:`ServiceClosedError`
         after :meth:`close`.
         """
+        self._stamp_sampling(request)
         with self._state:
             if self._closed:
                 raise ServiceClosedError("service is closed")
             if self._pending >= self.config.max_pending:
                 self.metrics.counter("serve.rejected").inc()
+                self.events.emit(
+                    REQUEST_REJECTED,
+                    ctx=request.trace_context,
+                    critical=True,
+                    pending=self._pending,
+                    max_pending=self.config.max_pending,
+                )
                 raise ServiceSaturatedError(
                     f"service saturated: {self._pending} requests pending "
                     f"(max_pending={self.config.max_pending})",
@@ -144,6 +183,13 @@ class SolverService:
             deadline_ns=None if timeout_ns is None else now + timeout_ns,
         )
         self.metrics.counter("serve.accepted").inc()
+        self.events.emit(
+            REQUEST_ADMITTED,
+            ctx=request.trace_context,
+            solver=request.solver,
+            num_rows=request.num_rows,
+            matrix_format=request.matrix_format,
+        )
         flush = self.batcher.offer(ticket)
         if flush is not None:
             self._dispatch(flush)
@@ -155,6 +201,24 @@ class SolverService:
     def solve(self, request: SolveRequest, timeout: float | None = None) -> SolveOutcome:
         """Submit one request and block for its outcome (convenience)."""
         return self.submit(request).result(timeout)
+
+    def _stamp_sampling(self, request: SolveRequest) -> None:
+        """Apply the head-sampling decision to the request's trace context.
+
+        Deterministic in the trace id (hash-mod, like W3C trace-flags
+        propagation), so a request is sampled consistently by every
+        component that sees it — and re-submission keeps the decision.
+        """
+        rate = self.config.telemetry_sample_rate
+        ctx = request.trace_context
+        if rate >= 1.0:
+            sampled = True
+        elif rate <= 0.0:
+            sampled = False
+        else:
+            sampled = int(ctx.trace_id[:8], 16) < rate * 0x1_0000_0000
+        if sampled != ctx.sampled:
+            request.trace_context = ctx.with_sampled(sampled)
 
     # -- flush scheduling ---------------------------------------------------------
 
@@ -198,6 +262,7 @@ class SolverService:
                 tid=worker.lane,
                 batch_size=flush.size,
                 reason=flush.reason,
+                flush_id=flush.flush_id,
                 solver=key.solver,
                 preconditioner=key.preconditioner,
                 matrix_format=key.matrix_format,
@@ -223,6 +288,18 @@ class SolverService:
                         self.metrics.log_histogram("serve.queue_wait_hdr_ms").observe(
                             wait_ms
                         )
+                        # batch fan-in: the shared flush span belongs to no
+                        # single request, so it *links* every live request's
+                        # root context (OpenTelemetry span links)
+                        span.link(ticket.trace_context)
+                        self.events.emit(
+                            REQUEST_FLUSHED,
+                            ctx=ticket.trace_context,
+                            flush_id=flush.flush_id,
+                            reason=flush.reason,
+                            batch_size=flush.size,
+                            queue_wait_ms=round(wait_ms, 3),
+                        )
                         live.append(ticket)
                 if not live:
                     span.set("all_timed_out", True)
@@ -231,7 +308,11 @@ class SolverService:
                 try:
                     with tracer.span("serve.assembly", category="serve", tid=worker.lane):
                         matrix, b, x0 = assemble_batch([t.request for t in live])
-                    plan, cache_hit = self.plan_cache.plan_for(key)
+                    with tracer.span(
+                        "serve.plan", category="serve", tid=worker.lane
+                    ) as plan_span:
+                        plan, cache_hit = self.plan_cache.plan_for(key)
+                        plan_span.set("cache_hit", cache_hit)
                     span.set("plan_cache_hit", cache_hit)
                     solve_start = monotonic_ns()
                     with tracer.span(
@@ -252,11 +333,12 @@ class SolverService:
                 except Exception as exc:  # whole-flush failure → per-request rescue
                     self.metrics.counter("serve.flush_failures").inc()
                     span.set("error", type(exc).__name__)
+                    self._attribute_failure(exc, live, flush)
                     self._rescue_flush(live, exc, worker, cache_hit=False)
                     return
 
                 overrides = self._apply_fallbacks(
-                    live, matrix, b, result, worker, tracer
+                    live, matrix, b, result, worker, tracer, flush
                 )
 
                 with tracer.span("serve.scatter", category="serve", tid=worker.lane):
@@ -265,22 +347,64 @@ class SolverService:
                             outcome_src, used_fallback = overrides[i]
                         else:
                             outcome_src, used_fallback = result.select([i]), False
-                        self._finish_ok(
-                            ticket,
-                            SolveOutcome(
-                                x=outcome_src.x[0],
-                                iterations=int(outcome_src.iterations[0]),
-                                residual_norm=float(outcome_src.residual_norms[0]),
-                                converged=bool(outcome_src.converged[0]),
-                                solver_name=outcome_src.solver_name,
-                                used_fallback=used_fallback,
-                                batch_size=len(live),
-                                queue_wait_ms=(ticket.queue_wait_ns or 0) / 1e6,
-                                solve_ms=solve_ms,
-                                worker=worker.device_name,
-                                plan_cache_hit=cache_hit,
-                            ),
-                        )
+                        # the per-request leg of the journey: pinned to the
+                        # request's own trace, inside the shared flush
+                        with tracer.span(
+                            "serve.request",
+                            category="serve.request",
+                            tid=worker.lane,
+                            context=ticket.trace_context,
+                            request_id=ticket.request.request_id,
+                            flush_id=flush.flush_id,
+                            index=i,
+                        ):
+                            self._finish_ok(
+                                ticket,
+                                SolveOutcome(
+                                    x=outcome_src.x[0],
+                                    iterations=int(outcome_src.iterations[0]),
+                                    residual_norm=float(outcome_src.residual_norms[0]),
+                                    converged=bool(outcome_src.converged[0]),
+                                    solver_name=outcome_src.solver_name,
+                                    used_fallback=used_fallback,
+                                    batch_size=len(live),
+                                    queue_wait_ms=(ticket.queue_wait_ns or 0) / 1e6,
+                                    solve_ms=solve_ms,
+                                    worker=worker.device_name,
+                                    plan_cache_hit=cache_hit,
+                                ),
+                            )
+
+    def _attribute_failure(
+        self, exc: Exception, live: list[SolveTicket], flush: FlushBatch
+    ) -> None:
+        """Name the victim requests on a flush-level failure.
+
+        A sanitizer trip aborts the whole fused launch; its structured
+        :class:`~repro.sanitize.report.SanitizerReport` (carried on the
+        exception) gains the trace/request ids of every co-batched request
+        so the report names victims, not just the batch. The trip is also
+        recorded as a pinned structured event.
+        """
+        report = getattr(exc, "report", None)
+        if report is None:
+            return
+        trace_ids = tuple(t.trace_context.trace_id for t in live)
+        request_ids = tuple(t.request.request_id for t in live)
+        try:
+            report.trace_ids = trace_ids
+            report.request_ids = request_ids
+        except (AttributeError, TypeError):  # frozen or foreign report object
+            pass
+        self.events.emit(
+            SANITIZER_TRIP,
+            critical=True,
+            kind=getattr(report, "kind", type(exc).__name__),
+            kernel=getattr(report, "kernel", ""),
+            flush_id=flush.flush_id,
+            trace_ids=list(trace_ids),
+            request_ids=list(request_ids),
+        )
 
     def _solve_batch(
         self,
@@ -346,6 +470,7 @@ class SolverService:
         result: BatchSolveResult,
         worker: Worker,
         tracer,
+        flush: FlushBatch | None = None,
     ) -> dict[int, tuple[BatchSolveResult, bool]]:
         """Retry non-converged systems one-by-one with the direct-LU solver.
 
@@ -365,12 +490,15 @@ class SolverService:
         )
         plan, _hit = self.plan_cache.plan_for(fallback_key)
         for i in bad:
+            ctx = live[i].trace_context
             with tracer.span(
                 "serve.fallback",
                 category="serve",
                 tid=worker.lane,
+                context=ctx,
                 index=i,
                 solver="direct",
+                request_id=live[i].request.request_id,
             ):
                 try:
                     solver = plan.build_solver(matrix.take_batch(slice(i, i + 1)))
@@ -381,6 +509,13 @@ class SolverService:
                     overrides[i] = (result.select([i]), False)
                     continue
             self.metrics.counter("serve.fallbacks").inc()
+            self.events.emit(
+                REQUEST_FALLBACK,
+                ctx=ctx,
+                critical=True,
+                reason="not_converged",
+                flush_id=flush.flush_id if flush is not None else "",
+            )
             overrides[i] = (fallback_result, True)
         return overrides
 
@@ -406,6 +541,13 @@ class SolverService:
                 self._finish_fail(ticket, exc)
                 continue
             self.metrics.counter("serve.fallbacks").inc()
+            self.events.emit(
+                REQUEST_FALLBACK,
+                ctx=ticket.trace_context,
+                critical=True,
+                reason="flush_failed",
+                error=type(error).__name__,
+            )
             self._finish_ok(
                 ticket,
                 SolveOutcome(
@@ -428,12 +570,30 @@ class SolverService:
     def _finish_ok(self, ticket: SolveTicket, outcome: SolveOutcome) -> None:
         if ticket.done():
             return
+        ctx = ticket.trace_context
+        outcome.trace_id = ctx.trace_id
+        outcome.request_id = ctx.request_id
         self.metrics.counter("serve.served").inc()
         latency_ms = (monotonic_ns() - ticket.submitted_ns) / 1e6
+        hdr = self.metrics.log_histogram("serve.latency_hdr_ms")
+        # tail-based sampling: judge against the p99 *before* folding this
+        # sample in, once enough history exists to make p99 meaningful
+        tail = hdr.count >= 64 and latency_ms >= hdr.percentile(99.0)
         self.metrics.histogram("serve.latency_ms").observe(latency_ms)
         # HDR-style streaming twin: bounded memory, mergeable, and what the
         # Prometheus exposition renders as a classic histogram
-        self.metrics.log_histogram("serve.latency_hdr_ms").observe(latency_ms)
+        hdr.observe(latency_ms)
+        self.events.emit(
+            REQUEST_SOLVED,
+            ctx=ctx,
+            critical=bool(outcome.used_fallback or tail),
+            latency_ms=round(latency_ms, 3),
+            iterations=outcome.iterations,
+            converged=outcome.converged,
+            fallback=outcome.used_fallback,
+            batch_size=outcome.batch_size,
+            tail=tail,
+        )
         ticket._complete(outcome)
         self._release_one()
 
@@ -441,6 +601,13 @@ class SolverService:
         if ticket.done():
             return
         self.metrics.counter("serve.failed").inc()
+        self.events.emit(
+            REQUEST_TIMED_OUT if status == TIMED_OUT else REQUEST_FAILED,
+            ctx=ticket.trace_context,
+            critical=True,
+            error=type(error).__name__,
+            detail=str(error)[:160],
+        )
         ticket._fail(error, status=status)
         self._release_one()
 

@@ -12,6 +12,7 @@ distributed solves.
 
 from __future__ import annotations
 
+import contextvars
 import queue as _queue
 import threading
 import traceback
@@ -54,11 +55,16 @@ class Worker(threading.Thread):
 
     def run(self) -> None:
         while True:
-            job = self.jobs.get()
-            if job is _STOP:
+            item = self.jobs.get()
+            if item is _STOP:
                 break
+            ctx, job = item
             try:
-                job(self)
+                # run under the submitter's captured contextvars so the
+                # ambient trace context (and any open-span stack) at submit
+                # time flows into the host task — and each job's own span
+                # stack stays isolated from its neighbours on this thread
+                ctx.run(job, self)
             except Exception:  # the job owns error delivery; never kill the thread
                 traceback.print_exc()
             finally:
@@ -93,7 +99,11 @@ class WorkerPool:
         return len(self.workers)
 
     def submit(self, job: Callable[[Worker], Any]) -> Worker:
-        """Enqueue ``job`` on the least-loaded worker; ties break round-robin."""
+        """Enqueue ``job`` on the least-loaded worker; ties break round-robin.
+
+        The submitter's ``contextvars`` snapshot travels with the job, so
+        request-scoped trace context crosses the thread boundary intact.
+        """
         with self._lock:
             depths = [w.jobs.qsize() for w in self.workers]
             best = min(depths)
@@ -102,7 +112,7 @@ class WorkerPool:
             chosen = next(i for i in order if depths[i] == best)
             self._rr = (chosen + 1) % len(self.workers)
         worker = self.workers[chosen]
-        worker.jobs.put(job)
+        worker.jobs.put((contextvars.copy_context(), job))
         return worker
 
     def join(self) -> None:

@@ -1,0 +1,92 @@
+"""Process-wide telemetry hub for the ``repro slo <command>`` wrapper.
+
+A :class:`SolverService` owns its metrics registry; the wrapper form of
+``python -m repro slo`` needs to evaluate objectives over *whatever
+services the wrapped command created*. When a hub is installed
+(:func:`use_hub`), every service registers its registry on construction,
+and services pick up the hub's shared event log — so one wrapper
+invocation sees the combined telemetry of the whole command, the same way
+``repro trace <command>`` sees its spans.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.observability.metrics import MetricsRegistry
+from repro.telemetry.events import EventLog
+from repro.telemetry.slo import SloSpec, SloStatus, counts_from_registry
+
+__all__ = ["TelemetryHub", "current_hub", "set_hub", "use_hub"]
+
+
+class TelemetryHub:
+    """Collects the registries (and shares one event log) of a command."""
+
+    def __init__(self, event_log_capacity: int = 4096) -> None:
+        self.event_log = EventLog(capacity=event_log_capacity)
+        self._registries: list[MetricsRegistry] = []
+        self._lock = threading.Lock()
+
+    def register(self, registry: MetricsRegistry) -> None:
+        """Attach one service's registry (idempotent per object)."""
+        with self._lock:
+            if all(registry is not r for r in self._registries):
+                self._registries.append(registry)
+
+    @property
+    def registries(self) -> list[MetricsRegistry]:
+        with self._lock:
+            return list(self._registries)
+
+    def slo_statuses(self, specs: tuple[SloSpec, ...] | list[SloSpec]) -> list[SloStatus]:
+        """Overall compliance of each spec across every registered registry.
+
+        The wrapper evaluates once at command exit, so there is no sample
+        history — statuses carry overall compliance, not burn windows.
+        """
+        statuses = []
+        for spec in specs:
+            bad = 0.0
+            total = 0.0
+            for registry in self.registries:
+                b, t = counts_from_registry(spec, registry)
+                bad += b
+                total += t
+            statuses.append(SloStatus(spec=spec, bad=bad, total=total))
+        return statuses
+
+
+_install_lock = threading.Lock()
+_installed: TelemetryHub | None = None
+
+
+def current_hub() -> TelemetryHub | None:
+    """The installed hub, or ``None`` outside a wrapper invocation."""
+    return _installed
+
+
+def set_hub(hub: TelemetryHub | None) -> TelemetryHub | None:
+    """Install ``hub`` process-wide; returns the previously installed one."""
+    global _installed
+    with _install_lock:
+        previous = _installed
+        _installed = hub
+    return previous
+
+
+class use_hub:
+    """Install a hub for a ``with`` scope, restoring the previous one."""
+
+    __slots__ = ("hub", "_previous")
+
+    def __init__(self, hub: TelemetryHub) -> None:
+        self.hub = hub
+        self._previous: TelemetryHub | None = None
+
+    def __enter__(self) -> TelemetryHub:
+        self._previous = set_hub(self.hub)
+        return self.hub
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_hub(self._previous)

@@ -200,10 +200,14 @@ class TuningDB:
     """
 
     def __init__(
-        self, path: str | os.PathLike | None = None, metrics: MetricsRegistry | None = None
+        self,
+        path: str | os.PathLike | None = None,
+        metrics: MetricsRegistry | None = None,
+        event_log: object | None = None,
     ) -> None:
         self.path = None if path is None else Path(path)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.event_log = event_log
         self._records: dict[TuningKey, TuningRecord] = {}
         self._generation = 0
         if self.path is not None and self.path.exists():
@@ -271,6 +275,7 @@ class TuningDB:
         self._records[record.key] = record
         self._generation += 1
         self.metrics.counter("tune.db.writes").inc()
+        self._emit_generation_bump("put", str(record.key))
         self._save()
 
     def clear(self, device: str | None = None, solver: str | None = None) -> int:
@@ -289,8 +294,32 @@ class TuningDB:
             del self._records[key]
         if doomed:
             self._generation += 1
+            self._emit_generation_bump("clear", f"{len(doomed)} records")
             self._save()
         return len(doomed)
+
+    def _emit_generation_bump(self, reason: str, detail: str) -> None:
+        """Record the mutation on the structured event log, when one exists.
+
+        Pinned (critical) because a generation bump invalidates every
+        dependent plan cache — exactly the control-plane change an SLO
+        investigation wants on the timeline.
+        """
+        log = self.event_log
+        if log is None:
+            from repro.telemetry.events import current_event_log
+
+            log = current_event_log()
+        if log is not None:
+            from repro.telemetry.events import TUNING_GENERATION_BUMP
+
+            log.emit(
+                TUNING_GENERATION_BUMP,
+                critical=True,
+                generation=self._generation,
+                reason=reason,
+                detail=detail,
+            )
 
     # -- lookup --------------------------------------------------------------
 

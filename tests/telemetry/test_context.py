@@ -1,0 +1,119 @@
+"""TraceContext minting, wire form, and ambient contextvar propagation."""
+
+import contextvars
+import threading
+
+from repro.telemetry import (
+    TraceContext,
+    current_trace_context,
+    mint_context,
+    set_trace_context,
+    use_trace_context,
+)
+
+
+class TestMinting:
+    def test_ids_are_16_hex_chars(self):
+        ctx = mint_context()
+        assert len(ctx.trace_id) == 16
+        assert len(ctx.span_id) == 16
+        int(ctx.trace_id, 16)
+        int(ctx.span_id, 16)
+
+    def test_request_id_is_req_prefixed(self):
+        ctx = mint_context()
+        assert ctx.request_id.startswith("req-")
+        int(ctx.request_id[4:], 16)
+
+    def test_minted_contexts_are_distinct(self):
+        contexts = [mint_context() for _ in range(64)]
+        assert len({c.trace_id for c in contexts}) == 64
+        assert len({c.span_id for c in contexts}) == 64
+        assert len({c.request_id for c in contexts}) == 64
+
+    def test_sampled_default_and_override(self):
+        assert mint_context().sampled
+        assert not mint_context(sampled=False).sampled
+
+    def test_child_keeps_trace_new_span(self):
+        ctx = mint_context()
+        kid = ctx.child()
+        assert kid.trace_id == ctx.trace_id
+        assert kid.span_id != ctx.span_id
+        assert kid.request_id == ctx.request_id
+
+    def test_with_sampled_flips_only_the_decision(self):
+        ctx = mint_context()
+        off = ctx.with_sampled(False)
+        assert not off.sampled
+        assert (off.trace_id, off.span_id, off.request_id) == (
+            ctx.trace_id,
+            ctx.span_id,
+            ctx.request_id,
+        )
+
+    def test_round_trip_wire_form(self):
+        ctx = mint_context(sampled=False)
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_from_dict_defaults(self):
+        ctx = TraceContext.from_dict({"trace_id": "a" * 16, "span_id": "b" * 16})
+        assert ctx.sampled
+        assert ctx.request_id == ""
+
+
+class TestAmbientPropagation:
+    def test_default_is_none(self):
+        assert current_trace_context() is None
+
+    def test_use_scope_installs_and_restores(self):
+        ctx = mint_context()
+        with use_trace_context(ctx):
+            assert current_trace_context() is ctx
+        assert current_trace_context() is None
+
+    def test_nested_scopes_restore_outer(self):
+        outer, inner = mint_context(), mint_context()
+        with use_trace_context(outer):
+            with use_trace_context(inner):
+                assert current_trace_context() is inner
+            assert current_trace_context() is outer
+
+    def test_none_scope_is_a_no_op(self):
+        ctx = mint_context()
+        with use_trace_context(ctx):
+            with use_trace_context(None):
+                assert current_trace_context() is ctx
+            assert current_trace_context() is ctx
+
+    def test_set_returns_previous_for_manual_restore(self):
+        ctx = mint_context()
+        previous = set_trace_context(ctx)
+        try:
+            assert previous is None
+            assert current_trace_context() is ctx
+        finally:
+            set_trace_context(previous)
+        assert current_trace_context() is None
+
+    def test_copy_context_carries_into_worker_thread(self):
+        """The WorkerPool hand-off: copy_context() at submit time."""
+        ctx = mint_context()
+        seen = []
+        with use_trace_context(ctx):
+            snapshot = contextvars.copy_context()
+        thread = threading.Thread(
+            target=lambda: seen.append(snapshot.run(current_trace_context))
+        )
+        thread.start()
+        thread.join()
+        assert seen == [ctx]
+
+    def test_plain_thread_does_not_inherit(self):
+        ctx = mint_context()
+        seen = []
+        with use_trace_context(ctx):
+            thread = threading.Thread(target=lambda: seen.append(current_trace_context()))
+            thread.start()
+            thread.join()
+        assert seen == [None]

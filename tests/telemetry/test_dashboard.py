@@ -1,0 +1,83 @@
+"""The ``repro top`` frame renderer: pure function of observability state."""
+
+from repro.observability.metrics import MetricsRegistry
+from repro.telemetry import (
+    REQUEST_ADMITTED,
+    REQUEST_FAILED,
+    EventLog,
+    SloMonitor,
+    dashboard_text,
+    mint_context,
+    ratio_slo,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_fixed_width(self):
+        assert len(sparkline([], width=24)) == 24
+        assert len(sparkline([1, 2, 3], width=10)) == 10
+        assert len(sparkline(list(range(100)), width=12)) == 12
+
+    def test_empty_and_zero_are_blank(self):
+        assert sparkline([]) == " " * 24
+        assert sparkline([0, 0, 0]).strip() == ""
+
+    def test_peak_gets_the_heaviest_glyph(self):
+        strip = sparkline([0, 0, 10, 0], width=4)
+        assert strip[2] == "@"
+        assert strip[0] == " "
+
+
+class TestFrame:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.accepted").inc(12)
+        registry.gauge("serve.pending").set(3.0)
+        hist = registry.log_histogram("serve.latency_hdr_ms")
+        for v in (1.0, 2.0, 4.0, 8.0, 500.0):
+            hist.observe(v)
+        return registry
+
+    def test_frame_has_the_sections(self):
+        frame = dashboard_text(self._registry(), clock=lambda: 0.0)
+        assert "repro top" in frame
+        assert "gauges" in frame
+        assert "counters" in frame
+        assert "serve.latency_hdr_ms" in frame
+        assert "p99" in frame
+
+    def test_frame_with_monitor_and_events(self):
+        registry = self._registry()
+        registry.counter("bad").inc(1)
+        registry.counter("total").inc(10)
+        spec = ratio_slo("err", bad=("bad",), total="total", objective=0.5)
+        state = {"now": 0.0}
+        monitor = SloMonitor(registry, specs=[spec], clock=lambda: state["now"])
+        monitor.sample()
+        state["now"] += 600.0
+
+        events = EventLog()
+        ctx = mint_context()
+        events.emit(REQUEST_ADMITTED, ctx=ctx, solver="cg")
+        events.emit(REQUEST_FAILED, ctx=ctx, critical=True, error="boom")
+
+        frame = dashboard_text(registry, monitor=monitor, events=events, clock=lambda: 0.0)
+        assert "slo burn state" in frame
+        assert "err" in frame
+        assert "recent events" in frame
+        assert ctx.request_id in frame
+        assert "2 emitted" in frame
+
+    def test_frame_is_deterministic_under_injected_clock(self):
+        registry = self._registry()
+        a = dashboard_text(registry, clock=lambda: 1234.0)
+        b = dashboard_text(registry, clock=lambda: 1234.0)
+        assert a == b
+
+    def test_never_set_gauges_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.gauge("ghost")  # NaN until set
+        registry.counter("c").inc()
+        frame = dashboard_text(registry, clock=lambda: 0.0)
+        assert "ghost" not in frame
