@@ -60,6 +60,8 @@ def run_sweep_point(
     num_workers: int,
     max_wait_ms: float,
     seed: int = 7,
+    backend: str = "sycl",
+    execution: str = "vectorized",
 ) -> dict:
     """One service lifecycle: paced submission, full drain, measurements."""
     from repro.serve import ServeConfig, SolverService
@@ -69,6 +71,8 @@ def run_sweep_point(
         max_wait_ms=max_wait_ms,
         max_pending=max(4 * num_requests, 64),
         num_workers=num_workers,
+        backend=backend,
+        execution=execution,
     )
     pattern = _stencil_pattern(size)
     rng = np.random.default_rng(seed)
@@ -217,6 +221,14 @@ def main(argv: list[str] | None = None) -> int:
         "--batch-sizes", type=int, nargs="+", default=[1, 16, 64],
         help="max_batch_size sweep (must include 1 and >=64 for the headline)",
     )
+    parser.add_argument(
+        "--backend", choices=["sycl", "cuda", "cudasim", "wide"], default="sycl",
+        help="worker-pool backend (cudasim is an alias of cuda)",
+    )
+    parser.add_argument(
+        "--execution", choices=["vectorized", "kernel"], default="vectorized",
+        help="solve flushes with the NumPy solvers or the fused device kernels",
+    )
     parser.add_argument("--quick", action="store_true", help="smaller workload")
     parser.add_argument(
         "--seed", type=int, default=7, help="base RNG seed for the workloads"
@@ -236,6 +248,8 @@ def main(argv: list[str] | None = None) -> int:
             num_workers=args.workers,
             max_wait_ms=args.wait_ms,
             seed=args.seed,
+            backend=args.backend,
+            execution=args.execution,
         )
         sweep.append(point)
         print(
@@ -299,6 +313,8 @@ def main(argv: list[str] | None = None) -> int:
             "max_wait_ms": args.wait_ms,
             "solver": "bicgstab",
             "preconditioner": "jacobi",
+            "backend": args.backend,
+            "execution": args.execution,
         },
         metrics={
             "sweep": sweep,

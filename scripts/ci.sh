@@ -60,6 +60,14 @@ python scripts/bench_telemetry_overhead.py --quick \
     --out /tmp/ci_telemetry_overhead.json >/dev/null
 
 echo
+echo "== wide-diff =="
+# lockstep wide backend vs the faithful interpreter across the
+# differential grid, then the quick-mode speedup bench (same >= 20x
+# hot-path gate as the committed BENCH_wide_speedup.json artifact)
+python -m repro sanitize diff --backends sycl,wide
+python scripts/bench_wide_speedup.py --quick --out /tmp/ci_wide_speedup.json
+
+echo
 echo "== perf-regression gate =="
 python scripts/check_regression.py
 

@@ -205,6 +205,28 @@ def main(argv=None) -> int:
         f"({time.perf_counter() - start:.1f} s)"
     )
 
+    # wide backend: lockstep-vs-faithful differential grid, then the
+    # hot-path speedup artifact (hard >= 20x gate inside the bench)
+    import bench_wide_speedup
+
+    start = time.perf_counter()
+    code = repro_main(["sanitize", "diff", "--backends", "sycl,wide"])
+    if code != 0:
+        return code
+    print(f"wide diff OK ({time.perf_counter() - start:.1f} s)")
+
+    start = time.perf_counter()
+    wide_args = ["--out", str(out / "BENCH_wide_speedup.json")]
+    if args.quick:
+        wide_args.append("--quick")
+    code = bench_wide_speedup.main(wide_args)
+    if code != 0:
+        return code
+    print(
+        f"wrote {out / 'BENCH_wide_speedup.json'} "
+        f"({time.perf_counter() - start:.1f} s)"
+    )
+
     # regression gate over the freshly regenerated artifacts
     import check_regression
 

@@ -136,6 +136,16 @@ def main(argv: list[str] | None = None) -> int:
         "geometry under the kernel sanitizer (tuned geometries must "
         "never trade correctness)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["sycl", "cuda", "cudasim", "wide"],
+        default="sycl",
+        help="queue for the tuned-geometry launch: 'wide' uses the "
+        "lockstep WideQueue (deferring to the faithful interpreter while "
+        "the sanitizer is installed, then re-launching bare in lockstep "
+        "for a parity check); cuda/cudasim run the sycl queue here, as "
+        "the tuned launch uses the SYCL-dialect kernel",
+    )
     args = parser.parse_args(argv)
     code = _run()
     if not args.sanitize or code != 0:
@@ -173,10 +183,20 @@ def main(argv: list[str] | None = None) -> int:
     x = np.zeros((nb, n))
     iters = np.zeros(nb, dtype=np.int64)
 
-    print("\ntune smoke: fused kernel at the tuned geometry, sanitized")
-    sanitizer = Sanitizer()
-    with use_sanitizer(sanitizer):
-        Queue().parallel_for(
+    if args.backend == "wide":
+        from repro.wide.queue import WideQueue
+
+        queue = WideQueue()
+    else:
+        if args.backend in ("cuda", "cudasim"):
+            print(
+                "tune smoke: the tuned-geometry launch uses the SYCL-dialect "
+                "kernel; running it on the sycl queue"
+            )
+        queue = Queue()
+
+    def tuned_launch(q, x_out, out_iters):
+        q.parallel_for(
             geometry.plan(nb).nd_range(),
             batch_cg_kernel,
             args=(
@@ -184,20 +204,41 @@ def main(argv: list[str] | None = None) -> int:
                 matrix.col_idxs,
                 matrix.values,
                 b,
-                x,
+                x_out,
                 1.0 / matrix.diagonal(),
                 1e-8 * np.linalg.norm(b, axis=1),
                 200,
-                iters,
+                out_iters,
                 False,
                 None,
             ),
             local_specs=[LocalSpec(name, (n,)) for name in ("r", "z", "p", "t", "x")],
             name="batch_cg_fused_tuned",
         )
+
+    print("\ntune smoke: fused kernel at the tuned geometry, sanitized")
+    sanitizer = Sanitizer()
+    with use_sanitizer(sanitizer):
+        tuned_launch(queue, x, iters)
     check(sanitizer.stats.launches == 1, "sanitizer observed the launch", failures)
     check(sanitizer.clean, "tuned-geometry launch is violation-free", failures)
     check(bool((iters < 200).all()), "every system converged", failures)
+    if args.backend == "wide":
+        # re-launch bare: the lockstep execution must reproduce the
+        # sanitized (faithful-fallback) result at the tuned geometry
+        x_wide = np.zeros((nb, n))
+        iters_wide = np.zeros(nb, dtype=np.int64)
+        tuned_launch(queue, x_wide, iters_wide)
+        check(
+            bool(np.allclose(x_wide, x, rtol=1e-9, atol=1e-12)),
+            "lockstep launch matches the faithful result",
+            failures,
+        )
+        check(
+            bool((iters_wide == iters).all()),
+            "lockstep iteration counts match",
+            failures,
+        )
     residual = b - matrix.apply(x)
     rel = np.linalg.norm(residual, axis=1) / np.linalg.norm(b, axis=1)
     check(bool((rel < 1e-7).all()), "solutions solve the systems", failures)

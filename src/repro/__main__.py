@@ -135,6 +135,7 @@ def _cmd_serve_demo(args) -> int:
         max_wait_ms=args.wait_ms,
         num_workers=args.workers,
         backend=args.backend,
+        execution=args.execution,
         tuning_db_path=args.tuning_db,
     )
     pattern_batch = three_point_stencil(args.size, 1)
@@ -447,7 +448,28 @@ def _sanitize_diff(argv: list[str]) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--batch", type=int, default=3)
     parser.add_argument("--rows", type=int, default=16)
+    parser.add_argument(
+        "--backends",
+        default="sycl,cuda,wide",
+        help="comma-separated backend subset of the grid "
+        "(sycl, cuda/cudasim, wide)",
+    )
     args = parser.parse_args(argv)
+
+    from repro.sanitize.diff import BACKENDS
+    from repro.serve.config import BACKEND_ALIASES
+
+    backends = tuple(
+        BACKEND_ALIASES.get(name, name)
+        for name in args.backends.split(",")
+        if name
+    )
+    unknown = [name for name in backends if name not in BACKENDS]
+    if unknown:
+        raise SystemExit(
+            f"repro sanitize diff: unknown backend(s) {unknown}; "
+            f"choose from {BACKENDS}"
+        )
 
     rng = np.random.default_rng(args.seed)
     nb, n = args.batch, args.rows
@@ -457,14 +479,16 @@ def _sanitize_diff(argv: list[str]) -> int:
         dense[k] = np.eye(n) + a @ a.T
     b = rng.standard_normal((nb, n))
 
+    cases = kernel_grid(f"seed{args.seed}", backends=backends)
     disagreements = 0
-    for case in kernel_grid(f"seed{args.seed}"):
+    for case in cases:
         outcome = run_differential(dense, b, case)
         disagreements += not outcome.agree
         print(outcome.describe())
     print(
         f"\ndifferential grid: {disagreements} disagreement(s) over "
-        f"{len(kernel_grid('x'))} cases (batch {nb}, {n} rows, seed {args.seed})"
+        f"{len(cases)} cases (batch {nb}, {n} rows, seed {args.seed}, "
+        f"backends {','.join(backends)})"
     )
     return 1 if disagreements else 0
 
@@ -793,7 +817,9 @@ def _slo_check_or_report(mode: str, argv: list[str]) -> int:
     parser.add_argument("--size", type=int, default=16)
     parser.add_argument("--batch-size", type=int, default=16)
     parser.add_argument("--workers", type=int, default=2)
-    parser.add_argument("--backend", choices=["sycl", "cuda"], default="sycl")
+    parser.add_argument(
+        "--backend", choices=["sycl", "cuda", "cudasim", "wide"], default="sycl"
+    )
     parser.add_argument("--solver", default="bicgstab")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -1056,7 +1082,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_demo.add_argument("--batch-size", type=int, default=32)
     serve_demo.add_argument("--wait-ms", type=float, default=2.0)
     serve_demo.add_argument("--workers", type=int, default=2)
-    serve_demo.add_argument("--backend", choices=["sycl", "cuda"], default="sycl")
+    serve_demo.add_argument(
+        "--backend", choices=["sycl", "cuda", "cudasim", "wide"], default="sycl"
+    )
+    serve_demo.add_argument(
+        "--execution", choices=["vectorized", "kernel"], default="vectorized"
+    )
     serve_demo.add_argument("--solver", default="bicgstab")
     serve_demo.add_argument(
         "--tuning-db",
@@ -1154,7 +1185,9 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--size", type=int, default=16)
     top.add_argument("--batch-size", type=int, default=16)
     top.add_argument("--workers", type=int, default=2)
-    top.add_argument("--backend", choices=["sycl", "cuda"], default="sycl")
+    top.add_argument(
+        "--backend", choices=["sycl", "cuda", "cudasim", "wide"], default="sycl"
+    )
     top.add_argument("--solver", default="bicgstab")
     top.add_argument("--threshold-ms", type=float, default=500.0)
     top.add_argument("--seed", type=int, default=0)

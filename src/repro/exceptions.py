@@ -75,6 +75,11 @@ class KernelFaultError(ExecutionModelError, RuntimeError):
     """A kernel performed an illegal access (e.g. out-of-bounds SLM index)."""
 
 
+class WideBackendError(ExecutionModelError, RuntimeError):
+    """A kernel structure the lockstep wide backend cannot express
+    (e.g. the CUDA-style non-uniform guarded shared-memory reduction)."""
+
+
 # --------------------------------------------------------------------------
 # Kernel sanitizer errors (repro.sanitize)
 # --------------------------------------------------------------------------

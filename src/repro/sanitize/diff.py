@@ -1,7 +1,7 @@
 """Differential harness: device kernels vs. the NumPy reference path.
 
-The harness runs one batched problem through three implementations of the
-same algorithm —
+The harness runs one batched problem through several implementations of
+the same algorithm —
 
 * the **reference** path: the vectorized NumPy solvers behind the
   multi-level dispatch mechanism (:func:`repro.core.dispatch`), with the
@@ -10,14 +10,21 @@ same algorithm —
   :mod:`repro.kernels` executed on the SYCL simulator;
 * the **cuda** backend: the same kernels executed on a
   :mod:`repro.cudasim` device (and, for BiCGSTAB, the warp-shuffle
-  reduction structure instead of the group-reduce primitive) —
+  reduction structure instead of the group-reduce primitive);
+* the **wide** backend: the same kernel sources executed in lockstep as
+  NumPy array operations (:mod:`repro.wide`) —
 
-under an installed sanitizer, and compares per-system iteration counts,
-solutions and convergence histories. Exact bitwise equality across paths
-is *not* the contract: the three paths reduce in different orders (NumPy
-pairwise summation, the SYCL group primitive sequentially over lanes, the
-CUDA butterfly over warps), which is precisely the backend difference
-Section 3.2 of the paper describes. What must hold — and what
+and compares per-system iteration counts, solutions and convergence
+histories. The per-work-item backends run under an installed sanitizer;
+the wide backend runs bare, because its lockstep execution falls back to
+the faithful interpreter under a sanitizer (per-item shadow checking has
+no meaning over a collapsed lane axis — see ``docs/wide_backend.md``),
+which would make the differential comparison vacuous. Exact bitwise
+equality across paths is *not* the contract: the paths reduce in
+different orders (NumPy pairwise summation, the SYCL group primitive
+sequentially over lanes, the CUDA butterfly over warps, the wide
+backend's vectorized lane-axis reduction), which is precisely the backend
+difference Section 3.2 of the paper describes. What must hold — and what
 :func:`run_differential` checks — is that residual histories track each
 other to accumulation-error tolerance, iteration counts match within a
 one-iteration threshold-crossing slack, and the returned solutions solve
@@ -49,7 +56,7 @@ KERNEL_SOLVERS = ("cg", "bicgstab", "richardson")
 #: Preconditioners the fused kernels implement (identity / scalar Jacobi).
 KERNEL_PRECONDITIONERS = ("identity", "jacobi")
 
-BACKENDS = ("sycl", "cuda")
+BACKENDS = ("sycl", "cuda", "wide")
 
 #: Comparison slack per precision: (history rtol, solution atol scale,
 #: allowed iteration-count delta). Single precision stores the operators
@@ -139,8 +146,15 @@ def run_backend(
     case: DiffCase,
     config: SanitizerConfig | None = None,
 ) -> BackendRun:
-    """The fused-kernel path of one case, executed under a fresh sanitizer."""
-    device = pvc_stack_device(1) if case.backend == "sycl" else a100_device()
+    """The fused-kernel path of one case.
+
+    The per-work-item backends (``sycl``, ``cuda``) execute under a fresh
+    sanitizer; the ``wide`` backend executes bare on a lockstep
+    :class:`~repro.wide.queue.WideQueue` (a sanitizer would force its
+    faithful-interpreter fallback and the comparison would test nothing),
+    with a summary noting the inapplicable checks.
+    """
+    device = a100_device() if case.backend == "cuda" else pvc_stack_device(1)
     values = _as_precision(matrix.values, case.precision)
     dev_matrix = BatchCsr(
         matrix.row_ptrs, matrix.col_idxs, values, num_cols=matrix.num_cols
@@ -152,21 +166,27 @@ def run_backend(
         inv_diag = 1.0 / dev_matrix.diagonal()
     history = np.full((nb, case.max_iterations + 1), np.nan)
 
-    sanitizer = Sanitizer(config)
-    with use_sanitizer(sanitizer):
+    queue = None
+    if case.backend == "wide":
+        from repro.wide.queue import WideQueue
+
+        queue = WideQueue(device)
+
+    def dispatch():
         if case.solver == "cg":
-            x, iters, _ = run_batch_cg_on_device(
+            return run_batch_cg_on_device(
                 device,
                 dev_matrix,
                 dev_b,
                 inv_diag=inv_diag,
                 tolerance=case.tolerance,
                 max_iterations=case.max_iterations,
+                queue=queue,
                 res_history=history,
             )
-        elif case.solver == "bicgstab":
+        if case.solver == "bicgstab":
             style = "cuda" if case.backend == "cuda" else "group"
-            x, iters, _ = run_batch_bicgstab_on_device(
+            return run_batch_bicgstab_on_device(
                 device,
                 dev_matrix,
                 dev_b,
@@ -174,10 +194,11 @@ def run_backend(
                 tolerance=case.tolerance,
                 max_iterations=case.max_iterations,
                 reduce_style=style,
+                queue=queue,
                 res_history=history,
             )
-        elif case.solver == "richardson":
-            x, iters, _ = run_batch_richardson_on_device(
+        if case.solver == "richardson":
+            return run_batch_richardson_on_device(
                 device,
                 dev_matrix,
                 dev_b,
@@ -185,13 +206,30 @@ def run_backend(
                 omega=case.omega,
                 tolerance=case.tolerance,
                 max_iterations=case.max_iterations,
+                queue=queue,
                 res_history=history,
             )
-        else:
-            raise ValueError(
-                f"solver {case.solver!r} has no fused device kernel; "
-                f"kernel-backed solvers: {KERNEL_SOLVERS}"
-            )
+        raise ValueError(
+            f"solver {case.solver!r} has no fused device kernel; "
+            f"kernel-backed solvers: {KERNEL_SOLVERS}"
+        )
+
+    if case.backend == "wide":
+        x, iters, event = dispatch()
+        summary = {
+            "launches": 1,
+            "work_groups": event.stats.num_groups,
+            "slm_accesses": 0,
+            "syncs": 0,
+            "violations": {},
+            "note": "per-work-item sanitizer checks do not apply to the "
+            "lockstep wide backend",
+        }
+        return BackendRun(x, iters, history, summary)
+
+    sanitizer = Sanitizer(config)
+    with use_sanitizer(sanitizer):
+        x, iters, _ = dispatch()
     return BackendRun(x, iters, history, sanitizer.summary())
 
 

@@ -12,7 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 #: Supported simulated backends for the worker pool.
-BACKENDS = ("sycl", "cuda")
+BACKENDS = ("sycl", "cuda", "wide")
+
+#: Spellings accepted on the CLI / config surface for each backend.
+BACKEND_ALIASES = {"cudasim": "cuda"}
+
+#: How a flushed batch is executed on the worker's context.
+EXECUTION_MODES = ("vectorized", "kernel")
 
 
 @dataclass(frozen=True)
@@ -38,7 +44,18 @@ class ServeConfig:
     num_workers:
         Worker threads, each bound to its own simulated device queue/stream.
     backend:
-        ``"sycl"`` (PVC stack devices) or ``"cuda"`` (A100 devices).
+        ``"sycl"`` (PVC stack devices, faithful per-work-item
+        interpreter), ``"cuda"`` (A100 devices) or ``"wide"`` (PVC stack
+        devices, the NumPy-vectorized lockstep backend of
+        :mod:`repro.wide`).
+    execution:
+        ``"vectorized"`` solves flushed batches with the NumPy core
+        solvers (the default); ``"kernel"`` runs the fused device kernels
+        of :mod:`repro.kernels` on the worker's queue for the dispatch
+        combinations they cover (cg/bicgstab/richardson × identity or
+        scalar-Jacobi × CSR × relative criterion × zero initial guess)
+        and silently falls back to the vectorized path — counted on the
+        ``serve.kernel_fallbacks`` metric — for everything else.
     request_timeout_ms:
         Per-request deadline measured from submission; a request still
         queued when it expires is completed with
@@ -79,6 +96,7 @@ class ServeConfig:
     retry_after_ms: float = 5.0
     num_workers: int = 2
     backend: str = "sycl"
+    execution: str = "vectorized"
     request_timeout_ms: float | None = None
     fallback: bool = True
     shards_per_flush: int = 1
@@ -98,8 +116,14 @@ class ServeConfig:
             raise ValueError(f"retry_after_ms must be non-negative, got {self.retry_after_ms}")
         if self.num_workers <= 0:
             raise ValueError(f"num_workers must be positive, got {self.num_workers}")
+        if self.backend in BACKEND_ALIASES:
+            object.__setattr__(self, "backend", BACKEND_ALIASES[self.backend])
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, got {self.execution!r}"
+            )
         if self.request_timeout_ms is not None and self.request_timeout_ms <= 0:
             raise ValueError(
                 f"request_timeout_ms must be positive or None, got {self.request_timeout_ms}"

@@ -424,6 +424,24 @@ class SolverService:
         shards = self.config.shards_per_flush
         key = plan.resolved
 
+        if self.config.execution == "kernel":
+            kernel_run = self._kernel_solve(plan, matrix, b, x0, worker)
+            if kernel_run is not None:
+                result, _event = worker.context.submit_host_task(
+                    kernel_run,
+                    name=f"serve.batch_{key.solver_cls.solver_name}",
+                    num_batch=matrix.num_batch,
+                    execution="kernel",
+                )
+                self.metrics.counter("serve.kernel_solves").labels(
+                    backend=self.config.backend,
+                    solver=key.solver_cls.solver_name,
+                ).inc()
+                return result
+            self.metrics.counter("serve.kernel_fallbacks").labels(
+                solver=key.solver_cls.solver_name
+            ).inc()
+
         def run() -> BatchSolveResult:
             if shards <= 1 or matrix.num_batch < shards:
                 solver = plan.build_solver(matrix)
@@ -459,6 +477,85 @@ class SolverService:
             num_batch=matrix.num_batch,
         )
         return result
+
+    def _kernel_solve(self, plan, matrix, b, x0, worker):
+        """A thunk running the flush through the fused device kernels.
+
+        Returns ``None`` when the resolved dispatch falls outside what the
+        fused kernels cover (solver, preconditioner, criterion, format,
+        warm starts, sharding) or the worker context speaks the CUDA
+        dialect — the caller then falls back to the vectorized path and
+        counts the miss on ``serve.kernel_fallbacks``.
+        """
+        from repro.core.logger import ConvergenceLogger
+        from repro.core.counters import TrafficLedger
+        from repro.core.preconditioner.identity import BatchIdentity
+        from repro.core.preconditioner.jacobi import BatchJacobi
+        from repro.core.stop import RelativeResidual
+        from repro.kernels.bicgstab_kernel import run_batch_bicgstab_on_device
+        from repro.kernels.cg_kernel import run_batch_cg_on_device
+        from repro.kernels.richardson_kernel import run_batch_richardson_on_device
+        from repro.sycl.queue import Queue
+
+        resolved = plan.resolved
+        name = resolved.solver_cls.solver_name
+        if (
+            name not in ("cg", "bicgstab", "richardson")
+            or x0 is not None
+            or resolved.matrix_format != "csr"
+            or resolved.criterion_cls is not RelativeResidual
+            or resolved.preconditioner_cls not in (None, BatchIdentity, BatchJacobi)
+            or self.config.shards_per_flush > 1
+            or not isinstance(worker.context, Queue)
+        ):
+            return None
+
+        def run() -> BatchSolveResult:
+            mat = resolved.prepare(matrix)
+            bb = np.asarray(b, dtype=mat.dtype)
+            inv_diag = None
+            if resolved.preconditioner_cls is BatchJacobi:
+                precond = BatchJacobi(mat, **dict(resolved.preconditioner_options))
+                inv_diag = precond.inv_diag
+            nb = mat.num_batch
+            history = np.full((nb, resolved.max_iterations + 1), np.nan)
+            common = dict(
+                inv_diag=inv_diag,
+                tolerance=resolved.tolerance,
+                max_iterations=resolved.max_iterations,
+                queue=worker.context,
+                res_history=history,
+            )
+            if name == "cg":
+                x, iters, _ = run_batch_cg_on_device(
+                    worker.context.device, mat, bb, **common
+                )
+            elif name == "bicgstab":
+                x, iters, _ = run_batch_bicgstab_on_device(
+                    worker.context.device, mat, bb, **common
+                )
+            else:
+                omega = float(dict(resolved.solver_options).get("omega", 1.0))
+                x, iters, _ = run_batch_richardson_on_device(
+                    worker.context.device, mat, bb, omega=omega, **common
+                )
+            iters = np.asarray(iters, dtype=np.int64)
+            final = history[np.arange(nb), iters]
+            thresholds = resolved.tolerance * np.linalg.norm(bb, axis=1)
+            logger = ConvergenceLogger(nb, keep_history=resolved.keep_history)
+            logger.iterations = iters.copy()
+            logger.final_residuals = final.copy()
+            return BatchSolveResult(
+                x=np.asarray(x, dtype=np.float64),
+                iterations=iters,
+                residual_norms=final,
+                converged=final <= thresholds,
+                logger=logger,
+                ledger=TrafficLedger(fp_bytes=np.dtype(resolved.dtype).itemsize),
+                solver_name=name,
+            )
+
+        return run
 
     # -- graceful degradation ----------------------------------------------------------
 

@@ -1,8 +1,9 @@
 """The worker pool: one thread per simulated device queue/stream.
 
-Each worker owns a backend context — a :class:`repro.sycl.queue.Queue` on
-a PVC stack device or a :class:`repro.cudasim.stream.Stream` on an A100 —
-and drains its own job queue. Flushed batches are submitted to the
+Each worker owns a backend context — a :class:`repro.sycl.queue.Queue` or
+a lockstep :class:`repro.wide.queue.WideQueue` on a PVC stack device, or
+a :class:`repro.cudasim.stream.Stream` on an A100 — and drains its own
+job queue. Flushed batches are submitted to the
 least-loaded worker and executed as *host tasks* on that worker's
 queue/stream, so every flush lands in the device's in-order event log and
 on its own trace lane (``tid`` = :data:`WORKER_LANE_BASE` + index), the
@@ -22,6 +23,7 @@ from repro.cudasim.device import a100_device
 from repro.cudasim.stream import Stream
 from repro.sycl.device import SyclDevice, pvc_stack_device
 from repro.sycl.queue import Queue
+from repro.wide.queue import WideQueue
 
 #: Chrome-trace lane of worker 0 (multi-rank lanes start at 100).
 WORKER_LANE_BASE = 200
@@ -38,6 +40,8 @@ class Worker(threading.Thread):
         self.backend = backend
         if backend == "cuda":
             self.context: Queue | Stream = Stream(device or a100_device())
+        elif backend == "wide":
+            self.context = WideQueue(device or pvc_stack_device(1))
         else:
             self.context = Queue(device or pvc_stack_device(1))
         self.jobs: _queue.Queue = _queue.Queue()

@@ -1,0 +1,43 @@
+"""repro.wide — NumPy-vectorized lockstep execution backend.
+
+The third execution backend (after the faithful SYCL interpreter and the
+CUDA-dialect stream): one Python generator per *work-group* instead of
+one per work-item, with the lane axis materialized as NumPy arrays and
+every :class:`~repro.sycl.group.SyncOp` collective evaluated as a
+vectorized array operation. Runs the same kernel sources in
+:mod:`repro.kernels` unmodified — see ``docs/wide_backend.md``.
+"""
+
+from repro.wide.executor import (
+    WideItem,
+    evaluate_wide_collective,
+    run_work_group_wide,
+    wide_launch,
+)
+from repro.wide.lanes import (
+    LaneArray,
+    LaneIndex,
+    LaneMask,
+    WideArray,
+    wide_float,
+    wide_int,
+    wide_range,
+)
+from repro.wide.lower import lower_kernel
+from repro.wide.queue import WideQueue
+
+__all__ = [
+    "LaneArray",
+    "LaneIndex",
+    "LaneMask",
+    "WideArray",
+    "WideItem",
+    "WideQueue",
+    "evaluate_wide_collective",
+    "lower_kernel",
+    "run_work_group_wide",
+    "wide_launch",
+    "wide_float",
+    "wide_int",
+    "wide_range",
+]

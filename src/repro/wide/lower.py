@@ -1,0 +1,92 @@
+"""Kernel lowering: run unmodified ``repro.kernels`` sources in lockstep.
+
+The faithful interpreter executes kernel generator functions verbatim.
+The wide backend executes the *same* code objects, but with three names
+re-bound in a cloned globals namespace:
+
+* ``range`` → :func:`repro.wide.lanes.wide_range`
+* ``int``   → :func:`repro.wide.lanes.wide_int`
+* ``float`` → :func:`repro.wide.lanes.wide_float`
+
+and with every helper generator the kernel calls (``group_dot``,
+``spmv_csr_item_rows``, …) recursively replaced by its own lowered
+clone. Cloning via :class:`types.FunctionType` keeps the original
+functions untouched — the faithful and wide backends share one source of
+truth, which is the whole point of the seam: a divergence between them
+is a backend bug, never a transcription bug.
+
+Only functions defined under ``repro.kernels`` are lowered; runtime
+helpers (``kernel_phase``, ``NDItem`` methods, NumPy) pass through. The
+CUDA reduction structure (``warp_reduce_sum``/``block_reduce_cuda``)
+performs *non-uniform* guarded writes (lane 0 stores its warp's partial,
+a value other lanes do not hold), which violates the lockstep
+uniform-guard contract — its lowered clone raises
+:class:`~repro.exceptions.WideBackendError` instead of computing
+garbage; use the ``"group"`` reduction style on the wide backend.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Any, Callable
+
+from repro.exceptions import WideBackendError
+from repro.wide.lanes import wide_float, wide_int, wide_range
+
+_WIDE_BUILTINS = {"range": wide_range, "int": wide_int, "float": wide_float}
+
+#: Names whose execution structure cannot be expressed in lockstep.
+_UNSUPPORTED = {
+    "warp_reduce_sum": "the CUDA warp-shuffle butterfly",
+    "block_reduce_cuda": "the CUDA shared-memory block reduction",
+}
+
+_CACHE: dict[Callable[..., Any], Callable[..., Any]] = {}
+
+
+def _unsupported_stub(name: str, why: str) -> Callable[..., Any]:
+    def stub(*_args: Any, **_kwargs: Any):
+        raise WideBackendError(
+            f"{name} ({why}) performs non-uniform guarded writes and cannot "
+            f"run on the lockstep wide backend; use the 'group' reduction "
+            f"style instead"
+        )
+        yield  # pragma: no cover - marks the stub as a generator function
+
+    stub.__name__ = name
+    return stub
+
+
+def lower_kernel(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """The lockstep clone of one kernel (or kernel helper) function.
+
+    Clones are cached per original function, so repeated launches pay
+    the lowering cost once per process.
+    """
+    cached = _CACHE.get(fn)
+    if cached is not None:
+        return cached
+    if fn.__name__ in _UNSUPPORTED:
+        stub = _unsupported_stub(fn.__name__, _UNSUPPORTED[fn.__name__])
+        _CACHE[fn] = stub
+        return stub
+
+    # Register the clone before recursing: a module's globals contain the
+    # module's own functions (including ``fn`` itself), so self-reference
+    # must resolve through the cache, not recurse forever. Mutating ``g``
+    # afterwards is safe — the function holds the dict by reference.
+    g = dict(fn.__globals__)
+    clone = types.FunctionType(
+        fn.__code__, g, fn.__name__, fn.__defaults__, fn.__closure__
+    )
+    clone.__kwdefaults__ = fn.__kwdefaults__
+    clone.__doc__ = fn.__doc__
+    _CACHE[fn] = clone
+
+    g.update(_WIDE_BUILTINS)
+    for name, value in fn.__globals__.items():
+        if isinstance(value, types.FunctionType) and (
+            value.__module__ or ""
+        ).startswith("repro.kernels"):
+            g[name] = lower_kernel(value)
+    return clone

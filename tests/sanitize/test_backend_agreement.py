@@ -34,7 +34,7 @@ def _grid() -> list[tuple]:
     stencil = ("stencil", lambda: gen_stencil(SEED))
     for solver in ("cg", "bicgstab", "richardson"):
         for precond in ("identity", "jacobi"):
-            for backend in ("sycl", "cuda"):
+            for backend in ("sycl", "cuda", "wide"):
                 cells.append(
                     (
                         stencil,
@@ -46,7 +46,7 @@ def _grid() -> list[tuple]:
 
     # Single precision: one SPD and one solver per backend keeps runtime low.
     spd = ("near-identity", lambda: gen_near_identity_spd(SEED + 1))
-    for backend in ("sycl", "cuda"):
+    for backend in ("sycl", "cuda", "wide"):
         cells.append((spd, DiffCase("near-identity", "cg", "jacobi", "single", backend)))
         cells.append(
             (spd, DiffCase("near-identity", "bicgstab", "identity", "single", backend))
@@ -54,12 +54,12 @@ def _grid() -> list[tuple]:
 
     # General (nonsymmetric) systems: the non-CG solvers with Jacobi.
     dd = ("diag-dominant", lambda: gen_diag_dominant(SEED + 2))
-    for backend in ("sycl", "cuda"):
+    for backend in ("sycl", "cuda", "wide"):
         cells.append((dd, DiffCase("diag-dominant", "bicgstab", "jacobi", "double", backend)))
 
     # Pele-shaped chemistry Jacobians.
     pele = ("pele", lambda: gen_pele(SEED + 3))
-    for backend in ("sycl", "cuda"):
+    for backend in ("sycl", "cuda", "wide"):
         cells.append((pele, DiffCase("pele", "bicgstab", "jacobi", "double", backend)))
 
     return cells
@@ -115,6 +115,20 @@ def test_same_kernel_same_input_is_bitwise_reproducible():
 
     matrix = BatchCsr.from_dense(problem.dense)
     case = DiffCase("stencil", "bicgstab", "jacobi", "double", "sycl")
+    first = run_backend(matrix, problem.b, case)
+    second = run_backend(matrix, problem.b, case)
+    np.testing.assert_array_equal(first.x, second.x)
+    np.testing.assert_array_equal(first.iterations, second.iterations)
+    np.testing.assert_array_equal(first.history, second.history)
+
+
+def test_wide_backend_is_bitwise_reproducible():
+    """Lockstep execution is deterministic too: re-running is bitwise equal."""
+    problem = gen_stencil(SEED)
+    from repro.core.matrix.batch_csr import BatchCsr
+
+    matrix = BatchCsr.from_dense(problem.dense)
+    case = DiffCase("stencil", "bicgstab", "jacobi", "double", "wide")
     first = run_backend(matrix, problem.b, case)
     second = run_backend(matrix, problem.b, case)
     np.testing.assert_array_equal(first.x, second.x)

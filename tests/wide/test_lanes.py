@@ -1,0 +1,165 @@
+"""Unit tests of the lane-axis data model (repro.wide.lanes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.wide.lanes import (
+    LaneIndex,
+    LaneMask,
+    WideArray,
+    lane_array,
+    wide_float,
+    wide_int,
+    wide_range,
+)
+
+
+class TestLaneMask:
+    def test_lane_comparisons_return_truthy_masks(self):
+        lid = lane_array([0, 1, 2, 3])
+        mask = lid == 0
+        assert isinstance(mask, LaneMask)
+        assert bool(mask)  # uniform-guard convention: the block executes
+        np.testing.assert_array_equal(
+            np.asarray(mask), [True, False, False, False]
+        )
+
+    def test_all_comparison_operators_mask(self):
+        lid = lane_array([0, 1, 2, 3])
+        for op, expected in [
+            (lid != 0, [False, True, True, True]),
+            (lid < 2, [True, True, False, False]),
+            (lid <= 1, [True, True, False, False]),
+            (lid > 2, [False, False, False, True]),
+            (lid >= 2, [False, False, True, True]),
+        ]:
+            assert isinstance(op, LaneMask)
+            assert bool(op)
+            np.testing.assert_array_equal(np.asarray(op), expected)
+
+    def test_arithmetic_stays_plain_ndarray_semantics(self):
+        lid = lane_array([0, 1, 2, 3])
+        np.testing.assert_array_equal(np.asarray(lid + 4), [4, 5, 6, 7])
+        np.testing.assert_array_equal(np.asarray(lid % 2), [0, 1, 0, 1])
+
+
+class TestWideRange:
+    def test_scalar_arguments_fall_through_to_builtin_range(self):
+        assert wide_range(5) == range(5)
+        assert wide_range(2, 9) == range(2, 9)
+        assert wide_range(1, 10, 3) == range(1, 10, 3)
+
+    def test_strided_loop_over_lane_start(self):
+        # the kernels' `for row in range(lid, n, wg)` pattern
+        lid = lane_array([0, 1, 2, 3])
+        rounds = list(wide_range(lid, 10, 4))
+        assert len(rounds) == 3
+        np.testing.assert_array_equal(rounds[0].rows, [0, 1, 2, 3])
+        assert rounds[0].mask.all()
+        np.testing.assert_array_equal(rounds[1].rows, [4, 5, 6, 7])
+        assert rounds[1].mask.all()
+        np.testing.assert_array_equal(rounds[2].rows, [8, 9, 10, 11])
+        np.testing.assert_array_equal(rounds[2].mask, [True, True, False, False])
+
+    def test_ragged_csr_style_bounds(self):
+        # the kernels' `range(int(row_ptrs[row]), int(row_ptrs[row + 1]))`
+        start = np.array([0, 3, 3, 7])
+        stop = np.array([3, 3, 7, 9])
+        rounds = list(wide_range(start, stop))
+        assert len(rounds) == 4  # longest row has 4 nonzeros
+        np.testing.assert_array_equal(
+            rounds[0].mask, [True, False, True, True]
+        )
+        np.testing.assert_array_equal(
+            rounds[2].mask, [True, False, True, False]
+        )
+        np.testing.assert_array_equal(rounds[0].rows, [0, 3, 3, 7])
+
+    def test_zero_trip_loop_yields_nothing(self):
+        rounds = list(wide_range(np.array([5, 5]), np.array([5, 5])))
+        assert rounds == []
+
+    def test_non_positive_step_rejected(self):
+        with pytest.raises(ValueError):
+            wide_range(np.array([0, 1]), 10, 0)
+        with pytest.raises(ValueError):
+            wide_range(np.array([0, 1]), 10, -1)
+
+
+class TestLaneIndex:
+    def test_integer_offsets_preserve_mask(self):
+        idx = LaneIndex([1, 2, 3], [True, False, True])
+        shifted = idx + 1
+        np.testing.assert_array_equal(shifted.rows, [2, 3, 4])
+        np.testing.assert_array_equal(shifted.mask, idx.mask)
+        np.testing.assert_array_equal((1 + idx).rows, [2, 3, 4])
+        np.testing.assert_array_equal((idx - 1).rows, [0, 1, 2])
+
+
+class TestWideArray:
+    def test_masked_gather_reads_zero_on_inactive_lanes(self):
+        data = WideArray(np.array([10.0, 20.0, 30.0, 40.0]))
+        idx = LaneIndex([0, 2, 99, 3], [True, True, False, True])
+        np.testing.assert_array_equal(data[idx], [10.0, 30.0, 0.0, 40.0])
+
+    def test_masked_scatter_skips_inactive_lanes(self):
+        data = np.zeros(4)
+        wide = WideArray(data)
+        idx = LaneIndex([0, 1, 2, 3], [True, False, True, False])
+        wide[idx] = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(data, [1.0, 0.0, 3.0, 0.0])
+
+    def test_scalar_scatter_to_masked_lanes(self):
+        data = np.zeros(4)
+        WideArray(data)[LaneIndex([1, 2], [True, False])] = 7.0
+        np.testing.assert_array_equal(data, [0.0, 7.0, 0.0, 0.0])
+
+    def test_leading_batch_index_with_trailing_lane_index(self):
+        # the kernels' `x_out[sysid, row] = ...` pattern
+        data = np.zeros((2, 4))
+        wide = WideArray(data)
+        idx = LaneIndex([0, 1, 2, 3], [True, True, True, False])
+        wide[1, idx] = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(data[1], [1.0, 2.0, 3.0, 0.0])
+        np.testing.assert_array_equal(data[0], 0.0)
+        np.testing.assert_array_equal(wide[1, idx], [1.0, 2.0, 3.0, 0.0])
+
+    def test_integer_indexing_returns_wrapped_subarrays(self):
+        wide = WideArray(np.arange(12.0).reshape(3, 4))
+        row = wide[1]
+        assert isinstance(row, WideArray)
+        np.testing.assert_array_equal(np.asarray(row), [4.0, 5.0, 6.0, 7.0])
+        assert wide[1][2] == 6.0
+
+    def test_raw_integer_array_key_is_plain_fancy_indexing(self):
+        # the SpMV inner loop's `x[int(col_idxs[pos])]` gather
+        wide = WideArray(np.array([5.0, 6.0, 7.0]))
+        np.testing.assert_array_equal(
+            wide[np.array([2, 0, 1])], [7.0, 5.0, 6.0]
+        )
+
+    def test_ndarray_facade(self):
+        wide = WideArray(np.zeros((3, 4)))
+        assert wide.shape == (3, 4)
+        assert wide.ndim == 2
+        assert len(wide) == 3
+        assert wide.dtype == np.float64
+        assert np.asarray(wide).shape == (3, 4)
+
+
+class TestScalarization:
+    def test_wide_float_casts_arrays_and_scalars(self):
+        out = wide_float(np.array([1, 2], dtype=np.int64))
+        assert out.dtype == np.float64
+        single = wide_float(np.array([1.5], dtype=np.float32))
+        assert single.dtype == np.float64
+        assert wide_float(3) == 3.0
+        assert isinstance(wide_float(np.float32(2.5)), float)
+
+    def test_wide_int_casts_arrays_and_scalars(self):
+        out = wide_int(np.array([1.9, 2.1]))
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, [1, 2])
+        assert wide_int(3.7) == 3

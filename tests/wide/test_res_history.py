@@ -1,0 +1,69 @@
+"""Single-writer contract of ``res_history`` across all three backends.
+
+The kernels write per-iteration residual norms from ``lid == 0`` only.
+On the wide backend that guard is a truthy lane mask — the store executes
+for every lane — so the contract holds only because the stored value
+(``res2 ** 0.5`` of a group-reduced scalar) is lane-uniform and the
+target cell is one scalar. This regression pins the result: histories
+written by the faithful SYCL interpreter, the CUDA-dialect stream and the
+lockstep wide backend must have identical NaN masks (exactly one entry
+per performed iteration plus the initial residual — no stray writes),
+identical iteration counts, and numerically matching values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.matrix.batch_csr import BatchCsr
+from repro.sanitize.diff import BACKENDS, DiffCase, run_backend
+
+from tests.sanitize.generators import gen_stencil
+
+
+@pytest.mark.parametrize("solver", ["cg", "bicgstab", "richardson"])
+def test_res_history_identical_across_backends(solver):
+    problem = gen_stencil(99)
+    matrix = BatchCsr.from_dense(problem.dense)
+    runs = {
+        backend: run_backend(
+            matrix,
+            problem.b,
+            DiffCase("stencil", solver, "jacobi", "double", backend),
+        )
+        for backend in BACKENDS
+    }
+    assert set(runs) == {"sycl", "cuda", "wide"}
+    base = runs["sycl"]
+    for backend in ("cuda", "wide"):
+        other = runs[backend]
+        # same number of history entries written: identical NaN masks
+        np.testing.assert_array_equal(
+            np.isnan(base.history),
+            np.isnan(other.history),
+            err_msg=f"{backend} wrote a different set of res_history cells",
+        )
+        np.testing.assert_array_equal(
+            base.iterations,
+            other.iterations,
+            err_msg=f"{backend} iteration counts diverge",
+        )
+        np.testing.assert_allclose(
+            np.nan_to_num(base.history),
+            np.nan_to_num(other.history),
+            rtol=1e-9,
+            atol=1e-12,
+            err_msg=f"{backend} res_history values diverge",
+        )
+
+
+def test_history_rows_match_iteration_counts():
+    """Each system's history holds exactly ``iterations + 1`` finite entries."""
+    problem = gen_stencil(100)
+    matrix = BatchCsr.from_dense(problem.dense)
+    run = run_backend(
+        matrix, problem.b, DiffCase("stencil", "cg", "identity", "double", "wide")
+    )
+    finite = np.isfinite(run.history).sum(axis=1)
+    np.testing.assert_array_equal(finite, np.asarray(run.iterations) + 1)
