@@ -29,26 +29,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
-
-def _stencil_pattern(size: int):
-    from repro.workloads.stencil import three_point_stencil
-
-    return three_point_stencil(size, 1).item_scipy(0)
-
-
-def _make_request(pattern, rng, size: int, solver: str = "bicgstab", **kwargs):
-    from repro.serve import SolveRequest
-
-    matrix = pattern.copy()
-    matrix.data = matrix.data * rng.uniform(0.9, 1.1, size=matrix.nnz)
-    return SolveRequest(
-        matrix,
-        rng.standard_normal(size),
-        solver=solver,
-        preconditioner=kwargs.pop("preconditioner", "jacobi"),
-        tolerance=kwargs.pop("tolerance", 1e-8),
-        **kwargs,
-    )
+from repro.workloads.arrivals import (
+    make_request as _make_request,
+    pace,
+    poisson_offsets,
+    stencil_pattern as _stencil_pattern,
+    uniform_offsets,
+)
 
 
 def run_sweep_point(
@@ -62,6 +49,7 @@ def run_sweep_point(
     seed: int = 7,
     backend: str = "sycl",
     execution: str = "vectorized",
+    arrival: str = "uniform",
 ) -> dict:
     """One service lifecycle: paced submission, full drain, measurements."""
     from repro.serve import ServeConfig, SolverService
@@ -78,16 +66,13 @@ def run_sweep_point(
     rng = np.random.default_rng(seed)
     requests = [_make_request(pattern, rng, size) for _ in range(num_requests)]
 
-    interarrival = 1.0 / arrival_rate
+    if arrival == "poisson":
+        offsets = poisson_offsets(arrival_rate, num_requests, rng)
+    else:
+        offsets = uniform_offsets(arrival_rate, num_requests)
     with SolverService(config) as service:
         start = time.perf_counter()
-        tickets = []
-        for i, request in enumerate(requests):
-            target = start + i * interarrival
-            delay = target - time.perf_counter()
-            if delay > 0:
-                time.sleep(delay)
-            tickets.append(service.submit(request))
+        tickets = pace(offsets, lambda i: service.submit(requests[i]))
         outcomes = [t.result(timeout=120.0) for t in tickets]
         makespan_s = time.perf_counter() - start
 
@@ -229,6 +214,10 @@ def main(argv: list[str] | None = None) -> int:
         "--execution", choices=["vectorized", "kernel"], default="vectorized",
         help="solve flushes with the NumPy solvers or the fused device kernels",
     )
+    parser.add_argument(
+        "--arrival", choices=["uniform", "poisson"], default="uniform",
+        help="arrival process (uniform keeps the gated baselines comparable)",
+    )
     parser.add_argument("--quick", action="store_true", help="smaller workload")
     parser.add_argument(
         "--seed", type=int, default=7, help="base RNG seed for the workloads"
@@ -250,6 +239,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             backend=args.backend,
             execution=args.execution,
+            arrival=args.arrival,
         )
         sweep.append(point)
         print(
@@ -315,6 +305,7 @@ def main(argv: list[str] | None = None) -> int:
             "preconditioner": "jacobi",
             "backend": args.backend,
             "execution": args.execution,
+            "arrival": args.arrival,
         },
         metrics={
             "sweep": sweep,

@@ -32,6 +32,10 @@ echo "== serve smoke =="
 python scripts/smoke_serve.py
 
 echo
+echo "== fleet smoke =="
+python scripts/smoke_fleet.py
+
+echo
 echo "== tune smoke =="
 python scripts/smoke_tune.py --sanitize
 

@@ -103,6 +103,29 @@ def main(argv=None) -> int:
         f"({time.perf_counter() - start:.1f} s)"
     )
 
+    # fleet smoke + scaling benchmark: routing/drain/admission contracts,
+    # then the shard scale-out artifact
+    import bench_fleet_scaling
+    import smoke_fleet
+
+    start = time.perf_counter()
+    code = smoke_fleet.main([])
+    if code != 0:
+        return code
+    print(f"fleet smoke OK ({time.perf_counter() - start:.1f} s)")
+
+    start = time.perf_counter()
+    fleet_args = ["--out", str(out / "BENCH_fleet_scaling.json")]
+    if args.quick:
+        fleet_args.append("--quick")
+    code = bench_fleet_scaling.main(fleet_args)
+    if code != 0:
+        return code
+    print(
+        f"wrote {out / 'BENCH_fleet_scaling.json'} "
+        f"({time.perf_counter() - start:.1f} s)"
+    )
+
     # autotuning smoke + benchmark: contracts, then tuned-vs-default artifact
     import bench_autotune
     import smoke_tune

@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Fleet smoke check: exercise the fleet's contracts on a tiny workload.
+
+Covers, in a few seconds, the behaviours CI must not regress:
+
+* routing — every request of one ``BatchKey`` lands on the same shard,
+  and the router's choice is deterministic across processes (SHA-1 ring);
+* remap bound — adding/removing a shard moves ≤ 1.5/N of a synthetic key
+  population and never moves keys between uninvolved shards;
+* graceful drain — a scale-down with requests in flight completes every
+  admitted ticket (zero drops) and emits ``fleet.rebalance`` events;
+* fleet admission — submits beyond the fleet's ``max_pending`` raise
+  :class:`~repro.exceptions.ServiceSaturatedError` with a retry hint
+  before any shard queue is touched;
+* isolation — each shard serves its keys from its own plan cache (every
+  shard that served traffic reports its own hits/misses).
+
+Exits non-zero with a diagnostic on the first violated contract.
+
+Usage: python scripts/smoke_fleet.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+
+def _fail(message: str) -> int:
+    print(f"smoke_fleet: FAIL — {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.exceptions import ServiceSaturatedError
+    from repro.fleet import FleetConfig, FleetService, HashRing
+    from repro.serve import ServeConfig
+    from repro.workloads.arrivals import keyed_requests, stencil_pattern
+
+    size = 16
+    pattern = stencil_pattern(size)
+    rng = np.random.default_rng(5)
+
+    # -- routing determinism + per-key affinity ------------------------------
+    config = FleetConfig(
+        serve=ServeConfig(max_batch_size=4, max_wait_ms=5.0, num_workers=1),
+        initial_replicas=3,
+        max_replicas=4,
+    )
+    with FleetService(config) as fleet:
+        requests = keyed_requests(pattern, rng, size, 48, 16, solver="cg")
+        ring_before = {
+            repr(r.batch_key): fleet.ring.node_for(r.batch_key) for r in requests
+        }
+        tickets = [fleet.submit(r) for r in requests]
+        fleet.flush()
+        outcomes = [t.result(timeout=60.0) for t in tickets]
+        if not all(o.converged for o in outcomes):
+            return _fail("fleet workload did not converge")
+        # same key -> same shard, and exactly where the ring said
+        for request in requests:
+            if fleet.ring.node_for(request.batch_key) != ring_before[repr(request.batch_key)]:
+                return _fail("ring lookup is not deterministic")
+        stats = fleet.shard_stats()
+        served_shards = [row for row in stats if row["served"] > 0]
+        if len(served_shards) < 2:
+            return _fail(
+                f"16 distinct keys exercised only {len(served_shards)} shard(s)"
+            )
+        # per-shard plan caches: every shard that served traffic did its own
+        # planning (no shared cache between replicas)
+        for shard in fleet.shards():
+            served = shard.service.metrics.counter("serve.served").value
+            lookups = shard.service.plan_cache.hits + shard.service.plan_cache.misses
+            if served > 0 and lookups == 0:
+                return _fail(f"{shard.name} served requests without its own plans")
+        occupancy = fleet.ring_occupancy()
+        if abs(sum(occupancy.values()) - 1.0) > 1e-9:
+            return _fail("ring occupancy does not sum to 1")
+    print(
+        f"smoke_fleet: routing OK — 48 requests over 16 keys hit "
+        f"{len(served_shards)}/3 shards, occupancy sums to 1"
+    )
+
+    # -- consistent-hash remap bound -----------------------------------------
+    keys = [f"key-{i}" for i in range(2048)]
+    ring = HashRing(virtual_nodes=64)
+    for i in range(4):
+        ring.add(f"shard-{i}")
+    before = ring.assignments(keys)
+    ring.add("shard-4")
+    after = ring.assignments(keys)
+    moved = [k for k in keys if before[k] != after[k]]
+    if any(after[k] != "shard-4" for k in moved):
+        return _fail("adding a shard moved keys between pre-existing shards")
+    if len(moved) / len(keys) > 1.5 / 5:
+        return _fail(
+            f"adding a 5th shard remapped {len(moved) / len(keys):.1%} > 1.5/N of keys"
+        )
+    ring.remove("shard-4")
+    restored = ring.assignments(keys)
+    if restored != before:
+        return _fail("remove did not restore the pre-add assignment")
+    print(
+        f"smoke_fleet: ring OK — add remapped {len(moved) / len(keys):.1%} of keys "
+        "(≤ 1.5/N), remove restored the original assignment"
+    )
+
+    # -- graceful drain: zero dropped in-flight requests ---------------------
+    drain_config = FleetConfig(
+        serve=ServeConfig(
+            max_batch_size=4, max_wait_ms=5.0, num_workers=1, device_dwell_ms=20.0
+        ),
+        initial_replicas=2,
+    )
+    with FleetService(drain_config) as fleet:
+        requests = keyed_requests(pattern, rng, size, 32, 8, solver="cg")
+        tickets = [fleet.submit(r) for r in requests]
+        fleet.flush()
+        drained = fleet.scale_down(1)
+        if len(drained) != 1:
+            return _fail(f"scale_down drained {len(drained)} shards, expected 1")
+        lost = 0
+        for ticket in tickets:
+            try:
+                if not ticket.result(timeout=60.0).converged:
+                    lost += 1
+            except Exception:
+                lost += 1
+        if lost:
+            return _fail(f"graceful drain lost {lost} in-flight requests")
+        if fleet.num_replicas != 1:
+            return _fail(f"{fleet.num_replicas} replicas after drain, expected 1")
+        rebalances = [
+            ev for ev in fleet.events.events() if ev.type == "fleet.rebalance"
+        ]
+        actions = {ev.fields.get("action") for ev in rebalances}
+        if not {"drain_begin", "drain_complete"} <= actions:
+            return _fail(f"drain emitted rebalance actions {actions}")
+    print(
+        f"smoke_fleet: drain OK — {drained[0]} drained under load, "
+        "0 requests lost, rebalance events emitted"
+    )
+
+    # -- fleet-level admission control ---------------------------------------
+    tight = FleetConfig(
+        serve=ServeConfig(
+            max_batch_size=64, max_wait_ms=500.0, max_pending=64, num_workers=1
+        ),
+        initial_replicas=2,
+        max_pending=4,
+    )
+    with FleetService(tight) as fleet:
+        requests = keyed_requests(pattern, rng, size, 5, 5, solver="cg")
+        held = [fleet.submit(r) for r in requests[:4]]
+        try:
+            fleet.submit(requests[4])
+        except ServiceSaturatedError as exc:
+            if exc.retry_after_s <= 0:
+                return _fail("fleet saturation carries no retry_after_s hint")
+        else:
+            return _fail("submit beyond fleet max_pending did not raise")
+        if fleet.metrics.counter("fleet.rejected").value != 1:
+            return _fail("fleet.rejected counter did not record the rejection")
+        fleet.flush()
+        for ticket in held:
+            if not ticket.result(timeout=60.0).converged:
+                return _fail("held requests did not complete after flush")
+    print("smoke_fleet: admission OK — fleet backpressure fires before shard queues")
+
+    print("smoke_fleet: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,13 @@ Commands:
 * ``advisor``  — the Fig. 8 Advisor-style report for a mechanism/platform.
 * ``features`` — the dispatch feature matrix (Table 3 + extensions).
 * ``serve-demo`` — run a synthetic request workload through the async
-  batched-solver service (``repro.serve``) and print its metrics.
+  batched-solver service (``repro.serve``) and print its metrics;
+  ``--shards N`` routes the same workload through a fleet of N replicas.
+* ``fleet-demo`` — the sharded solver fleet (``repro.fleet``): paced
+  Poisson/bursty arrivals consistent-hash-routed over N shard replicas,
+  a scale-up + graceful-drain lifecycle demonstration (or the live
+  ``Autoscaler`` with ``--autoscale``), per-shard counters and ring
+  occupancy.
 * ``tune``     — drive the empirical autotuner (``repro.tune``): search
   launch configurations for a workload (``tune tune``), inspect the
   persistent tuning database (``tune show``), or drop records
@@ -130,6 +136,9 @@ def _cmd_serve_demo(args) -> int:
     from repro.serve import ServeConfig, SolveRequest, SolverService
     from repro.workloads.stencil import three_point_stencil
 
+    if getattr(args, "shards", 1) > 1:
+        return _serve_demo_fleet(args)
+
     config = ServeConfig(
         max_batch_size=args.batch_size,
         max_wait_ms=args.wait_ms,
@@ -202,6 +211,194 @@ def _cmd_serve_demo(args) -> int:
         path = service.events.write_jsonl(args.events_out)
         print(f"{len(service.events)} telemetry events written to {path}")
     return 0
+
+
+def _serve_demo_fleet(args) -> int:
+    """``serve-demo --shards N``: the same workload through the fleet."""
+    import time as _time
+
+    import numpy as np
+
+    from repro.bench.report import print_table
+    from repro.fleet import FleetConfig, FleetService
+    from repro.serve import ServeConfig
+    from repro.workloads.arrivals import keyed_requests, stencil_pattern
+
+    config = FleetConfig(
+        serve=ServeConfig(
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.wait_ms,
+            num_workers=args.workers,
+            backend=args.backend,
+            execution=args.execution,
+        ),
+        initial_replicas=args.shards,
+        max_replicas=max(args.shards, 8),
+        tuning_db_path=args.tuning_db,
+    )
+    pattern = stencil_pattern(args.size)
+    rng = np.random.default_rng(42)
+    requests = keyed_requests(
+        pattern, rng, args.size, args.requests, args.keys, solver=args.solver
+    )
+
+    print(
+        f"serve-demo: {args.requests} requests over {args.keys} keys, "
+        f"n={args.size}, {args.shards} shards x {config.serve.num_workers} "
+        f"{config.serve.backend} worker(s), max_batch_size={config.serve.max_batch_size}"
+    )
+    start = _time.perf_counter()
+    with FleetService(config) as fleet:
+        tickets = [fleet.submit(r) for r in requests]
+        fleet.flush()
+        outcomes = [t.result(timeout=60.0) for t in tickets]
+        elapsed = _time.perf_counter() - start
+
+        fleet.refresh_metrics()
+        stats = fleet.shard_stats()
+        occupancy = fleet.ring_occupancy()
+        hdr = fleet.latency_histogram()
+        converged = sum(1 for o in outcomes if o.converged)
+        print(
+            f"\nserved {converged}/{len(outcomes)} requests in "
+            f"{elapsed * 1e3:.1f} ms ({len(outcomes) / elapsed:.0f} req/s), "
+            f"fleet p50/p99 {hdr.percentile(50.0):.2f}/{hdr.percentile(99.0):.2f} ms"
+        )
+        print()
+        for row in stats:
+            row["p99_ms"] = round(row["p99_ms"], 2)
+            row["ring_share"] = f"{occupancy.get(row['shard'], 0.0):.1%}"
+        print_table(stats, "per-shard counters")
+        print()
+        print_table(fleet.metrics.rows(), "fleet metrics")
+
+        if args.metrics_out:
+            from repro.observability import render_prometheus
+
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(render_prometheus(fleet.metrics))
+            print(f"prometheus metrics written to {args.metrics_out}")
+        if args.events_out:
+            path = fleet.events.write_jsonl(args.events_out)
+            print(f"{len(fleet.events)} telemetry events written to {path}")
+    return 0
+
+
+def _cmd_fleet_demo(args) -> int:
+    """Demonstrate the fleet: routing, scale-up, autoscaling, graceful drain."""
+    import time as _time
+
+    import numpy as np
+
+    from repro.bench.report import print_table
+    from repro.fleet import Autoscaler, FleetConfig, FleetService
+    from repro.serve import ServeConfig
+    from repro.workloads.arrivals import (
+        bursty_offsets,
+        keyed_requests,
+        pace,
+        poisson_offsets,
+        stencil_pattern,
+    )
+
+    config = FleetConfig(
+        serve=ServeConfig(
+            max_batch_size=args.batch_size,
+            max_wait_ms=5.0,
+            max_pending=max(4 * args.requests, 64),
+            num_workers=1,
+            backend=args.backend,
+            device_dwell_ms=args.dwell_ms,
+        ),
+        initial_replicas=args.shards,
+        max_replicas=max(args.shards + 2, 4),
+        virtual_nodes=128,
+        max_pending=max(8 * args.requests, 256),
+        target_p99_ms=args.threshold_ms,
+        scale_up_patience=2,
+        scale_down_patience=3,
+        cooldown_evaluations=1,
+    )
+    pattern = stencil_pattern(args.size)
+    rng = np.random.default_rng(args.seed)
+    requests = keyed_requests(
+        pattern, rng, args.size, args.requests, args.keys,
+        solver="cg", layout="grouped", tolerance=1e-5,
+    )
+    if args.arrival == "bursty":
+        offsets = bursty_offsets(args.rate, args.requests, rng)
+    else:
+        offsets = poisson_offsets(args.rate, args.requests, rng)
+
+    print(
+        f"fleet-demo: {args.requests} requests over {args.keys} keys at "
+        f"~{args.rate:.0f} req/s ({args.arrival} arrivals), "
+        f"{args.shards} shard(s), dwell {args.dwell_ms:g} ms/flush"
+        + (", autoscaler on" if args.autoscale else "")
+    )
+    with FleetService(config) as fleet:
+        scaler = Autoscaler(fleet)
+        if args.autoscale:
+            scaler.start(interval_s=args.autoscale_interval)
+
+        start = _time.perf_counter()
+        tickets = pace(offsets, lambda i: fleet.submit(requests[i]))
+        fleet.flush()
+        outcomes = [t.result(timeout=120.0) for t in tickets]
+        elapsed = _time.perf_counter() - start
+        if args.autoscale:
+            scaler.stop()
+
+        peak_replicas = fleet.num_replicas
+        if not args.autoscale:
+            # manual lifecycle demo: add a replica (~1/N of keys remap to
+            # it), then drain one gracefully with the fleet still open
+            added = fleet.scale_up(1)
+            if added:
+                print(f"scale-up: started {', '.join(added)}")
+                peak_replicas = fleet.num_replicas
+            drained = fleet.scale_down(1)
+            if drained:
+                print(f"scale-down: drained {', '.join(drained)} (zero drops)")
+
+        fleet.refresh_metrics()
+        stats = fleet.shard_stats()
+        occupancy = fleet.ring_occupancy()
+        hdr = fleet.latency_histogram()
+        converged = sum(1 for o in outcomes if o.converged)
+        rebalances = sum(
+            1 for ev in fleet.events.events() if ev.type == "fleet.rebalance"
+        )
+        print(
+            f"\nserved {converged}/{len(outcomes)} requests in {elapsed:.2f} s "
+            f"({len(outcomes) / elapsed:.0f} req/s), fleet p50/p99 "
+            f"{hdr.percentile(50.0):.2f}/{hdr.percentile(99.0):.2f} ms, "
+            f"peak replicas {peak_replicas}, {rebalances} rebalance events"
+        )
+        if args.autoscale and scaler.decisions:
+            actions = [d for d in scaler.decisions if d.startswith("scale")]
+            print(
+                f"autoscaler: {len(scaler.decisions)} evaluations, "
+                f"actions: {', '.join(actions) if actions else 'none'}"
+            )
+        print()
+        for row in stats:
+            row["p99_ms"] = round(row["p99_ms"], 2)
+            row["ring_share"] = f"{occupancy.get(row['shard'], 0.0):.1%}"
+        print_table(stats, "per-shard counters")
+        print()
+        print_table(fleet.metrics.rows(), "fleet metrics")
+
+        if args.metrics_out:
+            from repro.observability import render_prometheus
+
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(render_prometheus(fleet.metrics))
+            print(f"prometheus metrics written to {args.metrics_out}")
+        if args.events_out:
+            path = fleet.events.write_jsonl(args.events_out)
+            print(f"{len(fleet.events)} telemetry events written to {path}")
+    return 0 if converged == len(outcomes) else 1
 
 
 def _cmd_tune(args) -> int:
@@ -985,6 +1182,9 @@ def _cmd_top(args) -> int:
     from repro.telemetry import SloMonitor, dashboard_text, default_slos
     from repro.workloads.stencil import three_point_stencil
 
+    if getattr(args, "shards", 1) > 1:
+        return _top_fleet(args)
+
     config = ServeConfig(
         max_batch_size=args.batch_size,
         max_wait_ms=2.0,
@@ -1045,6 +1245,70 @@ def _cmd_top(args) -> int:
     return 0
 
 
+def _top_fleet(args) -> int:
+    """``top --shards N``: the dashboard over a live fleet, shard panel on."""
+    import threading
+    import time as _time
+
+    import numpy as np
+
+    from repro.fleet import FleetConfig, FleetService
+    from repro.serve import ServeConfig
+    from repro.telemetry import dashboard_text
+    from repro.workloads.arrivals import keyed_requests, stencil_pattern
+
+    config = FleetConfig(
+        serve=ServeConfig(
+            max_batch_size=args.batch_size,
+            max_wait_ms=2.0,
+            num_workers=args.workers,
+            backend=args.backend,
+        ),
+        initial_replicas=args.shards,
+        max_replicas=max(args.shards, 8),
+    )
+    pattern = stencil_pattern(args.size)
+    rng = np.random.default_rng(args.seed)
+    requests = keyed_requests(
+        pattern, rng, args.size, args.requests,
+        max(16, 2 * args.shards), solver=args.solver,
+    )
+
+    with FleetService(config) as fleet:
+        stop = threading.Event()
+
+        def feed() -> None:
+            for k, request in enumerate(requests):
+                if stop.is_set():
+                    return
+                try:
+                    fleet.submit(request).result(timeout=60.0)
+                except Exception:
+                    return
+                if len(requests) > 1 and k % 8 == 7:
+                    _time.sleep(min(args.interval / 4.0, 0.05))
+
+        feeder = threading.Thread(target=feed, name="repro-top-feeder", daemon=True)
+        feeder.start()
+        try:
+            for frame in range(args.frames):
+                if frame:
+                    _time.sleep(args.interval)
+                fleet.refresh_metrics()
+                print(
+                    dashboard_text(
+                        fleet.metrics,
+                        events=fleet.events,
+                        fleet=fleet,
+                        title=f"repro top — fleet — frame {frame + 1}/{args.frames}",
+                    )
+                )
+        finally:
+            stop.set()
+            feeder.join(timeout=60.0)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (one sub-command per experiment)."""
     parser = argparse.ArgumentParser(
@@ -1090,6 +1354,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_demo.add_argument("--solver", default="bicgstab")
     serve_demo.add_argument(
+        "--shards",
+        "--replicas",
+        dest="shards",
+        type=int,
+        default=1,
+        help="route the workload through a fleet of this many shard replicas "
+        "(repro.fleet); 1 = the plain single-service path",
+    )
+    serve_demo.add_argument(
+        "--keys",
+        type=int,
+        default=16,
+        help="distinct BatchKeys in the workload (fleet path only; "
+        "key diversity is what spreads load across shards)",
+    )
+    serve_demo.add_argument(
         "--tuning-db",
         default=None,
         help="serve tuned launch geometry from this TuningDB file",
@@ -1105,6 +1385,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the structured telemetry event log (JSONL) to this file",
     )
     serve_demo.set_defaults(fn=_cmd_serve_demo)
+
+    fleet_demo = sub.add_parser(
+        "fleet-demo",
+        help="demo the sharded solver fleet (repro.fleet): consistent-hash "
+        "routing, scale-up/drain lifecycle, optional autoscaler",
+    )
+    fleet_demo.add_argument("--requests", type=int, default=128)
+    fleet_demo.add_argument("--keys", type=int, default=32, help="distinct BatchKeys")
+    fleet_demo.add_argument("--size", type=int, default=16, help="rows per system")
+    fleet_demo.add_argument("--batch-size", type=int, default=4)
+    fleet_demo.add_argument(
+        "--shards", type=int, default=2, help="initial shard replicas"
+    )
+    fleet_demo.add_argument(
+        "--rate", type=float, default=1000.0, help="arrival rate (req/s)"
+    )
+    fleet_demo.add_argument(
+        "--arrival", choices=["poisson", "bursty"], default="poisson"
+    )
+    fleet_demo.add_argument(
+        "--dwell-ms",
+        type=float,
+        default=20.0,
+        help="simulated device occupancy per flush (ms)",
+    )
+    fleet_demo.add_argument(
+        "--backend", choices=["sycl", "cuda", "cudasim", "wide"], default="sycl"
+    )
+    fleet_demo.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="run the Autoscaler control loop instead of the manual "
+        "scale-up/drain demonstration",
+    )
+    fleet_demo.add_argument(
+        "--autoscale-interval", type=float, default=0.25,
+        help="seconds between autoscaler evaluations",
+    )
+    fleet_demo.add_argument(
+        "--threshold-ms", type=float, default=500.0,
+        help="autoscaler p99 latency objective",
+    )
+    fleet_demo.add_argument("--seed", type=int, default=42)
+    fleet_demo.add_argument(
+        "--metrics-out",
+        default=None,
+        help="dump the fleet metrics in Prometheus text format to this file",
+    )
+    fleet_demo.add_argument(
+        "--events-out",
+        default=None,
+        help="write the structured telemetry event log (JSONL) to this file",
+    )
+    fleet_demo.set_defaults(fn=_cmd_fleet_demo)
 
     tune = sub.add_parser(
         "tune", help="empirical launch-parameter autotuning (repro.tune)"
@@ -1191,6 +1525,13 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--solver", default="bicgstab")
     top.add_argument("--threshold-ms", type=float, default=500.0)
     top.add_argument("--seed", type=int, default=0)
+    top.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="drive a fleet of this many shard replicas and show the "
+        "per-shard panel (1 = single service)",
+    )
     top.set_defaults(fn=_cmd_top)
 
     sanitize = sub.add_parser(

@@ -1,0 +1,136 @@
+"""Policy knobs of the sharded solver fleet.
+
+:class:`FleetConfig` is frozen, like :class:`~repro.serve.config.
+ServeConfig`, so one object can be shared between the router, the
+autoscaler and tests without copying. The serve config embedded in it is
+the *template* every shard replica is built from; per-shard state that
+must not be shared (the :class:`~repro.tune.db.TuningDB` file) is
+namespaced per shard by the fleet service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.serve.config import ServeConfig
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Configuration of a :class:`~repro.fleet.service.FleetService`.
+
+    Parameters
+    ----------
+    serve:
+        The per-shard :class:`~repro.serve.config.ServeConfig` template.
+        Every replica gets its own :class:`~repro.serve.service.
+        SolverService` built from this config (own device queue, plan
+        cache, micro-batcher, worker pool).
+    initial_replicas:
+        Shards started when the fleet comes up.
+    min_replicas / max_replicas:
+        The autoscaler's (and manual scaling's) hard bounds.
+    virtual_nodes:
+        Virtual nodes per shard on the consistent-hash ring; more vnodes
+        = smoother arcs (and marginally slower membership changes).
+    max_pending:
+        Fleet-level admission bound over the *sum* of per-shard pending
+        requests. Past it, :meth:`~repro.fleet.service.FleetService.
+        submit` rejects with :class:`~repro.exceptions.
+        ServiceSaturatedError` before any shard sees the request —
+        fleet backpressure fires first, shard-level saturation stays the
+        per-shard hot-spot signal.
+    retry_after_ms:
+        Retry hint carried by fleet-level saturation rejections.
+    tuning_db_path:
+        Base path for per-shard tuning databases. Shard ``shard-3`` of
+        base ``tuning.json`` persists to ``tuning.shard-3.json`` — one
+        namespace per shard, so replicas never contend on one file and a
+        shard's tuned geometry follows the keys the ring pins to it.
+        ``None`` disables tuned-geometry serving fleet-wide.
+    drain_timeout_s:
+        How long a graceful drain waits for a departing shard's in-flight
+        requests before closing it anyway.
+    target_p99_ms:
+        The autoscaler's latency objective: scale up while any shard's
+        p99 (from its ``serve.latency_hdr_ms`` HDR histogram) sits above
+        this, scale down only while every shard sits below half of it.
+    high_watermark / low_watermark:
+        Utilization thresholds (fleet pending / fleet capacity) for
+        scale-up pressure and scale-down relaxation.
+    scale_up_patience / scale_down_patience:
+        Consecutive pressured (resp. relaxed) evaluations required before
+        acting — the hysteresis that stops one burst from thrashing the
+        replica count.
+    cooldown_evaluations:
+        Evaluations ignored after any scaling action (the second half of
+        the hysteresis: let the new replica set settle before judging it).
+    """
+
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    initial_replicas: int = 2
+    min_replicas: int = 1
+    max_replicas: int = 8
+    virtual_nodes: int = 64
+    max_pending: int = 4096
+    retry_after_ms: float = 5.0
+    tuning_db_path: str | None = None
+    drain_timeout_s: float = 30.0
+    target_p99_ms: float = 500.0
+    high_watermark: float = 0.75
+    low_watermark: float = 0.25
+    scale_up_patience: int = 2
+    scale_down_patience: int = 4
+    cooldown_evaluations: int = 2
+
+    def __post_init__(self) -> None:
+        if self.initial_replicas <= 0:
+            raise ValueError(
+                f"initial_replicas must be positive, got {self.initial_replicas}"
+            )
+        if self.min_replicas <= 0:
+            raise ValueError(f"min_replicas must be positive, got {self.min_replicas}")
+        if not self.min_replicas <= self.max_replicas:
+            raise ValueError(
+                f"min_replicas ({self.min_replicas}) must not exceed "
+                f"max_replicas ({self.max_replicas})"
+            )
+        if not self.min_replicas <= self.initial_replicas <= self.max_replicas:
+            raise ValueError(
+                f"initial_replicas ({self.initial_replicas}) must lie in "
+                f"[{self.min_replicas}, {self.max_replicas}]"
+            )
+        if self.virtual_nodes <= 0:
+            raise ValueError(f"virtual_nodes must be positive, got {self.virtual_nodes}")
+        if self.max_pending <= 0:
+            raise ValueError(f"max_pending must be positive, got {self.max_pending}")
+        if self.retry_after_ms < 0:
+            raise ValueError(
+                f"retry_after_ms must be non-negative, got {self.retry_after_ms}"
+            )
+        if self.drain_timeout_s <= 0:
+            raise ValueError(
+                f"drain_timeout_s must be positive, got {self.drain_timeout_s}"
+            )
+        if self.target_p99_ms <= 0:
+            raise ValueError(f"target_p99_ms must be positive, got {self.target_p99_ms}")
+        if not 0.0 < self.low_watermark < self.high_watermark <= 1.0:
+            raise ValueError(
+                "watermarks must satisfy 0 < low < high <= 1, got "
+                f"low={self.low_watermark}, high={self.high_watermark}"
+            )
+        if self.scale_up_patience <= 0 or self.scale_down_patience <= 0:
+            raise ValueError("scaling patience values must be positive")
+        if self.cooldown_evaluations < 0:
+            raise ValueError(
+                f"cooldown_evaluations must be non-negative, "
+                f"got {self.cooldown_evaluations}"
+            )
+
+    def shard_tuning_path(self, shard_name: str) -> str | None:
+        """The per-shard tuning-database namespace of ``shard_name``."""
+        if self.tuning_db_path is None:
+            return None
+        base = Path(self.tuning_db_path)
+        return str(base.with_name(f"{base.stem}.{shard_name}{base.suffix}"))

@@ -88,6 +88,17 @@ class ServeConfig:
     event_log_capacity:
         Ring size of the service's bounded-memory structured event log
         (one ring for routine events, one pinned ring for criticals).
+    device_dwell_ms:
+        Simulated device occupancy per flush: after the host-side solve of
+        a flushed batch, the worker thread holds its device context busy
+        for this long (a real sleep, so it releases the GIL like a real
+        device would release the host). The simulated solvers execute on
+        the host CPU, where the interpreter serializes Python threads —
+        without a dwell, N shards contend for one core and scaling
+        measurements say more about the GIL than about the architecture.
+        With it, flush cost is device-bound the way the paper's measured
+        kernels are, and fleet scale-out is observable as wall-clock
+        throughput. ``0`` (the default) disables the dwell.
     """
 
     max_batch_size: int = 64
@@ -104,6 +115,7 @@ class ServeConfig:
     tuning_db_path: str | None = None
     telemetry_sample_rate: float = 1.0
     event_log_capacity: int = 2048
+    device_dwell_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -144,6 +156,10 @@ class ServeConfig:
             raise ValueError(
                 f"event_log_capacity must be positive, got {self.event_log_capacity}"
             )
+        if self.device_dwell_ms < 0:
+            raise ValueError(
+                f"device_dwell_ms must be non-negative, got {self.device_dwell_ms}"
+            )
 
     @property
     def max_wait_ns(self) -> int:
@@ -156,3 +172,8 @@ class ServeConfig:
         if self.request_timeout_ms is None:
             return None
         return int(self.request_timeout_ms * 1e6)
+
+    @property
+    def device_dwell_s(self) -> float:
+        """The per-flush simulated device occupancy in seconds."""
+        return self.device_dwell_ms / 1e3

@@ -26,6 +26,7 @@ Robustness behaviours:
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import replace as dc_replace
 
 import numpy as np
@@ -437,6 +438,7 @@ class SolverService:
                     backend=self.config.backend,
                     solver=key.solver_cls.solver_name,
                 ).inc()
+                self._device_dwell(worker)
                 return result
             self.metrics.counter("serve.kernel_fallbacks").labels(
                 solver=key.solver_cls.solver_name
@@ -476,7 +478,25 @@ class SolverService:
             name=f"serve.batch_{key.solver_cls.solver_name}",
             num_batch=matrix.num_batch,
         )
+        self._device_dwell(worker)
         return result
+
+    def _device_dwell(self, worker: Worker) -> None:
+        """Hold the worker's device busy for the configured dwell.
+
+        A real sleep so it releases the GIL — the device-bound part of a
+        flush overlaps across shards/workers the way real device kernels
+        overlap with the host (see ``ServeConfig.device_dwell_ms``).
+        """
+        dwell = self.config.device_dwell_s
+        if dwell > 0.0:
+            with current_tracer().span(
+                "serve.device_dwell",
+                category="serve",
+                tid=worker.lane,
+                dwell_ms=self.config.device_dwell_ms,
+            ):
+                time.sleep(dwell)
 
     def _kernel_solve(self, plan, matrix, b, x0, worker):
         """A thunk running the flush through the fused device kernels.
@@ -728,7 +748,14 @@ class SolverService:
             return self._state.wait_for(lambda: self._pending == 0, timeout=timeout)
 
     def close(self, drain: bool = True, timeout: float = 30.0) -> None:
-        """Stop accepting requests; optionally serve out everything queued."""
+        """Stop accepting requests; optionally serve out everything queued.
+
+        ``drain=True`` flushes the micro-batcher and serves every admitted
+        request before shutting the workers down. ``drain=False`` aborts:
+        requests still waiting in the batcher complete immediately with
+        :class:`~repro.exceptions.ServiceClosedError` (their tickets never
+        hang), while flushes already handed to the worker pool run out.
+        """
         with self._state:
             if self._closed:
                 return
@@ -737,6 +764,12 @@ class SolverService:
         if drain:
             self.flush()
             self.pool.join()
+        else:
+            for flush in self.batcher.drain():
+                for ticket in flush.tickets:
+                    self._finish_fail(
+                        ticket, ServiceClosedError("service closed before flush")
+                    )
         self._flusher.join(timeout=timeout)
         self.pool.close()
 

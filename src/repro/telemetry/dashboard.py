@@ -67,10 +67,16 @@ def dashboard_text(
     monitor: SloMonitor | None = None,
     events: EventLog | None = None,
     profiler=None,
+    fleet=None,
     title: str = "repro top",
     clock=time.time,
 ) -> str:
-    """Render one dashboard frame from the live registry (pure function)."""
+    """Render one dashboard frame from the live registry (pure function).
+
+    ``fleet`` is duck-typed (anything with ``shard_stats()`` and
+    ``ring_occupancy()``, i.e. a :class:`repro.fleet.FleetService`) so
+    the telemetry layer never imports the fleet package.
+    """
     # deferred: repro.bench pulls the hardware/device stack in, and the
     # sanitizer (imported by the executor) needs repro.telemetry importable
     # without that cycle
@@ -139,6 +145,32 @@ def dashboard_text(
         if rows:
             parts.append("")
             parts.append(format_table(rows, "per-phase kernel counters"))
+
+    if fleet is not None:
+        rows = [
+            {
+                "shard": row["shard"],
+                "state": row["state"],
+                "pending": row["pending"],
+                "served": row["served"],
+                "rejected": row["rejected"],
+                "flushes": row["flushes"],
+                "p99_ms": f"{row['p99_ms']:.3g}" if row["p99_ms"] == row["p99_ms"] else "-",
+            }
+            for row in fleet.shard_stats()
+        ]
+        if rows:
+            parts.append("")
+            parts.append(format_table(rows, "fleet shards"))
+        occupancy = fleet.ring_occupancy()
+        if occupancy:
+            parts.append("")
+            parts.append(
+                "ring occupancy: "
+                + ", ".join(
+                    f"{shard} {share:.1%}" for shard, share in sorted(occupancy.items())
+                )
+            )
 
     if monitor is not None:
         statuses = monitor.evaluate()

@@ -52,6 +52,8 @@ __all__ = [
     "PLAN_CACHE_INVALIDATED",
     "TUNING_GENERATION_BUMP",
     "SLO_ALERT",
+    "FLEET_REBALANCE",
+    "REQUEST_REROUTED",
 ]
 
 #: Version stamped on every exported record; bump on incompatible change.
@@ -70,6 +72,8 @@ SANITIZER_TRIP = "sanitizer.trip"
 PLAN_CACHE_INVALIDATED = "plan_cache.invalidated"
 TUNING_GENERATION_BUMP = "tuning.generation_bump"
 SLO_ALERT = "slo.alert"
+FLEET_REBALANCE = "fleet.rebalance"
+REQUEST_REROUTED = "request.rerouted"
 
 #: Every event type the schema admits; :meth:`EventLog.emit` rejects others.
 EVENT_TYPES = frozenset(
@@ -85,6 +89,8 @@ EVENT_TYPES = frozenset(
         PLAN_CACHE_INVALIDATED,
         TUNING_GENERATION_BUMP,
         SLO_ALERT,
+        FLEET_REBALANCE,
+        REQUEST_REROUTED,
     }
 )
 

@@ -10,7 +10,17 @@
 * :mod:`repro.workloads.sundials` — a mini BDF integrator with modified
   Newton solves, the outer-loop use case motivating batched iterative
   solvers (Section 2).
+* :mod:`repro.workloads.arrivals` — seeded arrival processes (uniform,
+  Poisson, bursty) and shared request synthesis for the serving and
+  fleet benchmarks.
 """
+
+from repro.workloads.arrivals import (
+    bursty_offsets,
+    pace,
+    poisson_offsets,
+    uniform_offsets,
+)
 
 from repro.workloads.stencil import three_point_stencil, stencil_rhs
 from repro.workloads.pele import (
@@ -42,4 +52,8 @@ __all__ = [
     "BdfResult",
     "BatchedOde",
     "robertson_batch",
+    "uniform_offsets",
+    "poisson_offsets",
+    "bursty_offsets",
+    "pace",
 ]

@@ -1,0 +1,127 @@
+"""The consistent-hash ring: determinism, remap bounds, occupancy."""
+
+import pytest
+
+from repro.fleet import HashRing, key_position, ring_token
+from repro.serve.request import SolveRequest
+
+
+def _populated(num_nodes: int, virtual_nodes: int = 64) -> HashRing:
+    ring = HashRing(virtual_nodes)
+    for i in range(num_nodes):
+        ring.add(f"shard-{i}")
+    return ring
+
+
+KEYS = [f"key-{i}" for i in range(2000)]
+
+
+class TestMembership:
+    def test_add_remove_len_contains(self):
+        ring = HashRing()
+        assert len(ring) == 0
+        ring.add("a")
+        ring.add("b")
+        assert len(ring) == 2
+        assert "a" in ring and "b" in ring
+        assert ring.nodes == ["a", "b"]
+        ring.remove("a")
+        assert "a" not in ring
+        assert ring.nodes == ["b"]
+
+    def test_duplicate_add_raises(self):
+        ring = HashRing()
+        ring.add("a")
+        with pytest.raises(ValueError, match="already on the ring"):
+            ring.add("a")
+
+    def test_remove_absent_raises(self):
+        ring = HashRing()
+        with pytest.raises(KeyError):
+            ring.remove("ghost")
+
+    def test_empty_lookup_raises(self):
+        with pytest.raises(LookupError, match="empty"):
+            HashRing().node_for("anything")
+
+    def test_invalid_virtual_nodes(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+
+
+class TestDeterminism:
+    def test_same_key_same_node_across_instances(self):
+        # SHA-1 hashing: two independently built rings with the same
+        # membership agree on every key (the cross-process contract)
+        first = _populated(4)
+        second = _populated(4)
+        for key in KEYS[:200]:
+            assert first.node_for(key) == second.node_for(key)
+
+    def test_key_position_is_stable(self):
+        assert key_position("key-0") == key_position("key-0")
+        assert key_position("key-0") != key_position("key-1")
+
+    def test_batch_key_routing(self, rng=None):
+        import numpy as np
+        import scipy.sparse as sp
+
+        matrix = sp.diags(
+            [[-1.0] * 7, [2.0] * 8, [-1.0] * 7], offsets=[-1, 0, 1], format="csr"
+        )
+        a = SolveRequest(matrix, [1.0] * 8, solver="cg").batch_key
+        b = SolveRequest(matrix.copy(), list(np.ones(8)), solver="cg").batch_key
+        c = SolveRequest(matrix.copy(), [1.0] * 8, solver="bicgstab").batch_key
+        ring = _populated(4)
+        # equal keys (same pattern/config) route together; a different
+        # solver is a different compatibility class with its own token
+        assert ring.node_for(a) == ring.node_for(b)
+        assert ring_token(a) == ring_token(b)
+        assert ring_token(a) != ring_token(c)
+
+
+class TestRemapBounds:
+    def test_add_moves_only_to_newcomer(self):
+        ring = _populated(4)
+        before = ring.assignments(KEYS)
+        ring.add("shard-4")
+        after = ring.assignments(KEYS)
+        moved = [k for k in before if before[k] != after[k]]
+        assert moved, "adding a shard must claim some keys"
+        assert all(after[k] == "shard-4" for k in moved)
+        # ~1/(N+1) of keys move; gate at 1.5/N like the bench
+        assert len(moved) / len(KEYS) <= 1.5 / 5
+
+    def test_remove_restores_and_spares_survivors(self):
+        ring = _populated(4)
+        before = ring.assignments(KEYS)
+        ring.add("shard-4")
+        after_add = ring.assignments(KEYS)
+        ring.remove("shard-4")
+        assert ring.assignments(KEYS) == before
+        # every key that moves on removal was owned by the removed shard
+        moved = [k for k in after_add if after_add[k] != before[k]]
+        assert all(after_add[k] == "shard-4" for k in moved)
+
+
+class TestOccupancy:
+    def test_shares_sum_to_one(self):
+        ring = _populated(5)
+        occupancy = ring.occupancy()
+        assert set(occupancy) == {f"shard-{i}" for i in range(5)}
+        assert sum(occupancy.values()) == pytest.approx(1.0)
+
+    def test_more_vnodes_smooth_the_arcs(self):
+        coarse = max(_populated(4, virtual_nodes=8).occupancy().values())
+        fine = max(_populated(4, virtual_nodes=512).occupancy().values())
+        assert fine < coarse
+        assert fine < 0.40  # ideal is 0.25; 512 vnodes gets close
+
+    def test_empty_ring_occupancy(self):
+        assert HashRing().occupancy() == {}
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(16)
+        ring.add("only")
+        assert ring.occupancy() == {"only": pytest.approx(1.0)}
+        assert ring.node_for("whatever") == "only"

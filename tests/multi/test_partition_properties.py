@@ -1,0 +1,74 @@
+"""Property tests for ``partition_batch`` — the invariants sharding rests on.
+
+The fleet router splits key spaces the way the distributed layer splits
+batch index spaces; these are the exact-coverage / no-overlap / balance
+guarantees both depend on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.multi import partition_batch
+
+
+@st.composite
+def _batch_and_ranks(draw):
+    num_batch = draw(st.integers(min_value=1, max_value=4096))
+    num_ranks = draw(st.integers(min_value=1, max_value=num_batch))
+    return num_batch, num_ranks
+
+
+class TestPartitionInvariants:
+    @given(_batch_and_ranks())
+    @settings(max_examples=200, deadline=None)
+    def test_exact_coverage_no_overlap(self, case):
+        num_batch, num_ranks = case
+        slices = partition_batch(num_batch, num_ranks)
+        assert len(slices) == num_ranks
+        # contiguous, in order, no gaps, no overlap, full coverage
+        cursor = 0
+        for piece in slices:
+            assert piece.start == cursor
+            assert piece.stop >= piece.start
+            cursor = piece.stop
+        assert cursor == num_batch
+
+    @given(_batch_and_ranks())
+    @settings(max_examples=200, deadline=None)
+    def test_balance_within_one(self, case):
+        num_batch, num_ranks = case
+        sizes = [s.stop - s.start for s in partition_batch(num_batch, num_ranks)]
+        assert max(sizes) - min(sizes) <= 1
+        assert min(sizes) >= 1  # ranks <= batch: nobody sits idle
+        # the +1 remainders land on the leading ranks
+        assert sizes == sorted(sizes, reverse=True)
+
+    @given(st.integers(min_value=1, max_value=512))
+    @settings(max_examples=50, deadline=None)
+    def test_size_one_batches(self, num_ranks):
+        # one item per rank: the smallest legal world
+        slices = partition_batch(num_ranks, num_ranks)
+        assert all(s.stop - s.start == 1 for s in slices)
+        assert slices[0] == slice(0, 1)
+
+    def test_single_rank_owns_everything(self):
+        assert partition_batch(7, 1) == [slice(0, 7)]
+
+
+class TestPartitionRejections:
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_more_ranks_than_batch_raises(self, num_batch, extra):
+        with pytest.raises(ValueError, match="more ranks"):
+            partition_batch(num_batch, num_batch + extra)
+
+    @pytest.mark.parametrize(
+        "num_batch,num_ranks",
+        [(0, 1), (1, 0), (-1, 1), (1, -1), (0, 0)],
+    )
+    def test_non_positive_raises(self, num_batch, num_ranks):
+        with pytest.raises(ValueError, match="must be positive"):
+            partition_batch(num_batch, num_ranks)
