@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Benchmark the chaos harness: trace replay vs the SLO gate.
+
+Three sections, all seeded and deterministic in their fault schedules:
+
+* ``clean`` — a diurnal multi-tenant trace replayed against an unfaulted
+  service must come back SLO-compliant (every ``repro.telemetry.slo``
+  objective green) with zero lost requests and zero fallbacks;
+* ``faults`` — the same trace under the full ``FaultPlan.battery``
+  (worker deaths, poisoned/singular batches, device delays, sanitizer
+  trips) must lose nothing: every request completes or fails with a
+  *structured* error (no status-500 escapes);
+* ``breaker`` — a fallback storm must open the circuit breaker, and
+  healthy traffic after the cooldown must close it again.
+
+Writes ``BENCH_chaos_slo.json`` (see ``--out``), gated by
+``benchmarks/baseline_manifest.json`` via ``scripts/check_regression.py``.
+
+Usage: python scripts/bench_chaos_slo.py [--out BENCH_chaos_slo.json]
+       [--quick] [--requests 96] [--rate 400] [--seed 7]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+
+def _service_factory(chaos=None, **overrides):
+    from repro.serve import ServeConfig, SolverService
+
+    defaults = dict(max_batch_size=8, max_wait_ms=2.0, num_workers=2)
+    defaults.update(overrides)
+    config = ServeConfig(**defaults)
+    return lambda: SolverService(config, chaos=chaos)
+
+
+def run_replay_section(*, seed: int, num_requests: int, rate_rps: float,
+                       size: int, threshold_ms: float, with_faults: bool) -> dict:
+    """One scored replay: the diurnal trace, optionally under the battery."""
+    from repro.chaos import ChaosInjector, FaultPlan
+    from repro.chaos.replay import build_trace, run_replay
+
+    trace = build_trace(
+        seed=seed, num_requests=num_requests, rate_rps=rate_rps, pattern="diurnal"
+    )
+    chaos = ChaosInjector(FaultPlan.battery(seed=seed)) if with_faults else None
+    report = run_replay(
+        trace,
+        _service_factory(chaos),
+        seed=seed,
+        size=size,
+        latency_threshold_ms=threshold_ms,
+        result_timeout_s=60.0,
+    )
+    metrics = report.to_metrics()
+    metrics["unstructured_failures"] = report.statuses.get(500, 0)
+    return metrics
+
+
+def run_breaker_section(*, seed: int, size: int) -> dict:
+    """Storm -> open -> cooldown -> healthy probe -> close, measured."""
+    from repro.chaos import ChaosInjector, FaultPlan, FaultSpec
+    from repro.chaos.plan import POISON_BATCH
+    from repro.serve import ServeConfig, SolverService
+    from repro.workloads.arrivals import stencil_pattern
+
+    pattern = stencil_pattern(size)
+    rng = np.random.default_rng(seed)
+
+    def request():
+        from repro.serve import SolveRequest
+
+        matrix = pattern.copy()
+        scale = rng.uniform(0.95, 1.05, size=size)
+        rows = np.repeat(np.arange(size), np.diff(matrix.indptr))
+        matrix.data = matrix.data * scale[rows] * scale[matrix.indices]
+        return SolveRequest(
+            matrix, rng.standard_normal(size), solver="cg", preconditioner="jacobi"
+        )
+
+    # poison exactly the first flush: its four rescued requests are all
+    # bad outcomes, tripping the breaker at min_events=4
+    chaos = ChaosInjector(
+        FaultPlan(seed, (FaultSpec(POISON_BATCH, every=1, max_faults=1),))
+    )
+    config = ServeConfig(
+        max_batch_size=4,
+        max_wait_ms=60_000.0,
+        num_workers=1,
+        breaker_window=8,
+        breaker_min_events=4,
+        breaker_threshold=0.5,
+        breaker_cooldown_s=0.05,
+    )
+    with SolverService(config, chaos=chaos) as service:
+        storm = [service.submit(request()) for _ in range(4)]
+        storm_errors = sum(1 for t in storm if t.exception(timeout=60.0) is not None)
+        opened = int(service.metrics.counter("serve.breaker_opens").value)
+        open_state = service.breaker.state
+
+        time.sleep(0.1)  # past the cooldown: half-open
+        healthy = [service.submit(request()) for _ in range(4)]
+        probe_errors = sum(
+            1 for t in healthy if t.exception(timeout=60.0) is not None
+        )
+        closed = int(service.metrics.counter("serve.breaker_closes").value)
+        closed_state = service.breaker.state
+
+    return {
+        "opened": opened,
+        "state_after_storm": open_state,
+        "closed_after_recovery": closed,
+        "state_after_recovery": closed_state,
+        "storm_errors": storm_errors,
+        "probe_errors": probe_errors,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_chaos_slo.json")
+    parser.add_argument("--requests", type=int, default=96)
+    parser.add_argument("--rate", type=float, default=400.0, help="arrival rate (req/s)")
+    parser.add_argument("--size", type=int, default=16, help="rows per system")
+    parser.add_argument("--threshold-ms", type=float, default=500.0,
+                        help="SLO latency objective")
+    parser.add_argument("--quick", action="store_true", help="smaller workload")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.requests = min(args.requests, 48)
+
+    clean = run_replay_section(
+        seed=args.seed, num_requests=args.requests, rate_rps=args.rate,
+        size=args.size, threshold_ms=args.threshold_ms, with_faults=False,
+    )
+    print(
+        f"clean:   {clean['completed']}/{clean['total_requests']} completed, "
+        f"p99 {clean['latency_p99_ms']:.1f} ms, "
+        f"SLO {'compliant' if clean['slo_compliant'] else 'VIOLATED'}"
+    )
+
+    faults = run_replay_section(
+        seed=args.seed, num_requests=args.requests, rate_rps=args.rate,
+        size=args.size, threshold_ms=args.threshold_ms, with_faults=True,
+    )
+    print(
+        f"faults:  {faults['injected_total']} injected, "
+        f"lost {faults['lost_requests']}, "
+        f"unstructured {faults['unstructured_failures']}, "
+        f"{faults['completed']} completed / {faults['total_requests']}"
+    )
+
+    breaker = run_breaker_section(seed=args.seed, size=args.size)
+    print(
+        f"breaker: opened {breaker['opened']}x under the storm "
+        f"({breaker['state_after_storm']}), closed "
+        f"{breaker['closed_after_recovery']}x after recovery "
+        f"({breaker['state_after_recovery']})"
+    )
+
+    from repro.bench.schema import bench_payload, write_bench
+
+    report = bench_payload(
+        "chaos_slo",
+        workload={
+            "system_rows": args.size,
+            "requests": args.requests,
+            "arrival_rate_rps": args.rate,
+            "arrival": "diurnal",
+            "latency_threshold_ms": args.threshold_ms,
+            "fault_plan": "battery",
+            "seed": args.seed,
+        },
+        metrics={"clean": clean, "faults": faults, "breaker": breaker},
+    )
+    out = write_bench(args.out, report)
+    print(f"\nwrote {out}")
+
+    # acceptance checks (non-zero exit so CI can gate directly)
+    failures = []
+    if not clean["slo_compliant"]:
+        failures.append("clean replay violated the SLO set")
+    if clean["lost_requests"]:
+        failures.append(f"clean replay lost {clean['lost_requests']} requests")
+    if faults["lost_requests"]:
+        failures.append(f"fault battery lost {faults['lost_requests']} requests")
+    if faults["unstructured_failures"]:
+        failures.append(
+            f"{faults['unstructured_failures']} failures escaped unstructured (500)"
+        )
+    if faults["injected_total"] < 1:
+        failures.append("the battery injected nothing")
+    if breaker["opened"] != 1 or breaker["state_after_storm"] != "open":
+        failures.append("the fallback storm did not open the breaker")
+    if breaker["closed_after_recovery"] != 1 or breaker["state_after_recovery"] != "closed":
+        failures.append("the breaker did not close after recovery")
+    for failure in failures:
+        print(f"bench_chaos_slo: FAIL — {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

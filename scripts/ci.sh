@@ -72,6 +72,21 @@ python -m repro sanitize diff --backends sycl,wide
 python scripts/bench_wide_speedup.py --quick --out /tmp/ci_wide_speedup.json
 
 echo
+echo "== chaos-gate =="
+# seeded fault battery: every fault kind fires, zero lost tickets, every
+# failure structured — then the replay SLO bench in quick mode, checked
+# against the committed baseline manifest
+python -m repro chaos battery --requests 40 --batch-size 4 --size 12
+python -m repro chaos battery --requests 40 --batch-size 4 --size 12 --shards 2
+python scripts/bench_chaos_slo.py --quick --out /tmp/ci_chaos_slo.json
+
+echo
+echo "== coverage floor =="
+# tier1 (serve/fleet/chaos/telemetry) under the stdlib line tracer:
+# >= 85% of src/repro/serve + src/repro/fleet executable lines
+python scripts/coverage_gate.py --floor 85
+
+echo
 echo "== perf-regression gate =="
 python scripts/check_regression.py
 

@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Line-coverage floor for the serving stack — stdlib tracer, no pytest-cov.
+
+Runs the ``tier1`` suite (``pytest -m tier1``: tests/serve, tests/fleet,
+tests/chaos, tests/telemetry) in-process under a ``sys.settrace`` /
+``threading.settrace`` line tracer scoped to ``src/repro/serve`` and
+``src/repro/fleet``, then fails if the executed fraction of executable
+lines drops below the floor.
+
+Executable lines come from the compiled code objects themselves
+(``co_lines`` walked recursively through nested functions/classes), so
+the denominator is exactly what CPython can execute — comments, blank
+lines, and docstring bodies never count against the floor.
+
+Usage: python scripts/coverage_gate.py [--floor 85] [--report 10]
+       [pytest args after --]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+#: Packages the floor is enforced over (repo-relative).
+TARGETS = ("src/repro/serve", "src/repro/fleet")
+
+DEFAULT_FLOOR = 85.0
+
+
+def executable_lines(path: Path) -> set[int]:
+    """Line numbers CPython can actually execute in ``path``."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    code_type = type(code)
+    while stack:
+        obj = stack.pop()
+        for _start, _end, lineno in obj.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        for const in obj.co_consts:
+            if isinstance(const, code_type):
+                stack.append(const)
+    return lines
+
+
+class LineTracer:
+    """Per-file executed-line sets, fed by the settrace protocol.
+
+    The global hook prunes fast: only calls whose code object lives in a
+    target file get a local tracer, so the suite's numpy-heavy inner
+    loops run untraced.
+    """
+
+    def __init__(self, files: set[str]) -> None:
+        self._files = files
+        self.hits: dict[str, set[int]] = {name: set() for name in files}
+
+    def global_trace(self, frame, event, arg):
+        if event == "call" and frame.f_code.co_filename in self._files:
+            return self.local_trace
+        return None
+
+    def local_trace(self, frame, event, arg):
+        if event == "line":
+            self.hits[frame.f_code.co_filename].add(frame.f_lineno)
+        return self.local_trace
+
+    def install(self) -> None:
+        threading.settrace(self.global_trace)
+        sys.settrace(self.global_trace)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    passthrough: list[str] = []
+    if "--" in argv:
+        split = argv.index("--")
+        argv, passthrough = argv[:split], argv[split + 1 :]
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
+                        help="minimum line coverage percent (default 85)")
+    parser.add_argument("--report", type=int, default=10,
+                        help="show the N least-covered files (0 = all)")
+    args = parser.parse_args(argv)
+
+    os.chdir(ROOT)
+    targets = {
+        str(path.resolve()): executable_lines(path)
+        for target in TARGETS
+        for path in sorted((ROOT / target).rglob("*.py"))
+    }
+    if not targets:
+        print("coverage_gate: no target files found", file=sys.stderr)
+        return 2
+
+    import pytest
+
+    tracer = LineTracer(set(targets))
+    tracer.install()
+    try:
+        code = pytest.main(["-m", "tier1", "-q", *passthrough])
+    finally:
+        tracer.uninstall()
+    if code != 0:
+        print(f"coverage_gate: tier1 suite failed (exit {code})", file=sys.stderr)
+        return code
+
+    rows = []
+    total_executable = 0
+    total_hit = 0
+    for name, executable in sorted(targets.items()):
+        if not executable:
+            continue
+        hit = len(tracer.hits[name] & executable)
+        total_executable += len(executable)
+        total_hit += hit
+        rows.append((100.0 * hit / len(executable), hit, len(executable), name))
+
+    percent = 100.0 * total_hit / total_executable
+    rows.sort()
+    shown = rows if args.report == 0 else rows[: args.report]
+    print(f"\n{'cover':>7}  {'lines':>11}  file (least covered first)")
+    for file_percent, hit, executable, name in shown:
+        rel = os.path.relpath(name, ROOT)
+        print(f"{file_percent:6.1f}%  {hit:5d}/{executable:<5d}  {rel}")
+    print(
+        f"\ncoverage_gate: {percent:.1f}% of {total_executable} executable "
+        f"lines across {len(rows)} files (floor {args.floor:.0f}%)"
+    )
+    if percent < args.floor:
+        print(
+            f"coverage_gate: FAIL — {percent:.1f}% < {args.floor:.0f}% floor",
+            file=sys.stderr,
+        )
+        return 1
+    print("coverage_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

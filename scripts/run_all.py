@@ -250,6 +250,30 @@ def main(argv=None) -> int:
         f"({time.perf_counter() - start:.1f} s)"
     )
 
+    # chaos harness: the seeded fault battery must lose nothing, then the
+    # trace-replay SLO artifact (clean compliance + battery + breaker arc)
+    import bench_chaos_slo
+
+    start = time.perf_counter()
+    code = repro_main(
+        ["chaos", "battery", "--requests", "40", "--batch-size", "4", "--size", "12"]
+    )
+    if code != 0:
+        return code
+    print(f"chaos battery OK ({time.perf_counter() - start:.1f} s)")
+
+    start = time.perf_counter()
+    chaos_args = ["--out", str(out / "BENCH_chaos_slo.json")]
+    if args.quick:
+        chaos_args.append("--quick")
+    code = bench_chaos_slo.main(chaos_args)
+    if code != 0:
+        return code
+    print(
+        f"wrote {out / 'BENCH_chaos_slo.json'} "
+        f"({time.perf_counter() - start:.1f} s)"
+    )
+
     # regression gate over the freshly regenerated artifacts
     import check_regression
 

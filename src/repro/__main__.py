@@ -43,6 +43,16 @@ Commands:
 * ``top``      — a live text dashboard over a running synthetic serve
   workload: gauges, counters, latency percentiles with sparklines, SLO
   burn state and the structured event-log tail, one frame per interval.
+* ``chaos``    — the fault-injection harness (``repro.chaos``):
+  ``chaos replay`` replays a seeded per-tenant trace (diurnal/bursty
+  arrivals, mixed mechanisms) against a service or fleet and scores it
+  through the SLO monitor (``--faults`` injects the seeded battery;
+  non-zero exit on lost tickets or, clean, on SLO violations),
+  ``chaos battery`` is the fault gate — every fault kind must fire, zero
+  tickets lost, every failure a structured status — and
+  ``chaos <command> [args]`` runs any other repro command with the fault
+  battery ambiently installed, e.g.
+  ``python -m repro chaos serve-demo --requests 64``.
 * ``sanitize`` — the kernel sanitizer (``repro.sanitize``):
   ``sanitize selftest`` runs the seeded-mutation detector battery,
   ``sanitize check <case>`` runs one battery kernel (violations print a
@@ -139,6 +149,7 @@ def _cmd_serve_demo(args) -> int:
     if getattr(args, "shards", 1) > 1:
         return _serve_demo_fleet(args)
 
+    num_tenants = getattr(args, "tenants", 0) or 0
     config = ServeConfig(
         max_batch_size=args.batch_size,
         max_wait_ms=args.wait_ms,
@@ -146,34 +157,67 @@ def _cmd_serve_demo(args) -> int:
         backend=args.backend,
         execution=args.execution,
         tuning_db_path=args.tuning_db,
+        tenant_default_quota=getattr(args, "tenant_quota", None),
     )
     pattern_batch = three_point_stencil(args.size, 1)
     pattern = pattern_batch.item_scipy(0)
     rng = np.random.default_rng(42)
 
+    # --tenants N splits the workload over N tenants cycling through the
+    # priority classes, so the demo shows fair-share release order and
+    # (with --tenant-quota) per-tenant 429s
+    priorities = ("high", "normal", "low")
+    tenant_of = (
+        (lambda i: f"tenant-{i % num_tenants}") if num_tenants else (lambda i: "default")
+    )
+    priority_of = (
+        (lambda i: priorities[(i % num_tenants) % len(priorities)])
+        if num_tenants
+        else (lambda i: "normal")
+    )
+
     print(
         f"serve-demo: {args.requests} requests, n={args.size}, "
         f"max_batch_size={config.max_batch_size}, max_wait_ms={config.max_wait_ms}, "
         f"{config.num_workers} x {config.backend} workers"
+        + (f", {num_tenants} tenants (quota {config.tenant_default_quota})"
+           if num_tenants else "")
     )
+    per_tenant: dict[str, dict[str, int]] = {}
+
+    def bucket(tenant: str) -> dict[str, int]:
+        return per_tenant.setdefault(
+            tenant, {"submitted": 0, "completed": 0, "rejected": 0}
+        )
+
     start = _time.perf_counter()
     with SolverService(config) as service:
+        from repro.exceptions import ServiceSaturatedError
+
         tickets = []
-        for _ in range(args.requests):
+        for i in range(args.requests):
             values = pattern.copy()
             values.data = values.data * rng.uniform(0.9, 1.1, size=values.nnz)
-            tickets.append(
-                service.submit(
-                    SolveRequest(
-                        values,
-                        rng.standard_normal(args.size),
-                        solver=args.solver,
-                        preconditioner="jacobi",
-                        tolerance=1e-8,
-                    )
-                )
+            request = SolveRequest(
+                values,
+                rng.standard_normal(args.size),
+                solver=args.solver,
+                preconditioner="jacobi",
+                tolerance=1e-8,
+                tenant=tenant_of(i),
+                priority=priority_of(i),
             )
-        outcomes = [t.result(timeout=60.0) for t in tickets]
+            bucket(request.tenant)["submitted"] += 1
+            try:
+                tickets.append((request.tenant, service.submit(request)))
+            except ServiceSaturatedError:
+                # quota / backpressure rejections are part of the demo
+                bucket(request.tenant)["rejected"] += 1
+        outcomes = []
+        for tenant, ticket in tickets:
+            outcome = ticket.result(timeout=60.0)
+            bucket(tenant)["completed"] += 1
+            outcomes.append(outcome)
     elapsed = _time.perf_counter() - start
 
     served = [o for o in outcomes if o is not None]
@@ -198,6 +242,18 @@ def _cmd_serve_demo(args) -> int:
         f"fallbacks: {count('serve.fallbacks')} solved by direct-LU, "
         f"{count('serve.fallback_failures')} failed"
     )
+    if num_tenants:
+        ledger = service.batcher.ledger.snapshot()
+        rows = [
+            {
+                "tenant": tenant,
+                **counts,
+                "virtual_time": f"{ledger.get(tenant, 0.0):.1f}",
+            }
+            for tenant, counts in sorted(per_tenant.items())
+        ]
+        print()
+        print_table(rows, "per-tenant QoS (fair-share virtual time)")
     print()
     print_table(service.metrics.rows(), "serve metrics")
 
@@ -1309,6 +1365,249 @@ def _top_fleet(args) -> int:
     return 0
 
 
+def _chaos_parser(prog: str) -> argparse.ArgumentParser:
+    """Shared workload/service flags for ``chaos replay`` and ``chaos battery``."""
+    parser = argparse.ArgumentParser(prog=prog)
+    parser.add_argument("--requests", type=int, default=128)
+    parser.add_argument("--rate", type=float, default=400.0, help="arrival rate (req/s)")
+    parser.add_argument(
+        "--pattern", choices=["uniform", "poisson", "bursty", "diurnal"],
+        default="diurnal",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="trace seed")
+    parser.add_argument("--fault-seed", type=int, default=0, help="fault-plan seed")
+    parser.add_argument("--size", type=int, default=24)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--wait-ms", type=float, default=2.0)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--keys", type=int, default=4, help="distinct BatchKeys")
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="run against a fleet of this many shards (1 = single service)",
+    )
+    parser.add_argument("--threshold-ms", type=float, default=500.0)
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="per-ticket wait budget (s); expiry counts as lost")
+    parser.add_argument("--trace-in", default=None, help="replay this saved trace")
+    parser.add_argument("--trace-out", default=None, help="save the trace (JSONL)")
+    return parser
+
+
+def _chaos_trace_and_factory(args, chaos):
+    """Build (trace items, service factory) from parsed chaos flags."""
+    from repro.chaos.replay import build_trace, load_trace, save_trace
+    from repro.serve import ServeConfig, SolverService
+
+    if args.trace_in:
+        items = load_trace(args.trace_in)
+    else:
+        items = build_trace(
+            seed=args.seed,
+            num_requests=args.requests,
+            rate_rps=args.rate,
+            pattern=args.pattern,
+            num_keys=args.keys,
+        )
+    if args.trace_out:
+        path = save_trace(items, args.trace_out)
+        print(f"trace ({len(items)} items) written to {path}")
+
+    serve_config = ServeConfig(
+        max_batch_size=args.batch_size,
+        max_wait_ms=args.wait_ms,
+        num_workers=args.workers,
+    )
+    if args.shards > 1:
+        from repro.fleet import FleetConfig, FleetService
+
+        fleet_config = FleetConfig(
+            serve=serve_config,
+            initial_replicas=args.shards,
+            max_replicas=max(args.shards, 8),
+        )
+        return items, (lambda: FleetService(fleet_config, chaos=chaos))
+    return items, (lambda: SolverService(serve_config, chaos=chaos))
+
+
+def _chaos_print_report(report, title: str) -> None:
+    from repro.bench.report import print_table
+
+    print(
+        f"\n{title}: {report.completed}/{report.total} completed, "
+        f"{report.failed} failed (structured), {report.rejected} rejected, "
+        f"{report.lost} LOST, {report.fallbacks} fallbacks, "
+        f"p50/p99 {report.latency_p50_ms:.2f}/{report.latency_p99_ms:.2f} ms "
+        f"in {report.duration_s:.2f} s"
+    )
+    if report.statuses:
+        print(
+            "status codes: "
+            + ", ".join(f"{code}={n}" for code, n in sorted(report.statuses.items()))
+        )
+    if report.injected:
+        print(
+            "injected faults: "
+            + ", ".join(f"{k}={n}" for k, n in sorted(report.injected.items()))
+        )
+    print()
+    print_table(report.tenant_rows(), "per-tenant outcomes")
+    slo_rows = [
+        {
+            "slo": row["name"],
+            "objective": f"{row['objective']:.3f}",
+            "good": f"{row['good_fraction']:.4f}",
+            "budget_used": f"{row['budget_consumed']:.2f}x",
+            "state": "OK" if row["compliant"] else "VIOLATED",
+        }
+        for row in report.slo_rows
+    ]
+    print()
+    print_table(slo_rows, "SLO verdicts")
+
+
+def _chaos_replay(argv: list[str]) -> int:
+    """``chaos replay``: score a trace replay; non-zero on lost tickets or,
+    absent injected faults, on any SLO violation."""
+    parser = _chaos_parser("repro chaos replay")
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="install the seeded fault battery during the replay",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.chaos import ChaosInjector, FaultPlan
+    from repro.chaos.replay import run_replay
+
+    chaos = ChaosInjector(FaultPlan.battery(seed=args.fault_seed)) if args.faults else None
+    items, factory = _chaos_trace_and_factory(args, chaos)
+    mode = "fault battery" if args.faults else "clean"
+    print(
+        f"chaos replay ({mode}): {len(items)} requests, pattern={args.pattern}, "
+        f"{args.shards} shard(s)"
+    )
+    report = run_replay(
+        items,
+        factory,
+        seed=args.seed,
+        size=args.size,
+        latency_threshold_ms=args.threshold_ms,
+        result_timeout_s=args.timeout,
+    )
+    _chaos_print_report(report, "replay")
+    if report.lost:
+        print(f"\nFAIL: {report.lost} request(s) lost (no structured outcome)")
+        return 1
+    if not args.faults and not report.slo_compliant:
+        print("\nFAIL: SLO violated on a clean replay")
+        return 1
+    print("\nPASS")
+    return 0
+
+
+def _chaos_battery(argv: list[str]) -> int:
+    """``chaos battery``: the seeded fault battery as a gate.
+
+    Passes only when every fault kind fired at least once, zero tickets
+    were lost, and every failure carried a structured (non-500) status.
+    """
+    parser = _chaos_parser("repro chaos battery")
+    args = parser.parse_args(argv)
+
+    from repro.chaos import ChaosInjector, FaultPlan
+    from repro.chaos.plan import FAULT_KINDS
+    from repro.chaos.replay import run_replay
+
+    chaos = ChaosInjector(FaultPlan.battery(seed=args.fault_seed))
+    items, factory = _chaos_trace_and_factory(args, chaos)
+    print(
+        f"chaos battery: {len(items)} requests under "
+        f"{len(chaos.plan.specs)} fault specs, {args.shards} shard(s)"
+    )
+    report = run_replay(
+        items,
+        factory,
+        seed=args.seed,
+        size=args.size,
+        latency_threshold_ms=args.threshold_ms,
+        result_timeout_s=args.timeout,
+    )
+    _chaos_print_report(report, "battery")
+
+    failures = []
+    if report.lost:
+        failures.append(f"{report.lost} request(s) lost")
+    unstructured = report.statuses.get(500, 0)
+    if unstructured:
+        failures.append(f"{unstructured} failure(s) without a structured status")
+    silent = [k for k in FAULT_KINDS if not report.injected.get(k)]
+    if silent:
+        failures.append(f"fault kind(s) never fired: {', '.join(silent)}")
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(
+        f"\nPASS: {report.injected_total} faults injected, zero lost, "
+        f"all failures structured"
+    )
+    return 0
+
+
+def _chaos_wrap(argv: list[str]) -> int:
+    """``chaos <command> [args] [--fault-seed N]``: run any repro command
+    with the seeded fault battery ambiently installed.
+
+    ``--fault-seed`` may appear anywhere in the wrapped argv (the same
+    convention as ``trace``'s ``--trace-out``) — it is split out here and
+    never reaches the wrapped command's parser.
+    """
+    fault_seed = 0
+    rest: list[str] = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--fault-seed":
+            if i + 1 >= len(argv):
+                print("repro chaos: --fault-seed needs a value", file=sys.stderr)
+                return 2
+            try:
+                fault_seed = int(argv[i + 1])
+            except ValueError:
+                print(f"repro chaos: bad --fault-seed {argv[i + 1]!r}", file=sys.stderr)
+                return 2
+            i += 2
+            continue
+        rest.append(argv[i])
+        i += 1
+    if not rest:
+        print(
+            "usage: repro chaos replay|battery [flags] | "
+            "repro chaos [--fault-seed N] <command> [args]",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.chaos import ChaosInjector, FaultPlan, use_chaos
+
+    injector = ChaosInjector(FaultPlan.battery(seed=fault_seed))
+    print(f"chaos: fault battery (seed {fault_seed}) installed for: {' '.join(rest)}")
+    with use_chaos(injector):
+        code = main(rest)
+    counts = injector.injected_by_kind()
+    summary = ", ".join(f"{k}={n}" for k, n in sorted(counts.items())) or "none"
+    print(
+        f"\nchaos: {injector.total_injected} fault(s) injected over "
+        f"{injector.flushes_seen} flushes ({summary})"
+    )
+    return code
+
+
+def _cmd_chaos(argv: list[str]) -> int:
+    if argv and argv[0] == "replay":
+        return _chaos_replay(argv[1:])
+    if argv and argv[0] == "battery":
+        return _chaos_battery(argv[1:])
+    return _chaos_wrap(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (one sub-command per experiment)."""
     parser = argparse.ArgumentParser(
@@ -1368,6 +1667,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="distinct BatchKeys in the workload (fleet path only; "
         "key diversity is what spreads load across shards)",
+    )
+    serve_demo.add_argument(
+        "--tenants",
+        type=int,
+        default=0,
+        help="split the workload over this many tenants (cycling through the "
+        "high/normal/low priority classes) and print the per-tenant QoS "
+        "table; 0 = single default tenant",
+    )
+    serve_demo.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=None,
+        help="max in-flight requests per tenant (submissions over quota are "
+        "rejected with a structured 429)",
     )
     serve_demo.add_argument(
         "--tuning-db",
@@ -1533,6 +1847,17 @@ def build_parser() -> argparse.ArgumentParser:
         "per-shard panel (1 = single service)",
     )
     top.set_defaults(fn=_cmd_top)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault injection (repro.chaos): 'replay' (seeded trace replay "
+        "scored against the SLOs; --faults adds the battery), 'battery' "
+        "(the seeded fault gate: every kind fires, zero lost tickets, all "
+        "failures structured), or any repro command to run with the fault "
+        "battery ambiently installed",
+    )
+    chaos.add_argument("wrapped", nargs=argparse.REMAINDER)
+    chaos.set_defaults(fn=lambda a: _cmd_chaos(a.wrapped))
 
     sanitize = sub.add_parser(
         "sanitize",

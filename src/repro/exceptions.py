@@ -9,7 +9,19 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Serving-layer failures are *structured*: every error class carries an
+    HTTP-style ``status_code`` (4xx = the request's fault, 5xx = the
+    service's) and a stable machine-readable ``error_code`` token, so a
+    ticket that fails under load or chaos completes with a classifiable
+    outcome instead of an anonymous crash.
+    """
+
+    #: HTTP-style classification of the failure (5xx = service-side).
+    status_code: int = 500
+    #: Stable machine token for dashboards and replay reports.
+    error_code: str = "internal"
 
 
 class DimensionMismatchError(ReproError, ValueError):
@@ -26,6 +38,9 @@ class UnsupportedCombinationError(ReproError, ValueError):
 
 class SingularMatrixError(ReproError, ArithmeticError):
     """A (sub)problem is numerically singular where invertibility is required."""
+
+    status_code = 422
+    error_code = "singular_matrix"
 
 
 class ConvergenceError(ReproError, RuntimeError):
@@ -94,6 +109,9 @@ class SanitizerError(ExecutionModelError):
     can render diagnostics without parsing the message.
     """
 
+    status_code = 503
+    error_code = "sanitizer_trip"
+
     def __init__(self, message: str, report=None) -> None:
         super().__init__(message)
         self.report = report
@@ -153,6 +171,9 @@ class ServiceSaturatedError(ServeError, RuntimeError):
     caller should back off for at least ``retry_after_s`` seconds.
     """
 
+    status_code = 429
+    error_code = "saturated"
+
     def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
         super().__init__(message)
         self.retry_after_s = float(retry_after_s)
@@ -161,6 +182,81 @@ class ServiceSaturatedError(ServeError, RuntimeError):
 class RequestTimeoutError(ServeError, TimeoutError):
     """A solve request exceeded its timeout before being served."""
 
+    status_code = 504
+    error_code = "timeout"
+
 
 class ServiceClosedError(ServeError, RuntimeError):
     """A request was submitted to a service that has been closed."""
+
+    status_code = 503
+    error_code = "closed"
+
+
+class QuotaExceededError(ServiceSaturatedError):
+    """One tenant hit its per-tenant pending quota (fair-share admission).
+
+    Unlike plain saturation this is *per-tenant* backpressure: the service
+    as a whole has capacity, but this tenant's share of it is spoken for.
+    Other tenants' requests keep being admitted.
+    """
+
+    status_code = 429
+    error_code = "quota_exceeded"
+
+    def __init__(
+        self, message: str, tenant: str = "default", retry_after_s: float = 0.0
+    ) -> None:
+        super().__init__(message, retry_after_s=retry_after_s)
+        self.tenant = tenant
+
+
+class CircuitOpenError(ServeError, RuntimeError):
+    """The fallback circuit breaker is open; degraded work is shed fast.
+
+    During a fallback storm every non-converged request would be retried
+    individually with the direct-LU solver — the expensive path that
+    amplifies overload. Once the breaker opens, those retries fail fast
+    with this error until the cooldown's half-open probe succeeds.
+    """
+
+    status_code = 503
+    error_code = "breaker_open"
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+# --------------------------------------------------------------------------
+# Chaos / fault-injection errors (repro.chaos)
+# --------------------------------------------------------------------------
+
+
+class InjectedFaultError(ServeError):
+    """Base class for failures raised by the chaos fault-injection layer.
+
+    Carries the ``fault`` kind so rescue paths, telemetry and replay
+    reports can attribute the failure to the plan that caused it.
+    """
+
+    status_code = 500
+    error_code = "injected_fault"
+
+    def __init__(self, message: str, fault: str = "") -> None:
+        super().__init__(message)
+        self.fault = fault
+
+
+class WorkerDiedError(InjectedFaultError):
+    """A worker was killed mid-flush (injected); its flush never finished."""
+
+    status_code = 503
+    error_code = "worker_died"
+
+
+class PoisonedBatchError(InjectedFaultError):
+    """An assembled batch was corrupted in flight (injected NaN payload)."""
+
+    status_code = 422
+    error_code = "poisoned_batch"

@@ -91,9 +91,14 @@ class FleetService:
         self,
         config: FleetConfig | None = None,
         tracer: Tracer | None = None,
+        chaos: object | None = None,
     ) -> None:
         self.config = config if config is not None else FleetConfig()
         self._tracer = tracer
+        # one injector is shared by every shard: the fault plan's flush
+        # sequence is fleet-global, so a seeded battery hits the same
+        # schedule whether it runs against 1 shard or 8
+        self._chaos = chaos
         self.metrics = MetricsRegistry()
         # same event-log fallback chain as SolverService: a wrapper hub
         # wins, then a process-installed log, then a private bounded ring
@@ -128,7 +133,7 @@ class FleetService:
                 self.config.serve,
                 tuning_db_path=self.config.shard_tuning_path(name),
             )
-            service = SolverService(serve_config, tracer=self._tracer)
+            service = SolverService(serve_config, tracer=self._tracer, chaos=self._chaos)
             shard = ShardReplica(name, service)
             self._shards[name] = shard
             self.ring.add(name)
@@ -340,6 +345,11 @@ class FleetService:
                 "flushes": int(m.counter("serve.flushes").value),
                 "fallbacks": int(m.counter("serve.fallbacks").value),
                 "p99_ms": m.log_histogram("serve.latency_hdr_ms").percentile(99.0),
+                "breaker": (
+                    shard.service.breaker.state
+                    if shard.service.breaker is not None
+                    else "disabled"
+                ),
             }
             rows.append(row)
             self.metrics.gauge("fleet.shard_pending").labels(shard=shard.name).set(
@@ -366,6 +376,13 @@ class FleetService:
         """Refresh the fleet gauges (for exporters polling ``metrics``)."""
         self.shard_stats()
         self.metrics.gauge("fleet.pending").set(self.pending)
+        open_breakers = sum(
+            1
+            for shard in self.shards()
+            if shard.service.breaker is not None
+            and shard.service.breaker.state != "closed"
+        )
+        self.metrics.gauge("fleet.breakers_open").set(open_breakers)
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -30,7 +30,9 @@ Quickstart::
 """
 
 from repro.serve.batcher import DEADLINE, DRAIN, SIZE, FlushBatch, MicroBatcher
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.config import ServeConfig
+from repro.serve.qos import PRIORITIES, FairShareLedger
 from repro.serve.plan_cache import ExecutionPlan, PlanCache, PlanKey
 from repro.serve.request import (
     BatchKey,
@@ -44,11 +46,14 @@ from repro.serve.workers import Worker, WorkerPool
 
 __all__ = [
     "BatchKey",
+    "CircuitBreaker",
     "DEADLINE",
     "DRAIN",
     "ExecutionPlan",
+    "FairShareLedger",
     "FlushBatch",
     "MicroBatcher",
+    "PRIORITIES",
     "PlanCache",
     "PlanKey",
     "ServeConfig",

@@ -1,0 +1,161 @@
+"""A circuit breaker over the service's fallback path.
+
+The direct-LU fallback is the graceful-degradation valve: one
+pathological system gets retried alone instead of failing its co-batched
+neighbours. It is also the *expensive* path — a dense factorization per
+request. Under a fallback **storm** (a poisoned traffic class, a broken
+plan, injected chaos) every flush degenerates into per-request LU solves
+and the service amplifies its own overload.
+
+:class:`CircuitBreaker` watches the recent outcome window and sheds that
+amplification: when the bad fraction (fallbacks + failures) over the last
+``window`` outcomes crosses ``threshold`` (with at least ``min_events``
+observed), the breaker *opens* and the service fails degraded work fast
+with :class:`~repro.exceptions.CircuitOpenError` instead of retrying it.
+After ``cooldown_s`` the breaker goes *half-open* and admits probes; the
+first healthy outcome closes it, a bad one re-opens it.
+
+The clock is injectable so tests drive the cooldown deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker"]
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker with a half-open probe."""
+
+    def __init__(
+        self,
+        window: int = 64,
+        min_events: int = 32,
+        threshold: float = 0.5,
+        cooldown_s: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_open: Callable[["CircuitBreaker"], None] | None = None,
+        on_close: Callable[["CircuitBreaker"], None] | None = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if not 0 < min_events <= window:
+            raise ValueError(
+                f"min_events must be in [1, window={window}], got {min_events}"
+            )
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be non-negative, got {cooldown_s}")
+        self.window = window
+        self.min_events = min_events
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._on_open = on_open
+        self._on_close = on_close
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._opens = 0
+        self._closes = 0
+        self._lock = threading.Lock()
+
+    # -- observation -----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, promoting ``open`` → ``half_open`` past cooldown."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def opens(self) -> int:
+        """How many times the breaker has tripped open."""
+        with self._lock:
+            return self._opens
+
+    @property
+    def closes(self) -> int:
+        """How many times the breaker has recovered closed."""
+        with self._lock:
+            return self._closes
+
+    def bad_fraction(self) -> float:
+        """Bad share of the current outcome window (0.0 when empty)."""
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(self._outcomes) / len(self._outcomes)
+
+    # -- the protocol ----------------------------------------------------------
+
+    def allow_degraded(self) -> bool:
+        """May the expensive degraded path (per-request fallback) run now?
+
+        ``True`` while closed or half-open (the probe); ``False`` while
+        open — the caller sheds the work fast instead.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            return self._state != OPEN
+
+    def record(self, bad: bool) -> None:
+        """Fold one real outcome in (fast-fail sheds are *not* outcomes).
+
+        ``bad`` is a fallback-used or failed completion. In ``half_open``
+        a single good outcome closes the breaker, a bad one re-opens it
+        and restarts the cooldown.
+        """
+        fire_open = fire_close = False
+        with self._lock:
+            self._maybe_half_open()
+            self._outcomes.append(bool(bad))
+            if self._state == HALF_OPEN:
+                if bad:
+                    self._trip()
+                    fire_open = True
+                else:
+                    self._state = CLOSED
+                    self._closes += 1
+                    self._outcomes.clear()
+                    fire_close = True
+            elif self._state == CLOSED:
+                if (
+                    len(self._outcomes) >= self.min_events
+                    and sum(self._outcomes) / len(self._outcomes) >= self.threshold
+                ):
+                    self._trip()
+                    fire_open = True
+        # callbacks run outside the lock: they emit events / take other locks
+        if fire_open and self._on_open is not None:
+            self._on_open(self)
+        if fire_close and self._on_close is not None:
+            self._on_close(self)
+
+    # -- internals (lock held) -------------------------------------------------
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._opens += 1
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and self._clock() - self._opened_at >= self.cooldown_s:
+            self._state = HALF_OPEN
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, opens={self.opens}, "
+            f"bad_fraction={self.bad_fraction():.2f})"
+        )

@@ -99,6 +99,32 @@ class ServeConfig:
         With it, flush cost is device-bound the way the paper's measured
         kernels are, and fleet scale-out is observable as wall-clock
         throughput. ``0`` (the default) disables the dwell.
+    tenant_default_quota:
+        Per-tenant admission bound: requests of one tenant admitted but
+        not yet completed. Past it, :meth:`submit` rejects that tenant's
+        traffic with :class:`~repro.exceptions.QuotaExceededError` while
+        other tenants keep being admitted. ``None`` (the default)
+        disables per-tenant quotas.
+    tenant_quotas:
+        Per-tenant overrides of ``tenant_default_quota`` as a tuple of
+        ``(tenant, quota)`` pairs (tuple, not dict — the config is frozen
+        and hashable).
+    fair_share:
+        When true (the default), simultaneous due/drain flushes release
+        in priority order and, within a priority class, by per-tenant
+        stride scheduling (:mod:`repro.serve.qos`). When false, flush
+        order is arrival order (the pre-QoS behaviour).
+    breaker_enabled:
+        Arm the fallback circuit breaker. When the recent bad fraction
+        (fallbacks + failures) crosses ``breaker_threshold``, degraded
+        per-request retries fail fast with
+        :class:`~repro.exceptions.CircuitOpenError` until a half-open
+        probe succeeds after ``breaker_cooldown_s``.
+    breaker_window / breaker_min_events / breaker_threshold /
+    breaker_cooldown_s:
+        The breaker's sliding outcome window, the minimum observations
+        before it may trip, the bad fraction that trips it, and the
+        open → half-open cooldown.
     """
 
     max_batch_size: int = 64
@@ -116,6 +142,14 @@ class ServeConfig:
     telemetry_sample_rate: float = 1.0
     event_log_capacity: int = 2048
     device_dwell_ms: float = 0.0
+    tenant_default_quota: int | None = None
+    tenant_quotas: tuple[tuple[str, int], ...] = ()
+    fair_share: bool = True
+    breaker_enabled: bool = True
+    breaker_window: int = 64
+    breaker_min_events: int = 32
+    breaker_threshold: float = 0.5
+    breaker_cooldown_s: float = 2.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -160,6 +194,33 @@ class ServeConfig:
             raise ValueError(
                 f"device_dwell_ms must be non-negative, got {self.device_dwell_ms}"
             )
+        if self.tenant_default_quota is not None and self.tenant_default_quota <= 0:
+            raise ValueError(
+                f"tenant_default_quota must be positive or None, "
+                f"got {self.tenant_default_quota}"
+            )
+        for pair in self.tenant_quotas:
+            if len(pair) != 2 or not pair[0] or int(pair[1]) <= 0:
+                raise ValueError(
+                    f"tenant_quotas entries must be (tenant, positive quota), got {pair!r}"
+                )
+        if self.breaker_window <= 0:
+            raise ValueError(
+                f"breaker_window must be positive, got {self.breaker_window}"
+            )
+        if not 0 < self.breaker_min_events <= self.breaker_window:
+            raise ValueError(
+                f"breaker_min_events must be in [1, breaker_window], "
+                f"got {self.breaker_min_events}"
+            )
+        if not 0.0 < self.breaker_threshold <= 1.0:
+            raise ValueError(
+                f"breaker_threshold must be in (0, 1], got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_s < 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be non-negative, got {self.breaker_cooldown_s}"
+            )
 
     @property
     def max_wait_ns(self) -> int:
@@ -177,3 +238,10 @@ class ServeConfig:
     def device_dwell_s(self) -> float:
         """The per-flush simulated device occupancy in seconds."""
         return self.device_dwell_ms / 1e3
+
+    def quota_for(self, tenant: str) -> int | None:
+        """The pending quota of ``tenant`` (``None`` = unbounded)."""
+        for name, quota in self.tenant_quotas:
+            if name == tenant:
+                return int(quota)
+        return self.tenant_default_quota

@@ -23,6 +23,7 @@ import scipy.sparse as sp
 
 from repro.core.dispatch import CRITERIA, FORMATS, PRECISIONS, PRECONDITIONERS, SOLVERS
 from repro.observability.context import TraceContext, mint_context
+from repro.serve.qos import DEFAULT_TENANT, PRIORITIES
 from repro.core.matrix import BatchCsr, BatchDense, BatchedMatrix
 from repro.exceptions import (
     BadSparsityPatternError,
@@ -96,6 +97,8 @@ class SolveRequest:
         "num_rows",
         "batch_key",
         "trace_context",
+        "tenant",
+        "priority",
     )
 
     def __init__(
@@ -111,6 +114,8 @@ class SolveRequest:
         precision: str = "double",
         matrix_format: str | None = None,
         trace_context: TraceContext | None = None,
+        tenant: str = DEFAULT_TENANT,
+        priority: str = "normal",
     ) -> None:
         if solver not in SOLVERS:
             raise UnsupportedCombinationError(
@@ -133,6 +138,14 @@ class SolveRequest:
             raise UnsupportedCombinationError(
                 f"unknown matrix format {matrix_format!r}; available: {sorted(FORMATS)}"
             )
+        if priority not in PRIORITIES:
+            raise UnsupportedCombinationError(
+                f"unknown priority {priority!r}; available: {list(PRIORITIES)}"
+            )
+        if not tenant:
+            raise ValueError("tenant must be a non-empty string")
+        self.tenant = tenant
+        self.priority = priority
         self.solver = solver
         self.preconditioner = preconditioner
         self.criterion = criterion

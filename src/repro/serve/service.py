@@ -31,8 +31,11 @@ from dataclasses import replace as dc_replace
 
 import numpy as np
 
+from repro.chaos.injector import ChaosInjector, current_chaos
 from repro.core.solver.base import BatchSolveResult
 from repro.exceptions import (
+    CircuitOpenError,
+    QuotaExceededError,
     RequestTimeoutError,
     ServiceClosedError,
     ServiceSaturatedError,
@@ -41,6 +44,9 @@ from repro.multi.distributed import partition_batch
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Tracer, current_tracer, use_tracer
 from repro.telemetry.events import (
+    BREAKER_CLOSE,
+    BREAKER_OPEN,
+    QUOTA_REJECTED,
     REQUEST_ADMITTED,
     REQUEST_FAILED,
     REQUEST_FALLBACK,
@@ -54,6 +60,7 @@ from repro.telemetry.events import (
 )
 from repro.telemetry.hub import current_hub
 from repro.serve.batcher import FlushBatch, MicroBatcher
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.config import ServeConfig
 from repro.serve.plan_cache import ExecutionPlan, PlanCache
 from repro.serve.request import (
@@ -91,8 +98,12 @@ class SolverService:
         device: SyclDevice | None = None,
         tracer: Tracer | None = None,
         tuning_db: object | None = None,
+        chaos: ChaosInjector | None = None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
+        # fault injection: an explicit injector wins, else whatever a
+        # surrounding `use_chaos` scope (the `repro chaos` wrapper) installed
+        self.chaos = chaos if chaos is not None else current_chaos()
         self.device = device if device is not None else self._default_device()
         self.metrics = MetricsRegistry()
         # structured event log: a `repro slo <command>` wrapper hub wins,
@@ -125,14 +136,31 @@ class SolverService:
             event_log=self.events,
         )
         self.batcher = MicroBatcher(
-            self.config.max_batch_size, self.config.max_wait_ns
+            self.config.max_batch_size,
+            self.config.max_wait_ns,
+            fair_share=self.config.fair_share,
         )
         self.pool = WorkerPool(
             self.config.num_workers, backend=self.config.backend, device=device
         )
+        self.breaker = (
+            CircuitBreaker(
+                window=self.config.breaker_window,
+                min_events=self.config.breaker_min_events,
+                threshold=self.config.breaker_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+                on_open=self._on_breaker_open,
+                on_close=self._on_breaker_close,
+            )
+            if self.config.breaker_enabled
+            else None
+        )
         self._tracer = tracer
         self._pending = 0
+        self._tenant_pending: dict[str, int] = {}
         self._closed = False
+        self._abort_close = False
+        self._pool_closing = False
         self._state = threading.Condition()
         self._flusher = threading.Thread(
             target=self._flush_loop, name="serve-flusher", daemon=True
@@ -152,10 +180,13 @@ class SolverService:
         """Admit one request; returns its ticket or raises on backpressure.
 
         Raises :class:`ServiceSaturatedError` (with ``retry_after_s``) when
-        ``max_pending`` requests are in flight, :class:`ServiceClosedError`
+        ``max_pending`` requests are in flight,
+        :class:`~repro.exceptions.QuotaExceededError` when the request's
+        tenant is over its per-tenant quota, :class:`ServiceClosedError`
         after :meth:`close`.
         """
         self._stamp_sampling(request)
+        tenant = request.tenant
         with self._state:
             if self._closed:
                 raise ServiceClosedError("service is closed")
@@ -173,8 +204,32 @@ class SolverService:
                     f"(max_pending={self.config.max_pending})",
                     retry_after_s=self.config.retry_after_ms / 1e3,
                 )
+            quota = self.config.quota_for(tenant)
+            tenant_pending = self._tenant_pending.get(tenant, 0)
+            if quota is not None and tenant_pending >= quota:
+                self.metrics.counter("serve.quota_rejected").labels(
+                    tenant=tenant
+                ).inc()
+                self.events.emit(
+                    QUOTA_REJECTED,
+                    ctx=request.trace_context,
+                    critical=True,
+                    tenant=tenant,
+                    pending=tenant_pending,
+                    quota=quota,
+                )
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} over quota: {tenant_pending} requests "
+                    f"pending (quota={quota})",
+                    tenant=tenant,
+                    retry_after_s=self.config.retry_after_ms / 1e3,
+                )
             self._pending += 1
+            self._tenant_pending[tenant] = tenant_pending + 1
             self.metrics.gauge("serve.pending").set(self._pending)
+            self.metrics.gauge("serve.tenant_pending").labels(tenant=tenant).set(
+                self._tenant_pending[tenant]
+            )
 
         now = monotonic_ns()
         timeout_ns = self.config.request_timeout_ns
@@ -197,6 +252,19 @@ class SolverService:
         else:
             with self._state:
                 self._state.notify_all()  # flusher re-arms its deadline
+        # close-race sweep: if close() ran between the admission check above
+        # and the offer, the flusher is gone and a parked ticket would hang
+        # forever. Whoever observes the race clears the stragglers — failed
+        # fast on an abort close, dispatched on a drain close (idempotent:
+        # finished tickets ignore further completion, and _dispatch fails
+        # tickets itself once the pool is shutting down).
+        with self._state:
+            closed, abort = self._closed, self._abort_close
+        if closed:
+            if abort:
+                self._fail_parked()
+            else:
+                self.flush()
         return ticket
 
     def solve(self, request: SolveRequest, timeout: float | None = None) -> SolveOutcome:
@@ -245,10 +313,27 @@ class SolverService:
                 self._dispatch(flush)
 
     def _dispatch(self, flush: FlushBatch) -> None:
+        with self._state:
+            if self._pool_closing:
+                # the pool's stop sentinels are already queued: a job enqueued
+                # now would never run and its tickets would hang
+                for ticket in flush.tickets:
+                    self._finish_fail(
+                        ticket, ServiceClosedError("service closed before flush")
+                    )
+                return
         self.metrics.counter("serve.flushes").inc()
         self.metrics.counter(f"serve.flushes.{flush.reason}").inc()
         self.metrics.histogram("serve.batch_size").observe(flush.size)
         self.pool.submit(lambda worker: self._execute_flush(flush, worker))
+
+    def _fail_parked(self) -> None:
+        """Fail every ticket still parked in the batcher (abort/close paths)."""
+        for flush in self.batcher.drain():
+            for ticket in flush.tickets:
+                self._finish_fail(
+                    ticket, ServiceClosedError("service closed before flush")
+                )
 
     # -- flush execution ------------------------------------------------------------
 
@@ -309,6 +394,11 @@ class SolverService:
                 try:
                     with tracer.span("serve.assembly", category="serve", tid=worker.lane):
                         matrix, b, x0 = assemble_batch([t.request for t in live])
+                    if self.chaos is not None:
+                        # the fault-injection point: may delay the worker,
+                        # corrupt the assembled batch, or raise (taking the
+                        # whole-flush failure path below)
+                        self.chaos.on_flush(self, flush, worker, matrix, b)
                     with tracer.span(
                         "serve.plan", category="serve", tid=worker.lane
                     ) as plan_span:
@@ -602,6 +692,13 @@ class SolverService:
         bad = [i for i in range(len(live)) if not bool(result.converged[i])]
         if not bad:
             return overrides
+        if not self._allow_degraded():
+            # fallback storm: the breaker is open, shed the degraded work
+            # fast instead of amplifying overload with per-request LU solves
+            for i in bad:
+                self._shed_degraded(live[i])
+                overrides[i] = (result.select([i]), False)
+            return overrides
         fallback_key = dc_replace(
             live[0].request.batch_key, solver="direct", preconditioner="identity"
         )
@@ -622,6 +719,8 @@ class SolverService:
                     fallback_result = solver.solve(b[i : i + 1])
                 except Exception as exc:
                     self.metrics.counter("serve.fallback_failures").inc()
+                    if self.breaker is not None:
+                        self.breaker.record(bad=True)
                     self._finish_fail(live[i], exc)
                     overrides[i] = (result.select([i]), False)
                     continue
@@ -644,6 +743,10 @@ class SolverService:
             for ticket in live:
                 self._finish_fail(ticket, error)
             return
+        if not self._allow_degraded():
+            for ticket in live:
+                self._shed_degraded(ticket)
+            return
         for ticket in live:
             try:
                 matrix, b, _x0 = assemble_batch([ticket.request])
@@ -655,6 +758,8 @@ class SolverService:
                 result = solver.solve(b)
             except Exception as exc:
                 self.metrics.counter("serve.fallback_failures").inc()
+                if self.breaker is not None:
+                    self.breaker.record(bad=True)
                 self._finish_fail(ticket, exc)
                 continue
             self.metrics.counter("serve.fallbacks").inc()
@@ -682,11 +787,47 @@ class SolverService:
                 ),
             )
 
+    # -- circuit breaking --------------------------------------------------------------
+
+    def _allow_degraded(self) -> bool:
+        """May the per-request fallback path run (breaker closed/half-open)?"""
+        return self.breaker is None or self.breaker.allow_degraded()
+
+    def _shed_degraded(self, ticket: SolveTicket) -> None:
+        """Fail one degraded request fast while the breaker is open."""
+        self.metrics.counter("serve.breaker_fast_fails").inc()
+        self._finish_fail(
+            ticket,
+            CircuitOpenError(
+                "fallback circuit open: degraded retries are being shed",
+                retry_after_s=self.config.breaker_cooldown_s,
+            ),
+        )
+
+    def _on_breaker_open(self, breaker: CircuitBreaker) -> None:
+        self.metrics.counter("serve.breaker_opens").inc()
+        self.metrics.gauge("serve.breaker_state").set(1)
+        self.events.emit(
+            BREAKER_OPEN,
+            critical=True,
+            bad_fraction=round(breaker.bad_fraction(), 3),
+            window=breaker.window,
+            cooldown_s=breaker.cooldown_s,
+            opens=breaker.opens,
+        )
+
+    def _on_breaker_close(self, breaker: CircuitBreaker) -> None:
+        self.metrics.counter("serve.breaker_closes").inc()
+        self.metrics.gauge("serve.breaker_state").set(0)
+        self.events.emit(BREAKER_CLOSE, critical=True, closes=breaker.closes)
+
     # -- completion --------------------------------------------------------------------
 
     def _finish_ok(self, ticket: SolveTicket, outcome: SolveOutcome) -> None:
         if ticket.done():
             return
+        if self.breaker is not None:
+            self.breaker.record(bad=outcome.used_fallback)
         ctx = ticket.trace_context
         outcome.trace_id = ctx.trace_id
         outcome.request_id = ctx.request_id
@@ -712,7 +853,7 @@ class SolverService:
             tail=tail,
         )
         ticket._complete(outcome)
-        self._release_one()
+        self._release_one(ticket)
 
     def _finish_fail(self, ticket: SolveTicket, error: Exception, status: str = "failed") -> None:
         if ticket.done():
@@ -723,15 +864,27 @@ class SolverService:
             ctx=ticket.trace_context,
             critical=True,
             error=type(error).__name__,
+            error_code=getattr(error, "error_code", "internal"),
+            status_code=getattr(error, "status_code", 500),
             detail=str(error)[:160],
         )
         ticket._fail(error, status=status)
-        self._release_one()
+        self._release_one(ticket)
 
-    def _release_one(self) -> None:
+    def _release_one(self, ticket: SolveTicket) -> None:
+        tenant = getattr(ticket.request, "tenant", "default")
         with self._state:
             self._pending -= 1
+            remaining = self._tenant_pending.get(tenant, 1) - 1
+            if remaining <= 0:
+                self._tenant_pending.pop(tenant, None)
+                remaining = 0
+            else:
+                self._tenant_pending[tenant] = remaining
             self.metrics.gauge("serve.pending").set(self._pending)
+            self.metrics.gauge("serve.tenant_pending").labels(tenant=tenant).set(
+                remaining
+            )
             self._state.notify_all()
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -755,22 +908,33 @@ class SolverService:
         requests still waiting in the batcher complete immediately with
         :class:`~repro.exceptions.ServiceClosedError` (their tickets never
         hang), while flushes already handed to the worker pool run out.
+
+        A :meth:`submit` racing with either close never leaves a ticket
+        hanging: whichever side observes the race sweeps the batcher (the
+        straggler is failed fast on an abort, dispatched — or failed once
+        the pool is already stopping — on a drain).
         """
         with self._state:
             if self._closed:
                 return
             self._closed = True
+            self._abort_close = not drain
             self._state.notify_all()
         if drain:
             self.flush()
             self.pool.join()
         else:
-            for flush in self.batcher.drain():
-                for ticket in flush.tickets:
-                    self._finish_fail(
-                        ticket, ServiceClosedError("service closed before flush")
-                    )
+            self._fail_parked()
         self._flusher.join(timeout=timeout)
+        with self._state:
+            self._pool_closing = True
+        # one last sweep: a racing submit may have parked a ticket between
+        # the drain/fail above and the pool-closing flag being raised
+        if drain:
+            self.flush()
+            self.pool.join()
+        else:
+            self._fail_parked()
         self.pool.close()
 
     def __enter__(self) -> "SolverService":

@@ -54,6 +54,10 @@ __all__ = [
     "SLO_ALERT",
     "FLEET_REBALANCE",
     "REQUEST_REROUTED",
+    "CHAOS_INJECTED",
+    "QUOTA_REJECTED",
+    "BREAKER_OPEN",
+    "BREAKER_CLOSE",
 ]
 
 #: Version stamped on every exported record; bump on incompatible change.
@@ -74,6 +78,10 @@ TUNING_GENERATION_BUMP = "tuning.generation_bump"
 SLO_ALERT = "slo.alert"
 FLEET_REBALANCE = "fleet.rebalance"
 REQUEST_REROUTED = "request.rerouted"
+CHAOS_INJECTED = "chaos.injected"
+QUOTA_REJECTED = "quota.rejected"
+BREAKER_OPEN = "breaker.open"
+BREAKER_CLOSE = "breaker.close"
 
 #: Every event type the schema admits; :meth:`EventLog.emit` rejects others.
 EVENT_TYPES = frozenset(
@@ -91,6 +99,10 @@ EVENT_TYPES = frozenset(
         SLO_ALERT,
         FLEET_REBALANCE,
         REQUEST_REROUTED,
+        CHAOS_INJECTED,
+        QUOTA_REJECTED,
+        BREAKER_OPEN,
+        BREAKER_CLOSE,
     }
 )
 

@@ -21,6 +21,7 @@ __all__ = [
     "uniform_offsets",
     "poisson_offsets",
     "bursty_offsets",
+    "diurnal_offsets",
     "pace",
     "stencil_pattern",
     "make_request",
@@ -104,6 +105,41 @@ def bursty_offsets(
         produced += phase_len
         bursting = not bursting
     offsets = np.cumsum(gaps)
+    return offsets - offsets[0] if num_requests else offsets
+
+
+def diurnal_offsets(
+    rate_rps: float,
+    num_requests: int,
+    rng: np.random.Generator,
+    period_s: float = 60.0,
+    depth: float = 0.8,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """A sinusoidally modulated Poisson process (a compressed diurnal cycle).
+
+    The instantaneous rate is ``rate * (1 + depth * sin(2π t/period +
+    phase))`` — the day/night swing of real user traffic squeezed into
+    ``period_s`` so load tests see whole cycles in seconds. Sampled with
+    Lewis-Shedler thinning: candidate arrivals are drawn from a
+    homogeneous process at the peak rate and kept with probability
+    ``rate(t) / peak``, which is exact for any bounded intensity.
+    """
+    _check(rate_rps, num_requests)
+    if not 0.0 <= depth < 1.0:
+        raise ValueError(f"depth must be in [0, 1), got {depth}")
+    if period_s <= 0:
+        raise ValueError(f"period_s must be positive, got {period_s}")
+    peak = rate_rps * (1.0 + depth)
+    offsets = np.empty(num_requests, dtype=np.float64)
+    t = 0.0
+    kept = 0
+    while kept < num_requests:
+        t += rng.exponential(scale=1.0 / peak)
+        lam = rate_rps * (1.0 + depth * np.sin(2.0 * np.pi * t / period_s + phase))
+        if rng.uniform() * peak <= lam:
+            offsets[kept] = t
+            kept += 1
     return offsets - offsets[0] if num_requests else offsets
 
 

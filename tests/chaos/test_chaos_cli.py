@@ -1,0 +1,69 @@
+"""The ``repro chaos`` CLI: replay gate, battery gate, wrapper form."""
+
+from repro.__main__ import main
+
+COMMON = ["--requests", "40", "--rate", "400", "--size", "16"]
+
+
+class TestChaosReplay:
+    def test_clean_replay_passes(self, capsys):
+        assert main(["chaos", "replay", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "SLO verdicts" in out
+        assert "per-tenant outcomes" in out
+
+    def test_fault_replay_passes_and_reports_injections(self, capsys):
+        assert main(["chaos", "replay", *COMMON, "--faults"]) == 0
+        out = capsys.readouterr().out
+        assert "injected faults:" in out
+
+    def test_trace_out_then_in_round_trips(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.jsonl")
+        assert main(["chaos", "replay", *COMMON, "--trace-out", trace_path]) == 0
+        assert main(["chaos", "replay", "--trace-in", trace_path, "--size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "40 requests" in out
+
+
+class TestChaosBattery:
+    def test_battery_gate_passes(self, capsys):
+        # 40 requests / batch 8 = 5+ flushes: every cadenced kind fires
+        # except the every=7 and every=11 ones need more flushes — use a
+        # smaller batch so the battery covers all kinds
+        code = main(
+            ["chaos", "battery", "--requests", "60", "--rate", "400",
+             "--size", "16", "--batch-size", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "zero lost" in out
+
+    def test_battery_runs_against_a_fleet(self, capsys):
+        code = main(
+            ["chaos", "battery", "--requests", "60", "--rate", "400",
+             "--size", "16", "--batch-size", "4", "--shards", "2"]
+        )
+        assert code == 0
+
+
+class TestChaosWrapper:
+    def test_wraps_serve_demo(self, capsys):
+        code = main(
+            ["chaos", "serve-demo", "--requests", "16", "--size", "16",
+             "--fault-seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault battery (seed 3)" in out
+        assert "chaos:" in out
+
+    def test_no_command_is_usage_error(self, capsys):
+        assert main(["chaos"]) == 2
+
+    def test_bad_fault_seed_is_usage_error(self):
+        # --fault-seed rides inside the wrapped argv (argparse REMAINDER
+        # only captures flags after the wrapped command name)
+        assert main(["chaos", "serve-demo", "--fault-seed", "nope"]) == 2
+        assert main(["chaos", "serve-demo", "--fault-seed"]) == 2

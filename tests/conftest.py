@@ -20,12 +20,31 @@ from repro.workloads.general import random_diag_dominant_batch, random_spd_batch
 from repro.workloads.stencil import stencil_rhs, three_point_stencil
 
 
+#: Test directories whose suites form the serving-stack tier-1 gate; the
+#: coverage floor (scripts/coverage_gate.py) runs exactly `-m tier1`.
+TIER1_DIRS = ("tests/serve", "tests/fleet", "tests/chaos", "tests/telemetry")
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "no_sanitize: never install the SANITIZE=1 suite-wide sanitizer "
         "for this test (it runs deliberately invalid kernels)",
     )
+    config.addinivalue_line(
+        "markers",
+        "tier1: serving-stack gate tests (auto-applied to tests/serve, "
+        "tests/fleet, tests/chaos, tests/telemetry); the CI coverage "
+        "floor runs `pytest -m tier1`",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    rootdir = str(config.rootpath)
+    for item in items:
+        rel = os.path.relpath(str(item.fspath), rootdir).replace(os.sep, "/")
+        if any(rel.startswith(prefix + "/") for prefix in TIER1_DIRS):
+            item.add_marker(pytest.mark.tier1)
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,104 @@
+"""Property tests: consistent-hash ring stability under membership churn.
+
+The routing guarantees the fleet's rebalancing story depends on:
+
+* determinism — the same membership always routes a key the same way;
+* minimal disruption — adding a node only *steals* keys (every moved key
+  moves TO the new node), removing a node only *orphans* its own keys
+  (every other key keeps its owner);
+* full coverage — occupancy fractions sum to 1 over the live members.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import HashRing
+
+_node_names = st.sampled_from([f"shard-{i}" for i in range(8)])
+_keys = st.lists(
+    st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=12),
+    min_size=1,
+    max_size=40,
+    unique=True,
+)
+# a churn script: add/remove node names (applied only when legal)
+_churn = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), _node_names),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _build(nodes):
+    ring = HashRing(virtual_nodes=32)
+    for node in nodes:
+        ring.add(node)
+    return ring
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys=_keys, churn=_churn)
+def test_churn_moves_only_the_necessary_keys(keys, churn):
+    ring = _build(["shard-seed"])
+    members = {"shard-seed"}
+    owners = {key: ring.node_for(key) for key in keys}
+    for op, node in churn:
+        if op == "add":
+            if node in members:
+                continue
+            ring.add(node)
+            members.add(node)
+            for key, old in owners.items():
+                new = ring.node_for(key)
+                # the new node only steals: a key that moved moved to it
+                assert new == old or new == node, (key, old, new, node)
+                owners[key] = new
+        else:
+            if node not in members or len(members) == 1:
+                continue
+            ring.remove(node)
+            members.discard(node)
+            for key, old in owners.items():
+                new = ring.node_for(key)
+                # keys the removed node didn't own keep their owner
+                if old != node:
+                    assert new == old, (key, old, new, node)
+                assert new != node
+                owners[key] = new
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    nodes=st.lists(_node_names, min_size=1, max_size=8, unique=True),
+    keys=_keys,
+)
+def test_routing_is_deterministic_in_membership(nodes, keys):
+    a = _build(nodes)
+    b = _build(list(reversed(nodes)))  # insertion order must not matter
+    for key in keys:
+        owner = a.node_for(key)
+        assert owner in nodes
+        assert b.node_for(key) == owner
+
+
+@settings(max_examples=60, deadline=None)
+@given(nodes=st.lists(_node_names, min_size=1, max_size=8, unique=True))
+def test_occupancy_covers_the_ring(nodes):
+    ring = _build(nodes)
+    occupancy = ring.occupancy()
+    assert set(occupancy) == set(nodes)
+    assert abs(sum(occupancy.values()) - 1.0) < 1e-9
+    assert all(fraction > 0.0 for fraction in occupancy.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    nodes=st.lists(_node_names, min_size=2, max_size=8, unique=True),
+    keys=_keys,
+)
+def test_remove_then_readd_restores_routing(nodes, keys):
+    ring = _build(nodes)
+    before = {key: ring.node_for(key) for key in keys}
+    ring.remove(nodes[0])
+    ring.add(nodes[0])
+    assert {key: ring.node_for(key) for key in keys} == before

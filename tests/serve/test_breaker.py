@@ -1,0 +1,203 @@
+"""CircuitBreaker transitions (unit) and the service-level fallback storm."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.chaos import ChaosInjector, FaultPlan, FaultSpec
+from repro.chaos.plan import POISON_BATCH
+from repro.exceptions import CircuitOpenError
+from repro.serve import ServeConfig, SolveRequest, SolverService
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.telemetry.events import BREAKER_CLOSE, BREAKER_OPEN
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _breaker(clock, **kwargs):
+    defaults = dict(window=8, min_events=4, threshold=0.5, cooldown_s=10.0)
+    defaults.update(kwargs)
+    return CircuitBreaker(clock=clock, **defaults)
+
+
+class TestTransitions:
+    def test_starts_closed_and_permissive(self):
+        breaker = _breaker(FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.allow_degraded()
+        assert breaker.bad_fraction() == 0.0
+
+    def test_no_trip_below_min_events(self):
+        breaker = _breaker(FakeClock())
+        for _ in range(3):
+            breaker.record(bad=True)
+        assert breaker.state == CLOSED
+
+    def test_trips_at_threshold(self):
+        opened = []
+        clock = FakeClock()
+        breaker = _breaker(clock, on_open=lambda b: opened.append(b.opens))
+        for bad in (True, True, False, True):
+            breaker.record(bad=bad)
+        assert breaker.state == OPEN
+        assert not breaker.allow_degraded()
+        assert opened == [1]
+
+    def test_cooldown_promotes_to_half_open(self):
+        clock = FakeClock()
+        breaker = _breaker(clock)
+        for _ in range(4):
+            breaker.record(bad=True)
+        assert breaker.state == OPEN
+        clock.now += 9.0
+        assert breaker.state == OPEN
+        clock.now += 1.5
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow_degraded()  # the probe is admitted
+
+    def test_half_open_good_probe_closes(self):
+        closed = []
+        clock = FakeClock()
+        breaker = _breaker(clock, on_close=lambda b: closed.append(b.closes))
+        for _ in range(4):
+            breaker.record(bad=True)
+        clock.now += 11.0
+        breaker.record(bad=False)
+        assert breaker.state == CLOSED
+        assert closed == [1]
+        # the window was cleared: old storm outcomes cannot re-trip it
+        assert breaker.bad_fraction() == 0.0
+
+    def test_half_open_bad_probe_reopens(self):
+        clock = FakeClock()
+        breaker = _breaker(clock)
+        for _ in range(4):
+            breaker.record(bad=True)
+        clock.now += 11.0
+        breaker.record(bad=True)
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        # the cooldown restarted from the re-trip
+        clock.now += 5.0
+        assert breaker.state == OPEN
+
+    def test_window_slides(self):
+        clock = FakeClock()
+        breaker = _breaker(clock, window=4, min_events=4, threshold=0.75)
+        for bad in (True, True, False, False, False, False):
+            breaker.record(bad=bad)
+        # the two bad outcomes slid out of the window
+        assert breaker.bad_fraction() == 0.0
+        assert breaker.state == CLOSED
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"min_events": 0},
+            {"min_events": 9},
+            {"threshold": 0.0},
+            {"threshold": 1.5},
+            {"cooldown_s": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        defaults = dict(window=8, min_events=4, threshold=0.5, cooldown_s=1.0)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            CircuitBreaker(**defaults)
+
+
+def _tridiag_request(rng, n=8):
+    matrix = sp.diags(
+        [np.full(n - 1, -1.0), np.full(n, 2.0), np.full(n - 1, -1.0)],
+        offsets=[-1, 0, 1],
+        format="csr",
+    )
+    scale = rng.uniform(0.95, 1.05, size=n)
+    rows = np.repeat(np.arange(n), np.diff(matrix.indptr))
+    matrix.data = matrix.data * scale[rows] * scale[matrix.indices]
+    return SolveRequest(
+        matrix, rng.standard_normal(n), solver="cg", preconditioner="jacobi"
+    )
+
+
+def _storm_config(**overrides):
+    defaults = dict(
+        max_batch_size=4,
+        max_wait_ms=60_000.0,
+        num_workers=1,
+        breaker_window=8,
+        breaker_min_events=4,
+        breaker_threshold=0.5,
+        breaker_cooldown_s=0.05,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+class TestServiceStorm:
+    def test_storm_opens_then_recovery_closes(self):
+        """The full arc: poison storm -> open -> cooldown -> probe -> close."""
+        import time
+
+        rng = np.random.default_rng(0)
+        # poison the first flush only: its 4 rescued requests all record
+        # bad outcomes, tripping the breaker; later traffic is healthy
+        chaos = ChaosInjector(
+            FaultPlan(0, (FaultSpec(POISON_BATCH, every=1, max_faults=1),))
+        )
+        with SolverService(_storm_config(), chaos=chaos) as service:
+            storm = [service.submit(_tridiag_request(rng)) for _ in range(4)]
+            assert all(t.exception(timeout=30.0) is None for t in storm)
+            assert all(t.result(timeout=1.0).used_fallback for t in storm)
+            assert service.breaker.state == OPEN
+            assert int(service.metrics.counter("serve.breaker_opens").value) == 1
+            assert int(service.metrics.gauge("serve.breaker_state").value) == 1
+
+            time.sleep(0.1)  # past the cooldown: half-open, probe admitted
+            healthy = [service.submit(_tridiag_request(rng)) for _ in range(4)]
+            assert all(t.exception(timeout=30.0) is None for t in healthy)
+            assert not any(t.result(timeout=1.0).used_fallback for t in healthy)
+            assert service.breaker.state == CLOSED
+            assert int(service.metrics.counter("serve.breaker_closes").value) == 1
+            assert int(service.metrics.gauge("serve.breaker_state").value) == 0
+
+        events = [e["type"] for e in service.events.records()]
+        assert BREAKER_OPEN in events
+        assert BREAKER_CLOSE in events
+
+    def test_open_breaker_sheds_degraded_work_with_503(self):
+        rng = np.random.default_rng(1)
+        # an unbounded poison storm: flush 0 trips the breaker via its
+        # rescued fallbacks; flush 1's rescue finds it open and sheds
+        chaos = ChaosInjector(FaultPlan(0, (FaultSpec(POISON_BATCH, every=1),)))
+        with SolverService(
+            _storm_config(breaker_cooldown_s=60.0), chaos=chaos
+        ) as service:
+            first = [service.submit(_tridiag_request(rng)) for _ in range(4)]
+            assert all(t.exception(timeout=30.0) is None for t in first)
+            assert service.breaker.state == OPEN
+            shed = [service.submit(_tridiag_request(rng)) for _ in range(4)]
+            errors = [t.exception(timeout=30.0) for t in shed]
+            assert all(isinstance(e, CircuitOpenError) for e in errors)
+            assert all(e.status_code == 503 and e.error_code == "breaker_open"
+                       for e in errors)
+            assert all(e.retry_after_s == 60.0 for e in errors)
+            assert int(service.metrics.counter("serve.breaker_fast_fails").value) == 4
+
+    def test_breaker_disabled_never_sheds(self):
+        rng = np.random.default_rng(2)
+        chaos = ChaosInjector(FaultPlan(0, (FaultSpec(POISON_BATCH, every=1),)))
+        config = _storm_config(breaker_enabled=False)
+        with SolverService(config, chaos=chaos) as service:
+            assert service.breaker is None
+            tickets = [service.submit(_tridiag_request(rng)) for _ in range(12)]
+            assert all(t.exception(timeout=30.0) is None for t in tickets)
+            assert all(t.result(timeout=1.0).used_fallback for t in tickets)

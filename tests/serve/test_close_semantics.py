@@ -5,13 +5,16 @@ The fleet's graceful drain is built directly on these: drain =
 ``close(drain=False)`` failing queued tickets fast instead of hanging.
 """
 
+import threading
 import time
 
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.exceptions import ServiceClosedError
+from repro.chaos import ChaosInjector, FaultPlan, FaultSpec
+from repro.chaos.plan import DEVICE_DELAY, WORKER_DIE
+from repro.exceptions import ReproError, ServiceClosedError
 from repro.serve import ServeConfig, SolveRequest, SolverService
 
 
@@ -89,6 +92,102 @@ class TestAbortClose:
         tickets = [service.submit(_request(rng)) for _ in range(4)]
         service.close(drain=True)
         assert all(t.result(timeout=30.0).converged for t in tickets)
+
+
+class TestCloseUnderChaos:
+    """Pins for the close(drain=False) vs in-flight chaos race.
+
+    An abort close must never race an injected fault into a hang or a
+    bare exception: whatever the interleaving, every ticket ends in a
+    result or a *structured* error within the timeout.
+    """
+
+    def test_abort_close_races_worker_death(self):
+        rng = np.random.default_rng(10)
+        chaos = ChaosInjector(FaultPlan(0, (FaultSpec(WORKER_DIE, every=1),)))
+        config = ServeConfig(max_batch_size=4, max_wait_ms=60_000.0, num_workers=1)
+        service = SolverService(config, chaos=chaos)
+        tickets = [service.submit(_request(rng)) for _ in range(4)]
+        # the size-triggered flush is in the pool; close races its rescue
+        service.close(drain=False)
+        for ticket in tickets:
+            error = ticket.exception(timeout=30.0)
+            # rescued by the fallback, or failed structured — never lost,
+            # never a bare 500
+            if error is not None:
+                assert isinstance(error, ReproError), error
+                assert getattr(error, "status_code", 500) != 500, error
+
+    def test_abort_close_races_device_delay(self):
+        # the fault holds the flush on the "device" while close lands:
+        # the in-flight flush still completes (abort only fails the
+        # unflushed backlog)
+        rng = np.random.default_rng(11)
+        chaos = ChaosInjector(
+            FaultPlan(0, (FaultSpec(DEVICE_DELAY, every=1, delay_ms=50.0),))
+        )
+        config = ServeConfig(max_batch_size=4, max_wait_ms=60_000.0, num_workers=1)
+        service = SolverService(config, chaos=chaos)
+        flushed = [service.submit(_request(rng)) for _ in range(4)]
+        time.sleep(0.01)  # flush picked up, now dwelling in the fault
+        parked = service.submit(_request(rng))
+        service.close(drain=False)
+        assert all(t.result(timeout=30.0).converged for t in flushed)
+        with pytest.raises(ServiceClosedError):
+            parked.result(timeout=5.0)
+
+    def test_drain_close_under_battery_loses_nothing(self):
+        rng = np.random.default_rng(12)
+        chaos = ChaosInjector(FaultPlan.battery(seed=0))
+        config = ServeConfig(max_batch_size=4, max_wait_ms=60_000.0, num_workers=1)
+        service = SolverService(config, chaos=chaos)
+        tickets = [service.submit(_request(rng)) for _ in range(12)]
+        service.close(drain=True)
+        for ticket in tickets:
+            assert ticket.done()
+            error = ticket.exception(timeout=1.0)
+            if error is not None:
+                assert isinstance(error, ReproError)
+                assert getattr(error, "status_code", 500) != 500
+
+    def test_submits_racing_abort_close_never_hang(self):
+        rng = np.random.default_rng(13)
+        chaos = ChaosInjector(FaultPlan(0, (FaultSpec(WORKER_DIE, every=2),)))
+        config = ServeConfig(max_batch_size=2, max_wait_ms=60_000.0, num_workers=2)
+        service = SolverService(config, chaos=chaos)
+        tickets, rejected = [], []
+        tickets_lock = threading.Lock()
+        stop = threading.Event()
+
+        def submitter():
+            local_rng = np.random.default_rng(14)
+            while not stop.is_set():
+                try:
+                    ticket = service.submit(_request(local_rng))
+                except ReproError:
+                    rejected.append(1)
+                    return
+                with tickets_lock:
+                    tickets.append(ticket)
+
+        threads = [threading.Thread(target=submitter) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        service.close(drain=False)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+        # every admitted ticket reaches a terminal state: a result, a
+        # structured chaos error, or the abort-close failure — never a hang
+        with tickets_lock:
+            admitted = list(tickets)
+        assert admitted, "the submitters should have gotten work in"
+        for ticket in admitted:
+            error = ticket.exception(timeout=30.0)
+            if error is not None:
+                assert isinstance(error, ReproError), error
 
 
 class TestWaitIdle:
