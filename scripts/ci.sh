@@ -81,10 +81,23 @@ python -m repro chaos battery --requests 40 --batch-size 4 --size 12 --shards 2
 python scripts/bench_chaos_slo.py --quick --out /tmp/ci_chaos_slo.json
 
 echo
+echo "== recorder smoke =="
+# flight recorder end to end: the quick-mode overhead/attribution bench,
+# then a live bundle driven through every postmortem verb
+python scripts/bench_recorder_overhead.py --quick \
+    --out /tmp/ci_recorder_overhead.json >/dev/null
+rm -rf /tmp/ci_recorder_bundles
+python -m repro chaos battery --requests 40 --batch-size 4 --size 12 \
+    --bundle-dir /tmp/ci_recorder_bundles --dump-bundle
+python -m repro postmortem analyze /tmp/ci_recorder_bundles >/dev/null
+python -m repro postmortem timeline /tmp/ci_recorder_bundles --limit 5 >/dev/null
+
+echo
 echo "== coverage floor =="
-# tier1 (serve/fleet/chaos/telemetry) under the stdlib line tracer:
-# >= 85% of src/repro/serve + src/repro/fleet executable lines
-python scripts/coverage_gate.py --floor 85
+# tier1 (serve/fleet/chaos/telemetry/recorder) under the stdlib line
+# tracer: >= 85% of src/repro/serve + src/repro/fleet executable lines,
+# >= 80% of src/repro/observability + telemetry + recorder
+python scripts/coverage_gate.py --floor 85 --obs-floor 80
 
 echo
 echo "== perf-regression gate =="

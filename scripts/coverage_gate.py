@@ -2,18 +2,21 @@
 """Line-coverage floor for the serving stack — stdlib tracer, no pytest-cov.
 
 Runs the ``tier1`` suite (``pytest -m tier1``: tests/serve, tests/fleet,
-tests/chaos, tests/telemetry) in-process under a ``sys.settrace`` /
-``threading.settrace`` line tracer scoped to ``src/repro/serve`` and
-``src/repro/fleet``, then fails if the executed fraction of executable
-lines drops below the floor.
+tests/chaos, tests/telemetry, tests/recorder) in-process under a
+``sys.settrace`` / ``threading.settrace`` line tracer scoped to two
+independently-floored groups: the serving stack (``src/repro/serve`` +
+``src/repro/fleet``, default floor 85%) and the observability stack
+(``src/repro/observability`` + ``src/repro/telemetry`` +
+``src/repro/recorder``, default floor 80%). Either group dropping below
+its floor fails the gate.
 
 Executable lines come from the compiled code objects themselves
 (``co_lines`` walked recursively through nested functions/classes), so
 the denominator is exactly what CPython can execute — comments, blank
 lines, and docstring bodies never count against the floor.
 
-Usage: python scripts/coverage_gate.py [--floor 85] [--report 10]
-       [pytest args after --]
+Usage: python scripts/coverage_gate.py [--floor 85] [--obs-floor 80]
+       [--report 10] [pytest args after --]
 """
 
 from __future__ import annotations
@@ -27,10 +30,24 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-#: Packages the floor is enforced over (repo-relative).
-TARGETS = ("src/repro/serve", "src/repro/fleet")
+#: Floored package groups (repo-relative): the serving stack and the
+#: observability stack (metrics/dashboard/flight recorder) each hold
+#: their own line, independently — a well-covered serve layer must not
+#: subsidise untested forensics code, or vice versa.
+GROUPS = (
+    ("serve", ("src/repro/serve", "src/repro/fleet")),
+    (
+        "observability",
+        (
+            "src/repro/observability",
+            "src/repro/telemetry",
+            "src/repro/recorder",
+        ),
+    ),
+)
 
 DEFAULT_FLOOR = 85.0
+DEFAULT_OBS_FLOOR = 80.0
 
 
 def executable_lines(path: Path) -> set[int]:
@@ -90,16 +107,27 @@ def main(argv: list[str] | None = None) -> int:
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
-                        help="minimum line coverage percent (default 85)")
+                        help="serve/fleet group floor percent (default 85)")
+    parser.add_argument("--obs-floor", type=float, default=DEFAULT_OBS_FLOOR,
+                        help="observability/telemetry/recorder group floor "
+                        "percent (default 80)")
     parser.add_argument("--report", type=int, default=10,
-                        help="show the N least-covered files (0 = all)")
+                        help="show the N least-covered files per group (0 = all)")
     args = parser.parse_args(argv)
 
     os.chdir(ROOT)
+    floors = {"serve": args.floor, "observability": args.obs_floor}
+    group_files: dict[str, dict[str, set[int]]] = {}
+    for group_name, group_targets in GROUPS:
+        group_files[group_name] = {
+            str(path.resolve()): executable_lines(path)
+            for target in group_targets
+            for path in sorted((ROOT / target).rglob("*.py"))
+        }
     targets = {
-        str(path.resolve()): executable_lines(path)
-        for target in TARGETS
-        for path in sorted((ROOT / target).rglob("*.py"))
+        name: lines
+        for files in group_files.values()
+        for name, lines in files.items()
     }
     if not targets:
         print("coverage_gate: no target files found", file=sys.stderr)
@@ -117,35 +145,43 @@ def main(argv: list[str] | None = None) -> int:
         print(f"coverage_gate: tier1 suite failed (exit {code})", file=sys.stderr)
         return code
 
-    rows = []
-    total_executable = 0
-    total_hit = 0
-    for name, executable in sorted(targets.items()):
-        if not executable:
-            continue
-        hit = len(tracer.hits[name] & executable)
-        total_executable += len(executable)
-        total_hit += hit
-        rows.append((100.0 * hit / len(executable), hit, len(executable), name))
-
-    percent = 100.0 * total_hit / total_executable
-    rows.sort()
-    shown = rows if args.report == 0 else rows[: args.report]
-    print(f"\n{'cover':>7}  {'lines':>11}  file (least covered first)")
-    for file_percent, hit, executable, name in shown:
-        rel = os.path.relpath(name, ROOT)
-        print(f"{file_percent:6.1f}%  {hit:5d}/{executable:<5d}  {rel}")
-    print(
-        f"\ncoverage_gate: {percent:.1f}% of {total_executable} executable "
-        f"lines across {len(rows)} files (floor {args.floor:.0f}%)"
-    )
-    if percent < args.floor:
+    failures: list[str] = []
+    for group_name, _group_targets in GROUPS:
+        floor = floors[group_name]
+        rows = []
+        total_executable = 0
+        total_hit = 0
+        for name, executable in sorted(group_files[group_name].items()):
+            if not executable:
+                continue
+            hit = len(tracer.hits[name] & executable)
+            total_executable += len(executable)
+            total_hit += hit
+            rows.append(
+                (100.0 * hit / len(executable), hit, len(executable), name)
+            )
+        percent = 100.0 * total_hit / total_executable
+        rows.sort()
+        shown = rows if args.report == 0 else rows[: args.report]
+        print(f"\n{'cover':>7}  {'lines':>11}  [{group_name}] least covered first")
+        for file_percent, hit, executable, name in shown:
+            rel = os.path.relpath(name, ROOT)
+            print(f"{file_percent:6.1f}%  {hit:5d}/{executable:<5d}  {rel}")
         print(
-            f"coverage_gate: FAIL — {percent:.1f}% < {args.floor:.0f}% floor",
-            file=sys.stderr,
+            f"coverage_gate[{group_name}]: {percent:.1f}% of "
+            f"{total_executable} executable lines across {len(rows)} files "
+            f"(floor {floor:.0f}%)"
         )
+        if percent < floor:
+            failures.append(
+                f"{group_name}: {percent:.1f}% < {floor:.0f}% floor"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"coverage_gate: FAIL — {failure}", file=sys.stderr)
         return 1
-    print("coverage_gate: OK")
+    print("\ncoverage_gate: OK")
     return 0
 
 

@@ -274,6 +274,22 @@ def main(argv=None) -> int:
         f"({time.perf_counter() - start:.1f} s)"
     )
 
+    # flight recorder: the always-on recording bill and the chaos-bundle
+    # postmortem attribution gate
+    import bench_recorder_overhead
+
+    start = time.perf_counter()
+    recorder_args = ["--out", str(out / "BENCH_recorder_overhead.json")]
+    if args.quick:
+        recorder_args.append("--quick")
+    code = bench_recorder_overhead.main(recorder_args)
+    if code != 0:
+        return code
+    print(
+        f"wrote {out / 'BENCH_recorder_overhead.json'} "
+        f"({time.perf_counter() - start:.1f} s)"
+    )
+
     # regression gate over the freshly regenerated artifacts
     import check_regression
 

@@ -1509,13 +1509,30 @@ def _chaos_battery(argv: list[str]) -> int:
 
     Passes only when every fault kind fired at least once, zero tickets
     were lost, and every failure carried a structured (non-500) status.
+    The whole run executes under a flight recorder; on any failure a
+    diagnostic bundle is dumped and its path printed — CI uploads it as
+    an artifact, and ``repro postmortem analyze <path>`` explains the
+    loss.
     """
     parser = _chaos_parser("repro chaos battery")
+    parser.add_argument(
+        "--bundle-dir",
+        default="/tmp/repro_chaos_bundles",
+        help="flight-recorder bundles are dumped here on failure "
+        "(printed as the CI artifact path)",
+    )
+    parser.add_argument(
+        "--dump-bundle",
+        action="store_true",
+        help="dump a bundle even when the battery passes (feeds smoke "
+        "pipelines that drive the postmortem CLI on every run)",
+    )
     args = parser.parse_args(argv)
 
     from repro.chaos import ChaosInjector, FaultPlan
     from repro.chaos.plan import FAULT_KINDS
     from repro.chaos.replay import run_replay
+    from repro.recorder import FlightRecorder, use_recorder
 
     chaos = ChaosInjector(FaultPlan.battery(seed=args.fault_seed))
     items, factory = _chaos_trace_and_factory(args, chaos)
@@ -1523,14 +1540,18 @@ def _chaos_battery(argv: list[str]) -> int:
         f"chaos battery: {len(items)} requests under "
         f"{len(chaos.plan.specs)} fault specs, {args.shards} shard(s)"
     )
-    report = run_replay(
-        items,
-        factory,
-        seed=args.seed,
-        size=args.size,
-        latency_threshold_ms=args.threshold_ms,
-        result_timeout_s=args.timeout,
+    recorder = FlightRecorder(
+        capacity=4096, solve_capacity=1024, shard="chaos-battery"
     )
+    with use_recorder(recorder):
+        report = run_replay(
+            items,
+            factory,
+            seed=args.seed,
+            size=args.size,
+            latency_threshold_ms=args.threshold_ms,
+            result_timeout_s=args.timeout,
+        )
     _chaos_print_report(report, "battery")
 
     failures = []
@@ -1543,12 +1564,18 @@ def _chaos_battery(argv: list[str]) -> int:
     if silent:
         failures.append(f"fault kind(s) never fired: {', '.join(silent)}")
     if failures:
+        bundle = recorder.dump(args.bundle_dir, reason="chaos_battery_failure")
         print("\nFAIL: " + "; ".join(failures))
+        print(f"flight-recorder bundle (CI artifact): {bundle}")
+        print(f"analyze with: python -m repro postmortem analyze {bundle}")
         return 1
     print(
         f"\nPASS: {report.injected_total} faults injected, zero lost, "
         f"all failures structured"
     )
+    if args.dump_bundle:
+        bundle = recorder.dump(args.bundle_dir, reason="manual")
+        print(f"flight-recorder bundle (CI artifact): {bundle}")
     return 0
 
 
@@ -1606,6 +1633,62 @@ def _cmd_chaos(argv: list[str]) -> int:
     if argv and argv[0] == "battery":
         return _chaos_battery(argv[1:])
     return _chaos_wrap(argv)
+
+
+def _cmd_postmortem(argv: list[str]) -> int:
+    """``postmortem {analyze,timeline,diff}``: read flight-recorder bundles.
+
+    * ``analyze <bundle>...`` — incident attribution (infrastructure
+      fault vs. convergence class) with victim trace ids; ``--json``
+      prints the machine-readable analysis instead of the report.
+    * ``timeline <bundle>...`` — the merged cross-shard event timeline.
+    * ``diff <a> <b>`` — what changed between two bundles.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro postmortem",
+        description="analyze flight-recorder diagnostic bundles",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    analyze = sub.add_parser("analyze", help="attribute incidents and failures")
+    analyze.add_argument("bundles", nargs="+", help="bundle dirs (or parents of)")
+    analyze.add_argument("--json", action="store_true", help="print JSON, not the report")
+    analyze.add_argument("--out", default=None, help="also write the report here")
+    timeline = sub.add_parser("timeline", help="merged cross-shard event timeline")
+    timeline.add_argument("bundles", nargs="+", help="bundle dirs (or parents of)")
+    timeline.add_argument("--limit", type=int, default=None, help="last N events only")
+    diff = sub.add_parser("diff", help="what changed between two bundles")
+    diff.add_argument("a", help="the before bundle")
+    diff.add_argument("b", help="the after bundle")
+    args = parser.parse_args(argv)
+
+    import json
+    from pathlib import Path
+
+    from repro.recorder import (
+        analyze_bundles,
+        diff_bundles,
+        load_bundle,
+        load_bundles,
+        render_analysis,
+        render_diff,
+        render_timeline,
+    )
+
+    if args.action == "analyze":
+        analysis = analyze_bundles(load_bundles(args.bundles))
+        if args.json:
+            print(json.dumps(analysis, indent=2, default=str))
+        else:
+            print(render_analysis(analysis))
+        if args.out:
+            Path(args.out).write_text(render_analysis(analysis))
+            print(f"report written to {args.out}")
+        return 0
+    if args.action == "timeline":
+        print(render_timeline(load_bundles(args.bundles), limit=args.limit))
+        return 0
+    print(render_diff(diff_bundles(load_bundle(args.a), load_bundle(args.b))))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1858,6 +1941,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("wrapped", nargs=argparse.REMAINDER)
     chaos.set_defaults(fn=lambda a: _cmd_chaos(a.wrapped))
+
+    postmortem = sub.add_parser(
+        "postmortem",
+        help="flight-recorder bundle analysis (repro.recorder): 'analyze' "
+        "(incident + failure attribution), 'timeline' (merged cross-shard "
+        "event stream), 'diff' (what changed between two bundles)",
+    )
+    postmortem.add_argument("wrapped", nargs=argparse.REMAINDER)
+    postmortem.set_defaults(fn=lambda a: _cmd_postmortem(a.wrapped))
 
     sanitize = sub.add_parser(
         "sanitize",

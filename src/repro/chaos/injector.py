@@ -136,6 +136,7 @@ class ChaosInjector:
             self._realize(spec, flush, matrix, b)
 
     def _record(self, service: Any, spec: FaultSpec, flush: Any, worker: Any, index: int) -> None:
+        from repro.recorder.recorder import TRIGGER_CHAOS_FAULT, current_recorder
         from repro.telemetry.events import CHAOS_INJECTED
 
         service.metrics.counter("chaos.injected").labels(kind=spec.kind).inc()
@@ -148,6 +149,22 @@ class ChaosInjector:
             batch_size=getattr(flush, "size", 0),
             worker=getattr(worker, "name", ""),
         )
+        recorder = getattr(service, "recorder", None) or current_recorder()
+        if recorder is not None:
+            # the authoritative victim list: every ticket co-batched into
+            # the faulted flush, joined by trace id in the postmortem
+            trace_ids = [
+                t.trace_context.trace_id for t in getattr(flush, "tickets", ())
+            ]
+            recorder.trigger(
+                TRIGGER_CHAOS_FAULT,
+                trace_id=trace_ids[0] if trace_ids else None,
+                kind=spec.kind,
+                flush_index=index,
+                flush_id=getattr(flush, "flush_id", ""),
+                worker=getattr(worker, "name", ""),
+                trace_ids=trace_ids,
+            )
 
     def _realize(self, spec: FaultSpec, flush: Any, matrix: Any, b: Any) -> None:
         if spec.kind == DEVICE_DELAY:

@@ -161,6 +161,7 @@ class ConvergenceTracker:
         iterate and is reported as not converged.
         """
         self._frozen |= mask
+        self.logger.mark_frozen(mask)
         if self._tracer.enabled and np.any(mask):
             self._tracer.instant("solver.breakdown", systems=int(np.sum(mask)))
             self._tracer.metrics.counter("solver.breakdowns").inc(int(np.sum(mask)))

@@ -37,6 +37,7 @@ from repro.fleet.config import FleetConfig
 from repro.fleet.ring import HashRing, ring_token
 from repro.observability.metrics import LogHistogram, MetricsRegistry
 from repro.observability.tracer import Tracer, current_tracer, use_tracer
+from repro.recorder.recorder import current_recorder
 from repro.serve.request import SolveOutcome, SolveRequest, SolveTicket
 from repro.serve.service import SolverService
 from repro.telemetry.events import (
@@ -133,7 +134,17 @@ class FleetService:
                 self.config.serve,
                 tuning_db_path=self.config.shard_tuning_path(name),
             )
-            service = SolverService(serve_config, tracer=self._tracer, chaos=self._chaos)
+            # per-shard black box: an ambient flight recorder becomes one
+            # sibling recorder per replica, stamped with the shard name,
+            # so each shard's bundles merge in the cross-shard postmortem
+            ambient = current_recorder()
+            recorder = None if ambient is None else ambient.for_shard(name)
+            service = SolverService(
+                serve_config,
+                tracer=self._tracer,
+                chaos=self._chaos,
+                recorder=recorder,
+            )
             shard = ShardReplica(name, service)
             self._shards[name] = shard
             self.ring.add(name)
@@ -371,6 +382,20 @@ class FleetService:
         for shard in self.shards():
             rollup.merge(shard.service.metrics.log_histogram("serve.latency_hdr_ms"))
         return rollup
+
+    def dump_recorders(self, dump_dir, reason: str = "manual") -> list:
+        """Dump every shard's flight-recorder rings as one bundle each.
+
+        Returns the bundle paths — feed them (or the parent directory)
+        to ``repro postmortem analyze`` for the cross-shard story. Shards
+        without a recorder (no ambient one at start) are skipped.
+        """
+        bundles = []
+        for shard in self.shards():
+            recorder = shard.service.recorder
+            if recorder is not None:
+                bundles.append(recorder.dump(dump_dir, reason=reason))
+        return bundles
 
     def refresh_metrics(self) -> None:
         """Refresh the fleet gauges (for exporters polling ``metrics``)."""

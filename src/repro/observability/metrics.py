@@ -212,10 +212,15 @@ class LogHistogram:
     which is what per-worker collection followed by a global rollup
     needs. Values ``<= 0`` are clamped into a dedicated underflow bucket
     reported as 0.
+
+    **Exemplars** (OpenMetrics-style): ``observe(value, trace_id=...)``
+    remembers the most recent trace id per bucket, so a p99 reading is
+    one :meth:`exemplar_for` hop away from a concrete trace to pull up
+    in the flight recorder or the trace viewer.
     """
 
     __slots__ = ("name", "growth", "_buckets", "_zero", "_count", "_sum",
-                 "_min", "_max", "_lock")
+                 "_min", "_max", "_exemplars", "_lock")
 
     kind = "log_histogram"
 
@@ -233,13 +238,19 @@ class LogHistogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
+        self._exemplars: dict[int, tuple[str, float]] = {}
         self._lock = threading.Lock()
 
     def _index(self, value: float) -> int:
         return math.floor(math.log(value) / math.log(self.growth))
 
-    def observe(self, value: float) -> None:
-        """Record one sample in O(1) time and O(buckets) total memory."""
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        """Record one sample in O(1) time and O(buckets) total memory.
+
+        ``trace_id`` attaches an exemplar: the bucket the sample lands in
+        remembers this (latest) trace id, retrievable per percentile via
+        :meth:`exemplar_for`.
+        """
         value = float(value)
         with self._lock:
             self._count += 1
@@ -251,6 +262,8 @@ class LogHistogram:
             else:
                 idx = self._index(value)
                 self._buckets[idx] = self._buckets.get(idx, 0) + 1
+                if trace_id is not None:
+                    self._exemplars[idx] = (trace_id, value)
 
     def observe_many(self, values: Iterable[float]) -> None:
         """Record a batch of samples."""
@@ -316,6 +329,7 @@ class LogHistogram:
             buckets = dict(other._buckets)
             zero, count = other._zero, other._count
             total, vmin, vmax = other._sum, other._min, other._max
+            exemplars = dict(other._exemplars)
         with self._lock:
             for idx, n in buckets.items():
                 self._buckets[idx] = self._buckets.get(idx, 0) + n
@@ -324,6 +338,47 @@ class LogHistogram:
             self._sum += total
             self._min = min(self._min, vmin)
             self._max = max(self._max, vmax)
+            for idx, exemplar in exemplars.items():
+                self._exemplars.setdefault(idx, exemplar)
+
+    def exemplars(self) -> list[dict[str, Any]]:
+        """Every bucket exemplar: ``{upper_bound, trace_id, value}`` rows."""
+        with self._lock:
+            return [
+                {
+                    "upper_bound": self.growth ** (idx + 1),
+                    "trace_id": trace_id,
+                    "value": value,
+                }
+                for idx, (trace_id, value) in sorted(self._exemplars.items())
+            ]
+
+    def exemplar_for(self, p: float) -> tuple[str, float] | None:
+        """The exemplar of the bucket holding percentile ``p``, if any.
+
+        Falls back to the nearest *lower* bucket with an exemplar (not
+        every bucket has seen a traced observation), so "show me a p99
+        request" degrades gracefully rather than failing.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if self._count == 0 or not self._exemplars or not self._buckets:
+                return None
+            rank = max(1, math.ceil(p / 100.0 * self._count))
+            seen = self._zero
+            if rank <= seen:
+                return None  # percentile lands in the underflow bucket
+            target = max(self._buckets)
+            for idx in sorted(self._buckets):
+                seen += self._buckets[idx]
+                if rank <= seen:
+                    target = idx
+                    break
+            candidates = [idx for idx in self._exemplars if idx <= target]
+            if not candidates:
+                return None
+            return self._exemplars[max(candidates)]
 
     def bucket_bounds(self) -> list[tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs for text exposition."""

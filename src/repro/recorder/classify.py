@@ -1,0 +1,327 @@
+"""Convergence forensics: classify what a batched Krylov solve *did*.
+
+The paper's diagnostic signal is convergence behaviour, not kernel time:
+a port that runs fast but stagnates, diverges, or breaks down is broken
+in a way a latency histogram cannot show. This module turns the raw
+per-system residual trajectories the solvers already produce into a
+small, serialisable vocabulary:
+
+* ``converged`` — the stopping criterion was met;
+* ``breakdown`` — the recurrence died (a guarded divide froze the
+  system, or the loop stopped early without converging);
+* ``stagnation`` — the iteration budget ran out with the residual
+  roughly where it started (no growth, no progress);
+* ``divergence`` — the budget ran out with the residual grown by more
+  than :data:`DIVERGENCE_FACTOR` over its initial value;
+* ``nan_residual`` — a NaN or infinity appeared anywhere in the
+  recorded residual trajectory (the numerics escaped).
+
+Everything here is pure ``numpy`` + stdlib on plain arrays, importable
+from the kernel layer, the recorder, and the postmortem CLI without
+dragging in telemetry or serving code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = [
+    "CONVERGED",
+    "BREAKDOWN",
+    "STAGNATION",
+    "DIVERGENCE",
+    "NAN_RESIDUAL",
+    "CLASSES",
+    "SEVERITY",
+    "DIVERGENCE_FACTOR",
+    "CURVE_POINTS",
+    "downsample_curve",
+    "classify_curve",
+    "classify_history",
+    "solve_summary",
+]
+
+CONVERGED = "converged"
+BREAKDOWN = "breakdown"
+STAGNATION = "stagnation"
+DIVERGENCE = "divergence"
+NAN_RESIDUAL = "nan_residual"
+
+#: Every class the forensics vocabulary admits.
+CLASSES = (CONVERGED, BREAKDOWN, STAGNATION, DIVERGENCE, NAN_RESIDUAL)
+
+#: Triage order — higher is worse; the bundle keeps the worst system's curve.
+SEVERITY = {
+    CONVERGED: 0,
+    STAGNATION: 1,
+    BREAKDOWN: 2,
+    DIVERGENCE: 3,
+    NAN_RESIDUAL: 4,
+}
+
+#: Residual growth (final / initial) beyond which a budget-exhausted,
+#: unconverged system counts as diverging rather than stagnating.
+DIVERGENCE_FACTOR = 10.0
+
+#: Default downsampled-curve length kept per recorded solve.
+CURVE_POINTS = 32
+
+#: Class name by severity code (the vectorized classifier's codebook).
+_CLASS_BY_CODE = (CONVERGED, STAGNATION, BREAKDOWN, DIVERGENCE, NAN_RESIDUAL)
+
+
+def downsample_curve(curve: Sequence[float], points: int = CURVE_POINTS) -> list[float]:
+    """Decimate a residual trajectory to at most ``points`` samples.
+
+    The first and last samples are always kept (the initial residual
+    anchors relative criteria; the final residual is the verdict), and
+    interior samples are taken at a uniform stride, so the curve's shape
+    — plateau, monotone drop, blow-up — survives the compression.
+    """
+    if points < 2:
+        raise ValueError(f"points must be >= 2, got {points}")
+    # pure-Python decimation: this runs per recorded flush on the
+    # always-on path, where ndarray round-trips on ~40-sample curves
+    # cost more than the arithmetic
+    values = curve.ravel().tolist() if isinstance(curve, np.ndarray) else list(curve)
+    n = len(values)
+    if n <= points:
+        return [float(v) for v in values]
+    step = (n - 1) / (points - 1)
+    out: list[float] = []
+    last = -1
+    for k in range(points):
+        idx = round(k * step)
+        if idx != last:
+            out.append(float(values[idx]))
+            last = idx
+    return out
+
+
+def classify_curve(
+    curve: Sequence[float],
+    *,
+    converged: bool,
+    frozen: bool = False,
+    iterations: int | None = None,
+    max_iterations: int | None = None,
+    divergence_factor: float = DIVERGENCE_FACTOR,
+) -> str:
+    """Classify one system's residual trajectory.
+
+    ``curve`` is the recorded residual norms (initial residual first);
+    ``frozen`` marks a guarded-divide breakdown; ``iterations`` against
+    ``max_iterations`` separates budget exhaustion (stagnation or
+    divergence) from an early stop (breakdown).
+    """
+    # stays off numpy: called once per system per flush on the always-on
+    # path, where per-call ndarray construction would dominate. fsum is a
+    # single C pass; NaN/inf anywhere poisons the total, and only then is
+    # the per-element scan needed (fsum can also overflow on huge finite
+    # samples, so the scan is the authority).
+    values = curve.ravel().tolist() if isinstance(curve, np.ndarray) else curve
+    try:
+        total = math.fsum(values)
+    except (OverflowError, ValueError):  # huge finite samples, or -inf + inf
+        total = math.nan
+    if not math.isfinite(total):
+        for v in values:
+            if not math.isfinite(v):
+                return NAN_RESIDUAL
+    if converged:
+        return CONVERGED
+    if frozen:
+        return BREAKDOWN
+    out_of_budget = (
+        iterations is not None
+        and max_iterations is not None
+        and iterations >= max_iterations
+    )
+    if out_of_budget and len(values):
+        initial, final = float(values[0]), float(values[-1])
+        if initial > 0.0 and final > initial * divergence_factor:
+            return DIVERGENCE
+        return STAGNATION
+    if out_of_budget:
+        return STAGNATION
+    return BREAKDOWN
+
+
+def classify_history(
+    history: np.ndarray,
+    *,
+    converged: np.ndarray,
+    iterations: np.ndarray,
+    max_iterations: int,
+    frozen: np.ndarray | None = None,
+    divergence_factor: float = DIVERGENCE_FACTOR,
+) -> list[str]:
+    """Classify every system from a dense residual-history matrix.
+
+    ``history`` has shape ``(num_systems, slots)`` with NaN padding past
+    each system's recorded iterations (the kernel path's layout), so only
+    ``history[i, : iterations[i] + 1]`` is inspected per system — the
+    padding must not read as a NaN residual.
+    """
+    history = np.asarray(history, dtype=np.float64)
+    if history.ndim != 2:
+        raise ValueError(f"history must be 2-D (systems, slots), got {history.shape}")
+    converged = np.asarray(converged, dtype=bool)
+    iterations = np.asarray(iterations, dtype=np.int64)
+    frozen_mask = (
+        np.zeros(history.shape[0], dtype=bool)
+        if frozen is None
+        else np.asarray(frozen, dtype=bool)
+    )
+    classes = []
+    for i in range(history.shape[0]):
+        stop = min(int(iterations[i]) + 1, history.shape[1])
+        classes.append(
+            classify_curve(
+                history[i, :stop],
+                converged=bool(converged[i]),
+                frozen=bool(frozen_mask[i]),
+                iterations=int(iterations[i]),
+                max_iterations=max_iterations,
+                divergence_factor=divergence_factor,
+            )
+        )
+    return classes
+
+
+def _finite_or_none(value: float) -> float | None:
+    return float(value) if math.isfinite(value) else None
+
+
+def _classify_stacked(
+    stacked: np.ndarray,
+    converged: np.ndarray,
+    frozen: np.ndarray,
+    iterations: np.ndarray,
+    max_iterations: int,
+    divergence_factor: float,
+) -> list[str]:
+    """Vectorized :func:`classify_curve` over a ``(systems, samples)``
+    matrix — the always-on hot path when every curve has the same length.
+
+    Assignments run in reverse priority order so the scalar rules'
+    precedence (NaN > converged > frozen > budget > breakdown) holds.
+    """
+    initial = stacked[:, 0]
+    final = stacked[:, -1]
+    out_of_budget = iterations >= max_iterations
+    codes = np.full(stacked.shape[0], SEVERITY[BREAKDOWN], dtype=np.int8)
+    codes[out_of_budget] = SEVERITY[STAGNATION]
+    codes[out_of_budget & (initial > 0.0) & (final > initial * divergence_factor)] = (
+        SEVERITY[DIVERGENCE]
+    )
+    codes[frozen] = SEVERITY[BREAKDOWN]
+    codes[converged] = SEVERITY[CONVERGED]
+    codes[~np.isfinite(stacked).all(axis=1)] = SEVERITY[NAN_RESIDUAL]
+    return [_CLASS_BY_CODE[c] for c in codes.tolist()]
+
+
+def solve_summary(
+    curves: Sequence[Sequence[float]],
+    *,
+    converged: np.ndarray,
+    iterations: np.ndarray,
+    max_iterations: int,
+    frozen: np.ndarray | None = None,
+    solver: str = "",
+    backend: str = "",
+    curve_points: int = CURVE_POINTS,
+) -> dict[str, Any]:
+    """Build one JSON-ready forensic record for a batched solve.
+
+    ``curves`` is one residual trajectory per system (ragged is fine).
+    The record carries per-system classes, class counts, iteration
+    statistics, and the *worst* system's downsampled curve — enough for a
+    postmortem to tell numerics from infrastructure without shipping the
+    full history.
+    """
+    converged = np.asarray(converged, dtype=bool)
+    iterations = np.asarray(iterations, dtype=np.int64)
+    frozen_mask = (
+        np.zeros(len(curves), dtype=bool)
+        if frozen is None
+        else np.asarray(frozen, dtype=bool)
+    )
+    num = len(curves)
+    first_len = len(curves[0]) if curves else 0
+    all_finite = False
+    stacked = None
+    if curves and first_len > 0 and iterations.size == num:
+        try:
+            stacked = np.stack(curves)
+        except ValueError:  # ragged batch — classify system by system
+            stacked = None
+    if stacked is not None:
+        # uniform curves — residual_curves()'s layout — classify in one
+        # vectorized pass (this runs on every recorded flush)
+        if converged.all() and not frozen_mask.any():
+            # the steady state: every system converged. A single sum is
+            # the cheapest finite probe — NaN/inf poison it (a huge
+            # finite batch can overflow to inf; the slow path below
+            # re-checks per element, so that is never misclassified).
+            all_finite = math.isfinite(float(stacked.sum()))
+        if all_finite:
+            classes = [CONVERGED] * num
+        else:
+            classes = _classify_stacked(
+                stacked,
+                converged,
+                frozen_mask,
+                iterations,
+                max_iterations,
+                DIVERGENCE_FACTOR,
+            )
+        finals = stacked[:, -1].tolist()
+    else:
+        conv_list = converged.tolist()
+        iter_list = iterations.tolist() if iterations.size else []
+        frozen_list = frozen_mask.tolist()
+        classes = [
+            classify_curve(
+                curves[i],
+                converged=conv_list[i],
+                frozen=frozen_list[i],
+                iterations=iter_list[i] if iter_list else None,
+                max_iterations=max_iterations,
+            )
+            for i in range(num)
+        ]
+        finals = [float(c[-1]) if len(c) else math.nan for c in curves]
+    counts: dict[str, int] = {}
+    for cls in classes:
+        counts[cls] = counts.get(cls, 0) + 1
+    if num and len(counts) == 1:
+        worst_index = 0  # uniform batch: max() below would pick 0 anyway
+    else:
+        worst_index = max(
+            range(num), key=lambda i: SEVERITY[classes[i]], default=None
+        )
+    it_list = iterations.tolist()
+    record: dict[str, Any] = {
+        "solver": solver,
+        "backend": backend,
+        "num_systems": num,
+        "max_iterations": int(max_iterations),
+        "classes": classes,
+        "class_counts": counts,
+        "num_converged": num if all_finite else int(converged.sum()),
+        "iterations_max": max(it_list) if it_list else 0,
+        "iterations_mean": sum(it_list) / len(it_list) if it_list else 0.0,
+    }
+    if worst_index is not None:
+        record["worst_index"] = worst_index
+        record["worst_class"] = classes[worst_index]
+        down = downsample_curve(curves[worst_index], curve_points)
+        record["worst_curve"] = (
+            down if all_finite else [_finite_or_none(v) for v in down]
+        )
+        record["worst_final_residual"] = _finite_or_none(finals[worst_index])
+    return record

@@ -43,6 +43,14 @@ from repro.exceptions import (
 from repro.multi.distributed import partition_batch
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Tracer, current_tracer, use_tracer
+from repro.recorder.classify import solve_summary
+from repro.recorder.recorder import (
+    TRIGGER_BREAKER_OPEN,
+    TRIGGER_ERROR_5XX,
+    TRIGGER_SANITIZER_TRIP,
+    FlightRecorder,
+    current_recorder,
+)
 from repro.telemetry.events import (
     BREAKER_CLOSE,
     BREAKER_OPEN,
@@ -99,11 +107,15 @@ class SolverService:
         tracer: Tracer | None = None,
         tuning_db: object | None = None,
         chaos: ChaosInjector | None = None,
+        recorder: FlightRecorder | None = None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
         # fault injection: an explicit injector wins, else whatever a
         # surrounding `use_chaos` scope (the `repro chaos` wrapper) installed
         self.chaos = chaos if chaos is not None else current_chaos()
+        # black-box flight recorder: explicit wins, else the ambient
+        # `use_recorder` scope; None keeps the serving hot path untouched
+        self.recorder = recorder if recorder is not None else current_recorder()
         self.device = device if device is not None else self._default_device()
         self.metrics = MetricsRegistry()
         # structured event log: a `repro slo <command>` wrapper hub wins,
@@ -119,6 +131,10 @@ class SolverService:
                 if installed is not None
                 else EventLog(capacity=self.config.event_log_capacity)
             )
+            if installed is None and self.recorder is not None:
+                # a private log taps this service's own recorder, so a
+                # fleet shard's events land in its per-shard black box
+                self.events.recorder = self.recorder
         if tuning_db is None and self.config.tuning_db_path is not None:
             from repro.tune.db import TuningDB
 
@@ -421,6 +437,10 @@ class SolverService:
                     self.metrics.counter("serve.flush_solves").labels(
                         backend=self.config.backend, solver=key.solver
                     ).inc()
+                    if self.recorder is not None:
+                        self._record_forensics(
+                            flush, worker, live, result, plan, solve_ms, cache_hit
+                        )
                 except Exception as exc:  # whole-flush failure → per-request rescue
                     self.metrics.counter("serve.flush_failures").inc()
                     span.set("error", type(exc).__name__)
@@ -466,6 +486,63 @@ class SolverService:
                                 ),
                             )
 
+    def _record_forensics(
+        self,
+        flush: FlushBatch,
+        worker: Worker,
+        live: list[SolveTicket],
+        result: BatchSolveResult,
+        plan: ExecutionPlan,
+        solve_ms: float,
+        cache_hit: bool,
+    ) -> None:
+        """Feed the flight recorder's rings after a flushed batch solve.
+
+        One flush record (the span-level facts plus victim trace links),
+        one convergence-forensics record (per-system classes and the
+        worst system's downsampled residual curve), and a rate-limited
+        metric-registry delta. Never raises into the flush path — a
+        recorder bug must not fail a solve that already succeeded.
+        """
+        try:
+            trace_ids = [t.trace_context.trace_id for t in live]
+            self.recorder.record_flush(
+                flush_id=flush.flush_id,
+                reason=flush.reason,
+                batch_size=flush.size,
+                worker=worker.name,
+                solver=result.solver_name,
+                solve_ms=round(solve_ms, 3),
+                cache_hit=cache_hit,
+                trace_ids=trace_ids,
+            )
+            logger = result.logger
+            curves = logger.residual_curves()
+            frozen = logger.frozen
+            if len(curves) != result.num_batch:
+                # sharded flush: the logger covers shard 0 only; degrade
+                # to single-point curves so classes still line up 1:1
+                curves = [
+                    np.asarray([result.residual_norms[i]])
+                    for i in range(result.num_batch)
+                ]
+                frozen = np.zeros(result.num_batch, dtype=bool)
+            summary = solve_summary(
+                curves,
+                converged=result.converged,
+                frozen=frozen,
+                iterations=result.iterations,
+                max_iterations=getattr(plan.resolved, "max_iterations", 0),
+                solver=result.solver_name,
+                backend=self.config.backend,
+            )
+            summary["flush_id"] = flush.flush_id
+            summary["trace_ids"] = trace_ids
+            self.recorder.record_solve(summary)
+            self.recorder.observe_registry(self.metrics)
+        except Exception:
+            self.metrics.counter("serve.recorder_errors").inc()
+
     def _attribute_failure(
         self, exc: Exception, live: list[SolveTicket], flush: FlushBatch
     ) -> None:
@@ -496,6 +573,15 @@ class SolverService:
             trace_ids=list(trace_ids),
             request_ids=list(request_ids),
         )
+        if self.recorder is not None:
+            self.recorder.trigger(
+                TRIGGER_SANITIZER_TRIP,
+                trace_id=trace_ids[0] if trace_ids else None,
+                kind=getattr(report, "kind", type(exc).__name__),
+                kernel=getattr(report, "kernel", ""),
+                flush_id=flush.flush_id,
+                trace_ids=list(trace_ids),
+            )
 
     def _solve_batch(
         self,
@@ -655,6 +741,10 @@ class SolverService:
             logger = ConvergenceLogger(nb, keep_history=resolved.keep_history)
             logger.iterations = iters.copy()
             logger.final_residuals = final.copy()
+            logger.mark_converged(final <= thresholds)
+            # forensics: the device-recorded residual history becomes the
+            # always-on bounded curves the flight recorder classifies from
+            logger.adopt_history_curves(history, iters)
             return BatchSolveResult(
                 x=np.asarray(x, dtype=np.float64),
                 iterations=iters,
@@ -815,6 +905,12 @@ class SolverService:
             cooldown_s=breaker.cooldown_s,
             opens=breaker.opens,
         )
+        if self.recorder is not None:
+            self.recorder.trigger(
+                TRIGGER_BREAKER_OPEN,
+                bad_fraction=round(breaker.bad_fraction(), 3),
+                opens=breaker.opens,
+            )
 
     def _on_breaker_close(self, breaker: CircuitBreaker) -> None:
         self.metrics.counter("serve.breaker_closes").inc()
@@ -839,8 +935,9 @@ class SolverService:
         tail = hdr.count >= 64 and latency_ms >= hdr.percentile(99.0)
         self.metrics.histogram("serve.latency_ms").observe(latency_ms)
         # HDR-style streaming twin: bounded memory, mergeable, and what the
-        # Prometheus exposition renders as a classic histogram
-        hdr.observe(latency_ms)
+        # Prometheus exposition renders as a classic histogram — with the
+        # trace id as the bucket's exemplar, so p99 names a real request
+        hdr.observe(latency_ms, trace_id=ctx.trace_id)
         self.events.emit(
             REQUEST_SOLVED,
             ctx=ctx,
@@ -859,15 +956,24 @@ class SolverService:
         if ticket.done():
             return
         self.metrics.counter("serve.failed").inc()
+        status_code = getattr(error, "status_code", 500)
         self.events.emit(
             REQUEST_TIMED_OUT if status == TIMED_OUT else REQUEST_FAILED,
             ctx=ticket.trace_context,
             critical=True,
             error=type(error).__name__,
             error_code=getattr(error, "error_code", "internal"),
-            status_code=getattr(error, "status_code", 500),
+            status_code=status_code,
             detail=str(error)[:160],
         )
+        if status_code >= 500 and self.recorder is not None:
+            self.recorder.trigger(
+                TRIGGER_ERROR_5XX,
+                trace_id=ticket.trace_context.trace_id,
+                request_id=ticket.request.request_id,
+                error=type(error).__name__,
+                status_code=status_code,
+            )
         ticket._fail(error, status=status)
         self._release_one(ticket)
 

@@ -15,6 +15,7 @@ frames — so tests assert on frame content without a terminal.
 
 from __future__ import annotations
 
+import re
 import time
 
 from repro.observability.metrics import (
@@ -50,6 +51,60 @@ def sparkline(counts: list[int], width: int = 24) -> str:
     return "".join(
         _SPARK_CHARS[min(top, (c * top + peak - 1) // peak)] for c in cells
     )
+
+
+_TENANT_METRIC = re.compile(r'^serve\.(tenant_pending|quota_rejected)\{tenant="(.*)"\}$')
+
+
+def _breaker_rows(registry: MetricsRegistry) -> list[dict]:
+    """One row per breaker-bearing scope (local service + fleet rollup)."""
+    rows = []
+    if "serve.breaker_state" in registry:
+        state = registry.gauge("serve.breaker_state").value
+        rows.append(
+            {
+                "breaker": "serve",
+                "state": "open" if state == 1 else "closed",
+                "opens": int(registry.counter("serve.breaker_opens").value)
+                if "serve.breaker_opens" in registry
+                else 0,
+                "closes": int(registry.counter("serve.breaker_closes").value)
+                if "serve.breaker_closes" in registry
+                else 0,
+                "fast_fails": int(registry.counter("serve.breaker_fast_fails").value)
+                if "serve.breaker_fast_fails" in registry
+                else 0,
+            }
+        )
+    if "fleet.breakers_open" in registry:
+        open_count = registry.gauge("fleet.breakers_open").value
+        if open_count == open_count:  # skip never-set NaN gauge
+            rows.append(
+                {
+                    "breaker": "fleet",
+                    "state": f"{int(open_count)} open",
+                    "opens": "-",
+                    "closes": "-",
+                    "fast_fails": "-",
+                }
+            )
+    return rows
+
+
+def _tenant_rows(registry: MetricsRegistry) -> list[dict]:
+    """Per-tenant QoS rows parsed from the labeled serve instruments."""
+    tenants: dict[str, dict] = {}
+    for metric in registry.instruments():
+        match = _TENANT_METRIC.match(metric.name)
+        if match is None:
+            continue
+        kind, tenant = match.groups()
+        row = tenants.setdefault(tenant, {"tenant": tenant, "pending": 0, "rejected": 0})
+        if kind == "tenant_pending":
+            row["pending"] = int(metric.value) if metric.value == metric.value else 0
+        else:
+            row["rejected"] = int(metric.value)
+    return [tenants[name] for name in sorted(tenants)]
 
 
 def _bucket_counts(hist: LogHistogram) -> list[int]:
@@ -104,6 +159,16 @@ def dashboard_text(
             )
         )
 
+    breaker_rows = _breaker_rows(registry)
+    if breaker_rows:
+        parts.append("")
+        parts.append(format_table(breaker_rows, "circuit breakers"))
+
+    tenant_rows = _tenant_rows(registry)
+    if tenant_rows:
+        parts.append("")
+        parts.append(format_table(tenant_rows, "tenant quotas"))
+
     hists = [
         m for m in registry.instruments() if isinstance(m, (Histogram, LogHistogram))
     ]
@@ -121,8 +186,13 @@ def dashboard_text(
             }
             if isinstance(h, LogHistogram):
                 row["distribution"] = sparkline(_bucket_counts(h))
+                exemplar = h.exemplar_for(99)
+                row["p99_exemplar"] = (
+                    (exemplar[0] or "-")[:10] if exemplar is not None else "-"
+                )
             else:
                 row["distribution"] = ""
+                row["p99_exemplar"] = "-"
             rows.append(row)
         parts.append("")
         parts.append(format_table(rows, "latency / distributions"))

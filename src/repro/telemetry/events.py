@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from repro.observability.context import TraceContext, current_trace_context
+from repro.recorder.recorder import current_recorder
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -174,6 +175,10 @@ class EventLog:
         self._lock = threading.Lock()
         self.emitted = 0  # events accepted into the log
         self.dropped_head = 0  # events dropped by the head-sampling decision
+        #: explicit flight-recorder tap target; ``None`` falls back to the
+        #: ambient recorder. A fleet shard's private log points here so its
+        #: events land in that shard's black box, not the fleet-wide one.
+        self.recorder = None
 
     # -- emission -------------------------------------------------------------
 
@@ -214,6 +219,12 @@ class EventLog:
             self._ring.append(event)
             if critical:
                 self._pinned.append(event)
+        # black-box tap: the flight recorder (this log's own if set, else
+        # the ambient one) rings every retained event, so a later trigger
+        # dump carries the recent event stream
+        recorder = self.recorder if self.recorder is not None else current_recorder()
+        if recorder is not None:
+            recorder.record_event(event.to_record())
         return event
 
     # -- export ---------------------------------------------------------------

@@ -463,6 +463,15 @@ class SloMonitor:
                     BurnAlert(window=window, short_burn=short, long_burn=long, firing=firing)
                 )
             statuses.append(status)
+        if any(status.burning for status in statuses):
+            # black-box trigger: a burning SLO snapshots the flight
+            # recorder (the recorder itself rate-limits repeat dumps)
+            from repro.recorder.recorder import TRIGGER_SLO_BURN, current_recorder
+
+            recorder = current_recorder()
+            if recorder is not None:
+                burning = [s.spec.name for s in statuses if s.burning]
+                recorder.trigger(TRIGGER_SLO_BURN, slos=burning)
         return statuses
 
     @property

@@ -22,7 +22,13 @@ from repro.workloads.stencil import stencil_rhs, three_point_stencil
 
 #: Test directories whose suites form the serving-stack tier-1 gate; the
 #: coverage floor (scripts/coverage_gate.py) runs exactly `-m tier1`.
-TIER1_DIRS = ("tests/serve", "tests/fleet", "tests/chaos", "tests/telemetry")
+TIER1_DIRS = (
+    "tests/serve",
+    "tests/fleet",
+    "tests/chaos",
+    "tests/telemetry",
+    "tests/recorder",
+)
 
 
 def pytest_configure(config):
@@ -34,8 +40,8 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "tier1: serving-stack gate tests (auto-applied to tests/serve, "
-        "tests/fleet, tests/chaos, tests/telemetry); the CI coverage "
-        "floor runs `pytest -m tier1`",
+        "tests/fleet, tests/chaos, tests/telemetry, tests/recorder); the "
+        "CI coverage floor runs `pytest -m tier1`",
     )
 
 

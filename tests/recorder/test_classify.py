@@ -1,0 +1,279 @@
+"""Convergence-forensics classification: the edge cases that matter.
+
+The vocabulary exists to separate "the numerics went bad" from "the
+infrastructure went bad" — so the classifier must get the pathological
+trajectories right: immediate breakdown, NaN residuals, max-iteration
+stagnation, and restart-free divergence.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.recorder.classify import (
+    BREAKDOWN,
+    CLASSES,
+    CONVERGED,
+    DIVERGENCE,
+    NAN_RESIDUAL,
+    SEVERITY,
+    STAGNATION,
+    classify_curve,
+    classify_history,
+    downsample_curve,
+    solve_summary,
+)
+
+
+class TestClassifyCurve:
+    def test_converged_curve(self):
+        curve = [1.0, 0.1, 1e-9]
+        assert classify_curve(curve, converged=True, iterations=2, max_iterations=100) == CONVERGED
+
+    def test_immediate_breakdown_single_point(self):
+        # the recurrence died on iteration 0: one recorded residual,
+        # unconverged, budget untouched
+        assert (
+            classify_curve([1.0], converged=False, iterations=0, max_iterations=100)
+            == BREAKDOWN
+        )
+
+    def test_frozen_system_is_breakdown_even_mid_budget(self):
+        curve = [1.0, 0.5, 0.5]
+        assert (
+            classify_curve(
+                curve, converged=False, frozen=True, iterations=2, max_iterations=100
+            )
+            == BREAKDOWN
+        )
+
+    def test_nan_residual_wins_over_everything(self):
+        curve = [1.0, float("nan"), 0.0]
+        for converged in (True, False):
+            assert (
+                classify_curve(curve, converged=converged, iterations=2, max_iterations=2)
+                == NAN_RESIDUAL
+            )
+
+    def test_inf_residual_is_nan_class(self):
+        assert (
+            classify_curve(
+                [1.0, float("inf")], converged=False, iterations=1, max_iterations=1
+            )
+            == NAN_RESIDUAL
+        )
+
+    def test_max_iter_stagnation(self):
+        # budget exhausted, residual roughly where it started: stagnation
+        curve = [1.0] + [0.9] * 49
+        assert (
+            classify_curve(curve, converged=False, iterations=50, max_iterations=50)
+            == STAGNATION
+        )
+
+    def test_restart_free_divergence(self):
+        # residual grows monotonically past 10x initial with the budget spent
+        curve = [1.0, 5.0, 25.0, 125.0]
+        assert (
+            classify_curve(curve, converged=False, iterations=3, max_iterations=3)
+            == DIVERGENCE
+        )
+
+    def test_growth_below_factor_is_stagnation_not_divergence(self):
+        curve = [1.0, 2.0, 9.0]
+        assert (
+            classify_curve(curve, converged=False, iterations=2, max_iterations=2)
+            == STAGNATION
+        )
+
+    def test_divergence_factor_is_tunable(self):
+        curve = [1.0, 5.0]
+        assert (
+            classify_curve(
+                curve,
+                converged=False,
+                iterations=1,
+                max_iterations=1,
+                divergence_factor=2.0,
+            )
+            == DIVERGENCE
+        )
+
+    def test_early_stop_unconverged_is_breakdown(self):
+        curve = [1.0, 0.5]
+        assert (
+            classify_curve(curve, converged=False, iterations=1, max_iterations=100)
+            == BREAKDOWN
+        )
+
+    def test_unknown_budget_unconverged_is_breakdown(self):
+        assert classify_curve([1.0, 0.5], converged=False) == BREAKDOWN
+
+    def test_severity_is_total_order_over_classes(self):
+        assert set(SEVERITY) == set(CLASSES)
+        assert len(set(SEVERITY.values())) == len(CLASSES)
+        assert SEVERITY[CONVERGED] == min(SEVERITY.values())
+        assert SEVERITY[NAN_RESIDUAL] == max(SEVERITY.values())
+
+
+class TestDownsample:
+    def test_short_curve_unchanged(self):
+        curve = [1.0, 0.5, 0.25]
+        assert downsample_curve(curve, points=32) == curve
+
+    def test_long_curve_keeps_endpoints_and_bound(self):
+        curve = list(np.geomspace(1.0, 1e-12, 500))
+        down = downsample_curve(curve, points=32)
+        assert len(down) <= 32
+        assert down[0] == curve[0]
+        assert down[-1] == curve[-1]
+        # shape survives: still monotone decreasing
+        assert all(b <= a for a, b in zip(down, down[1:]))
+
+    def test_points_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            downsample_curve([1.0, 0.5], points=1)
+
+
+class TestClassifyHistory:
+    def test_nan_padding_is_not_a_nan_residual(self):
+        # the kernel path's dense layout: NaN past each system's
+        # recorded iterations must not read as numerics escaping
+        history = np.full((2, 6), np.nan)
+        history[0, :3] = [1.0, 0.1, 1e-9]
+        history[1, :6] = [1.0, 0.9, 0.8, 0.85, 0.9, 0.88]
+        classes = classify_history(
+            history,
+            converged=np.array([True, False]),
+            iterations=np.array([2, 5]),
+            max_iterations=5,
+        )
+        assert classes == [CONVERGED, STAGNATION]
+
+    def test_real_nan_inside_budget_detected(self):
+        history = np.full((1, 4), np.nan)
+        history[0, :3] = [1.0, float("nan"), 2.0]
+        classes = classify_history(
+            history,
+            converged=np.array([False]),
+            iterations=np.array([2]),
+            max_iterations=10,
+        )
+        assert classes == [NAN_RESIDUAL]
+
+    def test_frozen_mask_forwarded(self):
+        history = np.array([[1.0, 0.5, 0.4]])
+        classes = classify_history(
+            history,
+            converged=np.array([False]),
+            iterations=np.array([2]),
+            max_iterations=50,
+            frozen=np.array([True]),
+        )
+        assert classes == [BREAKDOWN]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            classify_history(
+                np.ones(4),
+                converged=np.array([False]),
+                iterations=np.array([1]),
+                max_iterations=2,
+            )
+
+
+class TestSolveSummary:
+    def test_mixed_batch_counts_and_worst(self):
+        curves = [
+            [1.0, 1e-9],  # converged
+            [1.0] + [0.9] * 20,  # stagnation at budget
+            [1.0, 50.0, 2500.0],  # divergence (budget spent at iter 2... see below)
+            [1.0, float("nan")],  # nan escape
+        ]
+        summary = solve_summary(
+            curves,
+            converged=np.array([True, False, False, False]),
+            iterations=np.array([1, 20, 20, 1]),
+            max_iterations=20,
+            solver="cg",
+            backend="sycl",
+        )
+        assert summary["num_systems"] == 4
+        assert summary["num_converged"] == 1
+        assert summary["classes"][0] == CONVERGED
+        assert summary["classes"][1] == STAGNATION
+        assert summary["classes"][2] == DIVERGENCE
+        assert summary["classes"][3] == NAN_RESIDUAL
+        assert summary["class_counts"][CONVERGED] == 1
+        # the worst system (NaN) owns the kept curve
+        assert summary["worst_index"] == 3
+        assert summary["worst_class"] == NAN_RESIDUAL
+        assert summary["solver"] == "cg" and summary["backend"] == "sycl"
+
+    def test_worst_curve_is_json_safe(self):
+        # NaN samples become None so json.dumps(allow_nan=False) never chokes
+        summary = solve_summary(
+            [[1.0, float("nan"), float("inf")]],
+            converged=np.array([False]),
+            iterations=np.array([2]),
+            max_iterations=10,
+        )
+        assert summary["worst_curve"][0] == 1.0
+        assert summary["worst_curve"][1] is None
+        assert summary["worst_curve"][2] is None
+        assert summary["worst_final_residual"] is None
+
+    def test_iteration_statistics(self):
+        summary = solve_summary(
+            [[1.0, 1e-9], [1.0, 1e-9]],
+            converged=np.array([True, True]),
+            iterations=np.array([4, 8]),
+            max_iterations=50,
+        )
+        assert summary["iterations_max"] == 8
+        assert math.isclose(summary["iterations_mean"], 6.0)
+
+    def test_vectorized_path_matches_scalar_rules(self):
+        # uniform-length ndarray curves take the stacked fast path; it
+        # must agree with classify_curve on every rule, precedence included
+        curves = [
+            np.array([1.0, 0.5, 1e-9]),  # converged
+            np.array([1.0, 0.9, 0.8]),  # stagnation at budget
+            np.array([1.0, 20.0, 300.0]),  # divergence at budget
+            np.array([1.0, float("nan"), 0.0]),  # nan beats converged
+            np.array([1.0, 0.5, 0.4]),  # frozen -> breakdown mid-budget
+            np.array([1.0, 0.5, 0.4]),  # early stop -> breakdown
+        ]
+        converged = np.array([True, False, False, True, False, False])
+        frozen = np.array([False, False, False, False, True, False])
+        iterations = np.array([2, 10, 10, 2, 2, 2])
+        summary = solve_summary(
+            curves, converged=converged, iterations=iterations, max_iterations=10,
+            frozen=frozen,
+        )
+        expected = [
+            classify_curve(
+                curves[i],
+                converged=bool(converged[i]),
+                frozen=bool(frozen[i]),
+                iterations=int(iterations[i]),
+                max_iterations=10,
+            )
+            for i in range(len(curves))
+        ]
+        assert summary["classes"] == expected
+        assert expected == [
+            CONVERGED, STAGNATION, DIVERGENCE, NAN_RESIDUAL, BREAKDOWN, BREAKDOWN,
+        ]
+
+    def test_long_curve_downsampled_in_record(self):
+        curves = [list(np.geomspace(1.0, 10.0, 400))]
+        summary = solve_summary(
+            curves,
+            converged=np.array([False]),
+            iterations=np.array([399]),
+            max_iterations=399,
+            curve_points=16,
+        )
+        assert len(summary["worst_curve"]) <= 16

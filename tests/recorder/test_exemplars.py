@@ -1,0 +1,75 @@
+"""LogHistogram exemplars: the percentile-to-trace join."""
+
+import math
+
+from repro.observability.metrics import LogHistogram
+
+
+class TestExemplars:
+    def test_observe_records_latest_per_bucket(self):
+        hist = LogHistogram("latency")
+        hist.observe(10.0, trace_id="old")
+        hist.observe(10.1, trace_id="new")  # same bucket, replaces
+        rows = hist.exemplars()
+        assert len(rows) == 1
+        assert rows[0]["trace_id"] == "new"
+        assert rows[0]["value"] == 10.1
+        assert rows[0]["upper_bound"] > 10.1
+
+    def test_observe_without_trace_id_keeps_existing(self):
+        hist = LogHistogram("latency")
+        hist.observe(10.0, trace_id="keeper")
+        hist.observe(10.1)
+        assert hist.exemplar_for(50) == ("keeper", 10.0)
+
+    def test_exemplar_for_tail_percentile(self):
+        hist = LogHistogram("latency")
+        for i in range(99):
+            hist.observe(1.0, trace_id=f"fast-{i}")
+        hist.observe(1000.0, trace_id="the-slow-one")
+        exemplar = hist.exemplar_for(99.9)
+        assert exemplar is not None
+        assert exemplar[0] == "the-slow-one"
+        # and the body of the distribution resolves to a fast trace
+        trace_id, value = hist.exemplar_for(50)
+        assert trace_id.startswith("fast-")
+        assert value == 1.0
+
+    def test_empty_histogram_has_no_exemplar(self):
+        hist = LogHistogram("latency")
+        assert hist.exemplar_for(99) is None
+        assert hist.exemplars() == []
+
+    def test_no_trace_ids_means_no_exemplar(self):
+        hist = LogHistogram("latency")
+        hist.observe_many([1.0, 2.0, 3.0])
+        assert hist.exemplar_for(99) is None
+
+    def test_underflow_bucket_has_no_exemplar(self):
+        hist = LogHistogram("latency")
+        for _ in range(10):
+            hist.observe(0.0)
+        hist.observe(5.0, trace_id="positive")
+        # p50 sits in the underflow bucket (reported 0.0, no exemplar)
+        assert hist.percentile(50) == 0.0
+        assert hist.exemplar_for(50) is None
+        assert hist.exemplar_for(99) == ("positive", 5.0)
+
+    def test_gap_falls_back_to_nearest_lower_bucket(self):
+        hist = LogHistogram("latency")
+        hist.observe(1.0, trace_id="low")
+        hist.observe(1000.0)  # tail bucket observed but exemplar-less
+        exemplar = hist.exemplar_for(99)
+        assert exemplar == ("low", 1.0)
+
+    def test_merge_keeps_own_and_fills_missing(self):
+        a = LogHistogram("latency")
+        b = LogHistogram("latency")
+        a.observe(10.0, trace_id="mine")
+        b.observe(10.0, trace_id="theirs")  # same bucket: a's survives
+        b.observe(1000.0, trace_id="tail")  # new bucket: adopted
+        a.merge(b)
+        assert a.exemplar_for(40) == ("mine", 10.0)
+        assert a.exemplar_for(99.9) == ("tail", 1000.0)
+        assert a.count == 3
+        assert math.isclose(a.total, 1020.0)

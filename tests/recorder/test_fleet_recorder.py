@@ -1,0 +1,102 @@
+"""Per-shard black boxes: the fleet's cross-shard postmortem story.
+
+An ambient recorder installed around a fleet becomes one sibling
+recorder per replica (same limits, shard name stamped), each shard's
+private event log taps its own recorder, and ``dump_recorders`` writes
+one bundle per shard that the postmortem analyzer merges.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.service import FleetService
+from repro.recorder.recorder import FlightRecorder, use_recorder
+from repro.recorder.postmortem import analyze_bundles, load_bundles
+from repro.serve import ServeConfig, SolveRequest
+
+
+def _tridiag(n):
+    return sp.diags(
+        [np.full(n - 1, -1.0), np.full(n, 2.0), np.full(n - 1, -1.0)],
+        offsets=[-1, 0, 1],
+        format="csr",
+    )
+
+
+def _fleet_config(replicas=2):
+    return FleetConfig(
+        initial_replicas=replicas,
+        serve=ServeConfig(max_batch_size=4, max_wait_ms=50.0, num_workers=1),
+    )
+
+
+def _requests(count, sizes=(8, 9)):
+    # distinct sizes -> distinct BatchKeys -> both shards see traffic
+    return [
+        SolveRequest(
+            _tridiag(sizes[i % len(sizes)]),
+            np.ones(sizes[i % len(sizes)]),
+            solver="cg",
+            preconditioner="jacobi",
+            tolerance=1e-8,
+        )
+        for i in range(count)
+    ]
+
+
+class TestFleetRecorders:
+    def test_each_shard_gets_its_own_recorder(self):
+        ambient = FlightRecorder(capacity=512, solve_capacity=128, shard="fleet")
+        with use_recorder(ambient):
+            with FleetService(_fleet_config()) as fleet:
+                shards = fleet.shards()
+                names = {s.name for s in shards}
+                for shard in shards:
+                    recorder = shard.service.recorder
+                    assert recorder is not None
+                    assert recorder is not ambient
+                    assert recorder.shard == shard.name
+                    assert recorder.capacity == 512
+                    assert recorder.solve_capacity == 128
+                    # the shard's private event log taps its own box
+                    assert shard.service.events.recorder is recorder
+                assert len(names) == len(shards)
+
+    def test_no_ambient_recorder_means_none(self):
+        with FleetService(_fleet_config()) as fleet:
+            assert all(s.service.recorder is None for s in fleet.shards())
+
+    def test_solves_and_events_land_in_the_owning_shard(self):
+        ambient = FlightRecorder(shard="fleet")
+        with use_recorder(ambient):
+            with FleetService(_fleet_config()) as fleet:
+                tickets = [fleet.submit(r) for r in _requests(8)]
+                fleet.flush()
+                for t in tickets:
+                    assert t.result(timeout=30.0).converged
+                busy = [
+                    s for s in fleet.shards() if s.service.recorder.solves_seen
+                ]
+                assert busy, "no shard recorded a solve"
+                for shard in busy:
+                    snapshot = shard.service.recorder.snapshot()
+                    assert snapshot["solves"]
+                    assert snapshot["events"]
+        # the fleet-wide ambient box never saw the per-shard solves
+        assert ambient.solves_seen == 0
+
+    def test_dump_recorders_feeds_cross_shard_postmortem(self, tmp_path):
+        ambient = FlightRecorder(shard="fleet")
+        with use_recorder(ambient):
+            with FleetService(_fleet_config()) as fleet:
+                tickets = [fleet.submit(r) for r in _requests(6)]
+                fleet.flush()
+                for t in tickets:
+                    t.result(timeout=30.0)
+                bundles = fleet.dump_recorders(tmp_path, reason="manual")
+                assert len(bundles) == len(fleet.shards())
+        analysis = analyze_bundles(load_bundles([tmp_path]))
+        shard_names = {b["shard"] for b in analysis["bundles"]}
+        assert len(shard_names) == len(bundles)
+        assert analysis["attributed_fraction"] == 1.0  # nothing failed
